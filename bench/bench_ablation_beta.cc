@@ -1,0 +1,57 @@
+// Ablation B: the value-hash domain size β (Section 4.6 leaves "how to
+// choose β" as future work). Sweeps β and reports the trade-off the paper
+// describes qualitatively: larger β ⇒ bigger bisimulation graphs, more
+// distinct patterns, larger index, slower construction — but fewer hash
+// collisions, hence better value pruning.
+
+#include <string>
+
+#include "harness.h"
+
+namespace fix::bench {
+namespace {
+
+constexpr uint32_t kBetas[] = {2, 10, 50, 250};
+
+constexpr const char* kValueQueries[] = {
+    "//proceedings[publisher=\"Springer\"][title]",
+    "//inproceedings[year=\"1998\"][title]/author",
+};
+
+void Run() {
+  Report report("bench_ablation_beta");
+  report.Note("Ablation B: value-hash domain size sweep on DBLP "
+              "(lambda2 feature enabled to expose bucket separation).");
+  auto corpus = BuildCorpus(DataSet::kDblp);
+
+  report.Header({"beta", "entries", "btree_size", "ICT",
+                 "pp(q1)", "fpr(q1)", "pp(q2)", "fpr(q2)", "false_neg"});
+  for (uint32_t beta : kBetas) {
+    BuildStats stats;
+    auto index = BuildFix(corpus.get(), DataSet::kDblp, false, beta, &stats,
+                          "ablB_beta" + std::to_string(beta),
+                          /*use_lambda2=*/true);
+    FIX_CHECK(index.ok());
+    std::vector<QueryMetrics> ms;
+    for (const char* text : kValueQueries) {
+      TwigQuery q = Compile(corpus.get(), text);
+      ms.push_back(MeasureQuery(corpus.get(), &*index, q, text));
+    }
+    char ict[32];
+    std::snprintf(ict, sizeof(ict), "%.2f s", stats.construction_seconds);
+    report.Row({Num(beta), Num(stats.entries), Mb(stats.btree_bytes), ict,
+                Pct(ms[0].pp), Pct(ms[0].fpr), Pct(ms[1].pp),
+                Pct(ms[1].fpr),
+                Num(ms[0].false_negatives + ms[1].false_negatives)});
+  }
+  report.Note("q1 = " + std::string(kValueQueries[0]));
+  report.Note("q2 = " + std::string(kValueQueries[1]));
+}
+
+}  // namespace
+}  // namespace fix::bench
+
+int main() {
+  fix::bench::Run();
+  return 0;
+}

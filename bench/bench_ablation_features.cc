@@ -1,0 +1,103 @@
+// Ablation A (DESIGN.md): which features earn their keep?
+//
+// The paper's key is {root label, λ_min, λ_max}; Section 8 proposes finding
+// more features. Because λ_min = -λ_max for anti-symmetric matrices (a
+// consequence the paper does not state), the published key is effectively
+// {root label, λ_max}. This ablation measures average pruning power over
+// random queries for:
+//   label-only      — candidates = all entries with the root label;
+//   label+lambda    — the paper's key;
+//   label+lambda+l2 — adding the second eigenvalue magnitude (extension);
+//   sound-probe     — the provably-sound pairwise bound (finding F1).
+
+#include <string>
+
+#include "datagen/query_gen.h"
+#include "harness.h"
+
+namespace fix::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool use_lambda;   // lambda filtering at all (false = label only)
+  bool use_lambda2;
+  bool sound_probe;
+};
+
+void Run() {
+  Report report("bench_ablation_features");
+  report.Note("Ablation A: feature-set contributions to pruning power "
+              "(300 random queries per data set).");
+  report.Header({"dataset", "variant", "avg_pp", "avg_fpr",
+                 "queries_with_false_neg"});
+
+  for (DataSet data : {DataSet::kXMark, DataSet::kTreebank}) {
+    auto corpus = BuildCorpus(data);
+    QueryGenOptions qopts;
+    qopts.seed = 777;
+    qopts.max_depth = PaperDepthLimit(data);
+    auto queries = GenerateRandomQueries(*corpus, 300, qopts);
+
+    const Variant variants[] = {
+        {"label-only", false, false, false},
+        {"label+lambda (paper)", true, false, false},
+        {"label+lambda+l2", true, true, false},
+        {"sound-probe (F1 fix)", true, false, true},
+    };
+    for (const Variant& variant : variants) {
+      auto index = BuildFix(corpus.get(), data, false, 0, nullptr,
+                            std::string("ablA_") + DataSetName(data) + "_" +
+                                variant.name,
+                            variant.use_lambda2, -1, variant.sound_probe);
+      FIX_CHECK(index.ok());
+
+      double pp = 0, fpr = 0;
+      uint64_t with_fn = 0;
+      for (const auto& q : queries) {
+        QueryMetrics m;
+        if (variant.use_lambda) {
+          m = MeasureQuery(corpus.get(), &*index, q, q.ToString());
+        } else {
+          // Label-only: candidates = every entry whose root label matches.
+          GroundTruth gt =
+              ComputeGroundTruth(*corpus, q, index->options().depth_limit);
+          uint64_t label_candidates = 0;
+          const Document& doc = corpus->doc(0);
+          for (NodeId n = 1; n < doc.num_nodes(); ++n) {
+            if (doc.IsElement(n) &&
+                doc.label(n) == q.steps[q.root].label) {
+              ++label_candidates;
+            }
+          }
+          m.pp = gt.entries
+                     ? 1.0 - double(label_candidates) / gt.entries
+                     : 0;
+          m.fpr = label_candidates
+                      ? 1.0 - double(gt.producers) / label_candidates
+                      : 0;
+          m.false_negatives = 0;  // label pruning alone is sound
+        }
+        pp += m.pp;
+        fpr += m.fpr;
+        with_fn += m.false_negatives > 0 ? 1 : 0;
+      }
+      double n = static_cast<double>(queries.size());
+      char avg_pp[16], avg_fpr[16];
+      std::snprintf(avg_pp, sizeof(avg_pp), "%.4f", pp / n);
+      std::snprintf(avg_fpr, sizeof(avg_fpr), "%.4f", fpr / n);
+      report.Row({DataSetName(data), variant.name, avg_pp, avg_fpr,
+                  Num(with_fn)});
+    }
+  }
+  report.Note("Expected ordering of avg_pp: label-only < sound-probe <= "
+              "paper <= paper+l2; false negatives only in paper modes.");
+}
+
+}  // namespace
+}  // namespace fix::bench
+
+int main() {
+  fix::bench::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation D: the Section 8 future-work extension — probing through
+// per-label kd-trees over (λ_max, λ₂) instead of the B+-tree range scan.
+//
+// The B+-tree exploits only its (label, λ_max) sort order and then filters
+// λ₂ row by row; the kd-tree prunes subtrees on both dimensions. This
+// harness measures, per random query, the entries touched by each probe
+// (identical candidate sets, different work).
+
+#include <string>
+
+#include "core/spatial_probe.h"
+#include "query/compile.h"
+#include "datagen/query_gen.h"
+#include "harness.h"
+
+namespace fix::bench {
+namespace {
+
+void Run() {
+  Report report("bench_ablation_spatial");
+  report.Note("Ablation D: B+-tree range scan vs kd-tree dominance probe "
+              "(lambda2 feature enabled; 300 random queries per set).");
+  report.Header({"dataset", "btree_entries_scanned", "kdtree_nodes_visited",
+                 "probe_work_ratio", "candidates_equal", "kd_bytes"});
+
+  for (DataSet data : {DataSet::kXMark, DataSet::kTreebank}) {
+    auto corpus = BuildCorpus(data);
+    auto index = BuildFix(corpus.get(), data, false, 0, nullptr,
+                          std::string("ablD_") + DataSetName(data),
+                          /*use_lambda2=*/true);
+    FIX_CHECK(index.ok());
+    auto spatial = SpatialProbe::FromBTree(index->btree());
+    FIX_CHECK(spatial.ok());
+
+    QueryGenOptions qopts;
+    qopts.seed = 909;
+    qopts.max_depth = PaperDepthLimit(data);
+    auto queries = GenerateRandomQueries(*corpus, 300, qopts);
+
+    uint64_t btree_work = 0, kd_work = 0;
+    bool all_equal = true;
+    const double eps = index->options().epsilon;
+    for (const auto& q : queries) {
+      auto parts = DecomposeAtDescendantEdges(q);
+      auto probe_key = index->QueryFeatures(parts[0]);
+      if (!probe_key.ok()) continue;
+      auto lookup = index->Probe(parts[0]);
+      FIX_CHECK(lookup.ok());
+      btree_work += lookup->entries_scanned;
+
+      uint64_t visited = 0;
+      auto hits = spatial->Query(probe_key->root_label,
+                                 probe_key->lambda_max - eps,
+                                 probe_key->lambda2 - eps, &visited);
+      kd_work += visited;
+      if (hits.size() != lookup->candidates.size()) all_equal = false;
+    }
+    char ratio[16];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                  kd_work > 0 ? double(btree_work) / kd_work : 0.0);
+    report.Row({DataSetName(data), Num(btree_work), Num(kd_work), ratio,
+                all_equal ? "yes" : "NO", Mb(spatial->ApproxBytes())});
+  }
+  report.Note("probe_work_ratio > 1 means the kd-tree touches fewer "
+              "entries; candidate sets must be identical.");
+}
+
+}  // namespace
+}  // namespace fix::bench
+
+int main() {
+  fix::bench::Run();
+  return 0;
+}

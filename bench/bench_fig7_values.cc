@@ -1,0 +1,117 @@
+// Reproduces Figure 7: the integrated structure + value index on DBLP.
+//   (a) implementation-independent metrics for the two value queries,
+//       structural index vs value index (β = 10, the paper's setting);
+//   (b) runtime, F&B vs clustered FIX-with-values.
+//
+// Shape expectations from the paper: the value index improves pruning
+// power over the pure structural index, and FIX-with-values beats F&B
+// (which must refine value predicates against the documents).
+//
+// Deviation we observe and document (EXPERIMENTS.md): because λ_min always
+// equals -λ_max for anti-symmetric matrices, bucket edges only shift ONE
+// scalar, so paper-mode value pruning is weight-order dependent and weaker
+// than the paper's reported fpr≈1.7%; enabling the λ₂ extension feature
+// recovers most of the bucket separation (extra row below).
+
+#include <algorithm>
+#include <string>
+
+#include "baseline/fb_index.h"
+#include "common/timer.h"
+#include "harness.h"
+
+namespace fix::bench {
+namespace {
+
+constexpr const char* kValueQueries[] = {
+    "//proceedings[publisher=\"Springer\"][title]",
+    "//inproceedings[year=\"1998\"][title]/author",
+};
+
+template <typename F>
+double MedianMs(F&& body, int reps = 5) {
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    body();
+    times.push_back(timer.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void Run() {
+  Report report("bench_fig7_values");
+  auto corpus = BuildCorpus(DataSet::kDblp);
+
+  BuildStats sstats, vstats, v2stats;
+  auto structural = BuildFix(corpus.get(), DataSet::kDblp, false, 0, &sstats,
+                             "f7_struct");
+  auto values = BuildFix(corpus.get(), DataSet::kDblp, false, /*beta=*/10,
+                         &vstats, "f7_values");
+  auto values_l2 = BuildFix(corpus.get(), DataSet::kDblp, false, /*beta=*/10,
+                            &v2stats, "f7_values_l2", /*use_lambda2=*/true);
+  auto values_clustered = BuildFix(corpus.get(), DataSet::kDblp, true,
+                                   /*beta=*/10, nullptr, "f7_values_c");
+  auto fb = FbIndex::Build(corpus.get(), nullptr);
+  FIX_CHECK(structural.ok() && values.ok() && values_l2.ok() &&
+            values_clustered.ok() && fb.ok());
+
+  report.Section("Figure 7(a): implementation-independent metrics");
+  report.Note("paper (value index): hi query sel~=pp, fpr~1.7%; lo query "
+              "comparable to structural");
+  report.Header({"query", "index", "sel", "pp", "fpr", "false_neg"});
+  for (const char* text : kValueQueries) {
+    TwigQuery q = Compile(corpus.get(), text);
+    struct Row {
+      const char* name;
+      FixIndex* index;
+    } rows[] = {{"structural", &*structural},
+                {"values b=10", &*values},
+                {"values b=10 +l2", &*values_l2}};
+    for (const Row& row : rows) {
+      QueryMetrics m = MeasureQuery(corpus.get(), row.index, q, text);
+      report.Row({std::string(text), row.name, Pct(m.sel), Pct(m.pp),
+                  Pct(m.fpr), Num(m.false_negatives)});
+    }
+  }
+
+  report.Section("Figure 7(b): runtime (ms, median of 5), F&B vs FIX");
+  report.Note("paper: FIX clustered with values beats F&B by >2x on both");
+  report.Header({"query", "FB_ms", "FIXvalues_ms", "FIXvalues_clustered_ms",
+                 "results"});
+  for (const char* text : kValueQueries) {
+    TwigQuery q = Compile(corpus.get(), text);
+    uint64_t results = 0;
+    double fb_ms = MedianMs([&] {
+      auto s = fb->Execute(q);
+      FIX_CHECK(s.ok());
+      results = s->result_count;
+    });
+    FixQueryProcessor vproc(corpus.get(), &*values);
+    double v_ms = MedianMs([&] { FIX_CHECK(vproc.Execute(q).ok()); });
+    FixQueryProcessor cproc(corpus.get(), &*values_clustered);
+    double c_ms = MedianMs([&] { FIX_CHECK(cproc.Execute(q).ok()); });
+    report.Row({std::string(text), Ms(fb_ms), Ms(v_ms), Ms(c_ms),
+                Num(results)});
+  }
+
+  report.Section("construction cost of value integration (Section 6.4)");
+  report.Header({"index", "entries", "btree_size", "ICT"});
+  char a[32], b[32], c[32];
+  std::snprintf(a, sizeof(a), "%.2f s", sstats.construction_seconds);
+  std::snprintf(b, sizeof(b), "%.2f s", vstats.construction_seconds);
+  std::snprintf(c, sizeof(c), "%.2f s", v2stats.construction_seconds);
+  report.Row({"structural", Num(sstats.entries), Mb(sstats.btree_bytes), a});
+  report.Row({"values b=10", Num(vstats.entries), Mb(vstats.btree_bytes), b});
+  report.Row({"values b=10 +l2", Num(v2stats.entries),
+              Mb(v2stats.btree_bytes), c});
+}
+
+}  // namespace
+}  // namespace fix::bench
+
+int main() {
+  fix::bench::Run();
+  return 0;
+}

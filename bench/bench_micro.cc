@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: the symmetric
+// eigensolver, skew-spectrum extraction, bisimulation construction, B+-tree
+// operations, XPath parsing, and twig matching. These back the paper's
+// Section 3.3 cost claims (sub-millisecond eigensolves for pattern-sized
+// matrices).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/rng.h"
+#include "core/corpus.h"
+#include "datagen/datasets.h"
+#include "graph/bisim_builder.h"
+#include "query/compile.h"
+#include "query/match.h"
+#include "query/xpath_parser.h"
+#include "spectral/skew_matrix.h"
+#include "spectral/spectrum.h"
+#include "spectral/sym_eigen.h"
+#include "storage/btree.h"
+
+namespace fix {
+namespace {
+
+DenseMatrix RandomSkew(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (rng.Chance(0.3)) {
+        double w = 1 + rng.Uniform(40);
+        m.at(j, i) = w;
+        m.at(i, j) = -w;
+      }
+    }
+  }
+  return m;
+}
+
+void BM_SymmetricEigenvalues(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  DenseMatrix skew = RandomSkew(n, 7);
+  // Symmetrize (MtM) outside the timer? No: the paper's cost includes the
+  // full feature extraction, so time the whole SkewSpectrum path.
+  for (auto _ : state) {
+    auto sigmas = SkewSpectrum(skew);
+    benchmark::DoNotOptimize(sigmas);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SymmetricEigenvalues)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Arg(128)->Arg(256)->Complexity(benchmark::oNCubed);
+
+void BM_BisimBuild(benchmark::State& state) {
+  Corpus corpus;
+  TreebankOptions o;
+  o.num_sentences = static_cast<int>(state.range(0));
+  GenerateTreebank(&corpus, o);
+  const Document& doc = corpus.doc(0);
+  for (auto _ : state) {
+    auto graph = BuildBisimGraph(doc);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.counters["elements"] =
+      static_cast<double>(corpus.TotalElements());
+}
+BENCHMARK(BM_BisimBuild)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  std::string dir = "/tmp/fix_bench_micro";
+  std::filesystem::create_directories(dir);
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PageFile file;
+    FIX_CHECK(file.Open(dir + "/bt", true).ok());
+    BufferPool pool(&file, 1024);
+    auto tree = BTree::Create(&pool, 32, 16);
+    FIX_CHECK(tree.ok());
+    state.ResumeTiming();
+    std::string key(32, '\0');
+    std::string value(16, '\0');
+    for (int i = 0; i < state.range(0); ++i) {
+      uint64_t k = rng.Next();
+      std::memcpy(key.data(), &k, 8);
+      FIX_CHECK(tree->Insert(key, value).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeSeekScan(benchmark::State& state) {
+  std::string dir = "/tmp/fix_bench_micro";
+  std::filesystem::create_directories(dir);
+  PageFile file;
+  FIX_CHECK(file.Open(dir + "/bts", true).ok());
+  BufferPool pool(&file, 4096);
+  auto tree = BTree::Create(&pool, 32, 16);
+  FIX_CHECK(tree.ok());
+  Rng rng(17);
+  std::string key(32, '\0');
+  std::string value(16, '\0');
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = rng.Next();
+    std::memcpy(key.data(), &k, 8);
+    FIX_CHECK(tree->Insert(key, value).ok());
+  }
+  for (auto _ : state) {
+    uint64_t k = rng.Next();
+    std::memcpy(key.data(), &k, 8);
+    auto it = tree->Seek(key);
+    FIX_CHECK(it.ok());
+    int scanned = 0;
+    while (it->Valid() && scanned < 64) {
+      benchmark::DoNotOptimize(it->key());
+      FIX_CHECK(it->Next().ok());
+      ++scanned;
+    }
+  }
+}
+BENCHMARK(BM_BTreeSeekScan);
+
+void BM_XPathParse(benchmark::State& state) {
+  const std::string query =
+      "//open_auction[.//bidder[name][email]]/annotation/description/text";
+  for (auto _ : state) {
+    auto q = ParseXPath(query);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_XPathParse);
+
+void BM_TwigMatchFullScan(benchmark::State& state) {
+  Corpus corpus;
+  XMarkOptions o;
+  o.num_items = 60;
+  o.num_people = 60;
+  o.num_open_auctions = 60;
+  o.num_closed_auctions = 60;
+  o.num_categories = 30;
+  GenerateXMark(&corpus, o);
+  auto parsed = ParseXPath("//item[name]/mailbox/mail[to]/text");
+  TwigQuery q = std::move(parsed).value();
+  q.ResolveLabels(corpus.labels());
+  const Document& doc = corpus.doc(0);
+  for (auto _ : state) {
+    TwigMatcher matcher(&doc);
+    auto results = matcher.Evaluate(q);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["elements"] = static_cast<double>(corpus.TotalElements());
+}
+BENCHMARK(BM_TwigMatchFullScan);
+
+void BM_QueryFeatureExtraction(benchmark::State& state) {
+  // Full Algorithm 2 front end: parse -> pattern -> matrix -> eigenvalues.
+  LabelTable labels;
+  EdgeEncoder encoder;
+  auto parsed =
+      ParseXPath("//item[name][payment]/mailbox/mail[to][from]/text[bold]");
+  TwigQuery q = std::move(parsed).value();
+  q.ResolveLabels(&labels);
+  for (auto _ : state) {
+    auto graph = QueryToBisimGraph(q);
+    FIX_CHECK(graph.ok());
+    DenseMatrix m = BuildSkewMatrix(*graph, &encoder);
+    auto pair = SkewEigPair(m);
+    benchmark::DoNotOptimize(pair);
+  }
+}
+BENCHMARK(BM_QueryFeatureExtraction);
+
+}  // namespace
+}  // namespace fix
+
+BENCHMARK_MAIN();

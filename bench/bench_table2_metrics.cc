@@ -1,0 +1,97 @@
+// Reproduces Table 2: selectivity (sel), pruning power (pp), and
+// false-positive ratio (fpr) for the twelve representative queries — three
+// selectivity bands per data set. Also reports false negatives (producers
+// lost to pruning), a signal the paper's metrics could not expose.
+//
+// Shape expectations from the paper:
+//   * TCMD: low pruning power across the board (documents are similar);
+//     fpr stays close to sel, i.e. most surviving candidates produce.
+//   * DBLP: pp tracks sel closely for hi/md/lo; fpr small for lo.
+//   * XMark/Treebank: very high sel AND pp (structure-rich data); fpr can
+//     still be high on Treebank (features miss some distinctions).
+
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace fix::bench {
+namespace {
+
+struct PaperQuery {
+  DataSet data;
+  const char* name;
+  const char* xpath;
+  const char* paper_sel;
+  const char* paper_pp;
+  const char* paper_fpr;
+};
+
+// Queries transliterated 1:1 to the generator vocabularies (see DESIGN.md).
+constexpr PaperQuery kQueries[] = {
+    {DataSet::kTcmd, "TCMD_hi",
+     "/article/epilog[acknowledgements]/references/a_id", "79.31%", "26.12%",
+     "71.99%"},
+    {DataSet::kTcmd, "TCMD_md",
+     "/article/prolog[keywords]/authors/author/contact[phone]", "49.23%",
+     "5.62%", "46.21%"},
+    {DataSet::kTcmd, "TCMD_lo", "/article[epilog]/prolog/authors/author",
+     "16.85%", "0.35%", "16.29%"},
+    {DataSet::kDblp, "DBLP_hi", "//proceedings[booktitle]/title[sup][i]",
+     "99.97%", "99.79%", "84.91%"},
+    {DataSet::kDblp, "DBLP_md", "//article[number]/author", "72.59%",
+     "70.85%", "5.91%"},
+    {DataSet::kDblp, "DBLP_lo", "//inproceedings[url]/title", "47.36%",
+     "47.35%", "0.002%"},
+    {DataSet::kXMark, "XMark_hi",
+     "//category/description[parlist]/parlist/listitem/text", "99.96%",
+     "99.87%", "75.13%"},
+    {DataSet::kXMark, "XMark_md",
+     "//closed_auction/annotation/description/text", "99.10%", "98.71%",
+     "30.14%"},
+    {DataSet::kXMark, "XMark_lo",
+     "//open_auction[seller]/annotation/description/text", "98.89%",
+     "98.43%", "30.01%"},
+    {DataSet::kTreebank, "TrBnk_hi", "//EMPTY/S/NP[PP]/NP", "99.97%",
+     "95.37%", "99.45%"},
+    {DataSet::kTreebank, "TrBnk_md", "//S[VP]/NP/NP/PP/NP", "99.81%",
+     "85.97%", "98.67%"},
+    {DataSet::kTreebank, "TrBnk_lo", "//EMPTY/S[VP]/NP", "97.48%", "95.36%",
+     "45.79%"},
+};
+
+void Run() {
+  Report report("bench_table2_metrics");
+  report.Note(
+      "Table 2: implementation-independent metrics for the representative "
+      "queries (measured | paper).");
+  report.Header({"query", "sel", "pp", "fpr", "cand", "false_neg",
+                 "paper_sel", "paper_pp", "paper_fpr"});
+
+  DataSet current = DataSet::kTcmd;
+  std::unique_ptr<Corpus> corpus;
+  Result<FixIndex> index = Status::Internal("unbuilt");
+  for (const PaperQuery& pq : kQueries) {
+    if (corpus == nullptr || pq.data != current) {
+      current = pq.data;
+      corpus = BuildCorpus(current);
+      index = BuildFix(corpus.get(), current, /*clustered=*/false, 0,
+                       nullptr, std::string("t2_") + DataSetName(current));
+      FIX_CHECK(index.ok());
+    }
+    TwigQuery q = Compile(corpus.get(), pq.xpath);
+    QueryMetrics m = MeasureQuery(corpus.get(), &*index, q, pq.name);
+    report.Row({std::string(pq.name) + "  " + pq.xpath, Pct(m.sel),
+                Pct(m.pp), Pct(m.fpr), Num(m.candidates),
+                Num(m.false_negatives), pq.paper_sel, pq.paper_pp,
+                pq.paper_fpr});
+  }
+}
+
+}  // namespace
+}  // namespace fix::bench
+
+int main() {
+  fix::bench::Run();
+  return 0;
+}

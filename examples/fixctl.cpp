@@ -1,0 +1,225 @@
+// fixctl: a command-line driver for the whole library — generate or load a
+// corpus, build indexes, run queries, inspect statistics. This is the
+// "ops tool" a downstream user would reach for first.
+//
+//   fixctl gen   <dir> <tcmd|dblp|xmark|treebank> [scale]
+//   fixctl load  <dir> <file.xml>...
+//   fixctl build <dir> [--depth k] [--clustered] [--beta B] [--lambda2]
+//                      [--sound]
+//   fixctl query <dir> "<xpath>" [--explain]
+//   fixctl stats <dir>
+//
+// <dir> holds the corpus (labels/primary/manifest) and one index
+// ("main.fix"). Every subcommand is restartable: state lives on disk.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "core/fix_query.h"
+#include "core/metrics.h"
+#include "core/persist.h"
+#include "datagen/datasets.h"
+#include "query/xpath_parser.h"
+#include "xml/doc_stats.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fixctl gen   <dir> <tcmd|dblp|xmark|treebank> [scale]\n"
+               "  fixctl load  <dir> <file.xml>...\n"
+               "  fixctl build <dir> [--depth k] [--clustered] [--beta B]"
+               " [--lambda2] [--sound]\n"
+               "  fixctl query <dir> \"<xpath>\" [--explain]\n"
+               "  fixctl stats <dir>\n");
+  return 2;
+}
+
+int Fail(const fix::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGen(const std::string& dir, const std::string& kind, double scale) {
+  fix::Corpus corpus;
+  if (kind == "tcmd") {
+    fix::TcmdOptions o;
+    o.num_docs = static_cast<int>(o.num_docs * scale);
+    fix::GenerateTcmd(&corpus, o);
+  } else if (kind == "dblp") {
+    fix::DblpOptions o;
+    o.num_publications = static_cast<int>(o.num_publications * scale);
+    fix::GenerateDblp(&corpus, o);
+  } else if (kind == "xmark") {
+    fix::XMarkOptions o;
+    o.num_items = static_cast<int>(o.num_items * scale);
+    o.num_people = static_cast<int>(o.num_people * scale);
+    o.num_open_auctions = static_cast<int>(o.num_open_auctions * scale);
+    o.num_closed_auctions = static_cast<int>(o.num_closed_auctions * scale);
+    o.num_categories = static_cast<int>(o.num_categories * scale);
+    fix::GenerateXMark(&corpus, o);
+  } else if (kind == "treebank") {
+    fix::TreebankOptions o;
+    o.num_sentences = static_cast<int>(o.num_sentences * scale);
+    fix::GenerateTreebank(&corpus, o);
+  } else {
+    return Usage();
+  }
+  if (auto s = corpus.Save(dir); !s.ok()) return Fail(s);
+  std::printf("generated %zu document(s), %zu elements -> %s\n",
+              corpus.num_docs(), corpus.TotalElements(), dir.c_str());
+  return 0;
+}
+
+int CmdLoad(const std::string& dir, const std::vector<std::string>& files) {
+  fix::Corpus corpus;
+  for (const std::string& file : files) {
+    auto xml = fix::ReadFile(file);
+    if (!xml.ok()) return Fail(xml.status());
+    auto id = corpus.AddXml(*xml);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s: ", file.c_str());
+      return Fail(id.status());
+    }
+  }
+  if (auto s = corpus.Save(dir); !s.ok()) return Fail(s);
+  std::printf("loaded %zu document(s), %zu elements -> %s\n",
+              corpus.num_docs(), corpus.TotalElements(), dir.c_str());
+  return 0;
+}
+
+int CmdBuild(const std::string& dir, int argc, char** argv) {
+  fix::IndexOptions options;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--depth" && i + 1 < argc) {
+      options.depth_limit = std::atoi(argv[++i]);
+    } else if (arg == "--clustered") {
+      options.clustered = true;
+    } else if (arg == "--beta" && i + 1 < argc) {
+      options.value_beta = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--lambda2") {
+      options.use_lambda2 = true;
+    } else if (arg == "--sound") {
+      options.sound_probe = true;
+    } else {
+      return Usage();
+    }
+  }
+  auto corpus = fix::Corpus::Load(dir);
+  if (!corpus.ok()) return Fail(corpus.status());
+  options.path = dir + "/main.fix";
+  fix::BuildStats stats;
+  auto index = fix::FixIndex::Build(&*corpus, options, &stats);
+  if (!index.ok()) return Fail(index.status());
+  std::printf("built %llu entries in %.2f s (B+-tree %.1f MB",
+              static_cast<unsigned long long>(stats.entries),
+              stats.construction_seconds,
+              stats.btree_bytes / (1024.0 * 1024.0));
+  if (options.clustered) {
+    std::printf(", copies %.1f MB", stats.clustered_bytes / (1024.0 * 1024.0));
+  }
+  std::printf("); %llu oversized pattern(s)\n",
+              static_cast<unsigned long long>(stats.oversized_patterns));
+  return 0;
+}
+
+int CmdQuery(const std::string& dir, const std::string& xpath, bool explain) {
+  auto corpus = fix::Corpus::Load(dir);
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto index = fix::FixIndex::Open(&*corpus, dir + "/main.fix");
+  if (!index.ok()) return Fail(index.status());
+  auto parsed = fix::ParseXPath(xpath);
+  if (!parsed.ok()) return Fail(parsed.status());
+  fix::TwigQuery query = std::move(parsed).value();
+  query.ResolveLabels(corpus->labels());
+
+  if (explain) {
+    auto estimate = index->EstimateCandidates(query);
+    if (estimate.ok()) {
+      std::printf("estimate: ~%llu candidate(s) of %llu entries\n",
+                  static_cast<unsigned long long>(*estimate),
+                  static_cast<unsigned long long>(index->num_entries()));
+    }
+  }
+  fix::FixQueryProcessor processor(&*corpus, &*index);
+  std::vector<fix::NodeRef> results;
+  auto stats = processor.Execute(query, &results);
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("%llu result(s); candidates %llu/%llu (pp %.2f%%), "
+              "lookup %.2f ms, refine %.2f ms%s\n",
+              static_cast<unsigned long long>(stats->result_count),
+              static_cast<unsigned long long>(stats->candidates),
+              static_cast<unsigned long long>(stats->total_entries),
+              stats->pruning_power() * 100, stats->lookup_ms,
+              stats->refine_ms,
+              stats->used_index ? "" : " [full-scan fallback]");
+  size_t shown = 0;
+  for (const fix::NodeRef& ref : results) {
+    if (shown++ == 10) {
+      std::printf("  ... (%zu more)\n", results.size() - 10);
+      break;
+    }
+    std::printf("  doc %u node %u <%s>\n", ref.doc_id, ref.node_id,
+                corpus->labels()
+                    ->Name(corpus->doc(ref.doc_id).label(ref.node_id))
+                    .c_str());
+  }
+  return 0;
+}
+
+int CmdStats(const std::string& dir) {
+  auto corpus = fix::Corpus::Load(dir);
+  if (!corpus.ok()) return Fail(corpus.status());
+  fix::DocStats agg;
+  for (uint32_t d = 0; d < corpus->num_docs(); ++d) {
+    agg.Merge(ComputeDocStats(corpus->doc(d), *corpus->labels()));
+  }
+  std::printf("documents: %zu\nelements:  %zu\ntext:      %zu node(s), "
+              "%zu byte(s)\nmax depth: %d\nlabels:    %zu\n",
+              corpus->num_docs(), agg.elements, agg.text_nodes,
+              agg.text_bytes, agg.max_depth, corpus->labels()->size());
+  auto index = fix::FixIndex::Open(&*corpus, dir + "/main.fix");
+  if (index.ok()) {
+    std::printf("index:     %llu entries, depth limit %d%s%s\n",
+                static_cast<unsigned long long>(index->num_entries()),
+                index->options().depth_limit,
+                index->options().clustered ? ", clustered" : "",
+                index->options().value_beta > 0 ? ", values" : "");
+  } else {
+    std::printf("index:     (none built)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string cmd = argv[1];
+  std::string dir = argv[2];
+  std::filesystem::create_directories(dir);
+  if (cmd == "gen" && argc >= 4) {
+    return CmdGen(dir, argv[3], argc >= 5 ? std::atof(argv[4]) : 1.0);
+  }
+  if (cmd == "load" && argc >= 4) {
+    return CmdLoad(dir, {argv + 3, argv + argc});
+  }
+  if (cmd == "build") {
+    return CmdBuild(dir, argc - 3, argv + 3);
+  }
+  if (cmd == "query" && argc >= 4) {
+    bool explain = argc >= 5 && std::strcmp(argv[4], "--explain") == 0;
+    return CmdQuery(dir, argv[3], explain);
+  }
+  if (cmd == "stats") {
+    return CmdStats(dir);
+  }
+  return Usage();
+}

@@ -1,0 +1,219 @@
+#include "baseline/fb_index.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "common/timer.h"
+#include "query/match.h"
+
+namespace fix {
+
+Result<FbIndex> FbIndex::Build(const Corpus* corpus, FbBuildStats* stats) {
+  Timer timer;
+  std::vector<const Document*> docs;
+  docs.reserve(corpus->num_docs());
+  for (uint32_t d = 0; d < corpus->num_docs(); ++d) {
+    docs.push_back(&corpus->doc(d));
+  }
+  FbGraph graph;
+  FIX_ASSIGN_OR_RETURN(graph, FbGraph::Build(docs));
+  FbIndex index(corpus, std::move(graph));
+
+  // Deep-first topological order (children strictly deeper than parents).
+  index.topo_deep_first_.resize(index.graph_.num_classes());
+  for (FbClassId c = 0; c < index.graph_.num_classes(); ++c) {
+    index.topo_deep_first_[c] = c;
+  }
+  std::sort(index.topo_deep_first_.begin(), index.topo_deep_first_.end(),
+            [&](FbClassId a, FbClassId b) {
+              return index.graph_.cls(a).depth > index.graph_.cls(b).depth;
+            });
+
+  if (stats != nullptr) {
+    stats->construction_seconds = timer.ElapsedSeconds();
+    stats->classes = index.graph_.num_classes();
+    stats->edges = index.graph_.num_edges();
+    stats->size_bytes = index.graph_.ApproxSizeBytes();
+  }
+  return index;
+}
+
+std::vector<bool> FbIndex::DescendantsReaching(
+    const std::vector<bool>& targets, FbExecStats* stats) const {
+  std::vector<bool> down(graph_.num_classes(), false);
+  for (FbClassId c : topo_deep_first_) {
+    bool hit = false;
+    for (FbClassId ch : graph_.cls(c).children) {
+      if (targets[ch] || down[ch]) {
+        hit = true;
+        break;
+      }
+    }
+    down[c] = hit;
+    ++stats->classes_visited;
+  }
+  return down;
+}
+
+void FbIndex::ComputeSat(const TwigQuery& q, uint32_t step,
+                         std::vector<std::vector<bool>>* sat,
+                         FbExecStats* stats) const {
+  for (uint32_t child : q.steps[step].children) {
+    ComputeSat(q, child, sat, stats);
+  }
+  const QueryStep& s = q.steps[step];
+  size_t n = graph_.num_classes();
+  std::vector<bool>& mine = (*sat)[step];
+  mine.assign(n, false);
+
+  // Precompute descendant reachability for //-axis children.
+  std::vector<std::vector<bool>> down(s.children.size());
+  for (size_t i = 0; i < s.children.size(); ++i) {
+    uint32_t cs = s.children[i];
+    if (q.steps[cs].axis == Axis::kDescendant) {
+      down[i] = DescendantsReaching((*sat)[cs], stats);
+    }
+  }
+
+  // Wildcard steps consider every class; concrete steps only their label's.
+  std::vector<FbClassId> all;
+  if (s.wildcard) {
+    all.resize(graph_.num_classes());
+    for (FbClassId c = 0; c < all.size(); ++c) all[c] = c;
+  }
+  const std::vector<FbClassId>& candidates =
+      s.wildcard ? all : graph_.ClassesWithLabel(s.label);
+  for (FbClassId c : candidates) {
+    ++stats->classes_visited;
+    bool ok = true;
+    for (size_t i = 0; i < s.children.size() && ok; ++i) {
+      uint32_t cs = s.children[i];
+      if (q.steps[cs].axis == Axis::kChild) {
+        bool found = false;
+        for (FbClassId ch : graph_.cls(c).children) {
+          if ((*sat)[cs][ch]) {
+            found = true;
+            break;
+          }
+        }
+        ok = found;
+      } else {
+        ok = down[i][c];
+      }
+    }
+    mine[c] = ok;
+  }
+}
+
+Result<FbExecStats> FbIndex::Execute(const TwigQuery& query,
+                                     std::vector<NodeRef>* results) {
+  if (results != nullptr) results->clear();
+  FbExecStats stats;
+  Timer timer;
+  size_t n = graph_.num_classes();
+
+  std::vector<std::vector<bool>> sat(query.steps.size());
+  ComputeSat(query, query.root, &sat, &stats);
+
+  // Root step: bind under the document node per the root axis.
+  std::vector<bool> frontier(n, false);
+  const QueryStep& root = query.steps[query.root];
+  if (root.axis == Axis::kChild) {
+    for (FbClassId dc : graph_.document_classes()) {
+      for (FbClassId ch : graph_.cls(dc).children) {
+        if (sat[query.root][ch]) frontier[ch] = true;
+        ++stats.classes_visited;
+      }
+    }
+  } else {
+    for (FbClassId c = 0; c < n; ++c) {
+      if (graph_.cls(c).depth >= 1 && sat[query.root][c]) frontier[c] = true;
+    }
+    stats.classes_visited += n;
+  }
+
+  // Remember the root-binding classes for value refinement.
+  std::vector<bool> root_frontier = frontier;
+
+  // Walk the main path.
+  uint32_t step = query.root;
+  while (query.steps[step].main_child >= 0) {
+    uint32_t next =
+        query.steps[step].children[query.steps[step].main_child];
+    std::vector<bool> expanded(n, false);
+    if (query.steps[next].axis == Axis::kChild) {
+      for (FbClassId c = 0; c < n; ++c) {
+        if (!frontier[c]) continue;
+        for (FbClassId ch : graph_.cls(c).children) {
+          if (sat[next][ch]) expanded[ch] = true;
+          ++stats.classes_visited;
+        }
+      }
+    } else {
+      // Descendant axis: classes with a strict ancestor in the frontier
+      // (shallow-first propagation over the layered DAG).
+      std::vector<bool> anc(n, false);
+      for (auto it = topo_deep_first_.rbegin(); it != topo_deep_first_.rend();
+           ++it) {
+        FbClassId c = *it;
+        for (FbClassId p : graph_.cls(c).parents) {
+          if (frontier[p] || anc[p]) {
+            anc[c] = true;
+            break;
+          }
+        }
+        ++stats.classes_visited;
+      }
+      for (FbClassId c = 0; c < n; ++c) {
+        if (anc[c] && sat[next][c]) expanded[c] = true;
+      }
+    }
+    frontier = std::move(expanded);
+    step = next;
+  }
+
+  if (!query.HasValuePredicates()) {
+    // Covering-index property: class satisfaction is uniform, so results
+    // are exactly the extents of the surviving result-step classes.
+    std::set<std::pair<uint32_t, NodeId>> dedup;
+    for (FbClassId c = 0; c < n; ++c) {
+      if (!frontier[c]) continue;
+      for (const NodeRef& ref : graph_.cls(c).extent) {
+        if (dedup.insert({ref.doc_id, ref.node_id}).second) {
+          if (results != nullptr) results->push_back(ref);
+        }
+      }
+    }
+    stats.result_count = dedup.size();
+    stats.eval_ms = timer.ElapsedMillis();
+    return stats;
+  }
+
+  // Value predicates: structural navigation found root-binding classes (a
+  // superset — values ignored); verify each extent element against the full
+  // query on the documents.
+  std::set<std::pair<uint32_t, NodeId>> dedup;
+  uint32_t current_doc = UINT32_MAX;
+  std::unique_ptr<TwigMatcher> matcher;
+  for (FbClassId c = 0; c < n; ++c) {
+    if (!root_frontier[c]) continue;
+    for (const NodeRef& ref : graph_.cls(c).extent) {
+      ++stats.refined_nodes;
+      if (ref.doc_id != current_doc) {
+        current_doc = ref.doc_id;
+        matcher = std::make_unique<TwigMatcher>(&corpus_->doc(ref.doc_id));
+      }
+      for (NodeId b : matcher->EvaluateAt(ref.node_id, query)) {
+        if (dedup.insert({ref.doc_id, b}).second) {
+          if (results != nullptr) results->push_back({ref.doc_id, b});
+        }
+      }
+    }
+  }
+  stats.result_count = dedup.size();
+  stats.eval_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+}  // namespace fix

@@ -1,0 +1,75 @@
+// FbIndex: the comparison baseline — query evaluation over the F&B
+// bisimulation graph (the covering index of [18], disk-based in [27]).
+//
+// Because F&B classes are stable both forward and backward, satisfaction of
+// a structural twig query is uniform across a class: evaluation never
+// touches the documents and the answer is a union of class extents. Queries
+// with value predicates keep the structural part on the graph and verify
+// values by refining the root-binding extents against the documents (values
+// are not part of the F&B partition) — exactly the behaviour the paper
+// leans on in Section 6.4.
+
+#ifndef FIX_BASELINE_FB_INDEX_H_
+#define FIX_BASELINE_FB_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/corpus.h"
+#include "graph/fb_graph.h"
+#include "query/twig_query.h"
+
+namespace fix {
+
+struct FbExecStats {
+  uint64_t classes_visited = 0;  ///< graph-navigation work
+  uint64_t result_count = 0;     ///< result-step bindings
+  uint64_t refined_nodes = 0;    ///< extent nodes verified against documents
+  double eval_ms = 0;
+};
+
+struct FbBuildStats {
+  double construction_seconds = 0;
+  uint64_t classes = 0;
+  uint64_t edges = 0;
+  uint64_t size_bytes = 0;
+};
+
+class FbIndex {
+ public:
+  /// Builds the F&B graph over the whole corpus.
+  static Result<FbIndex> Build(const Corpus* corpus, FbBuildStats* stats);
+
+  FbIndex(FbIndex&&) = default;
+  FbIndex& operator=(FbIndex&&) = default;
+
+  /// Evaluates a twig query (with / and // axes anywhere). Results are the
+  /// bindings of the result step.
+  Result<FbExecStats> Execute(const TwigQuery& query,
+                              std::vector<NodeRef>* results = nullptr);
+
+  const FbGraph& graph() const { return graph_; }
+
+ private:
+  FbIndex(const Corpus* corpus, FbGraph graph)
+      : corpus_(corpus), graph_(std::move(graph)) {}
+
+  /// Marks classes whose subtrees satisfy query step `step` (label +
+  /// value-stripped predicate children). Post-order over the query.
+  void ComputeSat(const TwigQuery& q, uint32_t step,
+                  std::vector<std::vector<bool>>* sat,
+                  FbExecStats* stats) const;
+
+  /// reach[c] = c or a strict descendant of c is in `targets`.
+  std::vector<bool> DescendantsReaching(const std::vector<bool>& targets,
+                                        FbExecStats* stats) const;
+
+  const Corpus* corpus_;
+  FbGraph graph_;
+  std::vector<FbClassId> topo_deep_first_;  // classes by depth descending
+};
+
+}  // namespace fix
+
+#endif  // FIX_BASELINE_FB_INDEX_H_

@@ -1,0 +1,27 @@
+#include "baseline/full_scan.h"
+
+#include "common/timer.h"
+#include "query/match.h"
+
+namespace fix {
+
+ScanStats FullScan(const Corpus& corpus, const TwigQuery& query,
+                   std::vector<NodeRef>* results) {
+  if (results != nullptr) results->clear();
+  ScanStats stats;
+  Timer timer;
+  for (uint32_t d = 0; d < corpus.num_docs(); ++d) {
+    TwigMatcher matcher(&corpus.doc(d));
+    std::vector<NodeId> bindings = matcher.Evaluate(query);
+    stats.nodes_visited += matcher.nodes_visited();
+    stats.result_count += bindings.size();
+    if (!bindings.empty()) ++stats.producing_docs;
+    if (results != nullptr) {
+      for (NodeId b : bindings) results->push_back({d, b});
+    }
+  }
+  stats.eval_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+}  // namespace fix

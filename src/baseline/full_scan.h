@@ -1,0 +1,28 @@
+// FullScan: the no-index baseline — the NoK-style navigational operator run
+// over every document in the corpus (Section 6.3's "NoK" bars).
+
+#ifndef FIX_BASELINE_FULL_SCAN_H_
+#define FIX_BASELINE_FULL_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/corpus.h"
+#include "query/twig_query.h"
+
+namespace fix {
+
+struct ScanStats {
+  uint64_t result_count = 0;
+  uint64_t producing_docs = 0;
+  uint64_t nodes_visited = 0;
+  double eval_ms = 0;
+};
+
+/// Evaluates `query` against every document.
+ScanStats FullScan(const Corpus& corpus, const TwigQuery& query,
+                   std::vector<NodeRef>* results = nullptr);
+
+}  // namespace fix
+
+#endif  // FIX_BASELINE_FULL_SCAN_H_

@@ -1,0 +1,191 @@
+// Byte-order-stable encoding helpers used by the on-disk structures.
+//
+// All on-disk integers are little-endian. Keys that must sort correctly
+// under memcmp (the B+-tree comparator operates on encoded keys) use the
+// big-endian "order-preserving" encoders at the bottom of this header.
+
+#ifndef FIX_COMMON_BYTES_H_
+#define FIX_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace fix {
+
+// ---------------------------------------------------------------------------
+// Little-endian fixed-width codecs (storage payloads).
+// ---------------------------------------------------------------------------
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));  // little-endian hosts only
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving big-endian codecs (B+-tree keys).
+// ---------------------------------------------------------------------------
+
+/// Writes `value` big-endian so that memcmp order == numeric order.
+inline void EncodeBigEndian32(char* dst, uint32_t value) {
+  dst[0] = static_cast<char>(value >> 24);
+  dst[1] = static_cast<char>(value >> 16);
+  dst[2] = static_cast<char>(value >> 8);
+  dst[3] = static_cast<char>(value);
+}
+
+inline uint32_t DecodeBigEndian32(const char* src) {
+  const auto* u = reinterpret_cast<const unsigned char*>(src);
+  return (static_cast<uint32_t>(u[0]) << 24) |
+         (static_cast<uint32_t>(u[1]) << 16) |
+         (static_cast<uint32_t>(u[2]) << 8) | static_cast<uint32_t>(u[3]);
+}
+
+inline void EncodeBigEndian64(char* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<char>(value >> (56 - 8 * i));
+  }
+}
+
+inline uint64_t DecodeBigEndian64(const char* src) {
+  const auto* u = reinterpret_cast<const unsigned char*>(src);
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | u[i];
+  }
+  return value;
+}
+
+/// Maps a double to a u64 whose unsigned order equals the double's numeric
+/// order (IEEE-754 trick: flip all bits of negatives, flip the sign bit of
+/// non-negatives). NaNs must not be passed.
+inline uint64_t OrderPreservingDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & (1ULL << 63)) {
+    return ~bits;  // negative: reverse order
+  }
+  return bits | (1ULL << 63);  // non-negative: shift above negatives
+}
+
+/// Inverse of OrderPreservingDouble.
+inline double OrderPreservingToDouble(uint64_t encoded) {
+  uint64_t bits;
+  if (encoded & (1ULL << 63)) {
+    bits = encoded & ~(1ULL << 63);
+  } else {
+    bits = ~encoded;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Misc.
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128), used by the document binary codec.
+// ---------------------------------------------------------------------------
+
+inline void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Reads a varint32 at `*pos`, advancing it. Returns false on truncation or
+/// overflow.
+inline bool GetVarint32(const std::string& src, size_t* pos, uint32_t* out) {
+  uint32_t result = 0;
+  for (int shift = 0; shift <= 28; shift += 7) {
+    if (*pos >= src.size()) return false;
+    uint8_t byte = static_cast<uint8_t>(src[(*pos)++]);
+    result |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool GetVarint64(const std::string& src, size_t* pos, uint64_t* out) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (*pos >= src.size()) return false;
+    uint8_t byte = static_cast<uint8_t>(src[(*pos)++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// 64-bit FNV-1a hash, used for value hashing (Section 4.6) and signature
+/// hash-consing in the bisimulation builder.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(const std::string& s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Mixes a 64-bit value into an accumulated hash (for hashing sequences of
+/// integers without materializing a byte buffer).
+inline uint64_t HashMix64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_BYTES_H_

@@ -1,0 +1,84 @@
+// Minimal leveled logging to stderr. Benchmarks and examples use this for
+// progress reporting; library code logs only at warning level and above.
+
+#ifndef FIX_COMMON_LOGGING_H_
+#define FIX_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fix {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define FIX_LOG(level)                                                     \
+  ::fix::internal_logging::LogMessage(::fix::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                            \
+      .stream()
+
+/// Fatal invariant check: prints the condition and aborts. Used only for
+/// programming errors, never for data-dependent failures (those return
+/// Status).
+#define FIX_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::cerr << "FIX_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << std::endl;                            \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_LOGGING_H_

@@ -1,0 +1,79 @@
+// Result<T>: a value-or-Status return type, the companion of Status for
+// functions that produce a value on success.
+
+#ifndef FIX_COMMON_RESULT_H_
+#define FIX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fix {
+
+/// Holds either a T (when status().ok()) or an error Status.
+///
+/// Usage:
+///   Result<int> r = Parse(text);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its status on failure and
+/// otherwise move-assigning the value into `lhs`.
+#define FIX_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  FIX_ASSIGN_OR_RETURN_IMPL_(                     \
+      FIX_RESULT_CONCAT_(_fix_result_, __LINE__), lhs, rexpr)
+
+#define FIX_RESULT_CONCAT_INNER_(a, b) a##b
+#define FIX_RESULT_CONCAT_(a, b) FIX_RESULT_CONCAT_INNER_(a, b)
+#define FIX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_RESULT_H_

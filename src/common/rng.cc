@@ -1,0 +1,18 @@
+#include "common/rng.h"
+
+namespace fix {
+
+size_t Rng::PickWeighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double r = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // numeric slack: last bucket
+}
+
+}  // namespace fix

@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation for data generators and
+// benchmarks. Every generator in this project takes an explicit seed so that
+// data sets, query workloads, and therefore benchmark tables are reproducible
+// run-to-run and machine-to-machine.
+
+#ifndef FIX_COMMON_RNG_H_
+#define FIX_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fix {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, and — unlike
+/// std::mt19937 streams across standard libraries — a fixed algorithm we
+/// control, so seeds reproduce identical data everywhere.
+class Rng {
+ public:
+  /// Seeds the generator; the seed is expanded with splitmix64 so that
+  /// small consecutive seeds give uncorrelated streams.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection method (unbiased).
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[Uniform(items.size())];
+  }
+
+  /// Samples an index according to non-negative weights (roulette wheel).
+  /// The weights need not be normalized; at least one must be positive.
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  /// Geometric-ish count: starts at min and keeps incrementing while a
+  /// coin with probability `continue_p` comes up heads, capped at max.
+  /// Used by data generators to produce skewed fan-outs.
+  int GeometricCount(int min, int max, double continue_p) {
+    int n = min;
+    while (n < max && Chance(continue_p)) ++n;
+    return n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_RNG_H_

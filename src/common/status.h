@@ -1,0 +1,108 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Library code in this project never throws; fallible operations return a
+// Status (or a Result<T>, see result.h). This follows the RocksDB/Arrow
+// idiom for database systems code.
+
+#ifndef FIX_COMMON_STATUS_H_
+#define FIX_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fix {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller supplied a bad argument
+  kNotFound,          ///< key / file / label not present
+  kCorruption,        ///< on-disk structure failed validation
+  kIOError,           ///< underlying filesystem call failed
+  kNotSupported,      ///< feature intentionally unimplemented
+  kOutOfRange,        ///< index or offset beyond a bound
+  kParseError,        ///< XML or XPath text could not be parsed
+  kInternal,          ///< invariant violation (a bug)
+};
+
+/// Returns a human-readable name for a StatusCode ("Ok", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A Status is either OK (cheap, no allocation) or an error carrying a
+/// code plus a message describing what failed.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers; prefer these over the raw constructor.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Use inside functions that
+/// themselves return Status.
+#define FIX_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::fix::Status _fix_status = (expr);           \
+    if (!_fix_status.ok()) return _fix_status;    \
+  } while (0)
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing for the benchmark harnesses.
+
+#ifndef FIX_COMMON_TIMER_H_
+#define FIX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fix {
+
+/// Measures elapsed wall-clock time from construction (or the last Reset).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_TIMER_H_

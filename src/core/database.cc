@@ -1,0 +1,53 @@
+#include "core/database.h"
+
+#include "query/xpath_parser.h"
+
+namespace fix {
+
+Result<FixIndex*> Database::BuildIndex(const std::string& name,
+                                       IndexOptions options,
+                                       BuildStats* stats) {
+  options.path = workdir_ + "/" + name + ".fix";
+  auto built = FixIndex::Build(&corpus_, options, stats);
+  if (!built.ok()) return built.status();
+  indexes_.emplace_back(name,
+                        std::make_unique<FixIndex>(std::move(built).value()));
+  return indexes_.back().second.get();
+}
+
+Result<FixIndex*> Database::AttachIndex(const std::string& name) {
+  auto opened = FixIndex::Open(&corpus_, workdir_ + "/" + name + ".fix");
+  if (!opened.ok()) return opened.status();
+  indexes_.emplace_back(name,
+                        std::make_unique<FixIndex>(std::move(opened).value()));
+  return indexes_.back().second.get();
+}
+
+FixIndex* Database::index(const std::string& name) {
+  for (auto& [n, idx] : indexes_) {
+    if (n == name) return idx.get();
+  }
+  return nullptr;
+}
+
+Result<TwigQuery> Database::Compile(const std::string& xpath) {
+  TwigQuery q;
+  FIX_ASSIGN_OR_RETURN(q, ParseXPath(xpath));
+  q.ResolveLabels(corpus_.labels());
+  return q;
+}
+
+Result<ExecStats> Database::Query(const std::string& index_name,
+                                  const std::string& xpath,
+                                  std::vector<NodeRef>* results) {
+  FixIndex* idx = index(index_name);
+  if (idx == nullptr) {
+    return Status::NotFound("no index named " + index_name);
+  }
+  TwigQuery q;
+  FIX_ASSIGN_OR_RETURN(q, Compile(xpath));
+  FixQueryProcessor processor(&corpus_, idx);
+  return processor.Execute(q, results);
+}
+
+}  // namespace fix

@@ -1,0 +1,69 @@
+// Database: the one-stop public facade. Owns the corpus and any number of
+// FIX indexes; parses XPath strings; routes queries through the best
+// applicable index (or a full scan). This is the API the examples use.
+
+#ifndef FIX_CORE_DATABASE_H_
+#define FIX_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "core/fix_query.h"
+#include "core/index_options.h"
+
+namespace fix {
+
+class Database {
+ public:
+  /// `workdir` holds the primary store and index files; it must exist.
+  explicit Database(std::string workdir) : workdir_(std::move(workdir)) {}
+
+  Corpus* corpus() { return &corpus_; }
+
+  /// Parses and adds one XML document. Returns its doc id.
+  Result<uint32_t> AddXml(std::string_view xml) { return corpus_.AddXml(xml); }
+
+  /// Adds an already-built document (generators use this).
+  uint32_t AddDocument(Document doc) {
+    return corpus_.AddDocument(std::move(doc));
+  }
+
+  /// Writes the primary record store. Call once after loading documents.
+  Status Finalize() {
+    return corpus_.WritePrimaryStorage(workdir_ + "/primary.dat");
+  }
+
+  /// Builds a FIX index named `name` with the given options (options.path
+  /// is derived from the name). Returns the index handle; the Database
+  /// retains ownership.
+  Result<FixIndex*> BuildIndex(const std::string& name, IndexOptions options,
+                               BuildStats* stats = nullptr);
+
+  FixIndex* index(const std::string& name);
+
+  /// Reopens an index previously built (possibly by an earlier process)
+  /// under this workdir and registers it under `name`.
+  Result<FixIndex*> AttachIndex(const std::string& name);
+
+  /// Parses an XPath string, resolves labels, and executes it through the
+  /// named index.
+  Result<ExecStats> Query(const std::string& index_name,
+                          const std::string& xpath,
+                          std::vector<NodeRef>* results = nullptr);
+
+  /// Parses + resolves an XPath string without executing (for harnesses).
+  Result<TwigQuery> Compile(const std::string& xpath);
+
+ private:
+  std::string workdir_;
+  Corpus corpus_;
+  std::vector<std::pair<std::string, std::unique_ptr<FixIndex>>> indexes_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_CORE_DATABASE_H_

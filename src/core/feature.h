@@ -1,0 +1,95 @@
+// FeatureKey: the paper's index key — {root label, λ_max, λ_min}
+// (Section 3.4) plus the optional λ₂ extension feature and a uniquifying
+// sequence number.
+//
+// Encoded layout (32 bytes, memcmp-ordered):
+//   [root_label BE u32][ord(λ_max) BE u64][ord(λ_min) BE u64]
+//   [ord(λ₂) BE u64][seq BE u32]
+// where ord() is the order-preserving IEEE-754→u64 map. The primary sort is
+// (label, λ_max), which is what the containment probe scans on: a query
+// range [λ_min(q), λ_max(q)] is contained in every indexed range with the
+// same root label, λ_max ≥ λ_max(q) − ε and λ_min ≤ λ_min(q) + ε
+// (Theorem 3; ε absorbs eigensolver round-off, Section 3.3).
+
+#ifndef FIX_CORE_FEATURE_H_
+#define FIX_CORE_FEATURE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/bytes.h"
+#include "graph/bisim_graph.h"
+#include "xml/document.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+inline constexpr uint32_t kFeatureKeySize = 32;
+inline constexpr uint32_t kIndexValueSize = 16;
+
+struct FeatureKey {
+  LabelId root_label = kInvalidLabel;
+  double lambda_max = 0;
+  double lambda_min = 0;
+  double lambda2 = 0;  ///< second-largest eigenvalue magnitude (extension)
+  uint32_t seq = 0;    ///< uniquifier assigned at insert time
+
+  /// The artificial "always a candidate" key for oversized patterns
+  /// (Section 6.1): range [-inf, +inf] contains every query range.
+  static FeatureKey Oversized(LabelId root_label) {
+    FeatureKey k;
+    k.root_label = root_label;
+    k.lambda_max = std::numeric_limits<double>::infinity();
+    k.lambda_min = -std::numeric_limits<double>::infinity();
+    k.lambda2 = std::numeric_limits<double>::infinity();
+    return k;
+  }
+};
+
+inline std::string EncodeFeatureKey(const FeatureKey& key) {
+  std::string out(kFeatureKeySize, '\0');
+  EncodeBigEndian32(out.data(), key.root_label);
+  EncodeBigEndian64(out.data() + 4, OrderPreservingDouble(key.lambda_max));
+  EncodeBigEndian64(out.data() + 12, OrderPreservingDouble(key.lambda_min));
+  EncodeBigEndian64(out.data() + 20, OrderPreservingDouble(key.lambda2));
+  EncodeBigEndian32(out.data() + 28, key.seq);
+  return out;
+}
+
+inline FeatureKey DecodeFeatureKey(std::string_view buf) {
+  FeatureKey key;
+  key.root_label = DecodeBigEndian32(buf.data());
+  key.lambda_max = OrderPreservingToDouble(DecodeBigEndian64(buf.data() + 4));
+  key.lambda_min = OrderPreservingToDouble(DecodeBigEndian64(buf.data() + 12));
+  key.lambda2 = OrderPreservingToDouble(DecodeBigEndian64(buf.data() + 20));
+  key.seq = DecodeBigEndian32(buf.data() + 28);
+  return key;
+}
+
+/// Index entry value: the NodeRef into primary storage (always present),
+/// plus — for clustered indexes — the record offset of the subtree copy in
+/// the clustered store.
+struct IndexValue {
+  NodeRef ref;
+  uint64_t clustered_offset = 0;
+};
+
+inline std::string EncodeIndexValue(const IndexValue& v) {
+  std::string out(kIndexValueSize, '\0');
+  EncodeFixed32(out.data(), v.ref.doc_id);
+  EncodeFixed32(out.data() + 4, v.ref.node_id);
+  EncodeFixed64(out.data() + 8, v.clustered_offset);
+  return out;
+}
+
+inline IndexValue DecodeIndexValue(std::string_view buf) {
+  IndexValue v;
+  v.ref = NodeRef{DecodeFixed32(buf.data()), DecodeFixed32(buf.data() + 4)};
+  v.clustered_offset = DecodeFixed64(buf.data() + 8);
+  return v;
+}
+
+}  // namespace fix
+
+#endif  // FIX_CORE_FEATURE_H_

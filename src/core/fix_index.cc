@@ -1,0 +1,517 @@
+#include "core/fix_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <cstring>
+#include <set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "graph/bisim_builder.h"
+#include "graph/bisim_traveler.h"
+#include "query/compile.h"
+#include "spectral/skew_matrix.h"
+#include "spectral/spectrum.h"
+#include "xml/serializer.h"
+
+namespace fix {
+
+namespace {
+
+EigPair OversizedPair() {
+  EigPair p;
+  p.lambda_max = std::numeric_limits<double>::infinity();
+  p.lambda_min = -std::numeric_limits<double>::infinity();
+  p.lambda2 = std::numeric_limits<double>::infinity();
+  return p;
+}
+
+FeatureKey MakeKey(LabelId label, const EigPair& eigs) {
+  FeatureKey key;
+  key.root_label = label;
+  key.lambda_max = eigs.lambda_max;
+  key.lambda_min = eigs.lambda_min;
+  key.lambda2 = eigs.lambda2;
+  return key;
+}
+
+}  // namespace
+
+Result<EigPair> FixIndex::GraphFeatures(const BisimGraph& graph,
+                                        BuildStats* stats) {
+  if (graph.num_vertices() > options_.max_pattern_vertices) {
+    if (stats != nullptr) ++stats->oversized_patterns;
+    return OversizedPair();
+  }
+  DenseMatrix m = BuildSkewMatrix(graph, &encoder_);
+  auto sigmas = SkewSpectrum(m);
+  if (!sigmas.ok()) {
+    // Eigensolver failure (pathological spectrum): degrade to the
+    // artificial always-a-candidate range rather than failing the build —
+    // exactly the Section 6.1 treatment of oversized patterns, and equally
+    // sound.
+    if (stats != nullptr) ++stats->oversized_patterns;
+    return OversizedPair();
+  }
+  return EigPairFromSpectrum(*sigmas);
+}
+
+Result<EigPair> FixIndex::PatternFeatures(BisimGraph* graph,
+                                          BisimVertexId vertex,
+                                          int depth_limit, BuildStats* stats) {
+  BisimVertex& v = graph->vertex(vertex);
+  if (v.eigs.has_value()) return *v.eigs;
+  if (stats != nullptr) ++stats->distinct_patterns;
+
+  uint64_t expanded = ExpandedPatternSize(*graph, vertex, depth_limit,
+                                          options_.max_expanded_nodes);
+  EigPair eigs;
+  if (expanded >= options_.max_expanded_nodes) {
+    if (stats != nullptr) ++stats->oversized_patterns;
+    eigs = OversizedPair();
+  } else {
+    BisimGraph pattern;
+    FIX_ASSIGN_OR_RETURN(pattern,
+                         BuildDepthLimitedPattern(*graph, vertex, depth_limit));
+    FIX_ASSIGN_OR_RETURN(eigs, GraphFeatures(pattern, stats));
+  }
+  graph->vertex(vertex).eigs = eigs;
+  return eigs;
+}
+
+Status FixIndex::AddEntry(const FeatureKey& key, NodeRef ref) {
+  FeatureKey numbered = key;
+  numbered.seq = next_seq_++;
+  std::string encoded = EncodeFeatureKey(numbered);
+  if (options_.clustered) {
+    pending_.emplace_back(std::move(encoded), ref);
+    return Status::OK();
+  }
+  return btree_->Insert(encoded, EncodeIndexValue({ref, 0}));
+}
+
+Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
+                                 BuildStats* stats) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("IndexOptions.path must be set");
+  }
+  Timer timer;
+  FixIndex index(corpus, options);
+  index.file_ = std::make_unique<PageFile>();
+  FIX_RETURN_IF_ERROR(index.file_->Open(options.path, /*create=*/true));
+  index.pool_ = std::make_unique<BufferPool>(index.file_.get(),
+                                             options.buffer_pool_pages);
+  {
+    auto tree = BTree::Create(index.pool_.get(), kFeatureKeySize,
+                              kIndexValueSize);
+    if (!tree.ok()) return tree.status();
+    index.btree_ = std::make_unique<BTree>(std::move(tree).value());
+  }
+  if (options.clustered) {
+    FIX_RETURN_IF_ERROR(
+        index.clustered_.Open(options.path + ".data", /*create=*/true));
+  }
+  if (options.value_beta > 0) {
+    index.value_hasher_ =
+        std::make_unique<ValueHasher>(corpus->labels(), options.value_beta);
+  }
+
+  // CONSTRUCT-INDEX over the collection.
+  for (uint32_t doc_id = 0; doc_id < corpus->num_docs(); ++doc_id) {
+    FIX_RETURN_IF_ERROR(index.IndexDocument(doc_id, stats));
+  }
+
+  // Clustered: materialize subtree copies in key order, then bulk-insert.
+  if (options.clustered) {
+    std::sort(index.pending_.begin(), index.pending_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, ref] : index.pending_) {
+      std::string buf;
+      EncodeDocument(corpus->doc(ref.doc_id), &buf, ref.node_id);
+      RecordId rid;
+      FIX_ASSIGN_OR_RETURN(rid, index.clustered_.Append(buf));
+      FIX_RETURN_IF_ERROR(
+          index.btree_->Insert(key, EncodeIndexValue({ref, rid.offset})));
+    }
+    index.pending_.clear();
+    index.pending_.shrink_to_fit();
+    FIX_RETURN_IF_ERROR(index.clustered_.Sync());
+  }
+  FIX_RETURN_IF_ERROR(index.btree_->Flush());
+  FIX_RETURN_IF_ERROR(index.WriteMeta());
+
+  if (stats != nullptr) {
+    stats->construction_seconds = timer.ElapsedSeconds();
+    stats->entries = index.btree_->num_entries();
+    stats->btree_bytes = index.BTreeBytes();
+    stats->clustered_bytes = index.ClusteredBytes();
+  }
+  return index;
+}
+
+Status FixIndex::IndexDocument(uint32_t doc_id, BuildStats* stats) {
+  const Document& doc = corpus_->doc(doc_id);
+  NodeId root_elem = doc.root_element();
+  if (root_elem == kInvalidNode) return Status::OK();
+  if (stats != nullptr) {
+    stats->max_document_depth =
+        std::max(stats->max_document_depth, doc.Depth(root_elem));
+  }
+  // DEVIATION FROM ALGORITHM 1 (documented in DESIGN.md, finding F2): the
+  // paper indexes documents shallower than L as single whole-document
+  // units even inside a depth-limited index, which makes //-rooted queries
+  // unsound — whole-document entries carry the document root's label, so
+  // shallow documents become invisible to a probe keyed on the pattern
+  // root's label. A depth-limited index therefore enumerates one
+  // subpattern per element for EVERY document (patterns of documents
+  // shallower than L are simply never truncated), which is what
+  // Theorem 5's completeness argument actually needs.
+  int limit = options_.depth_limit;
+
+  DocumentEventStream stream(&doc, doc_id, value_hasher_.get());
+  BisimBuilder builder;
+  BisimBuilder::CloseCallback on_close =
+      [&](BisimGraph* graph, BisimVertexId vertex, NodeRef ref,
+          bool is_root) -> Status {
+    if (limit == 0) {
+      if (!is_root) return Status::OK();
+      EigPair eigs;
+      FIX_ASSIGN_OR_RETURN(eigs, GraphFeatures(*graph, stats));
+      if (stats != nullptr) ++stats->distinct_patterns;
+      return AddEntry(MakeKey(graph->vertex(vertex).label, eigs), ref);
+    }
+    EigPair eigs;
+    FIX_ASSIGN_OR_RETURN(eigs, PatternFeatures(graph, vertex, limit, stats));
+    return AddEntry(MakeKey(graph->vertex(vertex).label, eigs), ref);
+  };
+  BisimGraph graph;
+  FIX_ASSIGN_OR_RETURN(graph, builder.Build(&stream, on_close));
+  if (stats != nullptr) {
+    stats->bisim_vertices += graph.num_vertices();
+    stats->bisim_edges += graph.num_edges();
+  }
+  return Status::OK();
+}
+
+Status FixIndex::InsertDocument(uint32_t doc_id, BuildStats* stats) {
+  if (options_.clustered) {
+    return Status::NotSupported(
+        "incremental insertion requires the unclustered layout; clustered "
+        "copies are materialized in key order at build time");
+  }
+  if (doc_id >= corpus_->num_docs()) {
+    return Status::InvalidArgument("doc_id not in corpus");
+  }
+  histogram_.reset();  // estimates must see the new entries
+  FIX_RETURN_IF_ERROR(IndexDocument(doc_id, stats));
+  FIX_RETURN_IF_ERROR(btree_->Flush());
+  return WriteMeta();  // encoder may have interned new pairs
+}
+
+Status FixIndex::RemoveDocument(uint32_t doc_id) {
+  // Collect the victim entries with one ordered scan, then delete them.
+  // Lazy B+-tree deletion never merges pages, which matches the paper's
+  // read-heavy usage profile.
+  std::vector<std::pair<std::string, std::string>> victims;
+  {
+    BTree::Iterator it;
+    FIX_ASSIGN_OR_RETURN(it, btree_->SeekFirst());
+    while (it.Valid()) {
+      IndexValue value = DecodeIndexValue(it.value());
+      if (value.ref.doc_id == doc_id) {
+        victims.emplace_back(std::string(it.key()), std::string(it.value()));
+      }
+      FIX_RETURN_IF_ERROR(it.Next());
+    }
+  }
+  for (const auto& [key, value] : victims) {
+    FIX_RETURN_IF_ERROR(btree_->Delete(key, value));
+  }
+  histogram_.reset();
+  return btree_->Flush();
+}
+
+Result<uint64_t> FixIndex::EstimateCandidates(const TwigQuery& query) {
+  if (histogram_ == nullptr) {
+    auto hist = FeatureHistogram::FromBTree(btree_.get());
+    if (!hist.ok()) return hist.status();
+    histogram_ =
+        std::make_unique<FeatureHistogram>(std::move(hist).value());
+  }
+  std::vector<TwigQuery> parts = DecomposeAtDescendantEdges(query);
+  FIX_CHECK(!parts.empty());
+  const double eps = options_.epsilon;
+
+  if (options_.depth_limit > 0) {
+    if (parts[0].Depth() > options_.depth_limit) {
+      return btree_->num_entries();  // uncovered: full scan, nothing pruned
+    }
+    const QueryStep& root = parts[0].steps[parts[0].root];
+    if (parts[0].HasWildcard()) {
+      return root.wildcard ? btree_->num_entries()
+                           : histogram_->LabelCount(root.label);
+    }
+    FeatureKey probe;
+    FIX_ASSIGN_OR_RETURN(probe, QueryFeatures(parts[0]));
+    return histogram_->EstimateGreaterEqual(probe.root_label,
+                                            probe.lambda_max - eps);
+  }
+  // Whole-document index: the intersection across sub-twigs is bounded by
+  // the most selective part.
+  uint64_t best = btree_->num_entries();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    bool label_ok = (i == 0) &&
+                    parts[0].steps[parts[0].root].axis == Axis::kChild &&
+                    !parts[0].steps[parts[0].root].wildcard;
+    if (parts[i].HasWildcard()) {
+      if (i == 0 && label_ok) {
+        best = std::min(best,
+                        histogram_->LabelCount(parts[0].steps[0].label));
+      }
+      continue;
+    }
+    FeatureKey probe;
+    FIX_ASSIGN_OR_RETURN(probe, QueryFeatures(parts[i]));
+    uint64_t estimate =
+        label_ok ? histogram_->EstimateGreaterEqual(probe.root_label,
+                                                    probe.lambda_max - eps)
+                 : histogram_->EstimateGreaterEqualAllLabels(
+                       probe.lambda_max - eps);
+    best = std::min(best, estimate);
+  }
+  return best;
+}
+
+Status FixIndex::WriteMeta() const {
+  IndexMeta meta;
+  meta.options = options_;
+  meta.options.path.clear();  // path is where the caller found the file
+  meta.next_seq = next_seq_;
+  meta.edge_weights = encoder_.Export();
+  return WriteFile(options_.path + ".meta", EncodeIndexMeta(meta));
+}
+
+Result<FixIndex> FixIndex::Open(Corpus* corpus, const std::string& path) {
+  std::string meta_buf;
+  FIX_ASSIGN_OR_RETURN(meta_buf, ReadFile(path + ".meta"));
+  IndexMeta meta;
+  FIX_ASSIGN_OR_RETURN(meta, DecodeIndexMeta(meta_buf));
+  meta.options.path = path;
+
+  FixIndex index(corpus, meta.options);
+  index.next_seq_ = meta.next_seq;
+  index.encoder_.Import(meta.edge_weights);
+  index.file_ = std::make_unique<PageFile>();
+  FIX_RETURN_IF_ERROR(index.file_->Open(path, /*create=*/false));
+  index.pool_ = std::make_unique<BufferPool>(index.file_.get(),
+                                             meta.options.buffer_pool_pages);
+  {
+    auto tree = BTree::Open(index.pool_.get());
+    if (!tree.ok()) return tree.status();
+    index.btree_ = std::make_unique<BTree>(std::move(tree).value());
+  }
+  if (meta.options.clustered) {
+    FIX_RETURN_IF_ERROR(
+        index.clustered_.Open(path + ".data", /*create=*/false));
+  }
+  if (meta.options.value_beta > 0) {
+    // Re-interning the bucket labels is idempotent against a restored
+    // label table, so hashed labels line up with the persisted encoding.
+    index.value_hasher_ = std::make_unique<ValueHasher>(
+        corpus->labels(), meta.options.value_beta);
+  }
+  return index;
+}
+
+Result<FeatureKey> FixIndex::QueryFeatures(const TwigQuery& subtwig) {
+  BisimGraph pattern;
+  FIX_ASSIGN_OR_RETURN(pattern,
+                       QueryToBisimGraph(subtwig, value_hasher_.get()));
+  DenseMatrix m = BuildSkewMatrix(pattern, &encoder_);
+  if (!options_.sound_probe) {
+    auto sigmas = SkewSpectrum(m);
+    if (sigmas.ok()) {
+      return MakeKey(pattern.vertex(pattern.root()).label,
+                     EigPairFromSpectrum(*sigmas));
+    }
+    // Eigensolver failure on a (huge) query pattern: fall through to the
+    // pairwise bound below — sound, merely less selective.
+  }
+  // Sound relaxation: probe with the largest single edge weight. Each edge
+  // of the query pattern survives any homomorphic image as a 2-vertex
+  // induced subgraph of the data pattern, so Theorem 3 applies to it even
+  // when the full pattern embeds non-induced or quotiented.
+  double max_w = 0;
+  for (size_t i = 0; i < m.n(); ++i) {
+    for (size_t j = 0; j < m.n(); ++j) {
+      max_w = std::max(max_w, m.at(i, j));
+    }
+  }
+  FeatureKey key;
+  key.root_label = pattern.vertex(pattern.root()).label;
+  key.lambda_max = max_w;
+  key.lambda_min = -max_w;
+  key.lambda2 = 0;
+  return key;
+}
+
+Result<FixIndex::LookupResult> FixIndex::Probe(const TwigQuery& subtwig,
+                                               bool use_root_label) {
+  LookupResult out;
+  FeatureKey probe;
+  FIX_ASSIGN_OR_RETURN(probe, QueryFeatures(subtwig));
+  const double eps = options_.epsilon;
+
+  BTree::Iterator it;
+  if (use_root_label) {
+    // Seek to the first entry with this root label and λ_max >= probe − ε;
+    // everything after it in the (label, λ_max) order satisfies the λ_max
+    // half of the containment test until the label changes.
+    FeatureKey seek_key;
+    seek_key.root_label = probe.root_label;
+    seek_key.lambda_max = probe.lambda_max - eps;
+    seek_key.lambda_min = -std::numeric_limits<double>::infinity();
+    seek_key.lambda2 = -std::numeric_limits<double>::infinity();
+    seek_key.seq = 0;
+    FIX_ASSIGN_OR_RETURN(it, btree_->Seek(EncodeFeatureKey(seek_key)));
+  } else {
+    // Label pruning unsound for this probe (descendant-rooted query against
+    // whole-document units): scan all entries, filter on eigenvalues only.
+    FIX_ASSIGN_OR_RETURN(it, btree_->SeekFirst());
+  }
+  // The containment filters compare encoded key slices directly (the
+  // layout is memcmp-ordered); keys are only decoded for candidates.
+  char label_bytes[4];
+  EncodeBigEndian32(label_bytes, probe.root_label);
+  char lmax_lo[8];
+  EncodeBigEndian64(lmax_lo,
+                    OrderPreservingDouble(probe.lambda_max - eps));
+  char lmin_hi[8];
+  EncodeBigEndian64(lmin_hi,
+                    OrderPreservingDouble(probe.lambda_min + eps));
+  char l2_lo[8];
+  EncodeBigEndian64(l2_lo, OrderPreservingDouble(probe.lambda2 - eps));
+  const bool filter_l2 = options_.use_lambda2 && !options_.sound_probe;
+
+  while (it.Valid()) {
+    std::string_view key = it.key();
+    if (use_root_label && std::memcmp(key.data(), label_bytes, 4) != 0) {
+      break;
+    }
+    ++out.entries_scanned;
+    bool pass = std::memcmp(key.data() + 4, lmax_lo, 8) >= 0 &&
+                std::memcmp(key.data() + 12, lmin_hi, 8) <= 0;
+    if (pass && filter_l2) {
+      pass = std::memcmp(key.data() + 20, l2_lo, 8) >= 0;
+    }
+    if (pass) {
+      IndexValue v = DecodeIndexValue(it.value());
+      out.candidates.push_back(
+          Candidate{DecodeFeatureKey(key), v.ref, v.clustered_offset});
+    }
+    FIX_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Result<FixIndex::LookupResult> FixIndex::LabelOnlyScan(LabelId label) {
+  // Wildcard degradation: every entry with this root label is a candidate
+  // (no spectral filter — a wildcard edge has no weight to compare).
+  LookupResult out;
+  FeatureKey seek_key;
+  seek_key.root_label = label;
+  seek_key.lambda_max = -std::numeric_limits<double>::infinity();
+  seek_key.lambda_min = -std::numeric_limits<double>::infinity();
+  seek_key.lambda2 = -std::numeric_limits<double>::infinity();
+  BTree::Iterator it;
+  FIX_ASSIGN_OR_RETURN(it, btree_->Seek(EncodeFeatureKey(seek_key)));
+  char label_bytes[4];
+  EncodeBigEndian32(label_bytes, label);
+  while (it.Valid()) {
+    std::string_view key = it.key();
+    if (std::memcmp(key.data(), label_bytes, 4) != 0) break;
+    ++out.entries_scanned;
+    IndexValue v = DecodeIndexValue(it.value());
+    out.candidates.push_back(
+        Candidate{DecodeFeatureKey(key), v.ref, v.clustered_offset});
+    FIX_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Result<FixIndex::LookupResult> FixIndex::Lookup(const TwigQuery& query) {
+  std::vector<TwigQuery> parts = DecomposeAtDescendantEdges(query);
+  FIX_CHECK(!parts.empty());
+
+  if (options_.depth_limit > 0) {
+    // Coverage check (Algorithm 2 step 1): the index answers the top
+    // sub-twig only if its pattern depth fits within the limit. Deeper
+    // documents were indexed as single units too (limit 0 path), so a
+    // depth-limited index strictly covers patterns of depth <= L.
+    LookupResult out;
+    if (parts[0].Depth() > options_.depth_limit) {
+      out.covered = false;
+      return out;
+    }
+    if (parts[0].HasWildcard()) {
+      // Spectral probing unavailable; prune by root label if it is
+      // concrete, otherwise hand the query to the full scan.
+      const QueryStep& root = parts[0].steps[parts[0].root];
+      if (root.wildcard) {
+        out.covered = false;
+        return out;
+      }
+      return LabelOnlyScan(root.label);
+    }
+    // Interior descendant sub-twigs give no pruning power here (Section 5).
+    return Probe(parts[0]);
+  }
+
+  // Whole-document index: every sub-twig prunes; candidates must appear in
+  // the intersection of per-sub-twig candidate documents. Root-label
+  // pruning is only sound for the top sub-twig of a rooted (/) query —
+  // a descendant-rooted pattern can match below the document root, whose
+  // label is what whole-document entries carry.
+  LookupResult merged;
+  std::vector<Candidate> first_candidates;
+  std::set<uint32_t> surviving;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    bool label_ok = (i == 0) &&
+                    parts[0].steps[parts[0].root].axis == Axis::kChild &&
+                    !parts[0].steps[parts[0].root].wildcard;
+    LookupResult part;
+    if (parts[i].HasWildcard()) {
+      if (i != 0) continue;  // later wildcard parts contribute no pruning
+      if (label_ok) {
+        FIX_ASSIGN_OR_RETURN(part, LabelOnlyScan(parts[0].steps[0].label));
+      } else {
+        // No usable feature on the top part: fall back to the full scan.
+        LookupResult out;
+        out.covered = false;
+        return out;
+      }
+    } else {
+      FIX_ASSIGN_OR_RETURN(part, Probe(parts[i], label_ok));
+    }
+    merged.entries_scanned += part.entries_scanned;
+    std::set<uint32_t> docs;
+    for (const Candidate& c : part.candidates) {
+      docs.insert(c.ref.doc_id);
+    }
+    if (i == 0) {
+      first_candidates = std::move(part.candidates);
+      surviving = std::move(docs);
+    } else {
+      std::set<uint32_t> kept;
+      std::set_intersection(surviving.begin(), surviving.end(), docs.begin(),
+                            docs.end(), std::inserter(kept, kept.begin()));
+      surviving = std::move(kept);
+    }
+  }
+  for (Candidate& c : first_candidates) {
+    if (surviving.count(c.ref.doc_id) > 0) merged.candidates.push_back(c);
+  }
+  return merged;
+}
+
+}  // namespace fix

@@ -1,0 +1,164 @@
+// FixIndex: the paper's contribution — a feature-based index over twig
+// patterns (Sections 4 and 5).
+//
+// Construction (Algorithm 1): every indexable unit (a whole small document,
+// or the depth-L subpattern of each element of a large document) is reduced
+// to its bisimulation graph, translated to an anti-symmetric matrix, and
+// its eigenvalue features {root label, λ_max, λ_min} become the B+-tree
+// key. Unclustered entries store a pointer into primary storage; clustered
+// entries store subtree copies laid out in key order.
+//
+// Lookup (Algorithm 2): the query's twig pattern gets the same treatment;
+// every indexed entry whose root label matches and whose eigenvalue range
+// contains the query's is a candidate (Theorem 3 guarantees no false
+// negatives; Theorem 5 guarantees completeness of the enumeration).
+
+#ifndef FIX_CORE_FIX_INDEX_H_
+#define FIX_CORE_FIX_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/corpus.h"
+#include "core/feature.h"
+#include "core/histogram.h"
+#include "core/index_options.h"
+#include "core/persist.h"
+#include "query/twig_query.h"
+#include "spectral/edge_encoder.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "storage/record_store.h"
+#include "xml/value_hash.h"
+
+namespace fix {
+
+class FixIndex {
+ public:
+  /// One index hit awaiting refinement.
+  struct Candidate {
+    FeatureKey key;
+    NodeRef ref;                ///< unclustered: pointer into primary storage
+    uint64_t clustered_offset;  ///< clustered: record id in the copy store
+  };
+
+  struct LookupResult {
+    std::vector<Candidate> candidates;
+    /// B+-tree entries touched by the range scan(s) (logical index I/O).
+    uint64_t entries_scanned = 0;
+    /// False when the query is deeper than the index covers; the caller
+    /// must fall back to a full scan (Algorithm 2 step 1).
+    bool covered = true;
+  };
+
+  /// Builds the index over `corpus` per `options`. The corpus must outlive
+  /// the index. `stats` may be null. Alongside the B+-tree file at
+  /// options.path, a metadata sidecar (options + edge-weight encoding) is
+  /// written to options.path + ".meta" so the index can be reopened.
+  static Result<FixIndex> Build(Corpus* corpus, const IndexOptions& options,
+                                BuildStats* stats);
+
+  /// Reopens an index previously built at `path` over the same corpus
+  /// (typically one restored with Corpus::Load). The persisted options and
+  /// edge-weight encoding are restored exactly; queries probe the on-disk
+  /// B+-tree without any rebuild.
+  static Result<FixIndex> Open(Corpus* corpus, const std::string& path);
+
+  FixIndex(FixIndex&&) = default;
+  FixIndex& operator=(FixIndex&&) = default;
+
+  /// Full Algorithm 2 lookup: decomposes at interior //-edges, probes the
+  /// B+-tree per usable sub-twig, and (for whole-document indexes)
+  /// intersects candidate documents across sub-twigs.
+  Result<LookupResult> Lookup(const TwigQuery& query);
+
+  /// Probes with a single pure twig (no decomposition). Exposed for tests
+  /// and the metrics harnesses.
+  ///
+  /// `use_root_label` selects whether the root-label feature participates
+  /// in pruning. It is sound whenever indexed units are rooted at elements
+  /// carrying the pattern's root label: always for depth-limited indexes
+  /// (one entry per element), and for whole-document indexes only when the
+  /// query is rooted (/a/...) so the pattern root must be the document's
+  /// root element. Lookup() picks the sound setting automatically.
+  Result<LookupResult> Probe(const TwigQuery& subtwig,
+                             bool use_root_label = true);
+
+  /// Computes the probe features of a pure twig query (pattern → matrix →
+  /// eigenvalues). Exposed for diagnostics.
+  Result<FeatureKey> QueryFeatures(const TwigQuery& subtwig);
+
+  /// Estimates the candidate count of a query without touching candidates,
+  /// via per-label equi-depth histograms over λ_max (Section 5's costing
+  /// aid). The histogram is built lazily on first use and invalidated by
+  /// InsertDocument/RemoveDocument.
+  Result<uint64_t> EstimateCandidates(const TwigQuery& query);
+
+  /// Incrementally indexes a document that was appended to the corpus
+  /// after Build (unclustered indexes only: clustered layouts require the
+  /// key-ordered copy store to be rebuilt, the update cost the paper's
+  /// introduction charges against clustering indexes).
+  Status InsertDocument(uint32_t doc_id, BuildStats* stats = nullptr);
+
+  /// Deletes every index entry pointing into `doc_id` (linear scan of the
+  /// tree + lazy B+-tree deletes). The document itself stays in the
+  /// corpus; callers track liveness.
+  Status RemoveDocument(uint32_t doc_id);
+
+  uint64_t num_entries() const { return btree_->num_entries(); }
+  const IndexOptions& options() const { return options_; }
+  Corpus* corpus() { return corpus_; }
+  const ValueHasher* value_hasher() const { return value_hasher_.get(); }
+  RecordStore* clustered_store() { return &clustered_; }
+  BTree* btree() { return btree_.get(); }
+
+  /// On-disk footprint: B+-tree bytes (+ clustered copy store bytes).
+  uint64_t BTreeBytes() const { return btree_->SizeBytes(); }
+  uint64_t ClusteredBytes() const {
+    return clustered_.is_open() ? clustered_.size_bytes() : 0;
+  }
+
+ private:
+  FixIndex(Corpus* corpus, IndexOptions options)
+      : corpus_(corpus), options_(std::move(options)) {}
+
+  /// Writes the metadata sidecar (options + encoder + seq counter).
+  Status WriteMeta() const;
+
+  /// All entries carrying `label` (the wildcard degradation path).
+  Result<LookupResult> LabelOnlyScan(LabelId label);
+
+  /// Computes (memoized on the vertex) the features of the depth-limited
+  /// subpattern rooted at `vertex` of `graph`.
+  Result<EigPair> PatternFeatures(BisimGraph* graph, BisimVertexId vertex,
+                                  int depth_limit, BuildStats* stats);
+
+  /// Features of a whole (already depth-bounded) pattern graph.
+  Result<EigPair> GraphFeatures(const BisimGraph& graph, BuildStats* stats);
+
+  Status AddEntry(const FeatureKey& key, NodeRef ref);
+
+  /// Runs Algorithm 1's per-document pass (bisimulation build + entry
+  /// insertion) for one document. Shared by Build and InsertDocument.
+  Status IndexDocument(uint32_t doc_id, BuildStats* stats);
+
+  Corpus* corpus_;
+  IndexOptions options_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> btree_;
+  RecordStore clustered_;
+  std::unique_ptr<ValueHasher> value_hasher_;
+  EdgeEncoder encoder_;
+  std::unique_ptr<FeatureHistogram> histogram_;  // lazy; see EstimateCandidates
+  uint32_t next_seq_ = 0;
+  /// Deferred entries for clustered builds (sorted before materializing).
+  std::vector<std::pair<std::string, NodeRef>> pending_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_CORE_FIX_INDEX_H_

@@ -1,0 +1,93 @@
+// FixQueryProcessor: Algorithm 2 end to end — index lookup (pruning phase)
+// followed by navigational refinement of every candidate, with the
+// implementation-independent counters of Section 6.2 collected along the
+// way.
+
+#ifndef FIX_CORE_FIX_QUERY_H_
+#define FIX_CORE_FIX_QUERY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "query/twig_query.h"
+
+namespace fix {
+
+/// How candidates are refined.
+enum class RefineMode {
+  /// Evaluate each candidate separately; produces exact per-entry `rst`
+  /// (needed by the Section 6.2 metrics) at the cost of re-walking
+  /// overlapping candidate subtrees.
+  kPerCandidate,
+  /// Seed one navigational pass with the whole candidate set (the paper's
+  /// architecture: pruned input feeds one NoK pass). Fastest; `producing`
+  /// is not attributed (producing_valid = false).
+  kBatch,
+};
+
+struct ExecStats {
+  uint64_t total_entries = 0;   ///< ent: all index entries
+  uint64_t candidates = 0;      ///< cdt: entries surviving the index probe
+  uint64_t producing = 0;       ///< rst: candidates yielding >= 1 result
+  bool producing_valid = true;  ///< false under RefineMode::kBatch
+  uint64_t result_count = 0;    ///< result-step bindings (deduplicated when
+                                ///< evaluation runs on primary documents)
+  bool covered = true;          ///< query depth within the index limit
+  bool used_index = true;       ///< false on full-scan fallback
+  double lookup_ms = 0;         ///< pruning phase wall time
+  double refine_ms = 0;         ///< refinement phase wall time
+  uint64_t entries_scanned = 0; ///< B+-tree entries touched
+  uint64_t nodes_visited = 0;   ///< matcher work during refinement
+  uint64_t random_reads = 0;    ///< primary-storage pointer dereferences
+  uint64_t sequential_bytes = 0;///< clustered-store bytes read
+
+  double selectivity() const {
+    return total_entries == 0
+               ? 0
+               : 1.0 - static_cast<double>(producing) / total_entries;
+  }
+  double pruning_power() const {
+    return total_entries == 0
+               ? 0
+               : 1.0 - static_cast<double>(candidates) / total_entries;
+  }
+  double false_positive_ratio() const {
+    return candidates == 0
+               ? 0
+               : 1.0 - static_cast<double>(producing) / candidates;
+  }
+};
+
+class FixQueryProcessor {
+ public:
+  FixQueryProcessor(Corpus* corpus, FixIndex* index)
+      : corpus_(corpus), index_(index) {}
+
+  /// Runs the full query. `results` (optional) receives the deduplicated
+  /// result-step bindings; it is filled only when refinement runs against
+  /// primary documents (unclustered or whole-document candidates) — for
+  /// clustered subtree copies only counts are meaningful. Clustered
+  /// indexes always refine per candidate (each subtree copy is its own
+  /// little document).
+  Result<ExecStats> Execute(const TwigQuery& query,
+                            std::vector<NodeRef>* results = nullptr,
+                            RefineMode mode = RefineMode::kPerCandidate);
+
+ private:
+  Status RefineCandidates(const TwigQuery& query,
+                          const std::vector<FixIndex::Candidate>& candidates,
+                          RefineMode mode, ExecStats* stats,
+                          std::vector<NodeRef>* results);
+
+  Result<ExecStats> FullScan(const TwigQuery& query,
+                             std::vector<NodeRef>* results);
+
+  Corpus* corpus_;
+  FixIndex* index_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_CORE_FIX_QUERY_H_

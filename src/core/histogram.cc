@@ -1,0 +1,80 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+
+#include "core/feature.h"
+
+namespace fix {
+
+Result<FeatureHistogram> FeatureHistogram::FromBTree(BTree* btree,
+                                                     size_t buckets) {
+  if (buckets < 2) return Status::InvalidArgument("need >= 2 buckets");
+  FeatureHistogram hist;
+
+  // First pass could be avoided by buffering per label; entries per label
+  // arrive contiguously in key order, so buffer one label at a time.
+  BTree::Iterator it;
+  FIX_ASSIGN_OR_RETURN(it, btree->SeekFirst());
+  LabelId current = kInvalidLabel;
+  std::vector<double> lambdas;  // sorted by construction (scan order)
+
+  auto flush = [&]() {
+    if (current == kInvalidLabel || lambdas.empty()) return;
+    LabelHistogram& lh = hist.per_label_[current];
+    lh.count = lambdas.size();
+    lh.boundaries.clear();
+    for (size_t b = 1; b <= buckets; ++b) {
+      size_t idx = (lambdas.size() * b) / buckets;
+      if (idx > 0) --idx;
+      lh.boundaries.push_back(lambdas[idx]);
+    }
+    lambdas.clear();
+  };
+
+  while (it.Valid()) {
+    FeatureKey key = DecodeFeatureKey(it.key());
+    if (key.root_label != current) {
+      flush();
+      current = key.root_label;
+    }
+    lambdas.push_back(key.lambda_max);
+    ++hist.total_;
+    FIX_RETURN_IF_ERROR(it.Next());
+  }
+  flush();
+  return hist;
+}
+
+uint64_t FeatureHistogram::EstimateGreaterEqual(LabelId label,
+                                                double lambda) const {
+  auto it = per_label_.find(label);
+  if (it == per_label_.end()) return 0;
+  const LabelHistogram& lh = it->second;
+  // boundaries[i] is the upper edge of bucket i; each bucket holds
+  // count / B entries. Entries with λ_max >= lambda live in the buckets
+  // whose upper edge is >= lambda (partially, for the first such bucket —
+  // we count it fully, keeping the estimate conservative for candidacy).
+  size_t buckets = lh.boundaries.size();
+  size_t first = std::lower_bound(lh.boundaries.begin(), lh.boundaries.end(),
+                                  lambda) -
+                 lh.boundaries.begin();
+  if (first >= buckets) return 0;
+  return lh.count * (buckets - first) / buckets;
+}
+
+uint64_t FeatureHistogram::EstimateGreaterEqualAllLabels(
+    double lambda) const {
+  uint64_t total = 0;
+  for (const auto& [label, lh] : per_label_) {
+    (void)lh;
+    total += EstimateGreaterEqual(label, lambda);
+  }
+  return total;
+}
+
+uint64_t FeatureHistogram::LabelCount(LabelId label) const {
+  auto it = per_label_.find(label);
+  return it == per_label_.end() ? 0 : it->second.count;
+}
+
+}  // namespace fix

@@ -1,0 +1,64 @@
+// FeatureHistogram: equi-depth histograms over λ_max, per root label —
+// Section 5's "good practice is to build a histogram on the primary sorting
+// key (e.g., λ_max) in the B-tree" for estimating the number of candidate
+// results before running a query.
+//
+// The query optimizer uses the estimate to decide whether the index is
+// worth probing at all: an unselective probe whose candidate set
+// approaches the entry count is better served by the navigational full
+// scan (no pointer chasing, purely sequential).
+
+#ifndef FIX_CORE_HISTOGRAM_H_
+#define FIX_CORE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/btree.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+class FeatureHistogram {
+ public:
+  /// Builds per-label histograms with one ordered scan of the index
+  /// B+-tree (entries arrive in (label, λ_max) order, so quantile
+  /// boundaries fall out of the scan directly).
+  static Result<FeatureHistogram> FromBTree(BTree* btree,
+                                            size_t buckets = 32);
+
+  /// Estimated number of entries with the given root label whose λ_max is
+  /// >= `lambda` (the λ_max half of the containment probe — the λ_min half
+  /// filters almost nothing because ranges are symmetric).
+  uint64_t EstimateGreaterEqual(LabelId label, double lambda) const;
+
+  /// Estimate across every label (for probes where root-label pruning is
+  /// not sound and the scan covers the whole tree).
+  uint64_t EstimateGreaterEqualAllLabels(double lambda) const;
+
+  /// Entries carrying `label`.
+  uint64_t LabelCount(LabelId label) const;
+
+  /// All entries.
+  uint64_t total() const { return total_; }
+
+  /// Number of labels with at least one entry.
+  size_t num_labels() const { return per_label_.size(); }
+
+ private:
+  struct LabelHistogram {
+    uint64_t count = 0;
+    /// Ascending λ_max values at equi-depth quantile boundaries
+    /// (boundaries[i] ≈ the (i+1)/B quantile).
+    std::vector<double> boundaries;
+  };
+
+  std::map<LabelId, LabelHistogram> per_label_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_CORE_HISTOGRAM_H_

@@ -1,0 +1,35 @@
+// Ground-truth computation for the implementation-independent metrics of
+// Section 6.2.
+//
+// The metrics need rst — the number of *index entries* whose pattern
+// instance produces at least one final result — computed independently of
+// the index so that the harness can (a) report exact selectivity and
+// (b) assert the no-false-negative invariant (rst must equal the number of
+// producing candidates whenever the probe is sound).
+
+#ifndef FIX_CORE_METRICS_H_
+#define FIX_CORE_METRICS_H_
+
+#include <cstdint>
+
+#include "core/corpus.h"
+#include "query/twig_query.h"
+
+namespace fix {
+
+struct GroundTruth {
+  uint64_t entries = 0;    ///< index entries under this granularity
+  uint64_t producers = 0;  ///< entries with >= 1 result
+  uint64_t results = 0;    ///< total result bindings (deduplicated per doc)
+};
+
+/// Replays the index granularity of Algorithm 1 with `depth_limit` over the
+/// corpus: documents no deeper than the limit (or all documents when the
+/// limit is 0) count one entry each; deeper documents count one entry per
+/// element, producing iff refinement rooted at that element yields results.
+GroundTruth ComputeGroundTruth(const Corpus& corpus, const TwigQuery& query,
+                               int depth_limit);
+
+}  // namespace fix
+
+#endif  // FIX_CORE_METRICS_H_

@@ -1,0 +1,54 @@
+// Persistence for the pieces an index needs beyond its B+-tree pages:
+// the shared label table, the corpus manifest (document record offsets in
+// primary storage), and the index metadata sidecar (options, edge-weight
+// encoding, sequence counter).
+//
+// Formats are little binary files with a magic + version header and varint
+// payloads; every reader validates and returns Corruption on mismatch.
+
+#ifndef FIX_CORE_PERSIST_H_
+#define FIX_CORE_PERSIST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/index_options.h"
+#include "spectral/edge_encoder.h"
+#include "storage/record_store.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+/// Reads/writes a whole small file.
+Status WriteFile(const std::string& path, const std::string& contents);
+Result<std::string> ReadFile(const std::string& path);
+
+// --- label table ----------------------------------------------------------
+
+/// Serializes all labels (including the implicit document label at id 0).
+std::string EncodeLabelTable(const LabelTable& labels);
+
+/// Restores labels into a fresh table; ids are preserved exactly.
+Status DecodeLabelTable(const std::string& buf, LabelTable* labels);
+
+// --- corpus manifest --------------------------------------------------------
+
+/// The record ids of each document in primary storage, in doc-id order.
+std::string EncodeManifest(const std::vector<RecordId>& records);
+Result<std::vector<RecordId>> DecodeManifest(const std::string& buf);
+
+// --- index metadata ---------------------------------------------------------
+
+struct IndexMeta {
+  IndexOptions options;  ///< path field is not persisted (caller supplies)
+  uint32_t next_seq = 0;
+  std::vector<std::pair<uint64_t, uint32_t>> edge_weights;
+};
+
+std::string EncodeIndexMeta(const IndexMeta& meta);
+Result<IndexMeta> DecodeIndexMeta(const std::string& buf);
+
+}  // namespace fix
+
+#endif  // FIX_CORE_PERSIST_H_

@@ -1,0 +1,106 @@
+#include "core/spatial_probe.h"
+
+#include <algorithm>
+
+namespace fix {
+
+Result<SpatialProbe> SpatialProbe::FromBTree(BTree* btree) {
+  SpatialProbe probe;
+  // Bucket entries per label (contiguous in key order).
+  std::map<LabelId, std::vector<Hit>> buckets;
+  BTree::Iterator it;
+  FIX_ASSIGN_OR_RETURN(it, btree->SeekFirst());
+  while (it.Valid()) {
+    Hit hit;
+    hit.key = DecodeFeatureKey(it.key());
+    hit.value = DecodeIndexValue(it.value());
+    buckets[hit.key.root_label].push_back(hit);
+    ++probe.total_;
+    FIX_RETURN_IF_ERROR(it.Next());
+  }
+  for (auto& [label, hits] : buckets) {
+    LabelTree tree;
+    tree.nodes.reserve(hits.size());
+    tree.root = BuildRec(hits, 0, hits.size(), 0, &tree);
+    probe.per_label_.emplace(label, std::move(tree));
+  }
+  return probe;
+}
+
+int32_t SpatialProbe::BuildRec(std::vector<Hit>& hits, size_t lo, size_t hi,
+                               int depth, LabelTree* tree) {
+  if (lo >= hi) return -1;
+  uint8_t dim = static_cast<uint8_t>(depth % 2);
+  size_t mid = lo + (hi - lo) / 2;
+  auto key_of = [dim](const Hit& h) {
+    return dim == 0 ? h.key.lambda_max : h.key.lambda2;
+  };
+  std::nth_element(hits.begin() + lo, hits.begin() + mid, hits.begin() + hi,
+                   [&](const Hit& a, const Hit& b) {
+                     return key_of(a) < key_of(b);
+                   });
+  int32_t id = static_cast<int32_t>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  tree->nodes[id].hit = hits[mid];
+  tree->nodes[id].dim = dim;
+  int32_t left = BuildRec(hits, lo, mid, depth + 1, tree);
+  int32_t right = BuildRec(hits, mid + 1, hi, depth + 1, tree);
+  Node& node = tree->nodes[id];
+  node.left = left;
+  node.right = right;
+  node.max_lambda_max = node.hit.key.lambda_max;
+  node.max_lambda2 = node.hit.key.lambda2;
+  for (int32_t child : {left, right}) {
+    if (child < 0) continue;
+    node.max_lambda_max =
+        std::max(node.max_lambda_max, tree->nodes[child].max_lambda_max);
+    node.max_lambda2 =
+        std::max(node.max_lambda2, tree->nodes[child].max_lambda2);
+  }
+  return id;
+}
+
+void SpatialProbe::QueryRec(const LabelTree& tree, int32_t node_id, double a,
+                            double b, std::vector<Hit>* out,
+                            uint64_t* visited) {
+  if (node_id < 0) return;
+  const Node& node = tree.nodes[node_id];
+  if (visited != nullptr) ++(*visited);
+  // Prune: no entry below can dominate (a, b) if the subtree maxima don't.
+  if (node.max_lambda_max < a || node.max_lambda2 < b) return;
+  if (node.hit.key.lambda_max >= a && node.hit.key.lambda2 >= b) {
+    out->push_back(node.hit);
+  }
+  // On the split dimension, the left child holds values <= the node's; if
+  // the node's split value is already below the bound, only the right side
+  // can qualify on that dimension.
+  double split = node.dim == 0 ? node.hit.key.lambda_max : node.hit.key.lambda2;
+  double bound = node.dim == 0 ? a : b;
+  if (split >= bound) {
+    QueryRec(tree, node.left, a, b, out, visited);
+  }
+  QueryRec(tree, node.right, a, b, out, visited);
+}
+
+std::vector<SpatialProbe::Hit> SpatialProbe::Query(LabelId label,
+                                                   double lambda_max_min,
+                                                   double lambda2_min,
+                                                   uint64_t* visited) const {
+  std::vector<Hit> out;
+  auto it = per_label_.find(label);
+  if (it == per_label_.end()) return out;
+  QueryRec(it->second, it->second.root, lambda_max_min, lambda2_min, &out,
+           visited);
+  return out;
+}
+
+uint64_t SpatialProbe::ApproxBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [label, tree] : per_label_) {
+    (void)label;
+    bytes += tree.nodes.size() * sizeof(Node);
+  }
+  return bytes;
+}
+
+}  // namespace fix

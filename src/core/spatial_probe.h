@@ -1,0 +1,77 @@
+// SpatialProbe: the paper's Section 8 future-work direction — "we also plan
+// to move the index to R-tree or other high-dimensional indexing trees to
+// gain further pruning power" — realized as per-label kd-trees over the
+// feature plane (λ_max, λ₂).
+//
+// The containment probe is a dominance query: candidates are entries with
+// λ_max >= a AND λ₂ >= b (a quarter-plane). The B+-tree can only exploit
+// the λ_max half (its sort order) and then filters λ₂ row by row; a kd-tree
+// prunes whole subtrees whose bounding boxes fall outside the quarter-plane,
+// touching far fewer entries for λ₂-selective probes.
+//
+// The structure is built once from an ordered scan of a FIX B+-tree and is
+// immutable (static balanced kd-tree); rebuild after index updates.
+
+#ifndef FIX_CORE_SPATIAL_PROBE_H_
+#define FIX_CORE_SPATIAL_PROBE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/feature.h"
+#include "storage/btree.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+class SpatialProbe {
+ public:
+  struct Hit {
+    FeatureKey key;
+    IndexValue value;
+  };
+
+  /// Builds per-label kd-trees with one scan of the index B+-tree.
+  static Result<SpatialProbe> FromBTree(BTree* btree);
+
+  /// All entries with the given root label dominating (a, b):
+  /// λ_max >= a and λ₂ >= b. `visited` (optional) counts kd-tree nodes
+  /// touched — the probe-cost metric the ablation bench reports.
+  std::vector<Hit> Query(LabelId label, double lambda_max_min,
+                         double lambda2_min, uint64_t* visited = nullptr) const;
+
+  /// Entries stored across all labels.
+  uint64_t total() const { return total_; }
+
+  /// Approximate memory footprint in bytes.
+  uint64_t ApproxBytes() const;
+
+ private:
+  struct Node {
+    Hit hit;                 // the splitting entry
+    double max_lambda_max;   // subtree upper bounds (for pruning)
+    double max_lambda2;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint8_t dim = 0;         // 0: split on lambda_max, 1: on lambda2
+  };
+
+  struct LabelTree {
+    std::vector<Node> nodes;
+    int32_t root = -1;
+  };
+
+  static int32_t BuildRec(std::vector<Hit>& hits, size_t lo, size_t hi,
+                          int depth, LabelTree* tree);
+  static void QueryRec(const LabelTree& tree, int32_t node, double a,
+                       double b, std::vector<Hit>* out, uint64_t* visited);
+
+  std::map<LabelId, LabelTree> per_label_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_CORE_SPATIAL_PROBE_H_

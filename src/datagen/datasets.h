@@ -1,0 +1,59 @@
+// Synthetic stand-ins for the paper's four data sets (Section 6.1).
+//
+// The originals (XBench TCMD, DBLP, XMark sf=1, Treebank) are not shipped
+// offline; each generator reproduces the *structural signature* the paper's
+// analysis relies on:
+//   * TCMD     — a large collection of small, near-regular text-centric
+//                documents with optional sections (low structural variety);
+//   * DBLP     — one large, very shallow, very regular document (structures
+//                repeat massively; patterns are unselective);
+//   * XMark    — one large, fairly deep, structure-rich, wide document
+//                (auction site; recursive parlist/listitem descriptions);
+//   * Treebank — one large, deep, highly recursive document (parse trees)
+//                with very selective structures.
+// All generators are deterministic in their seed; scale knobs default to
+// laptop-friendly sizes (document in EXPERIMENTS.md relative to the paper's
+// full-size data).
+
+#ifndef FIX_DATAGEN_DATASETS_H_
+#define FIX_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+
+#include "core/corpus.h"
+
+namespace fix {
+
+struct TcmdOptions {
+  uint64_t seed = 1;
+  int num_docs = 2607;  ///< the paper's document count
+};
+
+struct DblpOptions {
+  uint64_t seed = 2;
+  int num_publications = 30000;  ///< paper: ~400k publications, 4M elements
+};
+
+struct XMarkOptions {
+  uint64_t seed = 3;
+  int num_items = 3000;         ///< items across all regions
+  int num_people = 3600;
+  int num_open_auctions = 3600;
+  int num_closed_auctions = 3000;
+  int num_categories = 1500;
+};
+
+struct TreebankOptions {
+  uint64_t seed = 4;
+  int num_sentences = 12000;  ///< paper: 2.4M elements
+};
+
+/// Each generator appends its document(s) to `corpus`.
+void GenerateTcmd(Corpus* corpus, const TcmdOptions& options);
+void GenerateDblp(Corpus* corpus, const DblpOptions& options);
+void GenerateXMark(Corpus* corpus, const XMarkOptions& options);
+void GenerateTreebank(Corpus* corpus, const TreebankOptions& options);
+
+}  // namespace fix
+
+#endif  // FIX_DATAGEN_DATASETS_H_

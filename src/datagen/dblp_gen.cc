@@ -1,0 +1,131 @@
+// DBLP stand-in: one large, shallow, very regular bibliography document.
+// The same handful of publication skeletons repeat tens of thousands of
+// times, so structural patterns are unselective — the regime where the
+// paper found FIX's structural pruning weakest and value integration most
+// valuable (Sections 6.2-6.4).
+//
+// Representative/runtime/value queries exercised on this set:
+//   //proceedings[booktitle]/title[sup][i]          (hi)
+//   //article[number]/author                        (md)
+//   //inproceedings[url]/title                      (lo)
+//   //inproceedings/title/i                         (hi sp)
+//   //dblp/inproceedings/author                     (lo sp)
+//   //inproceedings[url]/title[sub][i]              (hi bp)
+//   //proceedings[publisher="Springer"][title]      (value hi)
+//   //inproceedings[year="1998"][title]/author      (value lo)
+
+#include "datagen/datasets.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "datagen/doc_builder.h"
+#include "datagen/text_pool.h"
+
+namespace fix {
+
+namespace {
+
+/// Titles occasionally contain inline markup children (sub/sup/i), which is
+/// what makes //title[sup][i] highly selective.
+void GenerateTitle(DocBuilder& b, Rng& rng, TextPool& text, double fancy_p) {
+  b.Open("title");
+  b.Text(text.Sentence(&rng, 3, 10));
+  if (rng.Chance(fancy_p)) {
+    if (rng.Chance(0.6)) b.Leaf("i", text.Word(&rng));
+    if (rng.Chance(0.35)) b.Leaf("sub", text.Word(&rng));
+    if (rng.Chance(0.25)) b.Leaf("sup", text.Word(&rng));
+  }
+  b.Close();
+}
+
+void GenerateAuthors(DocBuilder& b, Rng& rng, TextPool& text) {
+  int n = rng.GeometricCount(1, 6, 0.5);
+  for (int i = 0; i < n; ++i) b.Leaf("author", text.PersonName(&rng));
+}
+
+void GenerateArticle(DocBuilder& b, Rng& rng, TextPool& text) {
+  b.Open("article");
+  GenerateAuthors(b, rng, text);
+  GenerateTitle(b, rng, text, 0.10);
+  b.Leaf("journal", text.Word(&rng) + " Journal");
+  b.Leaf("volume", std::to_string(1 + rng.Uniform(40)));
+  if (rng.Chance(0.30)) {
+    b.Leaf("number", std::to_string(1 + rng.Uniform(12)));
+  }
+  b.Leaf("pages", std::to_string(rng.Uniform(500)) + "-" +
+                      std::to_string(500 + rng.Uniform(100)));
+  b.Leaf("year", text.Year(&rng));
+  if (rng.Chance(0.55)) b.Leaf("url", "db/journals/" + text.Word(&rng));
+  if (rng.Chance(0.4)) b.Leaf("ee", "https://doi.example/" + text.Word(&rng));
+  b.Close();
+}
+
+void GenerateInproceedings(DocBuilder& b, Rng& rng, TextPool& text) {
+  b.Open("inproceedings");
+  GenerateAuthors(b, rng, text);
+  GenerateTitle(b, rng, text, 0.08);
+  b.Leaf("booktitle", text.Word(&rng) + " Conference");
+  b.Leaf("pages", std::to_string(rng.Uniform(500)) + "-" +
+                      std::to_string(500 + rng.Uniform(100)));
+  b.Leaf("year", text.Year(&rng));
+  if (rng.Chance(0.60)) b.Leaf("url", "db/conf/" + text.Word(&rng));
+  if (rng.Chance(0.45)) {
+    b.Leaf("ee", "https://doi.example/" + text.Word(&rng));
+  }
+  if (rng.Chance(0.8)) b.Leaf("crossref", "conf/" + text.Word(&rng));
+  b.Close();
+}
+
+void GenerateProceedings(DocBuilder& b, Rng& rng, TextPool& text) {
+  b.Open("proceedings");
+  int editors = rng.GeometricCount(1, 3, 0.4);
+  for (int i = 0; i < editors; ++i) b.Leaf("editor", text.PersonName(&rng));
+  GenerateTitle(b, rng, text, 0.04);
+  b.Leaf("booktitle", text.Word(&rng) + " Conference");
+  b.Leaf("publisher", text.Publisher(&rng));
+  b.Leaf("year", text.Year(&rng));
+  if (rng.Chance(0.7)) b.Leaf("isbn", std::to_string(rng.Uniform(1u << 30)));
+  if (rng.Chance(0.5)) b.Leaf("url", "db/conf/" + text.Word(&rng));
+  b.Close();
+}
+
+void GenerateBook(DocBuilder& b, Rng& rng, TextPool& text) {
+  b.Open("book");
+  GenerateAuthors(b, rng, text);
+  GenerateTitle(b, rng, text, 0.05);
+  b.Leaf("publisher", text.Publisher(&rng));
+  b.Leaf("year", text.Year(&rng));
+  if (rng.Chance(0.6)) b.Leaf("isbn", std::to_string(rng.Uniform(1u << 30)));
+  b.Close();
+}
+
+}  // namespace
+
+void GenerateDblp(Corpus* corpus, const DblpOptions& options) {
+  Rng rng(options.seed);
+  TextPool text;
+  DocBuilder b(corpus->labels());
+  b.Open("dblp");
+  const std::vector<double> mix = {42, 40, 6, 3};  // art/inproc/proc/book
+  for (int i = 0; i < options.num_publications; ++i) {
+    switch (rng.PickWeighted(mix)) {
+      case 0:
+        GenerateArticle(b, rng, text);
+        break;
+      case 1:
+        GenerateInproceedings(b, rng, text);
+        break;
+      case 2:
+        GenerateProceedings(b, rng, text);
+        break;
+      default:
+        GenerateBook(b, rng, text);
+        break;
+    }
+  }
+  b.Close();
+  corpus->AddDocument(b.Take());
+}
+
+}  // namespace fix

@@ -1,0 +1,62 @@
+// DocBuilder: a tiny open/text/close helper the synthetic generators use to
+// assemble arena Documents directly (no XML round trip).
+
+#ifndef FIX_DATAGEN_DOC_BUILDER_H_
+#define FIX_DATAGEN_DOC_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+#include "xml/document.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+class DocBuilder {
+ public:
+  explicit DocBuilder(LabelTable* labels) : labels_(labels) {
+    stack_.push_back(0);  // document node
+  }
+
+  DocBuilder& Open(std::string_view tag) {
+    NodeId id = doc_.AddElement(stack_.back(), labels_->Intern(tag));
+    stack_.push_back(id);
+    return *this;
+  }
+
+  DocBuilder& Text(std::string_view text) {
+    doc_.AddText(stack_.back(), kInvalidLabel, text);
+    return *this;
+  }
+
+  DocBuilder& Close() {
+    FIX_CHECK(stack_.size() > 1);
+    stack_.pop_back();
+    return *this;
+  }
+
+  /// Open + Text + Close in one go.
+  DocBuilder& Leaf(std::string_view tag, std::string_view text) {
+    return Open(tag).Text(text).Close();
+  }
+
+  /// Open + Close (empty element).
+  DocBuilder& Empty(std::string_view tag) { return Open(tag).Close(); }
+
+  /// Finishes construction; all elements must be closed.
+  Document Take() {
+    FIX_CHECK(stack_.size() == 1);
+    return std::move(doc_);
+  }
+
+ private:
+  LabelTable* labels_;
+  Document doc_;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_DATAGEN_DOC_BUILDER_H_

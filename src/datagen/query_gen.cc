@@ -1,0 +1,107 @@
+#include "datagen/query_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace fix {
+
+namespace {
+
+/// Recursively samples a twig below `node`, appending steps to `q`.
+/// Returns the created step index.
+uint32_t SampleStep(const Document& doc, NodeId node, int depth_left,
+                    const QueryGenOptions& options, Rng* rng, TwigQuery* q) {
+  uint32_t step_idx = static_cast<uint32_t>(q->steps.size());
+  q->steps.emplace_back();
+  q->steps[step_idx].label = doc.label(node);
+  q->steps[step_idx].axis = Axis::kChild;
+
+  if (depth_left <= 1) return step_idx;
+
+  // Candidate children, one representative per distinct label (keeps
+  // sibling predicates label-distinct, like every query in the paper).
+  std::vector<NodeId> reps;
+  std::set<LabelId> seen;
+  for (NodeId c = doc.first_child(node); c != kInvalidNode;
+       c = doc.next_sibling(c)) {
+    if (!doc.IsElement(c)) continue;
+    if (seen.insert(doc.label(c)).second) reps.push_back(c);
+  }
+  if (reps.empty()) return step_idx;
+
+  // Shuffle representatives (Fisher-Yates) and keep up to max_branch.
+  for (size_t i = reps.size(); i > 1; --i) {
+    std::swap(reps[i - 1], reps[rng->Uniform(i)]);
+  }
+  int kept = 0;
+  for (NodeId c : reps) {
+    if (kept >= options.max_branch) break;
+    if (kept > 0 && !rng->Chance(options.descend_p)) continue;
+    uint32_t child_step =
+        SampleStep(doc, c, depth_left - 1, options, rng, q);
+    QueryStep& me = q->steps[step_idx];
+    if (me.main_child < 0) {
+      me.main_child = static_cast<int>(me.children.size());
+    }
+    me.children.push_back(child_step);
+    ++kept;
+  }
+  return step_idx;
+}
+
+}  // namespace
+
+std::vector<TwigQuery> GenerateRandomQueries(const Corpus& corpus, int count,
+                                             const QueryGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<TwigQuery> out;
+  std::set<std::string> seen;
+  if (corpus.num_docs() == 0) return out;
+
+  int attempts = 0;
+  const int max_attempts = count * 40 + 100;
+  while (static_cast<int>(out.size()) < count && attempts++ < max_attempts) {
+    uint32_t doc_id = static_cast<uint32_t>(rng.Uniform(corpus.num_docs()));
+    const Document& doc = corpus.doc(doc_id);
+    if (doc.num_nodes() < 2) continue;
+
+    NodeId start = kInvalidNode;
+    if (options.rooted) {
+      start = doc.root_element();
+    } else {
+      // Uniform random element (rejection sampling over node ids).
+      for (int tries = 0; tries < 16; ++tries) {
+        NodeId n = 1 + static_cast<NodeId>(rng.Uniform(doc.num_nodes() - 1));
+        if (doc.IsElement(n)) {
+          start = n;
+          break;
+        }
+      }
+    }
+    if (start == kInvalidNode) continue;
+
+    int depth = 2 + static_cast<int>(rng.Uniform(
+                        static_cast<uint64_t>(options.max_depth - 1)));
+    TwigQuery q;
+    SampleStep(doc, start, depth, options, &rng, &q);
+    if (q.steps.size() < 2) continue;  // degenerate: started at a leaf
+    q.root = 0;
+    q.steps[0].axis = options.rooted ? Axis::kChild : Axis::kDescendant;
+    // Result step: end of the main path.
+    uint32_t r = 0;
+    while (q.steps[r].main_child >= 0) {
+      r = q.steps[r].children[q.steps[r].main_child];
+    }
+    q.result = r;
+    // Fill names from labels for printing/round-tripping.
+    for (QueryStep& s : q.steps) {
+      s.name = corpus.labels().Name(s.label);
+    }
+    std::string text = q.ToString();
+    if (seen.insert(text).second) out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace fix

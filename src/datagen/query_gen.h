@@ -1,0 +1,38 @@
+// Random twig-query generation (Section 6.2: "we randomly generate 1000
+// test queries").
+//
+// Queries are sampled from the data: pick a random element, walk down a few
+// levels keeping a random subset of children (deduplicated by label so
+// sibling predicates are label-distinct, as all of the paper's queries
+// are), and emit the resulting twig with a // root axis. Sampling from the
+// data yields the realistic selectivity spread the paper bins into
+// low/medium/high.
+
+#ifndef FIX_DATAGEN_QUERY_GEN_H_
+#define FIX_DATAGEN_QUERY_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/corpus.h"
+#include "query/twig_query.h"
+
+namespace fix {
+
+struct QueryGenOptions {
+  uint64_t seed = 99;
+  int max_depth = 4;        ///< levels in the generated twig
+  int max_branch = 3;       ///< children kept per node
+  double descend_p = 0.65;  ///< chance of keeping each (label-distinct) child
+  bool rooted = false;      ///< emit / (from root) instead of // queries
+};
+
+/// Generates `count` distinct random twig queries over the corpus. Labels
+/// are resolved. Queries that degenerate (empty) are skipped, so fewer than
+/// `count` may return on tiny corpora.
+std::vector<TwigQuery> GenerateRandomQueries(const Corpus& corpus, int count,
+                                             const QueryGenOptions& options);
+
+}  // namespace fix
+
+#endif  // FIX_DATAGEN_QUERY_GEN_H_

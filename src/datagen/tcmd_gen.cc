@@ -1,0 +1,103 @@
+// XBench TCMD stand-in: a collection of small text-centric article
+// documents (news-corpus style). Every document shares one skeleton with
+// independently sampled optional sections, which is exactly the "small
+// degree of variations" the paper describes — most random twig queries have
+// low selectivity here.
+//
+// The Table 2 representative queries and their tuned frequencies:
+//   TCMD_hi  /article/epilog[acknowledgements]/references/a_id   sel ~0.79
+//   TCMD_md  /article/prolog[keywords]/authors/author/contact[phone] ~0.49
+//   TCMD_lo  /article[epilog]/prolog/authors/author              sel ~0.17
+
+#include "datagen/datasets.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "datagen/doc_builder.h"
+#include "datagen/text_pool.h"
+
+namespace fix {
+
+namespace {
+
+void GenerateArticle(DocBuilder& b, Rng& rng, TextPool& text) {
+  b.Open("article");
+
+  // prolog: always present.
+  b.Open("prolog");
+  b.Leaf("title", text.Sentence(&rng, 4, 9));
+  b.Open("authors");
+  int num_authors = rng.GeometricCount(1, 5, 0.45);
+  for (int a = 0; a < num_authors; ++a) {
+    b.Open("author");
+    b.Leaf("name", text.PersonName(&rng));
+    if (rng.Chance(0.80)) {
+      b.Open("contact");
+      if (rng.Chance(0.88)) b.Leaf("phone", text.Phone(&rng));
+      if (rng.Chance(0.75)) b.Leaf("email", text.Email(&rng));
+      b.Close();
+    }
+    if (rng.Chance(0.4)) b.Leaf("affiliation", text.Company(&rng));
+    b.Close();
+  }
+  b.Close();  // authors
+  if (rng.Chance(0.72)) {
+    b.Open("keywords");
+    int n = rng.GeometricCount(1, 6, 0.5);
+    for (int k = 0; k < n; ++k) b.Leaf("keyword", text.Word(&rng));
+    b.Close();
+  }
+  if (rng.Chance(0.6)) b.Leaf("abstract", text.Sentence(&rng, 15, 40));
+  b.Leaf("genre", text.Genre(&rng));
+  b.Leaf("date", text.Date(&rng));
+  b.Close();  // prolog
+
+  // body: always present; sections of paragraphs.
+  b.Open("body");
+  int sections = rng.GeometricCount(1, 5, 0.55);
+  for (int s = 0; s < sections; ++s) {
+    b.Open("section");
+    b.Leaf("heading", text.Sentence(&rng, 2, 5));
+    int paras = rng.GeometricCount(1, 6, 0.6);
+    for (int p = 0; p < paras; ++p) {
+      b.Leaf("p", text.Sentence(&rng, 10, 40));
+    }
+    b.Close();
+  }
+  b.Close();  // body
+
+  // epilog: optional parts drive the representative selectivities.
+  if (rng.Chance(0.85)) {
+    b.Open("epilog");
+    if (rng.Chance(0.35)) {
+      b.Leaf("acknowledgements", text.Sentence(&rng, 6, 15));
+    }
+    if (rng.Chance(0.70)) {
+      b.Open("references");
+      int refs = rng.GeometricCount(1, 8, 0.6);
+      for (int r = 0; r < refs; ++r) {
+        b.Leaf("a_id", "ref-" + std::to_string(rng.Uniform(100000)));
+      }
+      b.Close();
+    }
+    if (rng.Chance(0.3)) b.Leaf("copyright", text.Company(&rng));
+    b.Close();
+  }
+
+  b.Close();  // article
+}
+
+}  // namespace
+
+void GenerateTcmd(Corpus* corpus, const TcmdOptions& options) {
+  Rng rng(options.seed);
+  TextPool text;
+  for (int d = 0; d < options.num_docs; ++d) {
+    DocBuilder b(corpus->labels());
+    GenerateArticle(b, rng, text);
+    corpus->AddDocument(b.Take());
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,108 @@
+#include "datagen/text_pool.h"
+
+#include <array>
+#include <vector>
+
+namespace fix {
+
+namespace {
+
+constexpr std::array<const char*, 48> kWords = {
+    "auction",  "market",   "system",   "index",    "query",   "pattern",
+    "graph",    "matrix",   "feature",  "storage",  "engine",  "stream",
+    "vector",   "cluster",  "branch",   "element",  "price",   "value",
+    "network",  "process",  "result",   "update",   "search",  "filter",
+    "balance",  "payment",  "record",   "series",   "signal",  "domain",
+    "measure",  "transfer", "exchange", "commerce", "report",  "section",
+    "analysis", "spectrum", "theory",   "method",   "policy",  "review",
+    "history",  "science",  "machine",  "language", "project", "design"};
+
+constexpr std::array<const char*, 24> kFirstNames = {
+    "John",  "Mary",  "Ning",   "Tamer", "Ihab",  "Ashraf", "Wei",  "Anna",
+    "Peter", "Laura", "Samir",  "Elena", "Jorge", "Yuki",   "Omar", "Ines",
+    "Niels", "Priya", "Hannah", "Luis",  "Keiko", "Ravi",   "Sara", "Tom"};
+
+constexpr std::array<const char*, 24> kLastNames = {
+    "Smith",   "Zhang",  "Ozsu",   "Ilyas",   "Aboulnaga", "Mueller",
+    "Tanaka",  "Garcia", "Kumar",  "Johnson", "Petrov",    "Rossi",
+    "Novak",   "Silva",  "Chen",   "Kim",     "Haddad",    "Olsen",
+    "Fischer", "Brown",  "Dubois", "Moreau",  "Santos",    "Walker"};
+
+constexpr std::array<const char*, 10> kCompanies = {
+    "Springer",       "ACM Press",     "IEEE",           "Morgan Kaufmann",
+    "Elsevier",       "Reuters",       "Global Media",   "North Labs",
+    "Apex Systems",   "Delta Corp"};
+
+constexpr std::array<const char*, 8> kGenres = {
+    "news", "finance", "sports", "science", "politics",
+    "arts", "weather", "technology"};
+
+constexpr std::array<const char*, 12> kCountries = {
+    "United States", "Canada", "Germany", "Japan",     "Brazil", "France",
+    "Italy",         "India",  "China",   "Australia", "Egypt",  "Norway"};
+
+}  // namespace
+
+std::string TextPool::Word(Rng* rng) const {
+  return kWords[rng->Uniform(kWords.size())];
+}
+
+std::string TextPool::Sentence(Rng* rng, int min_words, int max_words) const {
+  int n = static_cast<int>(rng->UniformInt(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += Word(rng);
+  }
+  return out;
+}
+
+std::string TextPool::PersonName(Rng* rng) const {
+  std::string out = kFirstNames[rng->Uniform(kFirstNames.size())];
+  out += ' ';
+  out += kLastNames[rng->Uniform(kLastNames.size())];
+  return out;
+}
+
+std::string TextPool::Company(Rng* rng) const {
+  return kCompanies[rng->Uniform(kCompanies.size())];
+}
+
+std::string TextPool::Email(Rng* rng) const {
+  return Word(rng) + std::to_string(rng->Uniform(1000)) + "@example.com";
+}
+
+std::string TextPool::Phone(Rng* rng) const {
+  return "+1-" + std::to_string(100 + rng->Uniform(900)) + "-" +
+         std::to_string(1000000 + rng->Uniform(9000000));
+}
+
+std::string TextPool::Date(Rng* rng) const {
+  return std::to_string(1990 + rng->Uniform(16)) + "-" +
+         std::to_string(1 + rng->Uniform(12)) + "-" +
+         std::to_string(1 + rng->Uniform(28));
+}
+
+std::string TextPool::Genre(Rng* rng) const {
+  return kGenres[rng->Uniform(kGenres.size())];
+}
+
+std::string TextPool::Year(Rng* rng) const {
+  // Skewed toward recent years, as in DBLP.
+  int offset = static_cast<int>(rng->Uniform(16));
+  if (rng->Chance(0.5)) offset = 8 + static_cast<int>(rng->Uniform(8));
+  return std::to_string(1990 + offset);
+}
+
+std::string TextPool::Publisher(Rng* rng) const {
+  // Skewed: Springer dominates, as it does in DBLP proceedings.
+  const std::vector<double> weights = {5,   3,   2,   1.5, 1,
+                                       0.3, 0.3, 0.3, 0.2, 0.2};
+  return kCompanies[rng->PickWeighted(weights)];
+}
+
+std::string TextPool::Country(Rng* rng) const {
+  return kCountries[rng->Uniform(kCountries.size())];
+}
+
+}  // namespace fix

@@ -1,0 +1,31 @@
+// TextPool: deterministic fake text for the generators — names, words,
+// dates, and small-vocabulary fields (the value-index experiments rely on
+// repeated values such as publisher="Springer" and year="1998").
+
+#ifndef FIX_DATAGEN_TEXT_POOL_H_
+#define FIX_DATAGEN_TEXT_POOL_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace fix {
+
+class TextPool {
+ public:
+  std::string Word(Rng* rng) const;
+  std::string Sentence(Rng* rng, int min_words, int max_words) const;
+  std::string PersonName(Rng* rng) const;
+  std::string Company(Rng* rng) const;
+  std::string Email(Rng* rng) const;
+  std::string Phone(Rng* rng) const;
+  std::string Date(Rng* rng) const;
+  std::string Genre(Rng* rng) const;
+  std::string Year(Rng* rng) const;       ///< "1990".."2005", skewed recent
+  std::string Publisher(Rng* rng) const;  ///< small skewed vocabulary
+  std::string Country(Rng* rng) const;
+};
+
+}  // namespace fix
+
+#endif  // FIX_DATAGEN_TEXT_POOL_H_

@@ -1,0 +1,108 @@
+// Treebank stand-in: one large, deep, highly recursive document of parse
+// trees. Constituents (S, NP, VP, PP, SBAR, ...) nest recursively with
+// grammar-like productions, so structures are extremely selective and the
+// bisimulation graph is large relative to the tree — the paper's worst case
+// for index size and the best case for pruning power.
+//
+// Queries exercised on this set:
+//   //EMPTY/S/NP[PP]/NP        (hi)          //EMPTY/S/NP/NP/PP (hi sp)
+//   //S[VP]/NP/NP/PP/NP        (md)          //EMPTY/S/VP       (lo sp)
+//   //EMPTY/S[VP]/NP           (lo)
+
+#include "datagen/datasets.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "datagen/doc_builder.h"
+#include "datagen/text_pool.h"
+
+namespace fix {
+
+namespace {
+
+// Nonterminal ids.
+enum Nt { kS, kNp, kVp, kPp, kSbar, kAdjp, kAdvp, kWhnp, kNtCount };
+
+constexpr const char* kNtNames[kNtCount] = {"S",    "NP",   "VP",   "PP",
+                                            "SBAR", "ADJP", "ADVP", "WHNP"};
+
+struct Grammar {
+  /// Expands `nt` at `depth`, writing elements into the builder. The deeper
+  /// we are, the more productions collapse to terminals, bounding depth
+  /// stochastically (documents reach depth ~15-25 like real Treebank).
+  void Expand(DocBuilder& b, Rng& rng, TextPool& text, Nt nt, int depth) {
+    b.Open(kNtNames[nt]);
+    double decay = 1.0 / (1.0 + 0.22 * depth);
+    switch (nt) {
+      case kS:
+        if (rng.Chance(0.85 * decay + 0.1)) Expand(b, rng, text, kNp, depth + 1);
+        if (rng.Chance(0.9 * decay + 0.08)) Expand(b, rng, text, kVp, depth + 1);
+        if (rng.Chance(0.18 * decay)) Expand(b, rng, text, kSbar, depth + 1);
+        if (rng.Chance(0.12 * decay)) Expand(b, rng, text, kAdvp, depth + 1);
+        break;
+      case kNp:
+        Terminal(b, rng, text, "DT", 0.4);
+        Terminal(b, rng, text, "JJ", 0.3);
+        Terminal(b, rng, text, "NN", 0.9);
+        if (rng.Chance(0.38 * decay)) Expand(b, rng, text, kNp, depth + 1);
+        if (rng.Chance(0.30 * decay)) Expand(b, rng, text, kPp, depth + 1);
+        if (rng.Chance(0.10 * decay)) Expand(b, rng, text, kSbar, depth + 1);
+        break;
+      case kVp:
+        Terminal(b, rng, text, rng.Chance(0.5) ? "VB" : "VBD", 0.95);
+        if (rng.Chance(0.55 * decay)) Expand(b, rng, text, kNp, depth + 1);
+        if (rng.Chance(0.25 * decay)) Expand(b, rng, text, kPp, depth + 1);
+        if (rng.Chance(0.15 * decay)) Expand(b, rng, text, kS, depth + 1);
+        if (rng.Chance(0.12 * decay)) Expand(b, rng, text, kAdvp, depth + 1);
+        break;
+      case kPp:
+        Terminal(b, rng, text, "IN", 0.95);
+        if (rng.Chance(0.8 * decay + 0.1)) Expand(b, rng, text, kNp, depth + 1);
+        break;
+      case kSbar:
+        if (rng.Chance(0.4)) Expand(b, rng, text, kWhnp, depth + 1);
+        if (rng.Chance(0.9 * decay + 0.05)) Expand(b, rng, text, kS, depth + 1);
+        break;
+      case kAdjp:
+        Terminal(b, rng, text, "JJ", 0.95);
+        if (rng.Chance(0.2 * decay)) Expand(b, rng, text, kPp, depth + 1);
+        break;
+      case kAdvp:
+        Terminal(b, rng, text, "RB", 0.95);
+        break;
+      case kWhnp:
+        Terminal(b, rng, text, "PRP", 0.8);
+        break;
+      default:
+        break;
+    }
+    b.Close();
+  }
+
+  void Terminal(DocBuilder& b, Rng& rng, TextPool& text, const char* tag,
+                double p) {
+    if (rng.Chance(p)) b.Leaf(tag, text.Word(&rng));
+  }
+};
+
+}  // namespace
+
+void GenerateTreebank(Corpus* corpus, const TreebankOptions& options) {
+  Rng rng(options.seed);
+  TextPool text;
+  Grammar grammar;
+  DocBuilder b(corpus->labels());
+  b.Open("FILE");
+  for (int s = 0; s < options.num_sentences; ++s) {
+    // Real Treebank wraps sentences in EMPTY elements (anonymized headers).
+    b.Open("EMPTY");
+    grammar.Expand(b, rng, text, kS, 1);
+    if (rng.Chance(0.1)) grammar.Expand(b, rng, text, kS, 1);
+    b.Close();
+  }
+  b.Close();
+  corpus->AddDocument(b.Take());
+}
+
+}  // namespace fix

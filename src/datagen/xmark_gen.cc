@@ -1,0 +1,238 @@
+// XMark stand-in: one large, structure-rich auction-site document.
+// Recursive parlist/listitem descriptions, deeply nested inline markup in
+// mail text, and wide variation in optional parts make the bisimulation
+// graph flat and wide and most twig patterns highly selective — the regime
+// where the paper found FIX close to the perfect index.
+//
+// Queries exercised on this set:
+//   //category/description[parlist]/parlist/listitem/text        (hi)
+//   //closed_auction/annotation/description/text                 (md)
+//   //open_auction[seller]/annotation/description/text           (lo)
+//   //item/mailbox/mail/text/emph/keyword                        (hi sp)
+//   //description/parlist/listitem                               (lo sp)
+//   //item[name]/mailbox/mail[to]/text[bold]/emph/bold           (hi bp)
+//   //item[payment][quantity][shipping][mailbox/mail/text]
+//        /description/parlist                                    (lo bp)
+
+#include "datagen/datasets.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "datagen/doc_builder.h"
+#include "datagen/text_pool.h"
+
+namespace fix {
+
+namespace {
+
+constexpr const char* kRegions[] = {"africa", "asia", "australia", "europe",
+                                    "namerica", "samerica"};
+
+/// Recursive description body: text, or a parlist of listitems that may
+/// nest further parlists (XMark's signature recursion).
+void GenerateDescription(DocBuilder& b, Rng& rng, TextPool& text, int depth,
+                         double parlist_p) {
+  b.Open("description");
+  if (rng.Chance(parlist_p)) {
+    b.Open("parlist");
+    int items = rng.GeometricCount(1, 4, 0.5);
+    for (int i = 0; i < items; ++i) {
+      b.Open("listitem");
+      if (depth < 3 && rng.Chance(0.25)) {
+        b.Open("parlist");
+        int inner = rng.GeometricCount(1, 3, 0.4);
+        for (int j = 0; j < inner; ++j) {
+          b.Open("listitem");
+          b.Leaf("text", text.Sentence(&rng, 5, 15));
+          b.Close();
+        }
+        b.Close();
+      } else {
+        b.Leaf("text", text.Sentence(&rng, 5, 20));
+      }
+      b.Close();
+    }
+    b.Close();
+  } else {
+    b.Leaf("text", text.Sentence(&rng, 8, 30));
+  }
+  b.Close();
+}
+
+/// Mail text with nested inline markup: text -> emph -> keyword/bold etc.
+void GenerateRichText(DocBuilder& b, Rng& rng, TextPool& text) {
+  b.Open("text");
+  b.Text(text.Sentence(&rng, 5, 15));
+  if (rng.Chance(0.5)) {
+    b.Open("emph");
+    b.Text(text.Word(&rng));
+    if (rng.Chance(0.45)) b.Leaf("keyword", text.Word(&rng));
+    if (rng.Chance(0.3)) b.Leaf("bold", text.Word(&rng));
+    b.Close();
+  }
+  if (rng.Chance(0.3)) b.Leaf("bold", text.Word(&rng));
+  if (rng.Chance(0.25)) b.Leaf("keyword", text.Word(&rng));
+  b.Close();
+}
+
+void GenerateItem(DocBuilder& b, Rng& rng, TextPool& text, int id) {
+  b.Open("item");
+  b.Leaf("location", text.Country(&rng));
+  b.Leaf("quantity", std::to_string(1 + rng.Uniform(5)));
+  b.Leaf("name", "item-" + std::to_string(id) + " " + text.Word(&rng));
+  if (rng.Chance(0.85)) {
+    b.Open("payment");
+    b.Text(rng.Chance(0.5) ? "Creditcard" : "Cash");
+    b.Close();
+  }
+  GenerateDescription(b, rng, text, 1, 0.55);
+  if (rng.Chance(0.8)) b.Leaf("shipping", "Will ship internationally");
+  int incats = rng.GeometricCount(1, 3, 0.4);
+  for (int c = 0; c < incats; ++c) {
+    b.Leaf("incategory", "category" + std::to_string(rng.Uniform(120)));
+  }
+  b.Open("mailbox");
+  int mails = rng.GeometricCount(0, 4, 0.55);
+  for (int m = 0; m < mails; ++m) {
+    b.Open("mail");
+    b.Leaf("from", text.PersonName(&rng));
+    if (rng.Chance(0.85)) b.Leaf("to", text.PersonName(&rng));
+    b.Leaf("date", text.Date(&rng));
+    GenerateRichText(b, rng, text);
+    b.Close();
+  }
+  b.Close();  // mailbox
+  b.Close();  // item
+}
+
+void GeneratePerson(DocBuilder& b, Rng& rng, TextPool& text, int id) {
+  b.Open("person");
+  b.Leaf("name", text.PersonName(&rng));
+  b.Leaf("emailaddress", text.Email(&rng));
+  if (rng.Chance(0.4)) b.Leaf("phone", text.Phone(&rng));
+  if (rng.Chance(0.35)) {
+    b.Open("address");
+    b.Leaf("street", std::to_string(1 + rng.Uniform(200)) + " " +
+                         text.Word(&rng) + " St");
+    b.Leaf("city", text.Word(&rng));
+    b.Leaf("country", text.Country(&rng));
+    b.Close();
+  }
+  if (rng.Chance(0.3)) {
+    b.Open("watches");
+    int w = rng.GeometricCount(1, 3, 0.4);
+    for (int i = 0; i < w; ++i) {
+      b.Leaf("watch", "open_auction" + std::to_string(rng.Uniform(300)));
+    }
+    b.Close();
+  }
+  (void)id;
+  b.Close();
+}
+
+void GenerateAnnotation(DocBuilder& b, Rng& rng, TextPool& text) {
+  b.Open("annotation");
+  b.Leaf("author", text.PersonName(&rng));
+  if (rng.Chance(0.88)) GenerateDescription(b, rng, text, 2, 0.3);
+  b.Leaf("happiness", std::to_string(1 + rng.Uniform(10)));
+  b.Close();
+}
+
+void GenerateOpenAuction(DocBuilder& b, Rng& rng, TextPool& text, int id) {
+  b.Open("open_auction");
+  b.Leaf("initial", std::to_string(1 + rng.Uniform(300)));
+  int bidders = rng.GeometricCount(0, 5, 0.5);
+  for (int i = 0; i < bidders; ++i) {
+    b.Open("bidder");
+    b.Leaf("date", text.Date(&rng));
+    b.Leaf("time", std::to_string(rng.Uniform(24)) + ":00");
+    b.Leaf("personref", "person" + std::to_string(rng.Uniform(300)));
+    b.Leaf("increase", std::to_string(1 + rng.Uniform(20)));
+    b.Close();
+  }
+  b.Leaf("current", std::to_string(1 + rng.Uniform(500)));
+  b.Leaf("itemref", "item" + std::to_string(id));
+  if (rng.Chance(0.55)) {
+    b.Leaf("seller", "person" + std::to_string(rng.Uniform(300)));
+  }
+  GenerateAnnotation(b, rng, text);
+  b.Leaf("quantity", std::to_string(1 + rng.Uniform(5)));
+  b.Leaf("type", rng.Chance(0.5) ? "Regular" : "Featured");
+  b.Open("interval");
+  b.Leaf("start", text.Date(&rng));
+  b.Leaf("end", text.Date(&rng));
+  b.Close();
+  b.Close();
+}
+
+void GenerateClosedAuction(DocBuilder& b, Rng& rng, TextPool& text, int id) {
+  b.Open("closed_auction");
+  b.Leaf("seller", "person" + std::to_string(rng.Uniform(300)));
+  b.Leaf("buyer", "person" + std::to_string(rng.Uniform(300)));
+  b.Leaf("itemref", "item" + std::to_string(id));
+  b.Leaf("price", std::to_string(1 + rng.Uniform(500)));
+  b.Leaf("date", text.Date(&rng));
+  b.Leaf("quantity", std::to_string(1 + rng.Uniform(5)));
+  b.Leaf("type", rng.Chance(0.5) ? "Regular" : "Featured");
+  if (rng.Chance(0.8)) GenerateAnnotation(b, rng, text);
+  b.Close();
+}
+
+void GenerateCategory(DocBuilder& b, Rng& rng, TextPool& text, int id) {
+  b.Open("category");
+  b.Leaf("name", "category-" + std::to_string(id) + " " + text.Word(&rng));
+  // Category descriptions lean heavily on parlists, making the
+  // description[parlist]/parlist/... chain common under category but the
+  // full 5-deep chain still selective overall.
+  GenerateDescription(b, rng, text, 1, 0.7);
+  b.Close();
+}
+
+}  // namespace
+
+void GenerateXMark(Corpus* corpus, const XMarkOptions& options) {
+  Rng rng(options.seed);
+  TextPool text;
+  DocBuilder b(corpus->labels());
+  b.Open("site");
+
+  b.Open("regions");
+  int item_id = 0;
+  for (const char* region : kRegions) {
+    b.Open(region);
+    int items = options.num_items / 6 + 1;
+    for (int i = 0; i < items; ++i) GenerateItem(b, rng, text, item_id++);
+    b.Close();
+  }
+  b.Close();
+
+  b.Open("categories");
+  for (int c = 0; c < options.num_categories; ++c) {
+    GenerateCategory(b, rng, text, c);
+  }
+  b.Close();
+
+  b.Open("people");
+  for (int p = 0; p < options.num_people; ++p) {
+    GeneratePerson(b, rng, text, p);
+  }
+  b.Close();
+
+  b.Open("open_auctions");
+  for (int a = 0; a < options.num_open_auctions; ++a) {
+    GenerateOpenAuction(b, rng, text, a);
+  }
+  b.Close();
+
+  b.Open("closed_auctions");
+  for (int a = 0; a < options.num_closed_auctions; ++a) {
+    GenerateClosedAuction(b, rng, text, a);
+  }
+  b.Close();
+
+  b.Close();  // site
+  corpus->AddDocument(b.Take());
+}
+
+}  // namespace fix

@@ -1,0 +1,87 @@
+#include "graph/bisim_builder.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace fix {
+
+size_t BisimBuilder::SignatureHash::operator()(const Signature& sig) const {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  h = HashMix64(h, sig.label);
+  for (BisimVertexId c : sig.children) h = HashMix64(h, c);
+  return static_cast<size_t>(h);
+}
+
+Result<BisimGraph> BisimBuilder::Build(EventStream* events,
+                                       const CloseCallback& on_close) {
+  BisimGraph graph;
+  SignatureMap sig_map;
+
+  struct StackEntry {
+    Signature sig;
+    NodeRef start_ptr;
+  };
+  std::vector<StackEntry> path_stack;
+
+  SaxEvent event;
+  while (events->Next(&event)) {
+    if (event.kind == SaxEvent::Kind::kOpen) {
+      StackEntry entry;
+      entry.sig.label = event.label;
+      entry.start_ptr = event.ref;
+      path_stack.push_back(std::move(entry));
+      continue;
+    }
+    // Closing event.
+    if (path_stack.empty()) {
+      return Status::ParseError("event stream: close without matching open");
+    }
+    StackEntry entry = std::move(path_stack.back());
+    path_stack.pop_back();
+    // Canonicalize the child set.
+    std::sort(entry.sig.children.begin(), entry.sig.children.end());
+    entry.sig.children.erase(
+        std::unique(entry.sig.children.begin(), entry.sig.children.end()),
+        entry.sig.children.end());
+
+    BisimVertexId vertex;
+    auto it = sig_map.find(entry.sig);
+    if (it != sig_map.end()) {
+      vertex = it->second;
+    } else {
+      BisimVertex v;
+      v.label = entry.sig.label;
+      v.children = entry.sig.children;
+      v.depth = 1;
+      for (BisimVertexId c : v.children) {
+        v.depth = std::max(v.depth, graph.vertex(c).depth + 1);
+      }
+      vertex = graph.AddVertex(std::move(v));
+      sig_map.emplace(std::move(entry.sig), vertex);
+    }
+
+    bool is_root = path_stack.empty();
+    if (is_root) {
+      graph.set_root(vertex);
+    } else {
+      path_stack.back().sig.children.push_back(vertex);
+    }
+    if (on_close) {
+      FIX_RETURN_IF_ERROR(on_close(&graph, vertex, entry.start_ptr, is_root));
+    }
+  }
+  if (!path_stack.empty()) {
+    return Status::ParseError("event stream: unclosed elements at end");
+  }
+  return graph;
+}
+
+Result<BisimGraph> BuildBisimGraph(const Document& doc, uint32_t doc_id,
+                                   const ValueHasher* values) {
+  DocumentEventStream stream(&doc, doc_id, values);
+  BisimBuilder builder;
+  return builder.Build(&stream);
+}
+
+}  // namespace fix

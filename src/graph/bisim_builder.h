@@ -1,0 +1,60 @@
+// BisimBuilder: single-pass construction of a bisimulation graph from a SAX
+// event stream — Algorithm 1's CONSTRUCT-ENTRIES skeleton.
+//
+// A PathStack of signatures mirrors the open-element path. On every closing
+// event the popped signature (label + set of resolved child vertices) is
+// hash-consed: an existing vertex is reused, otherwise one is created. The
+// optional per-close callback is the hook Algorithm 1 uses for
+// GEN-SUBPATTERN / BTREE-INSERT; it receives the resolved vertex and the
+// element's primary-storage pointer.
+
+#ifndef FIX_GRAPH_BISIM_BUILDER_H_
+#define FIX_GRAPH_BISIM_BUILDER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/bisim_graph.h"
+#include "xml/sax.h"
+
+namespace fix {
+
+class BisimBuilder {
+ public:
+  /// Called once per closing event, after the element's bisimulation vertex
+  /// is known. `is_root` is true for the stream's outermost element.
+  using CloseCallback =
+      std::function<Status(BisimGraph* graph, BisimVertexId vertex,
+                           NodeRef start_ptr, bool is_root)>;
+
+  /// Consumes `events` to completion and returns the bisimulation graph.
+  /// The callback may be null.
+  Result<BisimGraph> Build(EventStream* events,
+                           const CloseCallback& on_close = nullptr);
+
+ private:
+  struct Signature {
+    LabelId label;
+    std::vector<BisimVertexId> children;  // sorted + deduplicated at lookup
+
+    bool operator==(const Signature&) const = default;
+  };
+
+  struct SignatureHash {
+    size_t operator()(const Signature& sig) const;
+  };
+
+  using SignatureMap =
+      std::unordered_map<Signature, BisimVertexId, SignatureHash>;
+};
+
+/// Convenience: builds the purely structural bisimulation graph of a
+/// document subtree.
+Result<BisimGraph> BuildBisimGraph(const Document& doc, uint32_t doc_id = 0,
+                                   const ValueHasher* values = nullptr);
+
+}  // namespace fix
+
+#endif  // FIX_GRAPH_BISIM_BUILDER_H_

@@ -1,0 +1,85 @@
+// BisimGraph: the (downward) bisimulation graph of Definition 3.
+//
+// Two XML nodes map to the same vertex iff their subtrees are structurally
+// identical (same label, same set of child vertices). The graph of a tree is
+// a DAG; it is the object FIX extracts spectral features from, because it
+// preserves existential twig matching (Theorem 2) while being exponentially
+// smaller than the tree for repetitive data.
+
+#ifndef FIX_GRAPH_BISIM_GRAPH_H_
+#define FIX_GRAPH_BISIM_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "xml/label_table.h"
+
+namespace fix {
+
+using BisimVertexId = uint32_t;
+inline constexpr BisimVertexId kInvalidVertex = UINT32_MAX;
+
+/// Cached spectral feature pair (Algorithm 1's u.eigs memo): λ_max and λ_min
+/// of the depth-limited subpattern rooted at a vertex.
+struct EigPair {
+  double lambda_max = 0;
+  double lambda_min = 0;
+  /// Second-largest eigenvalue magnitude — the optional extension feature
+  /// (Section 8 "finding more features"); 0 when not computed.
+  double lambda2 = 0;
+};
+
+struct BisimVertex {
+  LabelId label = kInvalidLabel;
+  /// Child vertex ids, sorted ascending, deduplicated. Sorted order makes
+  /// signatures canonical and traversals deterministic.
+  std::vector<BisimVertexId> children;
+  /// 1 + max depth of children (leaves have depth 1). Because children are
+  /// created before parents (bottom-up construction), this is exact.
+  int depth = 1;
+  /// GEN-SUBPATTERN memo: set once the subpattern rooted here has been
+  /// enumerated and its features computed (Algorithm 1, BTREE-INSERT line 1).
+  std::optional<EigPair> eigs;
+};
+
+class BisimGraph {
+ public:
+  BisimGraph() = default;
+  BisimGraph(BisimGraph&&) = default;
+  BisimGraph& operator=(BisimGraph&&) = default;
+  BisimGraph(const BisimGraph&) = delete;
+  BisimGraph& operator=(const BisimGraph&) = delete;
+
+  const BisimVertex& vertex(BisimVertexId id) const { return vertices_[id]; }
+  BisimVertex& vertex(BisimVertexId id) { return vertices_[id]; }
+
+  size_t num_vertices() const { return vertices_.size(); }
+
+  size_t num_edges() const {
+    size_t n = 0;
+    for (const auto& v : vertices_) n += v.children.size();
+    return n;
+  }
+
+  BisimVertexId root() const { return root_; }
+  void set_root(BisimVertexId id) { root_ = id; }
+
+  /// Maximum depth of the whole graph (the paper's G.dep).
+  int max_depth() const {
+    return root_ == kInvalidVertex ? 0 : vertices_[root_].depth;
+  }
+
+  BisimVertexId AddVertex(BisimVertex v) {
+    vertices_.push_back(std::move(v));
+    return static_cast<BisimVertexId>(vertices_.size() - 1);
+  }
+
+ private:
+  std::vector<BisimVertex> vertices_;
+  BisimVertexId root_ = kInvalidVertex;
+};
+
+}  // namespace fix
+
+#endif  // FIX_GRAPH_BISIM_GRAPH_H_

@@ -1,0 +1,81 @@
+#include "graph/bisim_traveler.h"
+
+#include <unordered_map>
+
+#include "common/bytes.h"
+
+namespace fix {
+
+bool BisimTraveler::Next(SaxEvent* event) {
+  auto open = [&](BisimVertexId v, int level) {
+    event->kind = SaxEvent::Kind::kOpen;
+    event->label = graph_->vertex(v).label;
+    event->ref = {0, v};
+    stack_.push_back({v, 0, level});
+  };
+
+  if (!started_) {
+    started_ = true;
+    if (start_ == kInvalidVertex) return false;
+    open(start_, 1);
+    return true;
+  }
+  while (!stack_.empty()) {
+    Frame& top = stack_.back();
+    const BisimVertex& v = graph_->vertex(top.vertex);
+    bool at_limit = depth_limit_ > 0 && top.level >= depth_limit_;
+    if (at_limit || top.next_child >= v.children.size()) {
+      event->kind = SaxEvent::Kind::kClose;
+      event->label = v.label;
+      event->ref = {0, top.vertex};
+      stack_.pop_back();
+      return true;
+    }
+    BisimVertexId child = v.children[top.next_child++];
+    open(child, top.level + 1);
+    return true;
+  }
+  return false;
+}
+
+uint64_t ExpandedPatternSize(const BisimGraph& graph, BisimVertexId start,
+                             int depth_limit, uint64_t cap) {
+  // DP over (vertex, remaining levels); saturating arithmetic.
+  std::unordered_map<uint64_t, uint64_t> memo;
+  struct Rec {
+    const BisimGraph& g;
+    int limit;
+    uint64_t cap;
+    std::unordered_map<uint64_t, uint64_t>& memo;
+
+    uint64_t Size(BisimVertexId v, int level) {
+      bool at_limit = limit > 0 && level >= limit;
+      if (at_limit) return 1;
+      uint64_t key = (static_cast<uint64_t>(v) << 16) |
+                     static_cast<uint64_t>(level & 0xffff);
+      auto it = memo.find(key);
+      if (it != memo.end()) return it->second;
+      uint64_t total = 1;
+      for (BisimVertexId c : g.vertex(v).children) {
+        total += Size(c, level + 1);
+        if (total >= cap) {
+          total = cap;
+          break;
+        }
+      }
+      memo[key] = total;
+      return total;
+    }
+  } rec{graph, depth_limit, cap, memo};
+  return rec.Size(start, 1);
+}
+
+Result<BisimGraph> BuildDepthLimitedPattern(const BisimGraph& graph,
+                                            BisimVertexId start,
+                                            int depth_limit) {
+  BisimTraveler traveler(&graph, start, depth_limit);
+  BisimBuilder builder;
+  return builder.Build(&traveler);
+}
+
+}  // namespace fix

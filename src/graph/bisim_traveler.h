@@ -1,0 +1,62 @@
+// BisimTraveler (Algorithm 1, GEN-SUBPATTERN): replays the subgraph of a
+// bisimulation graph rooted at a vertex, limited to a given depth, as a SAX
+// event stream.
+//
+// The depth-limited subgraph is generally NOT itself a bisimulation graph
+// (truncation re-introduces structural repetition — the paper's bib example
+// in Section 4.4), so GEN-SUBPATTERN feeds these events back through
+// BisimBuilder to obtain a proper bisimulation graph of the k-pattern.
+
+#ifndef FIX_GRAPH_BISIM_TRAVELER_H_
+#define FIX_GRAPH_BISIM_TRAVELER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/bisim_builder.h"
+#include "graph/bisim_graph.h"
+#include "xml/sax.h"
+
+namespace fix {
+
+class BisimTraveler : public EventStream {
+ public:
+  /// Streams the expansion of `start` down to `depth_limit` levels (the
+  /// start vertex is level 1). depth_limit <= 0 means unlimited, which is
+  /// safe only because the graph is a DAG.
+  BisimTraveler(const BisimGraph* graph, BisimVertexId start, int depth_limit)
+      : graph_(graph), start_(start), depth_limit_(depth_limit) {}
+
+  bool Next(SaxEvent* event) override;
+
+ private:
+  struct Frame {
+    BisimVertexId vertex;
+    size_t next_child;
+    int level;
+  };
+
+  const BisimGraph* graph_;
+  BisimVertexId start_;
+  int depth_limit_;
+  bool started_ = false;
+  std::vector<Frame> stack_;
+};
+
+/// Size (in tree nodes) of the depth-limited expansion of `start`, computed
+/// without materializing it; saturates at `cap`. Used to detect oversized
+/// subpatterns (Section 6.1: such entries get the artificial [0, inf) range
+/// instead of real eigenvalues).
+uint64_t ExpandedPatternSize(const BisimGraph& graph, BisimVertexId start,
+                             int depth_limit, uint64_t cap);
+
+/// Builds the bisimulation graph of the depth-limited pattern rooted at
+/// `start` (traveler + builder round trip).
+Result<BisimGraph> BuildDepthLimitedPattern(const BisimGraph& graph,
+                                            BisimVertexId start,
+                                            int depth_limit);
+
+}  // namespace fix
+
+#endif  // FIX_GRAPH_BISIM_TRAVELER_H_

@@ -1,0 +1,154 @@
+#include "graph/fb_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace fix {
+
+namespace {
+
+/// Hashable refinement signature: (own class, parent class, child classes).
+struct Sig {
+  uint32_t own;
+  uint32_t parent;
+  std::vector<uint32_t> children;
+
+  bool operator==(const Sig&) const = default;
+};
+
+struct SigHash {
+  size_t operator()(const Sig& s) const {
+    uint64_t h = HashMix64(0x51ab1e5, s.own);
+    h = HashMix64(h, s.parent);
+    for (uint32_t c : s.children) h = HashMix64(h, c);
+    return static_cast<size_t>(h);
+  }
+};
+
+constexpr uint32_t kNoParent = UINT32_MAX;
+
+}  // namespace
+
+Result<FbGraph> FbGraph::Build(const std::vector<const Document*>& docs) {
+  // Per-document class assignment per node (element nodes + document node;
+  // text nodes keep UINT32_MAX and are skipped everywhere).
+  std::vector<std::vector<uint32_t>> cls(docs.size());
+  uint32_t num_classes = 0;
+
+  // Iteration 0: classes = labels (dense-renumbered).
+  {
+    std::unordered_map<LabelId, uint32_t> label_class;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      const Document& doc = *docs[d];
+      cls[d].assign(doc.num_nodes(), UINT32_MAX);
+      for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+        if (n != 0 && !doc.IsElement(n)) continue;
+        auto [it, inserted] = label_class.emplace(doc.label(n), num_classes);
+        if (inserted) ++num_classes;
+        cls[d][n] = it->second;
+      }
+    }
+  }
+
+  // Refine until stable. Each round recomputes every node's signature under
+  // the current partition; stability in class count implies a fixpoint
+  // because refinement only ever splits classes.
+  for (int round = 0; round < 1000; ++round) {
+    std::unordered_map<Sig, uint32_t, SigHash> sig_map;
+    std::vector<std::vector<uint32_t>> next(docs.size());
+    uint32_t next_count = 0;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      const Document& doc = *docs[d];
+      next[d].assign(doc.num_nodes(), UINT32_MAX);
+      // Children appear after parents in the arena, but signatures need
+      // child classes from the *current* round, which are all available.
+      for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+        if (cls[d][n] == UINT32_MAX) continue;
+        Sig sig;
+        sig.own = cls[d][n];
+        sig.parent =
+            (n == 0) ? kNoParent : cls[d][doc.parent(n)];
+        for (NodeId c = doc.first_child(n); c != kInvalidNode;
+             c = doc.next_sibling(c)) {
+          if (cls[d][c] == UINT32_MAX) continue;
+          sig.children.push_back(cls[d][c]);
+        }
+        std::sort(sig.children.begin(), sig.children.end());
+        sig.children.erase(
+            std::unique(sig.children.begin(), sig.children.end()),
+            sig.children.end());
+        auto [it, inserted] = sig_map.emplace(std::move(sig), next_count);
+        if (inserted) ++next_count;
+        next[d][n] = it->second;
+      }
+    }
+    bool stable = (next_count == num_classes);
+    cls = std::move(next);
+    num_classes = next_count;
+    if (stable) break;
+  }
+
+  // Materialize classes, extents, and class-level edges.
+  FbGraph graph;
+  graph.classes_.resize(num_classes);
+  graph.document_classes_.reserve(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const Document& doc = *docs[d];
+    std::vector<int> node_depth(doc.num_nodes(), 0);
+    for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+      uint32_t c = cls[d][n];
+      if (c == UINT32_MAX) continue;
+      if (n != 0) node_depth[n] = node_depth[doc.parent(n)] + 1;
+      FbClass& fc = graph.classes_[c];
+      fc.label = doc.label(n);
+      fc.depth = node_depth[n];
+      fc.extent.push_back({static_cast<uint32_t>(d), n});
+      if (n != 0) {
+        uint32_t pc = cls[d][doc.parent(n)];
+        fc.parents.push_back(pc);
+        graph.classes_[pc].children.push_back(c);
+      }
+    }
+    graph.document_classes_.push_back(cls[d][0]);
+  }
+  for (FbClass& fc : graph.classes_) {
+    std::sort(fc.children.begin(), fc.children.end());
+    fc.children.erase(std::unique(fc.children.begin(), fc.children.end()),
+                      fc.children.end());
+    std::sort(fc.parents.begin(), fc.parents.end());
+    fc.parents.erase(std::unique(fc.parents.begin(), fc.parents.end()),
+                     fc.parents.end());
+  }
+  std::sort(graph.document_classes_.begin(), graph.document_classes_.end());
+  graph.document_classes_.erase(std::unique(graph.document_classes_.begin(),
+                                            graph.document_classes_.end()),
+                                graph.document_classes_.end());
+
+  // Label -> classes index.
+  LabelId max_label = 0;
+  for (const FbClass& fc : graph.classes_) {
+    max_label = std::max(max_label, fc.label);
+  }
+  graph.by_label_.resize(max_label + 1);
+  for (FbClassId c = 0; c < graph.classes_.size(); ++c) {
+    graph.by_label_[graph.classes_[c].label].push_back(c);
+  }
+  return graph;
+}
+
+const std::vector<FbClassId>& FbGraph::ClassesWithLabel(LabelId label) const {
+  if (label >= by_label_.size()) return empty_;
+  return by_label_[label];
+}
+
+uint64_t FbGraph::ApproxSizeBytes() const {
+  // 12 bytes per class header, 4 per edge (one direction), 8 per extent
+  // entry — comparable accounting to the disk-based F&B layout.
+  return 12 * static_cast<uint64_t>(num_classes()) + 4 * num_edges() +
+         8 * TotalExtent();
+}
+
+}  // namespace fix

@@ -1,0 +1,82 @@
+// FbGraph: the forward-and-backward (F&B) bisimulation graph, the covering
+// index of Kaushik et al. [18] and the disk-based baseline of Wang et al.
+// [27] the paper compares against.
+//
+// Two element nodes share an F&B class iff they have the same label, their
+// parents share a class, and their child class sets coincide — computed here
+// by iterated partition refinement to a fixpoint. Unlike the (downward)
+// bisimulation graph, F&B classes are also backward-stable, which is what
+// makes the graph a covering index for branching path queries.
+
+#ifndef FIX_GRAPH_FB_GRAPH_H_
+#define FIX_GRAPH_FB_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+using FbClassId = uint32_t;
+
+struct FbClass {
+  LabelId label = kInvalidLabel;
+  std::vector<FbClassId> children;  // sorted, deduplicated
+  std::vector<FbClassId> parents;   // sorted, deduplicated
+  std::vector<NodeRef> extent;      // XML nodes in this class
+  /// Distance from the document node. F&B classes are depth-uniform
+  /// (backward stability pins every member to the same level), so the class
+  /// graph is a DAG layered by depth — query evaluation exploits this.
+  int depth = 0;
+};
+
+class FbGraph {
+ public:
+  /// Builds the F&B graph of a set of documents (structural: element nodes
+  /// only). Document indices in the span are used as NodeRef doc ids.
+  static Result<FbGraph> Build(const std::vector<const Document*>& docs);
+
+  const FbClass& cls(FbClassId id) const { return classes_[id]; }
+  size_t num_classes() const { return classes_.size(); }
+
+  size_t num_edges() const {
+    size_t n = 0;
+    for (const auto& c : classes_) n += c.children.size();
+    return n;
+  }
+
+  /// Classes of the per-document synthetic document nodes (entry points for
+  /// rooted navigation).
+  const std::vector<FbClassId>& document_classes() const {
+    return document_classes_;
+  }
+
+  /// All classes carrying a given label (the label index every F&B
+  /// implementation keeps for `//label` entry points).
+  const std::vector<FbClassId>& ClassesWithLabel(LabelId label) const;
+
+  /// Total extent entries (equals the number of element nodes + document
+  /// nodes indexed).
+  size_t TotalExtent() const {
+    size_t n = 0;
+    for (const auto& c : classes_) n += c.extent.size();
+    return n;
+  }
+
+  /// Approximate serialized size in bytes (for Table 1-style reporting):
+  /// class headers + edges + extents.
+  uint64_t ApproxSizeBytes() const;
+
+ private:
+  std::vector<FbClass> classes_;
+  std::vector<FbClassId> document_classes_;
+  std::vector<std::vector<FbClassId>> by_label_;  // label -> classes
+  std::vector<FbClassId> empty_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_GRAPH_FB_GRAPH_H_

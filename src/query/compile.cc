@@ -1,0 +1,142 @@
+#include "query/compile.h"
+
+#include <deque>
+
+#include "graph/bisim_builder.h"
+#include "xml/sax.h"
+
+namespace fix {
+
+namespace {
+
+/// Copies the maximal /-connected component of `q` rooted at `orig` into a
+/// fresh TwigQuery; descendant-edge children are reported via `cuts`.
+uint32_t CopyComponent(const TwigQuery& q, uint32_t orig, TwigQuery* out,
+                       std::vector<uint32_t>* cuts, bool* saw_result) {
+  const QueryStep& src = q.steps[orig];
+  uint32_t copied = static_cast<uint32_t>(out->steps.size());
+  out->steps.emplace_back();
+  {
+    QueryStep& dst = out->steps[copied];
+    dst.name = src.name;
+    dst.label = src.label;
+    dst.wildcard = src.wildcard;
+    dst.axis = (copied == 0) ? Axis::kDescendant : Axis::kChild;
+    dst.value_eq = src.value_eq;
+    dst.main_child = -1;
+  }
+  if (orig == q.result) {
+    out->result = copied;
+    *saw_result = true;
+  }
+  for (size_t i = 0; i < src.children.size(); ++i) {
+    uint32_t child = src.children[i];
+    if (q.steps[child].axis == Axis::kDescendant) {
+      cuts->push_back(child);
+      continue;
+    }
+    uint32_t copied_child = CopyComponent(q, child, out, cuts, saw_result);
+    // Re-read src/dst: recursion may have reallocated out->steps.
+    QueryStep& dst = out->steps[copied];
+    if (static_cast<int>(i) == q.steps[orig].main_child) {
+      dst.main_child = static_cast<int>(dst.children.size());
+    }
+    dst.children.push_back(copied_child);
+  }
+  return copied;
+}
+
+/// Streams a pure twig query tree as SAX events (open/close per step; value
+/// constraints as extra leaf children).
+class QueryEventStream : public EventStream {
+ public:
+  QueryEventStream(const TwigQuery* q, const ValueHasher* values)
+      : q_(q), values_(values) {
+    Emit(q_->root);
+    pos_ = 0;
+  }
+
+  bool Next(SaxEvent* event) override {
+    if (pos_ >= events_.size()) return false;
+    *event = events_[pos_++];
+    return true;
+  }
+
+ private:
+  void Emit(uint32_t step) {
+    const QueryStep& s = q_->steps[step];
+    events_.push_back(
+        {SaxEvent::Kind::kOpen, s.label, NodeRef{0, step}});
+    if (s.value_eq.has_value() && values_ != nullptr) {
+      LabelId vl = values_->LabelFor(*s.value_eq);
+      events_.push_back({SaxEvent::Kind::kOpen, vl, NodeRef{0, step}});
+      events_.push_back({SaxEvent::Kind::kClose, vl, NodeRef{0, step}});
+    }
+    for (uint32_t c : s.children) Emit(c);
+    events_.push_back(
+        {SaxEvent::Kind::kClose, s.label, NodeRef{0, step}});
+  }
+
+  const TwigQuery* q_;
+  const ValueHasher* values_;
+  std::vector<SaxEvent> events_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<TwigQuery> DecomposeAtDescendantEdges(const TwigQuery& q) {
+  std::vector<TwigQuery> parts;
+  std::deque<uint32_t> pending{q.root};
+  while (!pending.empty()) {
+    uint32_t start = pending.front();
+    pending.pop_front();
+    TwigQuery part;
+    std::vector<uint32_t> cuts;
+    bool saw_result = false;
+    part.result = 0;
+    CopyComponent(q, start, &part, &cuts, &saw_result);
+    part.root = 0;
+    if (parts.empty()) {
+      // The top component keeps the original root axis (a rooted query
+      // stays rooted; pruning soundness depends on this).
+      part.steps[0].axis = q.steps[q.root].axis;
+    }
+    if (!saw_result) {
+      // The result step lives in another component; for pruning purposes
+      // the component's deepest main-path step stands in.
+      uint32_t r = part.root;
+      while (part.steps[r].main_child >= 0) {
+        r = part.steps[r].children[part.steps[r].main_child];
+      }
+      part.result = r;
+    }
+    parts.push_back(std::move(part));
+    for (uint32_t cut : cuts) pending.push_back(cut);
+  }
+  return parts;
+}
+
+Result<BisimGraph> QueryToBisimGraph(const TwigQuery& q,
+                                     const ValueHasher* values) {
+  if (!q.IsPureTwig()) {
+    return Status::InvalidArgument(
+        "query has interior // axes; decompose before building a pattern");
+  }
+  if (q.HasWildcard()) {
+    return Status::InvalidArgument(
+        "wildcard steps have no label to weight; spectral probing is "
+        "unavailable for this pattern");
+  }
+  for (const QueryStep& s : q.steps) {
+    if (s.label == kInvalidLabel) {
+      return Status::InvalidArgument(
+          "query labels unresolved; call ResolveLabels first");
+    }
+  }
+  QueryEventStream events(&q, values);
+  BisimBuilder builder;
+  return builder.Build(&events);
+}
+
+}  // namespace fix

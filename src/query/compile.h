@@ -1,0 +1,36 @@
+// Query compilation for index lookup:
+//  * decomposition of a general path expression into pure twig queries at
+//    interior //-edges (Section 5), and
+//  * conversion of a pure twig query into its bisimulation graph — the twig
+//    pattern whose matrix/eigenvalues form the probe key (Algorithm 2,
+//    CONVERT-TO-BISIM-GRAPH).
+
+#ifndef FIX_QUERY_COMPILE_H_
+#define FIX_QUERY_COMPILE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/bisim_graph.h"
+#include "query/twig_query.h"
+#include "xml/value_hash.h"
+
+namespace fix {
+
+/// Splits `q` at every interior //-edge. The first element is the *top*
+/// sub-twig (rooted at q's root); it is the one used for pruning against a
+/// depth-limited index (Section 5: descendant sub-twigs give no pruning
+/// power there). Every returned query is a pure twig with a // root axis.
+std::vector<TwigQuery> DecomposeAtDescendantEdges(const TwigQuery& q);
+
+/// Builds the bisimulation graph (twig pattern) of a pure twig query.
+/// Value-equality constraints become hashed value-label children when a
+/// hasher is supplied; they are ignored otherwise (structural-only probes
+/// never produce false negatives, just weaker pruning). Fails on a query
+/// with interior // axes — decompose first.
+Result<BisimGraph> QueryToBisimGraph(const TwigQuery& q,
+                                     const ValueHasher* values = nullptr);
+
+}  // namespace fix
+
+#endif  // FIX_QUERY_COMPILE_H_

@@ -1,0 +1,83 @@
+// TwigMatcher: navigational twig-query evaluation over a Document.
+//
+// This plays the role of the NoK physical operator [32] in the paper's
+// architecture (Figure 3): it is the *refinement* query processor run on
+// the candidates FIX returns, and — run over every document without an
+// index — the no-index baseline of Section 6.3.
+//
+// Semantics follow Definition 2: the query root binds under the document
+// node; / steps bind to children, // steps to descendants; a step matches a
+// node iff labels agree, its value constraint (if any) equals the node's
+// text content, and every child step is satisfied below. Matching is
+// memoized per (node, step), making evaluation linear in |doc|·|query| per
+// call.
+
+#ifndef FIX_QUERY_MATCH_H_
+#define FIX_QUERY_MATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/twig_query.h"
+#include "xml/document.h"
+
+namespace fix {
+
+class TwigMatcher {
+ public:
+  explicit TwigMatcher(const Document* doc) : doc_(doc) {}
+
+  /// All bindings of the result step, document-node context. Sorted,
+  /// deduplicated.
+  std::vector<NodeId> Evaluate(const TwigQuery& q);
+
+  /// True iff the query has at least one match (existential test).
+  bool Exists(const TwigQuery& q);
+
+  /// Result bindings when `context` is forced to bind the root step
+  /// (Algorithm 2: after index lookup the leading //-axis is replaced by /
+  /// and evaluation starts at each candidate element).
+  std::vector<NodeId> EvaluateAt(NodeId context, const TwigQuery& q);
+
+  /// Existential form of EvaluateAt.
+  bool ExistsAt(NodeId context, const TwigQuery& q);
+
+  /// Batched form of EvaluateAt: evaluates once with the root-step frontier
+  /// seeded from `contexts` (the paper's architecture — the pruned input
+  /// set feeds a single NoK pass). Equivalent to the union of per-context
+  /// EvaluateAt results, but without re-walking overlapping subtrees.
+  std::vector<NodeId> EvaluateAtMany(const std::vector<NodeId>& contexts,
+                                     const TwigQuery& q);
+
+  /// EvaluateAt/ExistsAt share the (node, step) memo across candidates of
+  /// one query for efficiency; call this before switching to a different
+  /// query on the same matcher. Evaluate()/Exists() reset automatically.
+  void NewQuery() { memo_.clear(); }
+
+  /// Work counter: nodes touched by matching since construction (the
+  /// implementation-independent cost proxy used in reports).
+  uint64_t nodes_visited() const { return nodes_visited_; }
+
+ private:
+  /// Label + value + *predicate* children (main-path continuation excluded).
+  bool SatisfiesLocal(NodeId node, const TwigQuery& q, uint32_t step);
+
+  /// Full subtree satisfaction including the main-path child.
+  bool Satisfies(NodeId node, const TwigQuery& q, uint32_t step);
+
+  bool ExistsUnder(NodeId node, const TwigQuery& q, uint32_t step, Axis axis);
+
+  std::vector<NodeId> MainPathFrontier(std::vector<NodeId> frontier,
+                                       const TwigQuery& q);
+
+  const Document* doc_;
+  /// Per-step memo over nodes: 0 = unknown, 1 = satisfied, 2 = not.
+  /// Flat arrays beat a hash map by several times in the matching inner
+  /// loop; lazily allocated per step on first touch.
+  std::vector<std::vector<uint8_t>> memo_;
+  uint64_t nodes_visited_ = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_QUERY_MATCH_H_

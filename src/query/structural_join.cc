@@ -1,0 +1,231 @@
+#include "query/structural_join.h"
+
+#include <algorithm>
+
+namespace fix {
+
+namespace {
+
+/// First position in `list` with start > bound (lists are start-sorted).
+size_t UpperBoundStart(const std::vector<PositionIndex::Pos>& list,
+                       uint32_t bound) {
+  size_t lo = 0, hi = list.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (list[mid].start <= bound) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Whether `list` contains the position with exactly this start.
+bool ContainsStart(const std::vector<PositionIndex::Pos>& list,
+                   uint32_t start) {
+  size_t lo = 0, hi = list.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (list[mid].start < start) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < list.size() && list[lo].start == start;
+}
+
+}  // namespace
+
+PositionIndex::PositionIndex(const Document* doc) {
+  by_node_.resize(doc->num_nodes());
+  // Iterative DFS assigning preorder starts to element nodes (document node
+  // included at level 0) and subtree end bounds on the way out.
+  struct Frame {
+    NodeId node;
+    NodeId next_child;
+    uint32_t level;
+  };
+  uint32_t counter = 0;
+  std::vector<Frame> stack;
+  by_node_[0] = {counter++, 0, 0, 0};
+  stack.push_back({0, doc->first_child(0), 0});
+  size_t max_label = 0;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    NodeId c = top.next_child;
+    while (c != kInvalidNode && !doc->IsElement(c)) {
+      c = doc->next_sibling(c);
+    }
+    if (c == kInvalidNode) {
+      by_node_[top.node].end = counter - 1;
+      stack.pop_back();
+      continue;
+    }
+    top.next_child = doc->next_sibling(c);
+    by_node_[c] = {counter++, 0, stack.back().level + 1, c};
+    max_label = std::max<size_t>(max_label, doc->label(c));
+    stack.push_back({c, doc->first_child(c), by_node_[c].level});
+  }
+  by_label_.resize(max_label + 1);
+  for (NodeId n = 1; n < doc->num_nodes(); ++n) {
+    if (!doc->IsElement(n)) continue;
+    by_label_[doc->label(n)].push_back(by_node_[n]);
+    all_.push_back(by_node_[n]);
+  }
+  // Preorder assignment means per-label lists built in node order are NOT
+  // automatically start-sorted (arena order is construction order, which is
+  // preorder for parsed docs but not guaranteed) — sort defensively.
+  for (auto& list : by_label_) {
+    std::sort(list.begin(), list.end(),
+              [](const Pos& a, const Pos& b) { return a.start < b.start; });
+  }
+  std::sort(all_.begin(), all_.end(),
+            [](const Pos& a, const Pos& b) { return a.start < b.start; });
+}
+
+const std::vector<PositionIndex::Pos>& PositionIndex::Stream(
+    LabelId label) const {
+  if (label >= by_label_.size()) return empty_;
+  return by_label_[label];
+}
+
+std::vector<PositionIndex::Pos> StructuralJoinEngine::SemiJoin(
+    const std::vector<PositionIndex::Pos>& parents,
+    const std::vector<PositionIndex::Pos>& children, Axis axis) {
+  std::vector<PositionIndex::Pos> out;
+  positions_scanned_ += parents.size();
+  if (axis == Axis::kDescendant) {
+    for (const auto& p : parents) {
+      size_t i = UpperBoundStart(children, p.start);
+      if (i < children.size() && children[i].start <= p.end) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }
+  // Child axis: walk the element's real children and probe the sorted list.
+  for (const auto& p : parents) {
+    bool found = false;
+    for (NodeId c = doc_->first_child(p.node); c != kInvalidNode;
+         c = doc_->next_sibling(c)) {
+      if (!doc_->IsElement(c)) continue;
+      ++positions_scanned_;
+      if (ContainsStart(children, index_->position(c).start)) {
+        found = true;
+        break;
+      }
+    }
+    if (found) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PositionIndex::Pos> StructuralJoinEngine::JoinDown(
+    const std::vector<PositionIndex::Pos>& parents,
+    const std::vector<PositionIndex::Pos>& children_sat, Axis axis) {
+  std::vector<PositionIndex::Pos> out;
+  positions_scanned_ += children_sat.size();
+  if (axis == Axis::kDescendant) {
+    // Tree intervals never partially overlap, so "some earlier-starting
+    // parent's end reaches my start" is exactly containment. One sweep.
+    size_t pi = 0;
+    uint32_t max_end = 0;
+    bool any = false;
+    for (const auto& c : children_sat) {
+      while (pi < parents.size() && parents[pi].start < c.start) {
+        max_end = std::max(max_end, parents[pi].end);
+        any = true;
+        ++pi;
+      }
+      if (any && max_end >= c.start) out.push_back(c);
+    }
+    return out;
+  }
+  for (const auto& c : children_sat) {
+    NodeId parent = doc_->parent(c.node);
+    if (parent == kInvalidNode || parent == 0) continue;
+    if (ContainsStart(parents, index_->position(parent).start)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<PositionIndex::Pos> StructuralJoinEngine::SatList(
+    const TwigQuery& q, uint32_t step) {
+  const QueryStep& s = q.steps[step];
+  std::vector<PositionIndex::Pos> base =
+      s.wildcard ? index_->AllElements() : index_->Stream(s.label);
+  positions_scanned_ += base.size();
+  if (s.value_eq.has_value()) {
+    std::vector<PositionIndex::Pos> filtered;
+    for (const auto& p : base) {
+      if (doc_->ChildText(p.node) == *s.value_eq) filtered.push_back(p);
+    }
+    base = std::move(filtered);
+  }
+  // Every child step constrains the subtree (this is the full-satisfaction
+  // list used for predicates; the main path below the query root is joined
+  // downward in Evaluate instead, so only predicate subtrees recurse here —
+  // but a predicate's own chain recurses through all its children).
+  for (uint32_t child : s.children) {
+    if (base.empty()) break;
+    std::vector<PositionIndex::Pos> child_sat = SatList(q, child);
+    base = SemiJoin(base, child_sat, q.steps[child].axis);
+  }
+  return base;
+}
+
+std::vector<NodeId> StructuralJoinEngine::Evaluate(const TwigQuery& query) {
+  // Local satisfaction of the root/main-path steps: all children except the
+  // main continuation.
+  auto local_sat = [&](uint32_t step) {
+    const QueryStep& s = query.steps[step];
+    std::vector<PositionIndex::Pos> base =
+        s.wildcard ? index_->AllElements() : index_->Stream(s.label);
+    positions_scanned_ += base.size();
+    if (s.value_eq.has_value()) {
+      std::vector<PositionIndex::Pos> filtered;
+      for (const auto& p : base) {
+        if (doc_->ChildText(p.node) == *s.value_eq) filtered.push_back(p);
+      }
+      base = std::move(filtered);
+    }
+    for (size_t i = 0; i < s.children.size(); ++i) {
+      if (static_cast<int>(i) == s.main_child) continue;
+      if (base.empty()) break;
+      std::vector<PositionIndex::Pos> child_sat =
+          SatList(query, s.children[i]);
+      base = SemiJoin(base, child_sat, query.steps[s.children[i]].axis);
+    }
+    return base;
+  };
+
+  std::vector<PositionIndex::Pos> frontier = local_sat(query.root);
+  if (query.steps[query.root].axis == Axis::kChild) {
+    // Rooted query: the first step binds directly under the document node.
+    std::vector<PositionIndex::Pos> level1;
+    for (const auto& p : frontier) {
+      if (p.level == 1) level1.push_back(p);
+    }
+    frontier = std::move(level1);
+  }
+
+  uint32_t step = query.root;
+  while (!frontier.empty() && query.steps[step].main_child >= 0) {
+    uint32_t next = query.steps[step].children[query.steps[step].main_child];
+    frontier = JoinDown(frontier, local_sat(next), query.steps[next].axis);
+    step = next;
+  }
+
+  std::vector<NodeId> out;
+  out.reserve(frontier.size());
+  for (const auto& p : frontier) out.push_back(p.node);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace fix

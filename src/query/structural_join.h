@@ -1,0 +1,95 @@
+// StructuralJoinEngine: a join-based twig evaluator in the style of
+// Al-Khalifa et al. [3] — the other family of refinement operators the
+// paper says FIX composes with ("an existing join-based or navigational
+// operator can further test the validity on the pruned input").
+//
+// Elements get (start, end, level) interval labels; each query edge is a
+// merge semi-join over per-label position lists sorted by start:
+//   descendant:  parent.start < child.start && child.end <= parent.end
+//   child:       containment && child.level == parent.level + 1
+// Predicates are evaluated bottom-up as semi-joins onto the parent list;
+// the main path is then joined top-down to bind the result step. Results
+// are identical to the navigational TwigMatcher (property-tested), the
+// work profile is different: sequential merges over sorted lists instead
+// of pointer chasing.
+
+#ifndef FIX_QUERY_STRUCTURAL_JOIN_H_
+#define FIX_QUERY_STRUCTURAL_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/twig_query.h"
+#include "xml/document.h"
+
+namespace fix {
+
+/// Interval position labels for one document, plus per-label element lists
+/// sorted by start — the "element streams" structural joins consume.
+class PositionIndex {
+ public:
+  explicit PositionIndex(const Document* doc);
+
+  struct Pos {
+    uint32_t start;  ///< preorder rank
+    uint32_t end;    ///< highest start in the subtree (containment bound)
+    uint32_t level;  ///< document node = 0
+    NodeId node;
+  };
+
+  /// Elements with `label`, sorted by start. Empty for unseen labels.
+  const std::vector<Pos>& Stream(LabelId label) const;
+
+  /// Every element, sorted by start (the wildcard stream).
+  const std::vector<Pos>& AllElements() const { return all_; }
+
+  const Pos& position(NodeId node) const { return by_node_[node]; }
+
+ private:
+  std::vector<std::vector<Pos>> by_label_;
+  std::vector<Pos> all_;
+  std::vector<Pos> by_node_;
+  std::vector<Pos> empty_;
+};
+
+class StructuralJoinEngine {
+ public:
+  /// The engine borrows both; they must outlive it. One PositionIndex can
+  /// serve many queries/engines.
+  StructuralJoinEngine(const Document* doc, const PositionIndex* index)
+      : doc_(doc), index_(index) {}
+
+  /// Result-step bindings (sorted by node id, deduplicated). Semantics
+  /// match TwigMatcher::Evaluate exactly, including value predicates and
+  /// wildcards.
+  std::vector<NodeId> Evaluate(const TwigQuery& query);
+
+  /// Join work counter (positions touched by the merge joins).
+  uint64_t positions_scanned() const { return positions_scanned_; }
+
+ private:
+  /// Bottom-up satisfaction lists: for query step s, the sorted positions
+  /// of elements whose subtree satisfies s (label + value + predicate
+  /// children).
+  std::vector<PositionIndex::Pos> SatList(const TwigQuery& q, uint32_t step);
+
+  /// Semi-join: members of `parents` having >= 1 match in `children` under
+  /// `axis` (children sorted by start).
+  std::vector<PositionIndex::Pos> SemiJoin(
+      const std::vector<PositionIndex::Pos>& parents,
+      const std::vector<PositionIndex::Pos>& children, Axis axis);
+
+  /// Join down the main path: positions in `children_sat` with an ancestor
+  /// (or parent, per axis) in `parents`.
+  std::vector<PositionIndex::Pos> JoinDown(
+      const std::vector<PositionIndex::Pos>& parents,
+      const std::vector<PositionIndex::Pos>& children_sat, Axis axis);
+
+  const Document* doc_;
+  const PositionIndex* index_;
+  uint64_t positions_scanned_ = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_QUERY_STRUCTURAL_JOIN_H_

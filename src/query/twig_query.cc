@@ -1,0 +1,89 @@
+#include "query/twig_query.h"
+
+#include <algorithm>
+
+namespace fix {
+
+namespace {
+
+int DepthRec(const TwigQuery& q, uint32_t step) {
+  int deepest = 0;
+  for (uint32_t c : q.steps[step].children) {
+    deepest = std::max(deepest, DepthRec(q, c));
+  }
+  // A value constraint adds a text-node level to the pattern.
+  if (q.steps[step].value_eq.has_value()) deepest = std::max(deepest, 1);
+  return deepest + 1;
+}
+
+}  // namespace
+
+int TwigQuery::Depth() const {
+  if (steps.empty()) return 0;
+  return DepthRec(*this, root);
+}
+
+bool TwigQuery::IsPureTwig() const {
+  for (uint32_t i = 0; i < steps.size(); ++i) {
+    if (i != root && steps[i].axis == Axis::kDescendant) return false;
+  }
+  return true;
+}
+
+bool TwigQuery::HasValuePredicates() const {
+  for (const QueryStep& s : steps) {
+    if (s.value_eq.has_value()) return true;
+  }
+  return false;
+}
+
+void TwigQuery::ResolveLabels(LabelTable* labels) {
+  for (QueryStep& s : steps) {
+    if (s.wildcard) continue;  // wildcards bind no label
+    s.label = labels->Intern(s.name);
+  }
+}
+
+bool TwigQuery::HasWildcard() const {
+  for (const QueryStep& s : steps) {
+    if (s.wildcard) return true;
+  }
+  return false;
+}
+
+void TwigQuery::AppendStep(uint32_t step, bool is_root,
+                           std::string* out) const {
+  const QueryStep& s = steps[step];
+  *out += (s.axis == Axis::kDescendant) ? "//" : "/";
+  *out += s.name;
+  if (s.value_eq.has_value()) {
+    *out += "=\"" + *s.value_eq + "\"";
+  }
+  (void)is_root;
+  // Predicates first (all children except the main-path continuation).
+  for (size_t i = 0; i < s.children.size(); ++i) {
+    if (static_cast<int>(i) == s.main_child) continue;
+    *out += "[";
+    std::string inner;
+    AppendStep(s.children[i], false, &inner);
+    // Inside a predicate, a leading child axis is written without '/'.
+    if (!inner.empty() && inner[0] == '/' && inner[1] != '/') {
+      inner.erase(0, 1);
+    } else if (inner.size() > 1 && inner[0] == '/' && inner[1] == '/') {
+      inner = ".//" + inner.substr(2);
+    }
+    *out += inner + "]";
+  }
+  if (s.main_child >= 0) {
+    AppendStep(s.children[s.main_child], false, out);
+  }
+}
+
+std::string TwigQuery::ToString() const {
+  if (steps.empty()) return "";
+  std::string out;
+  AppendStep(root, true, &out);
+  return out;
+}
+
+}  // namespace fix

@@ -1,0 +1,74 @@
+// TwigQuery: the query tree of a path expression (Section 2.1).
+//
+// Steps form a tree: each step has a NameTest, the axis connecting it to
+// its parent (/ or //), optional branching predicates (child steps off the
+// main path), and an optional value-equality constraint ([tag = "..."],
+// Section 4.6). The last step on the main path is the *result step* — the
+// nodes it binds to are the query answer.
+//
+// Definition 1's pure twig queries have / axes everywhere except the root;
+// general path expressions with interior // axes are decomposed into pure
+// twigs for index lookup (Section 5, decompose.h).
+
+#ifndef FIX_QUERY_TWIG_QUERY_H_
+#define FIX_QUERY_TWIG_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xml/label_table.h"
+
+namespace fix {
+
+enum class Axis : uint8_t { kChild, kDescendant };
+
+struct QueryStep {
+  std::string name;                  ///< NameTest as written ("*" = wildcard)
+  LabelId label = kInvalidLabel;     ///< resolved against the corpus labels
+  bool wildcard = false;             ///< NameTest "*": matches any element
+  Axis axis = Axis::kChild;          ///< axis from parent to this step
+  std::vector<uint32_t> children;    ///< all child steps (predicates + main)
+  /// Index (within children) of the main-path continuation, or -1 if this
+  /// step ends the main path.
+  int main_child = -1;
+  /// Value-equality constraint on this step's text content.
+  std::optional<std::string> value_eq;
+};
+
+class TwigQuery {
+ public:
+  std::vector<QueryStep> steps;
+  uint32_t root = 0;    ///< first step (child/descendant of document node)
+  uint32_t result = 0;  ///< last step of the main path
+
+  /// Depth of the query tree (root step = level 1).
+  int Depth() const;
+
+  /// True iff every non-root axis is / (Definition 1).
+  bool IsPureTwig() const;
+
+  /// True iff any step carries a value-equality constraint.
+  bool HasValuePredicates() const;
+
+  /// True iff any step is a wildcard NameTest. Wildcards disable spectral
+  /// probing (a wildcard edge has no label pair to weight), so the index
+  /// degrades to label-only or full-scan evaluation for such queries.
+  bool HasWildcard() const;
+
+  /// Resolves every step's label against `labels`, interning unseen names
+  /// (an unseen name can never match, but interning keeps the edge-weight
+  /// encoding total).
+  void ResolveLabels(LabelTable* labels);
+
+  /// Serializes back to XPath-like text (canonical form, for reports).
+  std::string ToString() const;
+
+ private:
+  void AppendStep(uint32_t step, bool is_root, std::string* out) const;
+};
+
+}  // namespace fix
+
+#endif  // FIX_QUERY_TWIG_QUERY_H_

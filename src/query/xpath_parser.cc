@@ -1,0 +1,171 @@
+#include "query/xpath_parser.h"
+
+#include <cctype>
+
+namespace fix {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<TwigQuery> Parse() {
+    TwigQuery q;
+    uint32_t first;
+    FIX_RETURN_IF_ERROR(ParsePath(&q, /*allow_leading_dot=*/false, &first,
+                                  &q.result));
+    q.root = first;
+    SkipSpace();
+    if (!AtEnd()) {
+      return Status::ParseError("trailing characters in path expression");
+    }
+    if (q.steps.empty()) {
+      return Status::ParseError("empty path expression");
+    }
+    return q;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  /// Parses a sequence of steps. `first` receives the first step's index and
+  /// `last` the final (deepest main-path) step's index.
+  Status ParsePath(TwigQuery* q, bool allow_leading_dot, uint32_t* first,
+                   uint32_t* last) {
+    SkipSpace();
+    Axis axis;
+    if (allow_leading_dot && text_.substr(pos_, 3) == ".//") {
+      pos_ += 3;
+      axis = Axis::kDescendant;
+    } else if (Consume('/')) {
+      axis = Consume('/') ? Axis::kDescendant : Axis::kChild;
+    } else if (allow_leading_dot) {
+      // Predicate paths may start with a bare name: child axis.
+      axis = Axis::kChild;
+    } else {
+      return Status::ParseError("path must start with '/' or '//'");
+    }
+
+    uint32_t prev = UINT32_MAX;
+    *first = UINT32_MAX;
+    for (;;) {
+      uint32_t step = UINT32_MAX;
+      FIX_RETURN_IF_ERROR(ParseStep(q, axis, &step));
+      if (prev == UINT32_MAX) {
+        *first = step;
+      } else {
+        q->steps[prev].main_child =
+            static_cast<int>(q->steps[prev].children.size());
+        q->steps[prev].children.push_back(step);
+      }
+      prev = step;
+      SkipSpace();
+      if (Consume('/')) {
+        axis = Consume('/') ? Axis::kDescendant : Axis::kChild;
+        continue;
+      }
+      break;
+    }
+    *last = prev;
+    return Status::OK();
+  }
+
+  Status ParseStep(TwigQuery* q, Axis axis, uint32_t* out) {
+    SkipSpace();
+    bool wildcard = false;
+    std::string name;
+    if (!AtEnd() && Peek() == '*') {
+      ++pos_;
+      wildcard = true;
+      name = "*";
+    } else if (AtEnd() || !IsNameChar(Peek()) ||
+               std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Status::ParseError("expected a name test at position " +
+                                std::to_string(pos_));
+    } else {
+      while (!AtEnd() && IsNameChar(Peek())) name.push_back(text_[pos_++]);
+    }
+
+    QueryStep step;
+    step.name = std::move(name);
+    step.wildcard = wildcard;
+    step.axis = axis;
+    uint32_t idx = static_cast<uint32_t>(q->steps.size());
+    q->steps.push_back(std::move(step));
+
+    // A direct value constraint: name="literal" (sugar for [.="literal"]
+    // attached to this step; used inside predicates, e.g. [year="1998"]).
+    SkipSpace();
+    if (!AtEnd() && Peek() == '=') {
+      ++pos_;
+      std::string literal;
+      FIX_RETURN_IF_ERROR(ParseLiteral(&literal));
+      q->steps[idx].value_eq = std::move(literal);
+    }
+
+    // Predicates.
+    SkipSpace();
+    while (Consume('[')) {
+      uint32_t pred_first, pred_last;
+      FIX_RETURN_IF_ERROR(
+          ParsePath(q, /*allow_leading_dot=*/true, &pred_first, &pred_last));
+      SkipSpace();
+      if (!AtEnd() && Peek() == '=') {
+        ++pos_;
+        std::string literal;
+        FIX_RETURN_IF_ERROR(ParseLiteral(&literal));
+        q->steps[pred_last].value_eq = std::move(literal);
+        SkipSpace();
+      }
+      if (!Consume(']')) {
+        return Status::ParseError("expected ']' at position " +
+                                  std::to_string(pos_));
+      }
+      q->steps[idx].children.push_back(pred_first);
+      SkipSpace();
+    }
+    *out = idx;
+    return Status::OK();
+  }
+
+  Status ParseLiteral(std::string* out) {
+    SkipSpace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Status::ParseError("expected a quoted literal at position " +
+                                std::to_string(pos_));
+    }
+    char quote = text_[pos_++];
+    while (!AtEnd() && Peek() != quote) out->push_back(text_[pos_++]);
+    if (!Consume(quote)) return Status::ParseError("unterminated literal");
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TwigQuery> ParseXPath(std::string_view text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace fix

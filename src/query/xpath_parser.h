@@ -1,0 +1,30 @@
+// Parser for the XPath fragment FIX evaluates (Sections 2.1, 4.6, 5):
+//
+//   path       := ('/' | '//') step (('/' | '//') step)*
+//   step       := Name predicate*
+//   predicate  := '[' relpath ('=' literal)? ']'
+//   relpath    := ('.//')? step (('/' | '//') step)*
+//   literal    := '"' ... '"' | "'" ... "'"
+//
+// Examples from the paper, all accepted:
+//   //article[author]/ee
+//   //open_auction[.//bidder[name][email]]/price
+//   //inproceedings[year="1998"][title]/author
+
+#ifndef FIX_QUERY_XPATH_PARSER_H_
+#define FIX_QUERY_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/twig_query.h"
+
+namespace fix {
+
+/// Parses `text` into a TwigQuery. Labels are left unresolved (call
+/// TwigQuery::ResolveLabels before evaluation).
+Result<TwigQuery> ParseXPath(std::string_view text);
+
+}  // namespace fix
+
+#endif  // FIX_QUERY_XPATH_PARSER_H_

@@ -1,0 +1,68 @@
+// EdgeEncoder: assigns a distinct positive integer weight to each
+// (source-label, target-label) pair, the encoding of Section 3.2 that folds
+// vertex labels into edge weights so the labeled DAG can become a weighted
+// matrix.
+//
+// Build side and query side MUST share one encoder instance (or a restored
+// copy): Theorem 3's containment argument requires that an edge common to a
+// query pattern and an indexed pattern carry the same weight in both
+// matrices. Pairs are interned on first sight; a pair first seen in a query
+// simply gets a fresh weight, which is harmless — such an edge exists in no
+// indexed pattern, so the no-false-negative guarantee is unaffected.
+
+#ifndef FIX_SPECTRAL_EDGE_ENCODER_H_
+#define FIX_SPECTRAL_EDGE_ENCODER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "xml/label_table.h"
+
+namespace fix {
+
+class EdgeEncoder {
+ public:
+  EdgeEncoder() = default;
+  EdgeEncoder(const EdgeEncoder&) = delete;
+  EdgeEncoder& operator=(const EdgeEncoder&) = delete;
+  EdgeEncoder(EdgeEncoder&&) = default;
+  EdgeEncoder& operator=(EdgeEncoder&&) = default;
+
+  /// Weight for the edge (from, to); interned on first use. Weights are
+  /// 1, 2, 3, ... in first-seen order.
+  double Weight(LabelId from, LabelId to) {
+    uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+    auto [it, inserted] = weights_.emplace(key, next_weight_);
+    if (inserted) ++next_weight_;
+    return static_cast<double>(it->second);
+  }
+
+  size_t num_pairs() const { return weights_.size(); }
+
+  /// Snapshot of the interned (label-pair, weight) mapping, for index
+  /// persistence. Pairs are unordered.
+  std::vector<std::pair<uint64_t, uint32_t>> Export() const {
+    return {weights_.begin(), weights_.end()};
+  }
+
+  /// Restores a snapshot (replacing any current state). next weight resumes
+  /// after the largest imported weight so later interning stays distinct.
+  void Import(const std::vector<std::pair<uint64_t, uint32_t>>& pairs) {
+    weights_.clear();
+    next_weight_ = 1;
+    for (const auto& [key, weight] : pairs) {
+      weights_.emplace(key, weight);
+      if (weight >= next_weight_) next_weight_ = weight + 1;
+    }
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> weights_;
+  uint32_t next_weight_ = 1;
+};
+
+}  // namespace fix
+
+#endif  // FIX_SPECTRAL_EDGE_ENCODER_H_

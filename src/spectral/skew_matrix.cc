@@ -1,0 +1,18 @@
+#include "spectral/skew_matrix.h"
+
+namespace fix {
+
+DenseMatrix BuildSkewMatrix(const BisimGraph& graph, EdgeEncoder* encoder) {
+  DenseMatrix m(graph.num_vertices());
+  for (BisimVertexId u = 0; u < graph.num_vertices(); ++u) {
+    const BisimVertex& vu = graph.vertex(u);
+    for (BisimVertexId v : vu.children) {
+      double w = encoder->Weight(vu.label, graph.vertex(v).label);
+      m.at(u, v) = w;
+      m.at(v, u) = -w;
+    }
+  }
+  return m;
+}
+
+}  // namespace fix

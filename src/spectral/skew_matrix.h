@@ -1,0 +1,42 @@
+// Dense matrices for spectral feature extraction.
+//
+// A bisimulation graph (labeled DAG) is translated to an anti-symmetric
+// matrix (Section 3.2): edge (u, v) with weight w contributes M[u][v] = w
+// and M[v][u] = -w. The matrix is small — patterns are depth-limited — so a
+// dense row-major layout is the right representation.
+
+#ifndef FIX_SPECTRAL_SKEW_MATRIX_H_
+#define FIX_SPECTRAL_SKEW_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/bisim_graph.h"
+#include "spectral/edge_encoder.h"
+
+namespace fix {
+
+/// Minimal dense square matrix.
+class DenseMatrix {
+ public:
+  explicit DenseMatrix(size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  size_t n() const { return n_; }
+  double& at(size_t i, size_t j) { return data_[i * n_ + j]; }
+  double at(size_t i, size_t j) const { return data_[i * n_ + j]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t n_;
+  std::vector<double> data_;
+};
+
+/// Translates a bisimulation graph into its anti-symmetric matrix. Vertex i
+/// of the graph maps to dimension i (any numbering works: permutations are
+/// isospectral).
+DenseMatrix BuildSkewMatrix(const BisimGraph& graph, EdgeEncoder* encoder);
+
+}  // namespace fix
+
+#endif  // FIX_SPECTRAL_SKEW_MATRIX_H_

@@ -1,0 +1,140 @@
+#include "spectral/sym_eigen.h"
+
+#include <cmath>
+#include <limits>
+
+namespace fix {
+
+namespace {
+
+/// Householder reduction of a symmetric matrix to tridiagonal form
+/// (diagonal d, off-diagonal e with e[0] unused). Eigenvector accumulation
+/// is omitted. `a` is destroyed.
+void Tridiagonalize(std::vector<double>& a, size_t n, std::vector<double>& d,
+                    std::vector<double>& e) {
+  auto at = [&](size_t i, size_t j) -> double& { return a[i * n + j]; };
+
+  for (size_t i = n - 1; i >= 1; --i) {
+    size_t l = i - 1;
+    double h = 0.0;
+    if (l > 0) {
+      double scale = 0.0;
+      for (size_t k = 0; k <= l; ++k) scale += std::fabs(at(i, k));
+      if (scale == 0.0) {
+        e[i] = at(i, l);
+      } else {
+        for (size_t k = 0; k <= l; ++k) {
+          at(i, k) /= scale;
+          h += at(i, k) * at(i, k);
+        }
+        double f = at(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        at(i, l) = f - g;
+        f = 0.0;
+        for (size_t j = 0; j <= l; ++j) {
+          g = 0.0;
+          for (size_t k = 0; k <= j; ++k) g += at(j, k) * at(i, k);
+          for (size_t k = j + 1; k <= l; ++k) g += at(k, j) * at(i, k);
+          e[j] = g / h;
+          f += e[j] * at(i, j);
+        }
+        double hh = f / (h + h);
+        for (size_t j = 0; j <= l; ++j) {
+          f = at(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (size_t k = 0; k <= j; ++k) {
+            at(j, k) -= f * e[k] + g * at(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = at(i, l);
+    }
+    d[i] = h;
+  }
+  e[0] = 0.0;
+  for (size_t i = 0; i < n; ++i) d[i] = at(i, i);
+}
+
+/// QL iteration with implicit shifts on a tridiagonal matrix. On success d
+/// holds the eigenvalues. Returns false if an eigenvalue fails to converge.
+bool QlImplicit(std::vector<double>& d, std::vector<double>& e, size_t n) {
+  if (n == 0) return true;
+  for (size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  // Convergence threshold: bisimulation-pattern matrices have massively
+  // degenerate spectra (many identical rows), where a machine-epsilon test
+  // can stall the QL sweeps indefinitely. FIX feature keys carry an ε-slack
+  // of 1e-6 (IndexOptions::epsilon), so 1e-13 relative is far more than
+  // accurate enough and converges robustly.
+  constexpr double kTol = 1e-13;
+  for (size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= kTol * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (iter++ == 100) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        // Rotate from m-1 down to l; a signed index allows the i >= l exit
+        // test after an early break (underflow split).
+        long i = static_cast<long>(m) - 1;
+        for (; i >= static_cast<long>(l); --i) {
+          double f = s * e[i];
+          double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (r == 0.0 && i >= static_cast<long>(l)) {
+          // Underflow split mid-sweep: restart this eigenvalue.
+          continue;
+        }
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<double>> SymmetricEigenvalues(const DenseMatrix& m) {
+  size_t n = m.n();
+  if (n == 0) return std::vector<double>{};
+  if (n == 1) return std::vector<double>{m.at(0, 0)};
+
+  std::vector<double> a = m.data();  // working copy (destroyed)
+  std::vector<double> d(n, 0.0), e(n, 0.0);
+  Tridiagonalize(a, n, d, e);
+  if (!QlImplicit(d, e, n)) {
+    return Status::Internal("symmetric QL iteration failed to converge");
+  }
+  return d;
+}
+
+}  // namespace fix

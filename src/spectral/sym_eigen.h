@@ -1,0 +1,23 @@
+// Real-symmetric eigenvalue solver: Householder tridiagonalization followed
+// by the implicit-shift QL iteration — the classic dense symmetric pipeline
+// (the paper's reference [22], Numerical Recipes). Only eigenvalues are
+// computed; FIX never needs eigenvectors.
+
+#ifndef FIX_SPECTRAL_SYM_EIGEN_H_
+#define FIX_SPECTRAL_SYM_EIGEN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "spectral/skew_matrix.h"
+
+namespace fix {
+
+/// Computes all eigenvalues of a symmetric matrix (only the lower triangle
+/// is read). Returns them unsorted. Fails only if the QL iteration does not
+/// converge (pathological input).
+Result<std::vector<double>> SymmetricEigenvalues(const DenseMatrix& m);
+
+}  // namespace fix
+
+#endif  // FIX_SPECTRAL_SYM_EIGEN_H_

@@ -1,0 +1,411 @@
+#include "storage/btree.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace fix {
+
+namespace {
+constexpr uint32_t kBTreeMagic = 0x46495842;  // "FIXB"
+constexpr uint8_t kLeaf = 0;
+constexpr uint8_t kInner = 1;
+}  // namespace
+
+// --- node accessors ---------------------------------------------------------
+
+uint8_t BTree::NodeType(const char* page) {
+  return static_cast<uint8_t>(page[0]);
+}
+
+uint16_t BTree::NodeCount(const char* page) {
+  uint16_t v;
+  std::memcpy(&v, page + 2, sizeof(v));
+  return v;
+}
+
+void BTree::SetNodeType(char* page, uint8_t type) {
+  page[0] = static_cast<char>(type);
+}
+
+void BTree::SetNodeCount(char* page, uint16_t count) {
+  std::memcpy(page + 2, &count, sizeof(count));
+}
+
+uint32_t BTree::NodeLink(const char* page) { return DecodeFixed32(page + 4); }
+
+void BTree::SetNodeLink(char* page, uint32_t link) {
+  EncodeFixed32(page + 4, link);
+}
+
+uint32_t BTree::InnerChild(const char* page, uint16_t i) const {
+  // Child 0 lives in the link slot; child i+1 follows separator i.
+  if (i == 0) return NodeLink(page);
+  return DecodeFixed32(InnerEntry(page, i - 1) + key_size_);
+}
+
+int BTree::CompareKey(const char* a, std::string_view b) const {
+  FIX_CHECK(b.size() == key_size_);
+  return std::memcmp(a, b.data(), key_size_);
+}
+
+uint16_t BTree::LeafLowerBound(const char* page, std::string_view key) const {
+  uint16_t lo = 0, hi = NodeCount(page);
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (CompareKey(LeafEntry(page, mid), key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint16_t BTree::InnerChildIndex(const char* page, std::string_view key) const {
+  // lower_bound over separators: on equality we stay LEFT. With duplicate
+  // keys a run may span a split boundary, so descent lands at-or-before the
+  // first occurrence and the leaf sibling chain absorbs the slack (Seek and
+  // Get scan forward across leaves).
+  uint16_t lo = 0, hi = NodeCount(page);
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (CompareKey(InnerEntry(page, mid), key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;  // child index in [0, count]
+}
+
+// --- meta -------------------------------------------------------------------
+
+Status BTree::WriteMeta() {
+  PageHandle meta;
+  FIX_ASSIGN_OR_RETURN(meta, pool_->Fetch(0));
+  char* p = meta.data();
+  EncodeFixed32(p, kBTreeMagic);
+  EncodeFixed32(p + 4, key_size_);
+  EncodeFixed32(p + 8, value_size_);
+  EncodeFixed32(p + 12, root_);
+  EncodeFixed32(p + 16, height_);
+  EncodeFixed64(p + 20, num_entries_);
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::ReadMeta() {
+  PageHandle meta;
+  FIX_ASSIGN_OR_RETURN(meta, pool_->Fetch(0));
+  const char* p = meta.data();
+  if (DecodeFixed32(p) != kBTreeMagic) {
+    return Status::Corruption("not a FIX B+-tree file");
+  }
+  key_size_ = DecodeFixed32(p + 4);
+  value_size_ = DecodeFixed32(p + 8);
+  root_ = DecodeFixed32(p + 12);
+  height_ = DecodeFixed32(p + 16);
+  num_entries_ = DecodeFixed64(p + 20);
+  if (key_size_ == 0 || key_size_ > 512 || value_size_ > 1024) {
+    return Status::Corruption("implausible B+-tree geometry");
+  }
+  return Status::OK();
+}
+
+Result<BTree> BTree::Create(BufferPool* pool, uint32_t key_size,
+                            uint32_t value_size) {
+  if (key_size == 0 || key_size > 512) {
+    return Status::InvalidArgument("key_size must be in [1, 512]");
+  }
+  if (pool->file()->num_pages() != 0) {
+    return Status::InvalidArgument("BTree::Create requires an empty file");
+  }
+  BTree tree(pool);
+  tree.key_size_ = key_size;
+  tree.value_size_ = value_size;
+  // Page 0: meta. Page 1: empty leaf root.
+  PageHandle meta;
+  FIX_ASSIGN_OR_RETURN(meta, pool->New());
+  FIX_CHECK(meta.page_id() == 0);
+  meta.Release();
+  PageHandle root;
+  FIX_ASSIGN_OR_RETURN(root, pool->New());
+  SetNodeType(root.data(), kLeaf);
+  SetNodeCount(root.data(), 0);
+  SetNodeLink(root.data(), kInvalidPage);
+  root.MarkDirty();
+  tree.root_ = root.page_id();
+  root.Release();
+  FIX_RETURN_IF_ERROR(tree.WriteMeta());
+  return tree;
+}
+
+Result<BTree> BTree::Open(BufferPool* pool) {
+  BTree tree(pool);
+  FIX_RETURN_IF_ERROR(tree.ReadMeta());
+  return tree;
+}
+
+// --- insert -----------------------------------------------------------------
+
+Status BTree::InsertRec(PageId node_id, std::string_view key,
+                        std::string_view value, SplitResult* out) {
+  PageHandle node;
+  FIX_ASSIGN_OR_RETURN(node, pool_->Fetch(node_id));
+  char* page = node.data();
+
+  if (NodeType(page) == kLeaf) {
+    uint16_t count = NodeCount(page);
+    uint16_t pos = LeafLowerBound(page, key);
+    if (count < LeafCapacity()) {
+      char* slot = LeafEntry(page, pos);
+      std::memmove(slot + LeafEntrySize(), slot,
+                   (count - pos) * LeafEntrySize());
+      std::memcpy(slot, key.data(), key_size_);
+      std::memcpy(slot + key_size_, value.data(), value_size_);
+      SetNodeCount(page, count + 1);
+      node.MarkDirty();
+      out->split = false;
+      return Status::OK();
+    }
+    // Split the leaf: left keeps the first half, right gets the rest.
+    PageHandle right;
+    FIX_ASSIGN_OR_RETURN(right, pool_->New());
+    char* rpage = right.data();
+    SetNodeType(rpage, kLeaf);
+    uint16_t mid = count / 2;
+    uint16_t right_count = count - mid;
+    std::memcpy(LeafEntry(rpage, 0), LeafEntry(page, mid),
+                right_count * LeafEntrySize());
+    SetNodeCount(rpage, right_count);
+    SetNodeLink(rpage, NodeLink(page));
+    SetNodeCount(page, mid);
+    SetNodeLink(page, right.page_id());
+    // Insert into whichever half owns position `pos`. Inserting at pos ==
+    // mid (end of left) is order-correct even when key equals the
+    // separator, because inner navigation stays left on equality.
+    char* target;
+    if (pos <= mid) {
+      uint16_t c = NodeCount(page);
+      target = LeafEntry(page, pos);
+      std::memmove(target + LeafEntrySize(), target,
+                   (c - pos) * LeafEntrySize());
+      SetNodeCount(page, c + 1);
+    } else {
+      uint16_t rpos = pos - mid;
+      uint16_t c = NodeCount(rpage);
+      target = LeafEntry(rpage, rpos);
+      std::memmove(target + LeafEntrySize(), target,
+                   (c - rpos) * LeafEntrySize());
+      SetNodeCount(rpage, c + 1);
+    }
+    std::memcpy(target, key.data(), key_size_);
+    std::memcpy(target + key_size_, value.data(), value_size_);
+    node.MarkDirty();
+    right.MarkDirty();
+    out->split = true;
+    out->separator.assign(LeafEntry(rpage, 0), key_size_);
+    out->right = right.page_id();
+    return Status::OK();
+  }
+
+  // Inner node.
+  uint16_t child_idx = InnerChildIndex(page, key);
+  PageId child = InnerChild(page, child_idx);
+  SplitResult child_split;
+  // Release the pin across the recursive call to bound pin depth? No:
+  // keeping the parent pinned during descent is standard latch coupling and
+  // the pool capacity (>= 8) covers the maximum height we build.
+  FIX_RETURN_IF_ERROR(InsertRec(child, key, value, &child_split));
+  if (!child_split.split) {
+    out->split = false;
+    return Status::OK();
+  }
+
+  // Insert (separator, right) after child_idx.
+  uint16_t count = NodeCount(page);
+  uint16_t pos = child_idx;  // separator array position
+  if (count < InnerCapacity()) {
+    char* slot = InnerEntry(page, pos);
+    std::memmove(slot + InnerEntrySize(), slot,
+                 (count - pos) * InnerEntrySize());
+    std::memcpy(slot, child_split.separator.data(), key_size_);
+    EncodeFixed32(slot + key_size_, child_split.right);
+    SetNodeCount(page, count + 1);
+    node.MarkDirty();
+    out->split = false;
+    return Status::OK();
+  }
+
+  // Split the inner node. Assemble the full separator/child sequence in a
+  // scratch buffer, then redistribute with the middle separator moving up.
+  size_t entry = InnerEntrySize();
+  std::string scratch;
+  scratch.resize(static_cast<size_t>(count + 1) * entry);
+  std::memcpy(scratch.data(), InnerEntry(page, 0), pos * entry);
+  std::memcpy(scratch.data() + pos * entry, child_split.separator.data(),
+              key_size_);
+  EncodeFixed32(scratch.data() + pos * entry + key_size_, child_split.right);
+  std::memcpy(scratch.data() + (pos + 1) * entry, InnerEntry(page, pos),
+              (count - pos) * entry);
+  uint16_t total = count + 1;
+  uint16_t left_count = total / 2;
+  // separator at index left_count moves up; right node gets the rest.
+  const char* up = scratch.data() + left_count * entry;
+
+  PageHandle right;
+  FIX_ASSIGN_OR_RETURN(right, pool_->New());
+  char* rpage = right.data();
+  SetNodeType(rpage, kInner);
+  uint16_t right_count = total - left_count - 1;
+  SetNodeLink(rpage, DecodeFixed32(up + key_size_));  // child right of `up`
+  std::memcpy(InnerEntry(rpage, 0), up + entry, right_count * entry);
+  SetNodeCount(rpage, right_count);
+
+  std::memcpy(InnerEntry(page, 0), scratch.data(), left_count * entry);
+  SetNodeCount(page, left_count);
+
+  node.MarkDirty();
+  right.MarkDirty();
+  out->split = true;
+  out->separator.assign(up, key_size_);
+  out->right = right.page_id();
+  return Status::OK();
+}
+
+Status BTree::Insert(std::string_view key, std::string_view value) {
+  if (key.size() != key_size_ || value.size() != value_size_) {
+    return Status::InvalidArgument("key/value size mismatch");
+  }
+  SplitResult split;
+  FIX_RETURN_IF_ERROR(InsertRec(root_, key, value, &split));
+  if (split.split) {
+    // Grow a new root.
+    PageHandle new_root;
+    FIX_ASSIGN_OR_RETURN(new_root, pool_->New());
+    char* page = new_root.data();
+    SetNodeType(page, kInner);
+    SetNodeCount(page, 1);
+    SetNodeLink(page, root_);
+    char* slot = InnerEntry(page, 0);
+    std::memcpy(slot, split.separator.data(), key_size_);
+    EncodeFixed32(slot + key_size_, split.right);
+    new_root.MarkDirty();
+    root_ = new_root.page_id();
+    ++height_;
+  }
+  ++num_entries_;
+  return WriteMeta();
+}
+
+// --- lookup / iteration -----------------------------------------------------
+
+Result<PageHandle> BTree::FindLeaf(std::string_view key) {
+  PageId current = root_;
+  for (;;) {
+    PageHandle node;
+    FIX_ASSIGN_OR_RETURN(node, pool_->Fetch(current));
+    if (NodeType(node.data()) == kLeaf) return node;
+    uint16_t idx = InnerChildIndex(node.data(), key);
+    current = InnerChild(node.data(), idx);
+  }
+}
+
+Result<std::string> BTree::Get(std::string_view key) {
+  // Seek handles descent landing one leaf early (duplicate runs spanning a
+  // split boundary) by following the sibling chain.
+  Iterator it;
+  FIX_ASSIGN_OR_RETURN(it, Seek(key));
+  if (it.Valid() && it.key() == key) {
+    return std::string(it.value());
+  }
+  return Status::NotFound("key not in B+-tree");
+}
+
+Status BTree::Delete(std::string_view key, std::string_view value) {
+  if (key.size() != key_size_ || value.size() != value_size_) {
+    return Status::InvalidArgument("key/value size mismatch");
+  }
+  Iterator it;
+  FIX_ASSIGN_OR_RETURN(it, Seek(key));
+  while (it.Valid() && it.key() == key) {
+    if (it.value() == value) {
+      // Remove from the leaf the iterator is parked on.
+      char* page = it.leaf_.data();
+      uint16_t count = NodeCount(page);
+      char* slot = LeafEntry(page, it.index_);
+      std::memmove(slot, slot + LeafEntrySize(),
+                   (count - it.index_ - 1) * LeafEntrySize());
+      SetNodeCount(page, count - 1);
+      it.leaf_.MarkDirty();
+      --num_entries_;
+      return WriteMeta();
+    }
+    FIX_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::NotFound("entry not in B+-tree");
+}
+
+Result<BTree::Iterator> BTree::Seek(std::string_view key) {
+  if (key.size() != key_size_) {
+    return Status::InvalidArgument("key size mismatch");
+  }
+  Iterator it;
+  it.tree_ = this;
+  FIX_ASSIGN_OR_RETURN(it.leaf_, FindLeaf(key));
+  it.index_ = LeafLowerBound(it.leaf_.data(), key);
+  it.valid_ = true;
+  // The lower bound may be past this leaf's last entry; hop forward.
+  while (it.valid_ && it.index_ >= NodeCount(it.leaf_.data())) {
+    uint32_t next = NodeLink(it.leaf_.data());
+    if (next == kInvalidPage) {
+      it.valid_ = false;
+      break;
+    }
+    FIX_ASSIGN_OR_RETURN(it.leaf_, pool_->Fetch(next));
+    it.index_ = 0;
+  }
+  return it;
+}
+
+Result<BTree::Iterator> BTree::SeekFirst() {
+  std::string smallest(key_size_, '\0');
+  return Seek(smallest);
+}
+
+std::string_view BTree::Iterator::key() const {
+  FIX_CHECK(valid_);
+  return std::string_view(tree_->LeafEntry(leaf_.data(), index_),
+                          tree_->key_size_);
+}
+
+std::string_view BTree::Iterator::value() const {
+  FIX_CHECK(valid_);
+  return std::string_view(
+      tree_->LeafEntry(leaf_.data(), index_) + tree_->key_size_,
+      tree_->value_size_);
+}
+
+Status BTree::Iterator::Next() {
+  FIX_CHECK(valid_);
+  ++index_;
+  while (index_ >= NodeCount(leaf_.data())) {
+    uint32_t next = NodeLink(leaf_.data());
+    if (next == kInvalidPage) {
+      valid_ = false;
+      return Status::OK();
+    }
+    FIX_ASSIGN_OR_RETURN(leaf_, tree_->pool_->Fetch(next));
+    index_ = 0;
+  }
+  return Status::OK();
+}
+
+Status BTree::Flush() {
+  FIX_RETURN_IF_ERROR(WriteMeta());
+  return pool_->FlushAll();
+}
+
+}  // namespace fix

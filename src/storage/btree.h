@@ -1,0 +1,161 @@
+// A disk-resident B+-tree with fixed-size keys and values, built on the
+// buffer pool. This plays the role Berkeley DB's B-tree played in the
+// paper's implementation: FIX feature keys are inserted here and queried
+// with ordered range scans.
+//
+// Keys are compared with memcmp; callers encode them order-preservingly
+// (see core/key_codec.h). Duplicate keys are permitted and stored adjacent.
+//
+// On-disk layout:
+//   page 0          meta: magic, key/value size, root, height, entry count
+//   other pages     nodes:
+//     [0]  type (0 = leaf, 1 = inner)
+//     [2]  count u16
+//     [4]  next-leaf page id (leaf) / first-child page id (inner)
+//     [8]  entries — leaf: count * (key, value)
+//                    inner: count * (separator key, right child id)
+//   An inner node with count separators has count+1 children; separator i
+//   is the smallest key in child i+1's subtree.
+//
+// Deletion removes the leaf entry without rebalancing (lazy deletion), which
+// is sufficient for this workload: FIX indexes are bulk-built and read-heavy.
+
+#ifndef FIX_STORAGE_BTREE_H_
+#define FIX_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace fix {
+
+class BTree {
+ public:
+  /// Creates a new tree in `pool`'s file (which must be empty) with the
+  /// given fixed key/value sizes.
+  static Result<BTree> Create(BufferPool* pool, uint32_t key_size,
+                              uint32_t value_size);
+
+  /// Opens an existing tree from page 0 of `pool`'s file.
+  static Result<BTree> Open(BufferPool* pool);
+
+  BTree(BTree&&) = default;
+  BTree& operator=(BTree&&) = default;
+
+  /// Inserts one entry. key/value sizes must match the tree's configuration.
+  Status Insert(std::string_view key, std::string_view value);
+
+  /// Looks up the first entry with exactly `key`; returns NotFound if absent.
+  Result<std::string> Get(std::string_view key);
+
+  /// Removes the first entry equal to (key, value); returns NotFound if no
+  /// such pair exists. Lazy: pages are never merged or freed.
+  Status Delete(std::string_view key, std::string_view value);
+
+  /// Forward iterator over (key, value) pairs in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    std::string_view key() const;
+    std::string_view value() const;
+    /// Advances; sets Valid() false at the end. Returns a Status because
+    /// advancing may read a page.
+    Status Next();
+
+   private:
+    friend class BTree;
+    BTree* tree_ = nullptr;
+    PageHandle leaf_;
+    uint16_t index_ = 0;
+    bool valid_ = false;
+  };
+
+  /// Positions an iterator at the first entry with key >= `key`.
+  Result<Iterator> Seek(std::string_view key);
+
+  /// Positions an iterator at the smallest key.
+  Result<Iterator> SeekFirst();
+
+  /// Writes all dirty pages and the meta page back to the file.
+  Status Flush();
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint32_t height() const { return height_; }
+  uint32_t key_size() const { return key_size_; }
+  uint32_t value_size() const { return value_size_; }
+
+  /// Total on-disk size in bytes (page count * page size).
+  uint64_t SizeBytes() const {
+    return static_cast<uint64_t>(pool_->file()->num_pages()) * kPageSize;
+  }
+
+ private:
+  explicit BTree(BufferPool* pool) : pool_(pool) {}
+
+  // Node accessors (operate on raw page bytes).
+  static uint8_t NodeType(const char* page);
+  static uint16_t NodeCount(const char* page);
+  static void SetNodeType(char* page, uint8_t type);
+  static void SetNodeCount(char* page, uint16_t count);
+  static uint32_t NodeLink(const char* page);
+  static void SetNodeLink(char* page, uint32_t link);
+
+  size_t LeafEntrySize() const { return key_size_ + value_size_; }
+  size_t InnerEntrySize() const { return key_size_ + 4; }
+  uint16_t LeafCapacity() const {
+    return static_cast<uint16_t>((kPageSize - 8) / LeafEntrySize());
+  }
+  uint16_t InnerCapacity() const {
+    return static_cast<uint16_t>((kPageSize - 8) / InnerEntrySize());
+  }
+
+  char* LeafEntry(char* page, uint16_t i) const {
+    return page + 8 + i * LeafEntrySize();
+  }
+  const char* LeafEntry(const char* page, uint16_t i) const {
+    return page + 8 + i * LeafEntrySize();
+  }
+  char* InnerEntry(char* page, uint16_t i) const {
+    return page + 8 + i * InnerEntrySize();
+  }
+  const char* InnerEntry(const char* page, uint16_t i) const {
+    return page + 8 + i * InnerEntrySize();
+  }
+  uint32_t InnerChild(const char* page, uint16_t i) const;
+
+  int CompareKey(const char* a, std::string_view b) const;
+
+  /// First leaf index with entry key >= key (lower bound).
+  uint16_t LeafLowerBound(const char* page, std::string_view key) const;
+  /// Child index to descend into for `key`.
+  uint16_t InnerChildIndex(const char* page, std::string_view key) const;
+
+  struct SplitResult {
+    bool split = false;
+    std::string separator;  // smallest key of the new right node
+    PageId right = kInvalidPage;
+  };
+
+  Status InsertRec(PageId node, std::string_view key, std::string_view value,
+                   SplitResult* out);
+
+  Status WriteMeta();
+  Status ReadMeta();
+
+  /// Descends to the leaf that would contain `key`.
+  Result<PageHandle> FindLeaf(std::string_view key);
+
+  BufferPool* pool_;
+  uint32_t key_size_ = 0;
+  uint32_t value_size_ = 0;
+  PageId root_ = kInvalidPage;
+  uint32_t height_ = 1;  // 1 = root is a leaf
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_STORAGE_BTREE_H_

@@ -1,0 +1,140 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fix {
+
+PageHandle::PageHandle(BufferPool* pool, size_t frame, PageId page)
+    : pool_(pool), frame_(frame), page_(page) {}
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_ = other.page_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+char* PageHandle::data() {
+  FIX_CHECK(valid());
+  return pool_->FrameData(frame_);
+}
+
+const char* PageHandle::data() const {
+  FIX_CHECK(valid());
+  return pool_->FrameData(frame_);
+}
+
+void PageHandle::MarkDirty() {
+  FIX_CHECK(valid());
+  pool_->MarkDirty(frame_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t capacity) : file_(file) {
+  FIX_CHECK(capacity >= 8);  // the B+-tree pins a handful of pages at once
+  frames_.resize(capacity);
+  free_frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_[i].data.resize(kPageSize);
+    free_frames_.push_back(capacity - 1 - i);
+  }
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    if (f.pins == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    return PageHandle(this, it->second, id);
+  }
+  ++misses_;
+  size_t idx;
+  FIX_ASSIGN_OR_RETURN(idx, GrabFrame());
+  Frame& f = frames_[idx];
+  FIX_RETURN_IF_ERROR(file_->ReadPage(id, f.data.data()));
+  f.page = id;
+  f.pins = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  page_to_frame_[id] = idx;
+  return PageHandle(this, idx, id);
+}
+
+Result<PageHandle> BufferPool::New() {
+  PageId id;
+  FIX_RETURN_IF_ERROR(file_->AllocatePage(&id));
+  size_t idx;
+  FIX_ASSIGN_OR_RETURN(idx, GrabFrame());
+  Frame& f = frames_[idx];
+  std::memset(f.data.data(), 0, kPageSize);
+  f.page = id;
+  f.pins = 1;
+  f.dirty = true;  // a new page must reach disk even if never touched again
+  f.in_lru = false;
+  page_to_frame_[id] = idx;
+  return PageHandle(this, idx, id);
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: every frame is pinned");
+  }
+  size_t idx = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  if (f.dirty) {
+    FIX_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
+    f.dirty = false;
+  }
+  page_to_frame_.erase(f.page);
+  f.page = kInvalidPage;
+  ++evictions_;
+  return idx;
+}
+
+void BufferPool::Unpin(size_t frame_idx) {
+  Frame& f = frames_[frame_idx];
+  FIX_CHECK(f.pins > 0);
+  if (--f.pins == 0) {
+    lru_.push_front(frame_idx);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page != kInvalidPage && f.dirty) {
+      FIX_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fix

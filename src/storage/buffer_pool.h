@@ -1,0 +1,111 @@
+// BufferPool: a fixed-capacity page cache with LRU eviction and pin counts.
+//
+// All B+-tree page access goes through here. The hit/miss counters double as
+// the logical-I/O metric reported by the benchmark harnesses (a miss is a
+// physical read).
+
+#ifndef FIX_STORAGE_BUFFER_POOL_H_
+#define FIX_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page_file.h"
+
+namespace fix {
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a PageHandle is live, the frame cannot
+/// be evicted. Mark the handle dirty after mutating data().
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, size_t frame, PageId page);
+  ~PageHandle();
+
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_; }
+
+  char* data();
+  const char* data() const;
+
+  /// Must be called after mutating the page contents.
+  void MarkDirty();
+
+  /// Drops the pin early (destructor does the same).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_ = kInvalidPage;
+};
+
+class BufferPool {
+ public:
+  /// `capacity` is the number of kPageSize frames held in memory.
+  BufferPool(PageFile* file, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned handle on page `id`, reading it from disk on a miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page in the file and returns it pinned (zeroed).
+  Result<PageHandle> New();
+
+  /// Writes back every dirty frame.
+  Status FlushAll();
+
+  // Counters (benchmarks read these).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  void ResetCounters() { hits_ = misses_ = evictions_ = 0; }
+
+  size_t capacity() const { return frames_.size(); }
+  PageFile* file() { return file_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page = kInvalidPage;
+    int pins = 0;
+    bool dirty = false;
+    std::vector<char> data;
+    std::list<size_t>::iterator lru_pos;  // valid iff pins == 0 and resident
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_idx);
+  void MarkDirty(size_t frame_idx) { frames_[frame_idx].dirty = true; }
+  char* FrameData(size_t frame_idx) { return frames_[frame_idx].data.data(); }
+
+  /// Finds a frame to (re)use: a never-used frame or the LRU unpinned one.
+  Result<size_t> GrabFrame();
+
+  PageFile* file_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = most recent
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,91 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace fix {
+
+namespace {
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+}  // namespace
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageFile::Open(const std::string& path, bool create) {
+  if (fd_ >= 0) return Status::InvalidArgument("PageFile already open");
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT | O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return Status::IOError(Errno("open", path));
+  path_ = path;
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Status::IOError(Errno("lseek", path));
+  if (size % kPageSize != 0) {
+    return Status::Corruption("page file size not page-aligned: " + path);
+  }
+  num_pages_ = static_cast<PageId>(size / kPageSize);
+  return Status::OK();
+}
+
+Status PageFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Status::IOError(Errno("close", path_));
+  }
+  fd_ = -1;
+  return Status::OK();
+}
+
+Status PageFile::AllocatePage(PageId* id) {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  std::vector<char> zeros(kPageSize, 0);
+  *id = num_pages_;
+  FIX_RETURN_IF_ERROR(WritePage(*id, zeros.data()));
+  ++num_pages_;
+  return Status::OK();
+}
+
+Status PageFile::ReadPage(PageId id, char* buf) {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read past end of page file");
+  }
+  ssize_t n = ::pread(fd_, buf, kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(Errno("pread", path_));
+  }
+  ++reads_;
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, const char* buf) {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (id > num_pages_) {
+    return Status::OutOfRange("write past end of page file");
+  }
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(Errno("pwrite", path_));
+  }
+  ++writes_;
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (::fsync(fd_) != 0) return Status::IOError(Errno("fsync", path_));
+  return Status::OK();
+}
+
+}  // namespace fix

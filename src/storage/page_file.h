@@ -1,0 +1,66 @@
+// PageFile: a file of fixed-size (4 KiB) pages addressed by page id.
+//
+// This is the lowest layer of the storage substrate; the buffer pool sits on
+// top of it and the B+-tree on top of that. Reads and writes use
+// pread/pwrite so the file offset is never shared state.
+
+#ifndef FIX_STORAGE_PAGE_FILE_H_
+#define FIX_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace fix {
+
+inline constexpr size_t kPageSize = 4096;
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = UINT32_MAX;
+
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens (or creates, if `create`) the file. Re-opening an existing file
+  /// recovers the page count from its size, which must be page-aligned.
+  Status Open(const std::string& path, bool create);
+
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Extends the file by one zeroed page and returns its id.
+  Status AllocatePage(PageId* id);
+
+  /// Reads page `id` into `buf` (must hold kPageSize bytes).
+  Status ReadPage(PageId id, char* buf);
+
+  /// Writes kPageSize bytes from `buf` to page `id`.
+  Status WritePage(PageId id, const char* buf);
+
+  Status Sync();
+
+  PageId num_pages() const { return num_pages_; }
+  const std::string& path() const { return path_; }
+
+  /// Physical I/O counters (for the benchmark harnesses).
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  void ResetCounters() { reads_ = writes_ = 0; }
+
+ private:
+  int fd_ = -1;
+  PageId num_pages_ = 0;
+  std::string path_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,28 @@
+#include "xml/doc_stats.h"
+
+#include <set>
+
+namespace fix {
+
+DocStats ComputeDocStats(const Document& doc, const LabelTable& labels) {
+  DocStats stats;
+  std::set<LabelId> seen;
+  for (NodeId id = 1; id < doc.num_nodes(); ++id) {
+    if (doc.IsElement(id)) {
+      ++stats.elements;
+      seen.insert(doc.label(id));
+      // <tag></tag> plus a rough per-element markup overhead.
+      stats.serialized_bytes += 2 * labels.Name(doc.label(id)).size() + 5;
+    } else {
+      ++stats.text_nodes;
+      stats.text_bytes += doc.text(id).size();
+      stats.serialized_bytes += doc.text(id).size();
+    }
+  }
+  NodeId root = doc.root_element();
+  stats.max_depth = root == kInvalidNode ? 0 : doc.Depth(root);
+  stats.distinct_labels = seen.size();
+  return stats;
+}
+
+}  // namespace fix

@@ -1,0 +1,38 @@
+// Per-document / per-corpus statistics used by Table 1 and the harness
+// reports.
+
+#ifndef FIX_XML_DOC_STATS_H_
+#define FIX_XML_DOC_STATS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "xml/document.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+struct DocStats {
+  size_t elements = 0;       ///< element nodes (document node excluded)
+  size_t text_nodes = 0;
+  size_t text_bytes = 0;
+  int max_depth = 0;         ///< root element counts as level 1
+  size_t distinct_labels = 0;
+  size_t serialized_bytes = 0;  ///< approximate XML size
+
+  DocStats& Merge(const DocStats& other) {
+    elements += other.elements;
+    text_nodes += other.text_nodes;
+    text_bytes += other.text_bytes;
+    if (other.max_depth > max_depth) max_depth = other.max_depth;
+    serialized_bytes += other.serialized_bytes;
+    return *this;
+  }
+};
+
+/// Computes statistics for one document.
+DocStats ComputeDocStats(const Document& doc, const LabelTable& labels);
+
+}  // namespace fix
+
+#endif  // FIX_XML_DOC_STATS_H_

@@ -1,0 +1,45 @@
+#include "xml/document.h"
+
+#include <algorithm>
+
+namespace fix {
+
+size_t Document::CountElements() const {
+  size_t n = 0;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kElement) ++n;
+  }
+  return n;
+}
+
+int Document::Depth(NodeId id) const {
+  // Iterative post-order with explicit depth tracking; documents can be deep
+  // (Treebank), so no recursion here.
+  struct Frame {
+    NodeId node;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({id, 1});
+  int max_depth = 0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, f.depth);
+    for (NodeId c = first_child(f.node); c != kInvalidNode;
+         c = next_sibling(c)) {
+      stack.push_back({c, f.depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+std::string Document::ChildText(NodeId id) const {
+  std::string out;
+  for (NodeId c = first_child(id); c != kInvalidNode; c = next_sibling(c)) {
+    if (IsText(c)) out += text(c);
+  }
+  return out;
+}
+
+}  // namespace fix

@@ -1,0 +1,70 @@
+// LabelTable: interns element names (and hashed value labels, Section 4.6)
+// into dense 32-bit ids.
+//
+// The edge-weight encoding of Section 3.2 keys off (label, label) pairs, so
+// the whole pipeline — documents, bisimulation graphs, queries — must agree
+// on one label numbering. A LabelTable is owned by the Corpus and shared by
+// every component.
+
+#ifndef FIX_XML_LABEL_TABLE_H_
+#define FIX_XML_LABEL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fix {
+
+using LabelId = uint32_t;
+
+inline constexpr LabelId kInvalidLabel = UINT32_MAX;
+
+/// Reserved label for the synthetic document node (the parent of the root
+/// element; Definition 2 maps a twig-query root to it).
+inline constexpr std::string_view kDocumentLabel = "#doc";
+
+/// Bidirectional string<->LabelId map. Ids are dense, starting at 0, and id 0
+/// is always the document label. Not thread-safe; callers serialize access.
+class LabelTable {
+ public:
+  LabelTable() { Intern(std::string(kDocumentLabel)); }
+
+  LabelTable(const LabelTable&) = delete;
+  LabelTable& operator=(const LabelTable&) = delete;
+  LabelTable(LabelTable&&) = default;
+  LabelTable& operator=(LabelTable&&) = default;
+
+  /// Returns the id for `name`, creating it if unseen.
+  LabelId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    LabelId id = static_cast<LabelId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or kInvalidLabel if it was never interned.
+  /// Query compilation uses this: a NameTest naming an unknown label cannot
+  /// match anything.
+  LabelId Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidLabel : it->second;
+  }
+
+  const std::string& Name(LabelId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+  static constexpr LabelId DocumentLabel() { return 0; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_XML_LABEL_TABLE_H_

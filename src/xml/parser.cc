@@ -1,0 +1,319 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace fix {
+
+namespace {
+// The parser recurses per element level; this cap keeps deeply nested (or
+// adversarial) input from exhausting the call stack.
+constexpr int kMaxElementDepth = 5000;
+}  // namespace
+
+char XmlParser::Get() {
+  char c = input_[pos_++];
+  if (c == '\n') ++line_;
+  return c;
+}
+
+bool XmlParser::Consume(char c) {
+  if (AtEnd() || Peek() != c) return false;
+  Get();
+  return true;
+}
+
+bool XmlParser::ConsumeLiteral(std::string_view lit) {
+  if (input_.substr(pos_, lit.size()) != lit) return false;
+  for (size_t i = 0; i < lit.size(); ++i) Get();
+  return true;
+}
+
+void XmlParser::SkipWhitespace() {
+  while (!AtEnd() && IsXmlWhitespace(Peek())) Get();
+}
+
+Status XmlParser::Fail(const std::string& what) const {
+  return Status::ParseError(what + " (line " + std::to_string(line_) + ")");
+}
+
+bool XmlParser::IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool XmlParser::IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+Result<Document> XmlParser::Parse(std::string_view input) {
+  input_ = input;
+  pos_ = 0;
+  line_ = 1;
+
+  Document doc;
+  FIX_RETURN_IF_ERROR(ParseProlog());
+  SkipWhitespace();
+  if (AtEnd() || Peek() != '<') {
+    return Fail("expected root element");
+  }
+  FIX_RETURN_IF_ERROR(ParseElement(&doc, /*parent=*/0, /*depth=*/1));
+  // Trailing Misc (comments, PIs, whitespace) after the root element.
+  FIX_RETURN_IF_ERROR(ParseMisc());
+  SkipWhitespace();
+  if (!AtEnd()) {
+    return Fail("content after root element");
+  }
+  return doc;
+}
+
+Status XmlParser::ParseProlog() {
+  SkipWhitespace();
+  if (ConsumeLiteral("<?xml")) {
+    // XML declaration: skip to "?>".
+    while (!AtEnd() && !ConsumeLiteral("?>")) Get();
+  }
+  FIX_RETURN_IF_ERROR(ParseMisc());
+  SkipWhitespace();
+  if (input_.substr(pos_, 9) == "<!DOCTYPE") {
+    FIX_RETURN_IF_ERROR(ParseDoctype());
+    FIX_RETURN_IF_ERROR(ParseMisc());
+  }
+  return Status::OK();
+}
+
+Status XmlParser::ParseMisc() {
+  for (;;) {
+    SkipWhitespace();
+    if (input_.substr(pos_, 4) == "<!--") {
+      FIX_RETURN_IF_ERROR(ParseComment());
+    } else if (input_.substr(pos_, 2) == "<?" &&
+               input_.substr(pos_, 5) != "<?xml") {
+      FIX_RETURN_IF_ERROR(ParsePi());
+    } else {
+      return Status::OK();
+    }
+  }
+}
+
+Status XmlParser::ParseComment() {
+  FIX_CHECK(ConsumeLiteral("<!--"));
+  while (!AtEnd()) {
+    if (ConsumeLiteral("-->")) return Status::OK();
+    Get();
+  }
+  return Fail("unterminated comment");
+}
+
+Status XmlParser::ParsePi() {
+  FIX_CHECK(ConsumeLiteral("<?"));
+  while (!AtEnd()) {
+    if (ConsumeLiteral("?>")) return Status::OK();
+    Get();
+  }
+  return Fail("unterminated processing instruction");
+}
+
+Status XmlParser::ParseDoctype() {
+  FIX_CHECK(ConsumeLiteral("<!DOCTYPE"));
+  int bracket_depth = 0;
+  while (!AtEnd()) {
+    char c = Get();
+    if (c == '[') {
+      ++bracket_depth;
+    } else if (c == ']') {
+      --bracket_depth;
+    } else if (c == '>' && bracket_depth == 0) {
+      return Status::OK();
+    }
+  }
+  return Fail("unterminated DOCTYPE");
+}
+
+Result<std::string> XmlParser::ParseName() {
+  if (AtEnd() || !IsNameStartChar(Peek())) {
+    return Fail("expected a name");
+  }
+  std::string name;
+  name.push_back(Get());
+  while (!AtEnd() && IsNameChar(Peek())) name.push_back(Get());
+  return name;
+}
+
+Status XmlParser::ParseElement(Document* doc, NodeId parent, int depth) {
+  if (depth > kMaxElementDepth) return Fail("document too deep");
+  if (!Consume('<')) return Fail("expected '<'");
+  std::string name;
+  FIX_ASSIGN_OR_RETURN(name, ParseName());
+  NodeId element = doc->AddElement(parent, labels_->Intern(name));
+  FIX_RETURN_IF_ERROR(ParseAttributes(doc, element));
+  SkipWhitespace();
+  if (ConsumeLiteral("/>")) return Status::OK();
+  if (!Consume('>')) return Fail("expected '>' closing start tag <" + name);
+  FIX_RETURN_IF_ERROR(ParseContent(doc, element, depth));
+  // ParseContent stops right after "</".
+  std::string close_name;
+  FIX_ASSIGN_OR_RETURN(close_name, ParseName());
+  if (close_name != name) {
+    return Fail("mismatched end tag </" + close_name + "> for <" + name + ">");
+  }
+  SkipWhitespace();
+  if (!Consume('>')) return Fail("expected '>' closing end tag");
+  return Status::OK();
+}
+
+Status XmlParser::ParseAttributes(Document* doc, NodeId element) {
+  for (;;) {
+    // Require at least one whitespace char before an attribute name.
+    size_t before = pos_;
+    SkipWhitespace();
+    if (AtEnd()) return Fail("unterminated start tag");
+    char c = Peek();
+    if (c == '>' || c == '/') {
+      return Status::OK();
+    }
+    if (before == pos_) return Fail("expected whitespace before attribute");
+    std::string name;
+    FIX_ASSIGN_OR_RETURN(name, ParseName());
+    SkipWhitespace();
+    if (!Consume('=')) return Fail("expected '=' in attribute " + name);
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Fail("expected quoted attribute value");
+    }
+    char quote = Get();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        FIX_RETURN_IF_ERROR(ParseReference(&value));
+      } else if (Peek() == '<') {
+        return Fail("'<' in attribute value");
+      } else {
+        value.push_back(Get());
+      }
+    }
+    if (!Consume(quote)) return Fail("unterminated attribute value");
+    if (options_.keep_attributes) {
+      doc->AddAttribute(element, std::move(name), std::move(value));
+    }
+  }
+}
+
+Status XmlParser::ParseContent(Document* doc, NodeId element, int depth) {
+  std::string text;
+  for (;;) {
+    if (AtEnd()) return Fail("unexpected end of input inside element");
+    char c = Peek();
+    if (c == '<') {
+      if (ConsumeLiteral("</")) {
+        FlushText(doc, element, &text);
+        return Status::OK();
+      }
+      if (input_.substr(pos_, 4) == "<!--") {
+        FIX_RETURN_IF_ERROR(ParseComment());
+        continue;
+      }
+      if (input_.substr(pos_, 9) == "<![CDATA[") {
+        FIX_RETURN_IF_ERROR(ParseCdata(&text));
+        continue;
+      }
+      if (input_.substr(pos_, 2) == "<?") {
+        FIX_RETURN_IF_ERROR(ParsePi());
+        continue;
+      }
+      FlushText(doc, element, &text);
+      FIX_RETURN_IF_ERROR(ParseElement(doc, element, depth + 1));
+      continue;
+    }
+    if (c == '&') {
+      FIX_RETURN_IF_ERROR(ParseReference(&text));
+      continue;
+    }
+    text.push_back(Get());
+  }
+}
+
+Status XmlParser::ParseCdata(std::string* out) {
+  FIX_CHECK(ConsumeLiteral("<![CDATA["));
+  while (!AtEnd()) {
+    if (ConsumeLiteral("]]>")) return Status::OK();
+    out->push_back(Get());
+  }
+  return Fail("unterminated CDATA section");
+}
+
+Status XmlParser::ParseReference(std::string* out) {
+  FIX_CHECK(Consume('&'));
+  std::string entity;
+  while (!AtEnd() && Peek() != ';') {
+    entity.push_back(Get());
+    if (entity.size() > 10) return Fail("entity reference too long");
+  }
+  if (!Consume(';')) return Fail("unterminated entity reference");
+  if (entity == "lt") {
+    out->push_back('<');
+  } else if (entity == "gt") {
+    out->push_back('>');
+  } else if (entity == "amp") {
+    out->push_back('&');
+  } else if (entity == "apos") {
+    out->push_back('\'');
+  } else if (entity == "quot") {
+    out->push_back('"');
+  } else if (!entity.empty() && entity[0] == '#') {
+    long code = 0;
+    bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+    const char* first = entity.data() + (hex ? 2 : 1);
+    const char* last = entity.data() + entity.size();
+    auto [ptr, ec] = std::from_chars(first, last, code, hex ? 16 : 10);
+    if (ec != std::errc() || ptr != last || first == last) {
+      return Fail("bad character reference &" + entity + ";");
+    }
+    if (code <= 0 || code > 0x10FFFF) {
+      return Fail("character reference out of range");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  } else {
+    return Fail("unknown entity &" + entity + ";");
+  }
+  return Status::OK();
+}
+
+void XmlParser::FlushText(Document* doc, NodeId parent, std::string* text) {
+  if (text->empty()) return;
+  bool all_ws = true;
+  for (char c : *text) {
+    if (!IsXmlWhitespace(c)) {
+      all_ws = false;
+      break;
+    }
+  }
+  if (!(all_ws && options_.skip_whitespace_text)) {
+    doc->AddText(parent, kInvalidLabel, *text);
+  }
+  text->clear();
+}
+
+Result<Document> ParseXml(std::string_view input, LabelTable* labels,
+                          ParseOptions options) {
+  XmlParser parser(labels, options);
+  return parser.Parse(input);
+}
+
+}  // namespace fix

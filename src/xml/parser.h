@@ -1,0 +1,83 @@
+// A from-scratch, non-validating XML parser producing arena Documents.
+//
+// Supported: elements, attributes, character data, CDATA sections, the five
+// predefined entities plus numeric character references, comments,
+// processing instructions, an XML declaration, and a DOCTYPE declaration
+// with an (ignored) internal subset. Namespaces are not expanded; prefixed
+// names are treated as opaque labels, which matches how the paper's data
+// sets use tags.
+
+#ifndef FIX_XML_PARSER_H_
+#define FIX_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+struct ParseOptions {
+  /// Drop text nodes that are entirely XML whitespace (the usual choice for
+  /// data-centric documents; pretty-printing indentation is not data).
+  bool skip_whitespace_text = true;
+  /// Retain attributes on the Document (they are never indexed).
+  bool keep_attributes = true;
+};
+
+class XmlParser {
+ public:
+  /// Labels are interned into `labels`, which must outlive the parser.
+  explicit XmlParser(LabelTable* labels, ParseOptions options = {})
+      : labels_(labels), options_(options) {}
+
+  /// Parses a complete document. On failure the Status message includes the
+  /// 1-based line number of the offending construct.
+  Result<Document> Parse(std::string_view input);
+
+ private:
+  // Character-level helpers; all operate on (input_, pos_).
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char Get();
+  bool Consume(char c);
+  bool ConsumeLiteral(std::string_view lit);
+  void SkipWhitespace();
+  Status Fail(const std::string& what) const;
+
+  Status ParseProlog();
+  Status ParseMisc();           // comments / PIs between markup
+  Status ParseComment();
+  Status ParsePi();
+  Status ParseDoctype();
+  Status ParseElement(Document* doc, NodeId parent, int depth);
+  Status ParseAttributes(Document* doc, NodeId element);
+  Status ParseContent(Document* doc, NodeId element, int depth);
+  Status ParseCdata(std::string* out);
+  Status ParseReference(std::string* out);
+  Result<std::string> ParseName();
+
+  static bool IsNameStartChar(char c);
+  static bool IsNameChar(char c);
+  static bool IsXmlWhitespace(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+
+  void FlushText(Document* doc, NodeId parent, std::string* text);
+
+  LabelTable* labels_;
+  ParseOptions options_;
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Convenience wrapper constructing a parser for one call.
+Result<Document> ParseXml(std::string_view input, LabelTable* labels,
+                          ParseOptions options = {});
+
+}  // namespace fix
+
+#endif  // FIX_XML_PARSER_H_

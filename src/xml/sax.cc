@@ -1,0 +1,38 @@
+#include "xml/sax.h"
+
+namespace fix {
+
+bool DocumentEventStream::Next(SaxEvent* event) {
+  if (!started_) {
+    started_ = true;
+    if (start_ == kInvalidNode || !Emittable(start_)) return false;
+    event->kind = SaxEvent::Kind::kOpen;
+    event->label = EffectiveLabel(start_);
+    event->ref = {doc_id_, start_};
+    stack_.push_back({start_, doc_->first_child(start_)});
+    return true;
+  }
+  while (!stack_.empty()) {
+    Frame& top = stack_.back();
+    while (top.next_child != kInvalidNode && !Emittable(top.next_child)) {
+      top.next_child = doc_->next_sibling(top.next_child);
+    }
+    if (top.next_child == kInvalidNode) {
+      event->kind = SaxEvent::Kind::kClose;
+      event->label = EffectiveLabel(top.node);
+      event->ref = {doc_id_, top.node};
+      stack_.pop_back();
+      return true;
+    }
+    NodeId child = top.next_child;
+    top.next_child = doc_->next_sibling(child);
+    event->kind = SaxEvent::Kind::kOpen;
+    event->label = EffectiveLabel(child);
+    event->ref = {doc_id_, child};
+    stack_.push_back({child, doc_->first_child(child)});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fix

@@ -1,0 +1,83 @@
+// SAX-style event streams.
+//
+// Algorithm 1 (CONSTRUCT-ENTRIES) is written against an event stream, not a
+// DOM: it consumes open/close events and maintains a PathStack of
+// signatures. Two producers implement this interface:
+//   * DocumentEventStream — replays a stored Document in document order;
+//   * BisimTraveler (graph/bisim_traveler.h) — regenerates events from a
+//     bisimulation graph under a depth limit (GEN-SUBPATTERN).
+
+#ifndef FIX_XML_SAX_H_
+#define FIX_XML_SAX_H_
+
+#include <vector>
+
+#include "xml/document.h"
+#include "xml/label_table.h"
+#include "xml/value_hash.h"
+
+namespace fix {
+
+/// One parse event. Open events carry the label and the "start_ptr" into
+/// primary storage (paper, Algorithm 1 line 6); close events identify the
+/// node being closed.
+struct SaxEvent {
+  enum class Kind : uint8_t { kOpen, kClose };
+  Kind kind;
+  LabelId label;
+  NodeRef ref;
+};
+
+/// Pull-based event source.
+class EventStream {
+ public:
+  virtual ~EventStream() = default;
+
+  /// Produces the next event. Returns false at end of stream.
+  virtual bool Next(SaxEvent* event) = 0;
+};
+
+/// Replays the subtree rooted at `start` of a Document as an event stream.
+///
+/// When a ValueHasher is supplied, text nodes are emitted as open/close pairs
+/// whose label is the hashed value label (Section 4.6); otherwise text nodes
+/// are silently skipped and the stream is purely structural.
+class DocumentEventStream : public EventStream {
+ public:
+  DocumentEventStream(const Document* doc, uint32_t doc_id,
+                      const ValueHasher* values = nullptr)
+      : DocumentEventStream(doc, doc_id, doc->root_element(), values) {}
+
+  /// Streams only the subtree rooted at `start`.
+  DocumentEventStream(const Document* doc, uint32_t doc_id, NodeId start,
+                      const ValueHasher* values)
+      : doc_(doc), doc_id_(doc_id), start_(start), values_(values) {}
+
+  bool Next(SaxEvent* event) override;
+
+ private:
+  struct Frame {
+    NodeId node;
+    NodeId next_child;
+  };
+
+  bool Emittable(NodeId id) const {
+    return doc_->IsElement(id) || values_ != nullptr;
+  }
+
+  LabelId EffectiveLabel(NodeId id) const {
+    if (doc_->IsElement(id)) return doc_->label(id);
+    return values_->LabelFor(doc_->text(id));
+  }
+
+  const Document* doc_;
+  uint32_t doc_id_;
+  NodeId start_;
+  const ValueHasher* values_;
+  bool started_ = false;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_XML_SAX_H_

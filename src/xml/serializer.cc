@@ -1,0 +1,170 @@
+#include "xml/serializer.h"
+
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace fix {
+
+std::string XmlEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SerializeNode(const Document& doc, const LabelTable& labels,
+                   const SerializeOptions& options, NodeId id, int indent,
+                   std::string* out) {
+  if (doc.IsText(id)) {
+    *out += XmlEscape(doc.text(id));
+    return;
+  }
+  const std::string& name = labels.Name(doc.label(id));
+  if (options.pretty && !out->empty()) {
+    *out += '\n';
+    out->append(static_cast<size_t>(indent) * 2, ' ');
+  }
+  *out += '<';
+  *out += name;
+  if (options.attributes) {
+    for (const auto& attr : doc.attributes()) {
+      if (attr.owner == id) {
+        *out += ' ';
+        *out += attr.name;
+        *out += "=\"";
+        *out += XmlEscape(attr.value);
+        *out += '"';
+      }
+    }
+  }
+  NodeId child = doc.first_child(id);
+  if (child == kInvalidNode) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  bool has_element_child = false;
+  for (NodeId c = child; c != kInvalidNode; c = doc.next_sibling(c)) {
+    if (doc.IsElement(c)) has_element_child = true;
+    SerializeNode(doc, labels, options, c, indent + 1, out);
+  }
+  if (options.pretty && has_element_child) {
+    *out += '\n';
+    out->append(static_cast<size_t>(indent) * 2, ' ');
+  }
+  *out += "</";
+  *out += name;
+  *out += '>';
+}
+
+}  // namespace
+
+std::string SerializeXml(const Document& doc, const LabelTable& labels,
+                         SerializeOptions options, NodeId start) {
+  if (start == kInvalidNode) start = doc.root_element();
+  std::string out;
+  if (start != kInvalidNode) {
+    SerializeNode(doc, labels, options, start, 0, &out);
+  }
+  return out;
+}
+
+void EncodeDocument(const Document& doc, std::string* out, NodeId start) {
+  if (start == kInvalidNode) start = doc.root_element();
+  // Pre-order walk collecting (node, new_parent) pairs; new ids are assigned
+  // in visit order starting at 1 (0 is the implicit document node).
+  struct Item {
+    NodeId node;
+    uint32_t new_parent;
+  };
+  std::vector<Item> order;
+  if (start != kInvalidNode) {
+    std::vector<Item> stack{{start, 0}};
+    while (!stack.empty()) {
+      Item item = stack.back();
+      stack.pop_back();
+      uint32_t new_id = static_cast<uint32_t>(order.size()) + 1;
+      order.push_back(item);
+      // Push children in reverse so they pop in document order.
+      std::vector<NodeId> children;
+      for (NodeId c = doc.first_child(item.node); c != kInvalidNode;
+           c = doc.next_sibling(c)) {
+        children.push_back(c);
+      }
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        stack.push_back({*it, new_id});
+      }
+    }
+  }
+  PutVarint32(out, static_cast<uint32_t>(order.size()));
+  for (const Item& item : order) {
+    PutVarint32(out, doc.label(item.node));
+    PutVarint32(out, item.new_parent);
+    PutVarint32(out, static_cast<uint32_t>(doc.kind(item.node)));
+    if (doc.IsText(item.node)) {
+      const std::string& t = doc.text(item.node);
+      PutVarint32(out, static_cast<uint32_t>(t.size()));
+      out->append(t);
+    }
+  }
+}
+
+Result<Document> DecodeDocument(const std::string& buf) {
+  size_t pos = 0;
+  uint32_t n = 0;
+  if (!GetVarint32(buf, &pos, &n)) {
+    return Status::Corruption("document record: truncated header");
+  }
+  Document doc;
+  for (uint32_t i = 1; i <= n; ++i) {
+    uint32_t label, parent, kind;
+    if (!GetVarint32(buf, &pos, &label) || !GetVarint32(buf, &pos, &parent) ||
+        !GetVarint32(buf, &pos, &kind)) {
+      return Status::Corruption("document record: truncated node");
+    }
+    if (parent >= i) {
+      return Status::Corruption("document record: parent after child");
+    }
+    if (kind == static_cast<uint32_t>(NodeKind::kElement)) {
+      doc.AddElement(parent, label);
+    } else if (kind == static_cast<uint32_t>(NodeKind::kText)) {
+      uint32_t len;
+      if (!GetVarint32(buf, &pos, &len) || pos + len > buf.size()) {
+        return Status::Corruption("document record: truncated text");
+      }
+      doc.AddText(parent, label, std::string_view(buf).substr(pos, len));
+      pos += len;
+    } else {
+      return Status::Corruption("document record: bad node kind");
+    }
+  }
+  if (pos != buf.size()) {
+    return Status::Corruption("document record: trailing bytes");
+  }
+  return doc;
+}
+
+}  // namespace fix

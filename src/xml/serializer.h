@@ -1,0 +1,47 @@
+// Text serialization (Document -> XML string) and the compact binary codec
+// used by the primary record store and the clustered index.
+
+#ifndef FIX_XML_SERIALIZER_H_
+#define FIX_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+struct SerializeOptions {
+  bool pretty = false;       ///< newline + two-space indentation per level
+  bool attributes = true;    ///< emit retained attributes
+};
+
+/// Serializes the subtree rooted at `start` (defaults to the root element)
+/// back to XML text, escaping markup characters in text and attributes.
+std::string SerializeXml(const Document& doc, const LabelTable& labels,
+                         SerializeOptions options = {},
+                         NodeId start = kInvalidNode);
+
+/// Escapes &, <, >, ", ' for embedding in XML text or attribute values.
+std::string XmlEscape(std::string_view raw);
+
+// ---------------------------------------------------------------------------
+// Binary codec. Format (all varints):
+//   [num_nodes u32] then per node (pre-order, excluding the document node):
+//   [label u32] [parent u32] [kind u8-as-varint] [text? len + bytes]
+// Label ids refer to the corpus-wide LabelTable, which is persisted
+// separately (see storage/record_store.h).
+// ---------------------------------------------------------------------------
+
+/// Encodes the whole document (or the subtree at `start`) into `out`.
+void EncodeDocument(const Document& doc, std::string* out,
+                    NodeId start = kInvalidNode);
+
+/// Decodes a buffer produced by EncodeDocument. The result is a standalone
+/// Document whose root element is the encoded subtree's root.
+Result<Document> DecodeDocument(const std::string& buf);
+
+}  // namespace fix
+
+#endif  // FIX_XML_SERIALIZER_H_

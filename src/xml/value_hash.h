@@ -1,0 +1,49 @@
+// ValueHasher: maps PCDATA strings into a small label domain (Section 4.6).
+//
+// The paper hashes values into (α, α+β] where α is the largest element
+// label; here we intern β distinct bucket labels "#v<k>" into the shared
+// LabelTable, which achieves the same thing (bucket labels are disjoint from
+// element labels) without needing to know α up front. Collisions are by
+// design: they introduce false positives only, never false negatives, and
+// the refinement phase compares raw strings.
+
+#ifndef FIX_XML_VALUE_HASH_H_
+#define FIX_XML_VALUE_HASH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "xml/label_table.h"
+
+namespace fix {
+
+class ValueHasher {
+ public:
+  /// Interns β bucket labels in `labels`. β must be >= 1. The same
+  /// (LabelTable, β) pair must be used at index-build time and query time.
+  ValueHasher(LabelTable* labels, uint32_t beta) : beta_(beta) {
+    FIX_CHECK(beta >= 1);
+    bucket_labels_.reserve(beta);
+    for (uint32_t k = 0; k < beta; ++k) {
+      bucket_labels_.push_back(labels->Intern("#v" + std::to_string(k)));
+    }
+  }
+
+  /// The value label for a PCDATA string.
+  LabelId LabelFor(std::string_view value) const {
+    return bucket_labels_[Fnv1a64(value.data(), value.size()) % beta_];
+  }
+
+  uint32_t beta() const { return beta_; }
+
+ private:
+  uint32_t beta_;
+  std::vector<LabelId> bucket_labels_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_XML_VALUE_HASH_H_

@@ -1,0 +1,247 @@
+// B+-tree tests: basics, splits across multiple levels, duplicates spanning
+// leaf boundaries, range scans, deletion, persistence, and a randomized
+// model test against std::multimap.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/btree.h"
+
+namespace fix {
+namespace {
+
+constexpr uint32_t kKey = 8;
+constexpr uint32_t kVal = 8;
+
+std::string K(uint64_t v) {
+  std::string out(kKey, '\0');
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>(v >> (56 - 8 * i));
+  return out;
+}
+
+std::string V(uint64_t v) { return K(v); }
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_btree_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    ASSERT_TRUE(file_.Open(dir_ + "/tree", true).ok());
+    pool_ = std::make_unique<BufferPool>(&file_, 64);
+    auto tree = BTree::Create(pool_.get(), kKey, kVal);
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    tree_ = std::make_unique<BTree>(std::move(tree).value());
+  }
+  void TearDown() override {
+    tree_.reset();
+    pool_.reset();
+    (void)file_.Close();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  PageFile file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_->num_entries(), 0u);
+  EXPECT_FALSE(tree_->Get(K(1)).ok());
+  auto it = tree_->SeekFirst();
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(BTreeTest, InsertAndGet) {
+  ASSERT_TRUE(tree_->Insert(K(5), V(50)).ok());
+  ASSERT_TRUE(tree_->Insert(K(3), V(30)).ok());
+  ASSERT_TRUE(tree_->Insert(K(9), V(90)).ok());
+  EXPECT_EQ(tree_->num_entries(), 3u);
+  auto got = tree_->Get(K(3));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, V(30));
+  EXPECT_FALSE(tree_->Get(K(4)).ok());
+}
+
+TEST_F(BTreeTest, SizeMismatchRejected) {
+  EXPECT_FALSE(tree_->Insert("short", V(1)).ok());
+  EXPECT_FALSE(tree_->Insert(K(1), "bad").ok());
+  EXPECT_FALSE(tree_->Get("x").ok());
+}
+
+TEST_F(BTreeTest, OrderedIterationAfterManySplits) {
+  const int n = 20000;  // forces multi-level splits with 8+8 byte entries
+  Rng rng(11);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(tree_->Insert(K(k), V(k ^ 0xff)).ok());
+  }
+  EXPECT_EQ(tree_->num_entries(), static_cast<uint64_t>(n));
+  EXPECT_GT(tree_->height(), 1u);
+
+  auto it = tree_->SeekFirst();
+  ASSERT_TRUE(it.ok());
+  std::string prev;
+  int count = 0;
+  while (it->Valid()) {
+    std::string key(it->key());
+    if (count > 0) {
+      EXPECT_LE(prev, key);
+    }
+    prev = key;
+    ++count;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST_F(BTreeTest, SequentialInsertAscendingAndDescending) {
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(tree_->Insert(K(i), V(i)).ok());
+  }
+  for (int i = 9999; i >= 7000; --i) {
+    ASSERT_TRUE(tree_->Insert(K(i), V(i)).ok());
+  }
+  for (int i = 0; i < 3000; i += 97) {
+    auto got = tree_->Get(K(i));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, V(i));
+  }
+  for (int i = 7000; i < 10000; i += 83) {
+    ASSERT_TRUE(tree_->Get(K(i)).ok()) << i;
+  }
+}
+
+TEST_F(BTreeTest, DuplicateKeysAllRetrievable) {
+  // Insert many duplicates of few keys so runs span leaf splits.
+  const int dups = 800;
+  for (int i = 0; i < dups; ++i) {
+    ASSERT_TRUE(tree_->Insert(K(42), V(i)).ok());
+    ASSERT_TRUE(tree_->Insert(K(7), V(i)).ok());
+  }
+  ASSERT_TRUE(tree_->Insert(K(100), V(0)).ok());
+
+  auto it = tree_->Seek(K(42));
+  ASSERT_TRUE(it.ok());
+  int found = 0;
+  while (it->Valid() && it->key() == K(42)) {
+    ++found;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(found, dups);
+  // The scan must land exactly on the next key afterwards.
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), K(100));
+}
+
+TEST_F(BTreeTest, SeekSemantics) {
+  for (uint64_t k : {10u, 20u, 30u}) {
+    ASSERT_TRUE(tree_->Insert(K(k), V(k)).ok());
+  }
+  auto it = tree_->Seek(K(15));
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), K(20));  // first key >= 15
+  auto it2 = tree_->Seek(K(20));
+  ASSERT_TRUE(it2.ok());
+  EXPECT_EQ(it2->key(), K(20));  // exact
+  auto it3 = tree_->Seek(K(31));
+  ASSERT_TRUE(it3.ok());
+  EXPECT_FALSE(it3->Valid());  // past the end
+}
+
+TEST_F(BTreeTest, DeleteSpecificValue) {
+  ASSERT_TRUE(tree_->Insert(K(1), V(10)).ok());
+  ASSERT_TRUE(tree_->Insert(K(1), V(11)).ok());
+  ASSERT_TRUE(tree_->Insert(K(2), V(20)).ok());
+  ASSERT_TRUE(tree_->Delete(K(1), V(10)).ok());
+  EXPECT_EQ(tree_->num_entries(), 2u);
+  auto got = tree_->Get(K(1));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, V(11));
+  EXPECT_TRUE(tree_->Delete(K(1), V(11)).ok());
+  EXPECT_FALSE(tree_->Get(K(1)).ok());
+  EXPECT_FALSE(tree_->Delete(K(1), V(11)).ok());  // already gone
+}
+
+TEST_F(BTreeTest, PersistAndReopen) {
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree_->Insert(K(i * 3), V(i)).ok());
+  }
+  ASSERT_TRUE(tree_->Flush().ok());
+  tree_.reset();
+  pool_.reset();
+  ASSERT_TRUE(file_.Close().ok());
+
+  PageFile file2;
+  ASSERT_TRUE(file2.Open(dir_ + "/tree", false).ok());
+  BufferPool pool2(&file2, 64);
+  auto reopened = BTree::Open(&pool2);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->num_entries(), 5000u);
+  for (int i = 0; i < 5000; i += 191) {
+    auto got = reopened->Get(K(i * 3));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, V(i));
+  }
+}
+
+TEST_F(BTreeTest, OpenRejectsGarbageFile) {
+  PageFile garbage;
+  ASSERT_TRUE(garbage.Open(dir_ + "/garbage", true).ok());
+  PageId id;
+  ASSERT_TRUE(garbage.AllocatePage(&id).ok());
+  BufferPool pool(&garbage, 16);
+  EXPECT_FALSE(BTree::Open(&pool).ok());
+}
+
+// Randomized model test: the tree must agree with std::multimap under a
+// mixed insert/delete/lookup workload.
+TEST_F(BTreeTest, ModelConformance) {
+  Rng rng(77);
+  std::multimap<std::string, std::string> model;
+  for (int op = 0; op < 30000; ++op) {
+    uint64_t k = rng.Uniform(500);  // small key space -> many duplicates
+    int action = static_cast<int>(rng.Uniform(10));
+    if (action < 6) {
+      uint64_t v = rng.Next();
+      ASSERT_TRUE(tree_->Insert(K(k), V(v)).ok());
+      model.emplace(K(k), V(v));
+    } else if (action < 8) {
+      auto range = model.equal_range(K(k));
+      if (range.first != range.second) {
+        ASSERT_TRUE(tree_->Delete(K(k), range.first->second).ok());
+        model.erase(range.first);
+      } else {
+        EXPECT_FALSE(tree_->Get(K(k)).ok());
+      }
+    } else {
+      bool in_model = model.count(K(k)) > 0;
+      EXPECT_EQ(tree_->Get(K(k)).ok(), in_model);
+    }
+  }
+  EXPECT_EQ(tree_->num_entries(), model.size());
+  // Full-scan equivalence.
+  auto it = tree_->SeekFirst();
+  ASSERT_TRUE(it.ok());
+  auto mit = model.begin();
+  while (it->Valid()) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it->key(), mit->first);
+    ++mit;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+}  // namespace
+}  // namespace fix

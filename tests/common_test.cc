@@ -1,0 +1,257 @@
+// Unit tests for src/common: Status/Result, byte codecs, varints, and the
+// deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fix {
+namespace {
+
+// --- Status -----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+Status Propagates(bool fail) {
+  FIX_RETURN_IF_ERROR(fail ? Status::IOError("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_TRUE(Propagates(true).IsIOError());
+}
+
+// --- Result -----------------------------------------------------------------
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  int doubled = 0;
+  FIX_ASSIGN_OR_RETURN(doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = UsesAssignOrReturn(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 11);
+  EXPECT_FALSE(UsesAssignOrReturn(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// --- byte codecs ------------------------------------------------------------
+
+TEST(BytesTest, Fixed32RoundTrip) {
+  char buf[4];
+  EncodeFixed32(buf, 0xdeadbeef);
+  EXPECT_EQ(DecodeFixed32(buf), 0xdeadbeefu);
+}
+
+TEST(BytesTest, Fixed64RoundTrip) {
+  char buf[8];
+  EncodeFixed64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789abcdefULL);
+}
+
+TEST(BytesTest, BigEndianPreservesOrder) {
+  char a[4], b[4];
+  EncodeBigEndian32(a, 5);
+  EncodeBigEndian32(b, 1000);
+  EXPECT_LT(std::memcmp(a, b, 4), 0);
+  EXPECT_EQ(DecodeBigEndian32(a), 5u);
+  EXPECT_EQ(DecodeBigEndian32(b), 1000u);
+
+  char c[8], d[8];
+  EncodeBigEndian64(c, 77);
+  EncodeBigEndian64(d, 1ULL << 40);
+  EXPECT_LT(std::memcmp(c, d, 8), 0);
+  EXPECT_EQ(DecodeBigEndian64(d), 1ULL << 40);
+}
+
+TEST(BytesTest, OrderPreservingDoubleRoundTrip) {
+  const double values[] = {0.0,  -0.0,   1.5,    -1.5,   3.14159,
+                           -2.7, 1e-300, -1e300, 1e300,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  for (double v : values) {
+    EXPECT_EQ(OrderPreservingToDouble(OrderPreservingDouble(v)), v) << v;
+  }
+}
+
+TEST(BytesTest, OrderPreservingDoubleIsMonotone) {
+  std::vector<double> values = {-1e308, -42.0, -1.0, -1e-10, 0.0,
+                                1e-10,  1.0,   42.0, 1e308};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(OrderPreservingDouble(values[i]),
+              OrderPreservingDouble(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(BytesTest, OrderPreservingDoubleRandomizedMonotone) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double a = (rng.NextDouble() - 0.5) * 1e6;
+    double b = (rng.NextDouble() - 0.5) * 1e6;
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(OrderPreservingDouble(a), OrderPreservingDouble(b));
+  }
+}
+
+TEST(BytesTest, VarintRoundTrip) {
+  const uint32_t values[] = {0, 1, 127, 128, 300, 16383, 16384, UINT32_MAX};
+  std::string buf;
+  for (uint32_t v : values) PutVarint32(&buf, v);
+  size_t pos = 0;
+  for (uint32_t v : values) {
+    uint32_t out = 0;
+    ASSERT_TRUE(GetVarint32(buf, &pos, &out));
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(BytesTest, Varint64RoundTrip) {
+  const uint64_t values[] = {0, 1, 1ULL << 35, UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(BytesTest, VarintTruncationDetected) {
+  std::string buf;
+  PutVarint32(&buf, 300);
+  buf.pop_back();  // drop the final byte
+  size_t pos = 0;
+  uint32_t out;
+  EXPECT_FALSE(GetVarint32(buf, &pos, &out));
+}
+
+TEST(BytesTest, FnvHashStableAndSpreads) {
+  EXPECT_EQ(Fnv1a64(std::string("abc")), Fnv1a64(std::string("abc")));
+  EXPECT_NE(Fnv1a64(std::string("abc")), Fnv1a64(std::string("abd")));
+  EXPECT_NE(Fnv1a64(std::string("")), Fnv1a64(std::string("x")));
+}
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  // Different seed should diverge immediately (overwhelming probability).
+  Rng a2(42);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RngTest, UniformWithinBound) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Chance(0.25);
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(RngTest, PickWeightedHonorsWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.PickWeighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, GeometricCountBounded) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    int n = rng.GeometricCount(2, 5, 0.5);
+    EXPECT_GE(n, 2);
+    EXPECT_LE(n, 5);
+  }
+}
+
+}  // namespace
+}  // namespace fix

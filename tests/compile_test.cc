@@ -1,0 +1,142 @@
+// Tests for query compilation: //-edge decomposition (Section 5) and twig
+// query -> bisimulation-graph conversion (Algorithm 2).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "query/compile.h"
+#include "query/xpath_parser.h"
+#include "xml/value_hash.h"
+
+namespace fix {
+namespace {
+
+TwigQuery MustParse(const std::string& text, LabelTable* labels) {
+  auto q = ParseXPath(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  TwigQuery query = std::move(q).value();
+  query.ResolveLabels(labels);
+  return query;
+}
+
+TEST(DecomposeTest, PureTwigStaysWhole) {
+  LabelTable labels;
+  TwigQuery q = MustParse("//a[b]/c", &labels);
+  auto parts = DecomposeAtDescendantEdges(q);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].ToString(), "//a[b]/c");
+}
+
+TEST(DecomposeTest, PaperExample) {
+  // Section 5: //open_auction[.//bidder[name][email]]/price decomposes into
+  // //open_auction/price and //bidder[name][email].
+  LabelTable labels;
+  TwigQuery q =
+      MustParse("//open_auction[.//bidder[name][email]]/price", &labels);
+  auto parts = DecomposeAtDescendantEdges(q);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].ToString(), "//open_auction/price");
+  EXPECT_EQ(parts[1].ToString(), "//bidder[name][email]");
+  EXPECT_TRUE(parts[0].IsPureTwig());
+  EXPECT_TRUE(parts[1].IsPureTwig());
+}
+
+TEST(DecomposeTest, InteriorDescendantOnMainPath) {
+  LabelTable labels;
+  TwigQuery q = MustParse("/a/b//c/d", &labels);
+  auto parts = DecomposeAtDescendantEdges(q);
+  ASSERT_EQ(parts.size(), 2u);
+  // Top part keeps the original rooted axis.
+  EXPECT_EQ(parts[0].ToString(), "/a/b");
+  EXPECT_EQ(parts[1].ToString(), "//c/d");
+  EXPECT_EQ(parts[0].steps[parts[0].root].axis, Axis::kChild);
+}
+
+TEST(DecomposeTest, CascadedCuts) {
+  LabelTable labels;
+  TwigQuery q = MustParse("//a[x//y]//b//c", &labels);
+  auto parts = DecomposeAtDescendantEdges(q);
+  // //a[x], //y, //b, //c (BFS order from the top).
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].ToString(), "//a[x]");
+}
+
+TEST(DecomposeTest, ResultStepTracked) {
+  LabelTable labels;
+  TwigQuery q = MustParse("//a//b/c", &labels);
+  auto parts = DecomposeAtDescendantEdges(q);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1].steps[parts[1].result].name, "c");
+}
+
+TEST(QueryToBisimTest, LinearPath) {
+  LabelTable labels;
+  TwigQuery q = MustParse("//a/b/c", &labels);
+  auto graph = QueryToBisimGraph(q);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph->num_vertices(), 3u);
+  EXPECT_EQ(graph->num_edges(), 2u);
+  EXPECT_EQ(labels.Name(graph->vertex(graph->root()).label), "a");
+}
+
+TEST(QueryToBisimTest, IdenticalBranchesMerge) {
+  // //a[b][b] has two structurally identical predicates; the twig pattern
+  // merges them into one vertex (Section 2.2: the pattern is a bisimulation
+  // graph of the query tree).
+  LabelTable labels;
+  TwigQuery q = MustParse("//a[b][b]", &labels);
+  auto graph = QueryToBisimGraph(q);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_vertices(), 2u);
+}
+
+TEST(QueryToBisimTest, BranchingPattern) {
+  LabelTable labels;
+  TwigQuery q = MustParse("//a[b][c/d]/e", &labels);
+  auto graph = QueryToBisimGraph(q);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_vertices(), 5u);  // a, b, c, d, e
+  EXPECT_EQ(graph->max_depth(), 3);
+}
+
+TEST(QueryToBisimTest, RejectsInteriorDescendant) {
+  LabelTable labels;
+  TwigQuery q = MustParse("//a//b", &labels);
+  EXPECT_FALSE(QueryToBisimGraph(q).ok());
+}
+
+TEST(QueryToBisimTest, RejectsUnresolvedLabels) {
+  auto parsed = ParseXPath("//a/b");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(QueryToBisimGraph(*parsed).ok());
+}
+
+TEST(QueryToBisimTest, ValueConstraintsAddLeaves) {
+  LabelTable labels;
+  ValueHasher hasher(&labels, 8);
+  TwigQuery q = MustParse("//proceedings[publisher=\"Springer\"][title]",
+                          &labels);
+  auto structural = QueryToBisimGraph(q, nullptr);
+  auto valued = QueryToBisimGraph(q, &hasher);
+  ASSERT_TRUE(structural.ok());
+  ASSERT_TRUE(valued.ok());
+  // The value adds exactly one extra leaf vertex under publisher.
+  EXPECT_EQ(valued->num_vertices(), structural->num_vertices() + 1);
+  EXPECT_EQ(valued->max_depth(), 3);
+  EXPECT_EQ(structural->max_depth(), 2);
+}
+
+TEST(QueryToBisimTest, SameValueSameBucketVertex) {
+  LabelTable labels;
+  ValueHasher hasher(&labels, 4);
+  TwigQuery q1 = MustParse("//a[b=\"x\"][c=\"x\"]", &labels);
+  auto graph = QueryToBisimGraph(q1, &hasher);
+  ASSERT_TRUE(graph.ok());
+  // b and c both have the same hashed value child; the value vertex is
+  // shared (same label, same empty child set).
+  EXPECT_EQ(graph->num_vertices(), 4u);  // a, b, c, #vK
+}
+
+}  // namespace
+}  // namespace fix

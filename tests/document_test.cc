@@ -1,0 +1,227 @@
+// Unit tests for the arena Document, the SAX replay stream, document
+// statistics, and the binary codec.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xml/doc_stats.h"
+#include "xml/document.h"
+#include "xml/label_table.h"
+#include "xml/sax.h"
+#include "xml/serializer.h"
+#include "xml/value_hash.h"
+
+namespace fix {
+namespace {
+
+// Builds: <a><b>hi</b><c><b/></c></a>
+Document MakeSample(LabelTable* labels) {
+  Document doc;
+  NodeId a = doc.AddElement(0, labels->Intern("a"));
+  NodeId b1 = doc.AddElement(a, labels->Intern("b"));
+  doc.AddText(b1, kInvalidLabel, "hi");
+  NodeId c = doc.AddElement(a, labels->Intern("c"));
+  doc.AddElement(c, labels->Intern("b"));
+  return doc;
+}
+
+TEST(LabelTableTest, InternIsIdempotentAndDense) {
+  LabelTable labels;
+  EXPECT_EQ(labels.Find("nope"), kInvalidLabel);
+  LabelId a = labels.Intern("a");
+  LabelId b = labels.Intern("b");
+  EXPECT_EQ(labels.Intern("a"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(labels.Name(a), "a");
+  EXPECT_EQ(labels.Find("b"), b);
+  // Document label is always id 0.
+  EXPECT_EQ(LabelTable::DocumentLabel(), 0u);
+  EXPECT_EQ(labels.Name(0), kDocumentLabel);
+}
+
+TEST(DocumentTest, StructureAndOrder) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  NodeId root = doc.root_element();
+  ASSERT_NE(root, kInvalidNode);
+  EXPECT_EQ(labels.Name(doc.label(root)), "a");
+  // Children of <a>: b then c, in insertion order.
+  NodeId b1 = doc.first_child(root);
+  ASSERT_NE(b1, kInvalidNode);
+  EXPECT_EQ(labels.Name(doc.label(b1)), "b");
+  NodeId c = doc.next_sibling(b1);
+  ASSERT_NE(c, kInvalidNode);
+  EXPECT_EQ(labels.Name(doc.label(c)), "c");
+  EXPECT_EQ(doc.next_sibling(c), kInvalidNode);
+  EXPECT_EQ(doc.parent(c), root);
+}
+
+TEST(DocumentTest, CountsAndDepth) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  EXPECT_EQ(doc.CountElements(), 4u);  // a, b, c, b
+  EXPECT_EQ(doc.Depth(doc.root_element()), 3);
+  EXPECT_EQ(doc.ChildText(doc.first_child(doc.root_element())), "hi");
+}
+
+TEST(DocumentTest, EmptyDocumentHasNoRootElement) {
+  Document doc;
+  EXPECT_EQ(doc.root_element(), kInvalidNode);
+  EXPECT_EQ(doc.CountElements(), 0u);
+}
+
+TEST(DocumentTest, DeepChainDepth) {
+  LabelTable labels;
+  Document doc;
+  NodeId parent = 0;
+  for (int i = 0; i < 500; ++i) {
+    parent = doc.AddElement(parent, labels.Intern("x"));
+  }
+  EXPECT_EQ(doc.Depth(doc.root_element()), 500);
+}
+
+TEST(DocStatsTest, ComputesAggregates) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  DocStats stats = ComputeDocStats(doc, labels);
+  EXPECT_EQ(stats.elements, 4u);
+  EXPECT_EQ(stats.text_nodes, 1u);
+  EXPECT_EQ(stats.text_bytes, 2u);
+  EXPECT_EQ(stats.max_depth, 3);
+  EXPECT_EQ(stats.distinct_labels, 3u);
+}
+
+// --- SAX replay ---------------------------------------------------------
+
+std::vector<std::string> Replay(const Document& doc, const LabelTable& labels,
+                                const ValueHasher* values = nullptr) {
+  DocumentEventStream stream(&doc, 0, values);
+  std::vector<std::string> out;
+  SaxEvent e;
+  while (stream.Next(&e)) {
+    std::string tag =
+        e.kind == SaxEvent::Kind::kOpen ? "<" : ">";
+    out.push_back(tag + labels.Name(e.label));
+  }
+  return out;
+}
+
+TEST(SaxTest, StructuralEventOrder) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  std::vector<std::string> events = Replay(doc, labels);
+  std::vector<std::string> expected = {"<a", "<b", ">b", "<c",
+                                       "<b", ">b", ">c", ">a"};
+  EXPECT_EQ(events, expected);
+}
+
+TEST(SaxTest, ValueEventsWhenHasherSupplied) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  ValueHasher hasher(&labels, 4);
+  std::vector<std::string> events = Replay(doc, labels, &hasher);
+  // The text node "hi" appears as an open/close pair of its bucket label.
+  ASSERT_EQ(events.size(), 10u);
+  EXPECT_EQ(events[2].substr(0, 3), "<#v");
+  EXPECT_EQ(events[3].substr(0, 3), ">#v");
+}
+
+TEST(SaxTest, EventsBalanced) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  DocumentEventStream stream(&doc, 7, nullptr);
+  int depth = 0;
+  int max_depth = 0;
+  SaxEvent e;
+  while (stream.Next(&e)) {
+    EXPECT_EQ(e.ref.doc_id, 7u);
+    depth += (e.kind == SaxEvent::Kind::kOpen) ? 1 : -1;
+    max_depth = std::max(max_depth, depth);
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(max_depth, 3);
+}
+
+TEST(SaxTest, SubtreeReplay) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  NodeId c = doc.next_sibling(doc.first_child(doc.root_element()));
+  DocumentEventStream stream(&doc, 0, c, nullptr);
+  std::vector<std::string> out;
+  SaxEvent e;
+  while (stream.Next(&e)) {
+    out.push_back((e.kind == SaxEvent::Kind::kOpen ? "<" : ">") +
+                  labels.Name(e.label));
+  }
+  std::vector<std::string> expected = {"<c", "<b", ">b", ">c"};
+  EXPECT_EQ(out, expected);
+}
+
+// --- ValueHasher ----------------------------------------------------------
+
+TEST(ValueHasherTest, DeterministicBuckets) {
+  LabelTable labels;
+  ValueHasher h(&labels, 8);
+  EXPECT_EQ(h.LabelFor("Springer"), h.LabelFor("Springer"));
+  LabelId l = h.LabelFor("1998");
+  EXPECT_GE(labels.Name(l).rfind("#v", 0), 0u);
+}
+
+TEST(ValueHasherTest, BetaOneCollapsesEverything) {
+  LabelTable labels;
+  ValueHasher h(&labels, 1);
+  EXPECT_EQ(h.LabelFor("a"), h.LabelFor("completely different"));
+}
+
+TEST(ValueHasherTest, SharedTableKeepsBucketsStable) {
+  LabelTable labels;
+  ValueHasher h1(&labels, 16);
+  ValueHasher h2(&labels, 16);  // re-interns the same bucket labels
+  EXPECT_EQ(h1.LabelFor("xyz"), h2.LabelFor("xyz"));
+}
+
+// --- binary codec -----------------------------------------------------------
+
+TEST(CodecTest, EncodeDecodeRoundTrip) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  std::string buf;
+  EncodeDocument(doc, &buf);
+  auto decoded = DecodeDocument(buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  // Same serialization implies same tree.
+  EXPECT_EQ(SerializeXml(*decoded, labels), SerializeXml(doc, labels));
+  EXPECT_EQ(decoded->CountElements(), doc.CountElements());
+}
+
+TEST(CodecTest, SubtreeEncode) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  NodeId c = doc.next_sibling(doc.first_child(doc.root_element()));
+  std::string buf;
+  EncodeDocument(doc, &buf, c);
+  auto decoded = DecodeDocument(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(SerializeXml(*decoded, labels), "<c><b/></c>");
+}
+
+TEST(CodecTest, CorruptionDetected) {
+  LabelTable labels;
+  Document doc = MakeSample(&labels);
+  std::string buf;
+  EncodeDocument(doc, &buf);
+  std::string truncated = buf.substr(0, buf.size() / 2);
+  EXPECT_FALSE(DecodeDocument(truncated).ok());
+  std::string padded = buf + "junk";
+  EXPECT_FALSE(DecodeDocument(padded).ok());
+}
+
+TEST(SerializeTest, EscapesMarkup) {
+  EXPECT_EQ(XmlEscape("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+}
+
+}  // namespace
+}  // namespace fix

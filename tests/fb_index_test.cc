@@ -1,0 +1,131 @@
+// Tests for the F&B-index baseline: covering-index exactness on structural
+// queries (results must equal the ground-truth matcher's, with no document
+// access) and value-query refinement.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baseline/fb_index.h"
+#include "baseline/full_scan.h"
+#include "datagen/datasets.h"
+#include "datagen/query_gen.h"
+#include "query/xpath_parser.h"
+
+namespace fix {
+namespace {
+
+class FbIndexTest : public ::testing::Test {
+ protected:
+  void AddXml(const std::string& xml) {
+    auto id = corpus_.AddXml(xml);
+    ASSERT_TRUE(id.ok()) << id.status();
+  }
+
+  TwigQuery Query(const std::string& text) {
+    auto q = ParseXPath(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    TwigQuery query = std::move(q).value();
+    query.ResolveLabels(corpus_.labels());
+    return query;
+  }
+
+  void ExpectSameResults(FbIndex& index, const TwigQuery& q,
+                         const std::string& label) {
+    std::vector<NodeRef> via_fb;
+    auto stats = index.Execute(q, &via_fb);
+    ASSERT_TRUE(stats.ok()) << label;
+    std::vector<NodeRef> via_scan;
+    FullScan(corpus_, q, &via_scan);
+    std::set<std::pair<uint32_t, uint32_t>> a, b;
+    for (auto r : via_fb) a.insert({r.doc_id, r.node_id});
+    for (auto r : via_scan) b.insert({r.doc_id, r.node_id});
+    EXPECT_EQ(a, b) << label;
+    EXPECT_EQ(stats->result_count, b.size()) << label;
+  }
+
+  Corpus corpus_;
+};
+
+TEST_F(FbIndexTest, SimplePathsExact) {
+  AddXml("<a><b><c/></b><b/></a>");
+  AddXml("<a><d><c/></d></a>");
+  FbBuildStats build;
+  auto index = FbIndex::Build(&corpus_, &build);
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_GT(build.classes, 0u);
+  for (const char* text : {"/a/b", "//c", "//b/c", "/a/d/c", "//a//c"}) {
+    ExpectSameResults(*index, Query(text), text);
+  }
+}
+
+TEST_F(FbIndexTest, BranchingPathsExact) {
+  AddXml(
+      "<lib><book><title/><isbn/><author><name/></author></book>"
+      "<book><title/></book>"
+      "<journal><title/><isbn/></journal></lib>");
+  auto index = FbIndex::Build(&corpus_, nullptr);
+  ASSERT_TRUE(index.ok());
+  for (const char* text :
+       {"//book[isbn]/title", "//book[author/name]/title",
+        "/lib[journal]/book/title", "//book[title][isbn]",
+        "//lib//title"}) {
+    ExpectSameResults(*index, Query(text), text);
+  }
+}
+
+TEST_F(FbIndexTest, RecursiveDataExact) {
+  AddXml("<S><S><NP><PP/></NP><S><NP/></S></S><NP><NP><PP/></NP></NP></S>");
+  auto index = FbIndex::Build(&corpus_, nullptr);
+  ASSERT_TRUE(index.ok());
+  for (const char* text : {"//S/NP", "//S//NP", "//NP[PP]", "//S/S/NP",
+                           "//NP/NP/PP", "//S[NP]/S"}) {
+    ExpectSameResults(*index, Query(text), text);
+  }
+}
+
+TEST_F(FbIndexTest, ValueQueriesRefineOnDocuments) {
+  AddXml("<p><pub>Springer</pub><t/></p>");
+  AddXml("<p><pub>ACM</pub><t/></p>");
+  auto index = FbIndex::Build(&corpus_, nullptr);
+  ASSERT_TRUE(index.ok());
+  TwigQuery q = Query("/p[pub=\"Springer\"]/t");
+  std::vector<NodeRef> results;
+  auto stats = index->Execute(q, &results);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc_id, 0u);
+  EXPECT_GT(stats->refined_nodes, 0u);
+}
+
+TEST_F(FbIndexTest, RandomQueriesOnGeneratedDataExact) {
+  TcmdOptions options;
+  options.num_docs = 40;
+  options.seed = 5;
+  GenerateTcmd(&corpus_, options);
+  auto index = FbIndex::Build(&corpus_, nullptr);
+  ASSERT_TRUE(index.ok());
+  QueryGenOptions qopts;
+  qopts.seed = 17;
+  qopts.max_depth = 3;
+  auto queries = GenerateRandomQueries(corpus_, 40, qopts);
+  ASSERT_GT(queries.size(), 10u);
+  for (const auto& q : queries) {
+    ExpectSameResults(*index, q, q.ToString());
+  }
+}
+
+TEST_F(FbIndexTest, EmptyQueryResult) {
+  AddXml("<a><b/></a>");
+  auto index = FbIndex::Build(&corpus_, nullptr);
+  ASSERT_TRUE(index.ok());
+  TwigQuery q = Query("//zz/yy");
+  auto stats = index->Execute(q);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->result_count, 0u);
+}
+
+}  // namespace
+}  // namespace fix

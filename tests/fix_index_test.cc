@@ -1,0 +1,247 @@
+// Tests for FixIndex construction and lookup (Algorithms 1 and 2) on small
+// hand-checkable corpora.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "query/xpath_parser.h"
+
+namespace fix {
+namespace {
+
+class FixIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_index_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void AddXml(const std::string& xml) {
+    auto id = corpus_.AddXml(xml);
+    ASSERT_TRUE(id.ok()) << id.status();
+  }
+
+  TwigQuery Query(const std::string& text) {
+    auto q = ParseXPath(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    TwigQuery query = std::move(q).value();
+    query.ResolveLabels(corpus_.labels());
+    return query;
+  }
+
+  IndexOptions Options(int depth_limit, bool clustered = false) {
+    IndexOptions options;
+    options.depth_limit = depth_limit;
+    options.clustered = clustered;
+    options.path = dir_ + "/test.fix";
+    options.buffer_pool_pages = 64;
+    return options;
+  }
+
+  std::string dir_;
+  Corpus corpus_;
+};
+
+TEST_F(FixIndexTest, CollectionIndexOneEntryPerDocument) {
+  AddXml("<a><b/></a>");
+  AddXml("<a><c/></a>");
+  AddXml("<x><y/></x>");
+  BuildStats stats;
+  auto index = FixIndex::Build(&corpus_, Options(0), &stats);
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ(index->num_entries(), 3u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.oversized_patterns, 0u);
+  EXPECT_GT(stats.btree_bytes, 0u);
+}
+
+TEST_F(FixIndexTest, RootedLookupPrunesByLabelAndSpectrum) {
+  AddXml("<a><b/><c/></a>");   // doc 0: matches /a[b]/c
+  AddXml("<a><b/></a>");       // doc 1: has a,b but no c
+  AddXml("<x><b/><c/></x>");   // doc 2: wrong root label
+  auto index = FixIndex::Build(&corpus_, Options(0), nullptr);
+  ASSERT_TRUE(index.ok());
+  auto lookup = index->Lookup(Query("/a[b]/c"));
+  ASSERT_TRUE(lookup.ok());
+  ASSERT_TRUE(lookup->covered);
+  // Doc 2 pruned by root label. Doc 1 pruned by eigenvalues (its pattern
+  // a->b has a smaller spectral radius than the query pattern a->{b,c}).
+  std::set<uint32_t> docs;
+  for (const auto& c : lookup->candidates) docs.insert(c.ref.doc_id);
+  EXPECT_TRUE(docs.count(0));
+  EXPECT_FALSE(docs.count(2));
+  EXPECT_FALSE(docs.count(1));
+}
+
+TEST_F(FixIndexTest, DescendantRootedLookupScansAllLabels) {
+  AddXml("<r><a><b/></a></r>");
+  AddXml("<s><a><b/></a></s>");
+  AddXml("<t><c/></t>");
+  auto index = FixIndex::Build(&corpus_, Options(0), nullptr);
+  ASSERT_TRUE(index.ok());
+  // //a/b matches below two differently-labelled roots: both documents
+  // must be candidates (no false negatives).
+  auto lookup = index->Lookup(Query("//a/b"));
+  ASSERT_TRUE(lookup.ok());
+  std::set<uint32_t> docs;
+  for (const auto& c : lookup->candidates) docs.insert(c.ref.doc_id);
+  EXPECT_TRUE(docs.count(0));
+  EXPECT_TRUE(docs.count(1));
+}
+
+TEST_F(FixIndexTest, DepthLimitedOneEntryPerElement) {
+  // Theorem 4: with a positive depth limit on a deeper document, exactly
+  // one entry per element.
+  AddXml("<a><b><c><d/></c></b><b><c/></b></a>");  // 6 elements, depth 4
+  BuildStats stats;
+  auto index = FixIndex::Build(&corpus_, Options(2), &stats);
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ(index->num_entries(), 6u);
+}
+
+TEST_F(FixIndexTest, DepthLimitedEnumeratesShallowDocsToo) {
+  // Unlike Algorithm 1 as printed (see the deviation note in fix_index.cc),
+  // a depth-limited index enumerates per element for every document, so
+  // //-rooted queries can find matches inside shallow documents.
+  AddXml("<a><b/></a>");                            // depth 2 <= limit
+  AddXml("<a><b><c><d><e/></d></c></b></a>");       // depth 5 > limit
+  auto index = FixIndex::Build(&corpus_, Options(3), nullptr);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_entries(), 7u);  // 2 + 5 elements
+  // The shallow document's b is reachable through the probe.
+  auto lookup = index->Lookup(Query("//b"));
+  ASSERT_TRUE(lookup.ok());
+  std::set<uint32_t> docs;
+  for (const auto& c : lookup->candidates) docs.insert(c.ref.doc_id);
+  EXPECT_TRUE(docs.count(0));
+  EXPECT_TRUE(docs.count(1));
+}
+
+TEST_F(FixIndexTest, DepthLimitedCoverageCheck) {
+  AddXml("<a><b><c><d/></c></b></a>");
+  auto index = FixIndex::Build(&corpus_, Options(2), nullptr);
+  ASSERT_TRUE(index.ok());
+  auto covered = index->Lookup(Query("//b/c"));
+  ASSERT_TRUE(covered.ok());
+  EXPECT_TRUE(covered->covered);
+  auto too_deep = index->Lookup(Query("//b/c/d"));
+  ASSERT_TRUE(too_deep.ok());
+  EXPECT_FALSE(too_deep->covered);
+}
+
+TEST_F(FixIndexTest, DepthLimitedCandidatesAreElements) {
+  AddXml("<r><s><n/></s><s><m/></s><s><n/></s><t><n/></t></r>");
+  auto index = FixIndex::Build(&corpus_, Options(2), nullptr);
+  ASSERT_TRUE(index.ok());
+  auto lookup = index->Lookup(Query("//s/n"));
+  ASSERT_TRUE(lookup.ok());
+  // Every candidate must carry the root-step label (t/n/m/r entries are
+  // pruned by label). The two s[n] elements are guaranteed candidates (no
+  // false negatives); s[m] may survive as a spectral false positive when
+  // its edge weight exceeds the query's — refinement rejects it later.
+  const Document& doc = corpus_.doc(0);
+  size_t s_candidates = 0;
+  for (const auto& c : lookup->candidates) {
+    EXPECT_EQ(corpus_.labels()->Name(doc.label(c.ref.node_id)), "s");
+    ++s_candidates;
+  }
+  EXPECT_GE(s_candidates, 2u);
+  EXPECT_LE(s_candidates, 3u);
+}
+
+TEST_F(FixIndexTest, ClusteredIndexStoresSubtreeCopies) {
+  AddXml("<a><b/><c/></a>");
+  AddXml("<a><b/></a>");
+  BuildStats stats;
+  auto index = FixIndex::Build(&corpus_, Options(0, /*clustered=*/true),
+                               &stats);
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_GT(stats.clustered_bytes, 0u);
+  auto lookup = index->Lookup(Query("/a[b]/c"));
+  ASSERT_TRUE(lookup.ok());
+  ASSERT_EQ(lookup->candidates.size(), 1u);
+  // The clustered record must decode back to the matching document.
+  auto record = index->clustered_store()->Read(
+      RecordId{lookup->candidates[0].clustered_offset});
+  ASSERT_TRUE(record.ok());
+  EXPECT_FALSE(record->empty());
+}
+
+TEST_F(FixIndexTest, OversizedPatternsAlwaysCandidates) {
+  AddXml("<a><b/><c/><d/><e/><f/><g/></a>");
+  IndexOptions options = Options(0);
+  options.max_pattern_vertices = 3;  // force the oversized path
+  BuildStats stats;
+  auto index = FixIndex::Build(&corpus_, options, &stats);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(stats.oversized_patterns, 1u);
+  // Any probe with the right root label must return it as candidate.
+  auto lookup = index->Lookup(Query("/a[b][c][d][e][f]/g"));
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_EQ(lookup->candidates.size(), 1u);
+}
+
+TEST_F(FixIndexTest, ValueIndexNeverLosesMatches) {
+  AddXml("<p><pub>Springer</pub><t/></p>");
+  AddXml("<p><pub>ACM</pub><t/></p>");
+  AddXml("<p><t/></p>");  // no pub at all
+  IndexOptions options = Options(0);
+  options.value_beta = 64;
+  auto index = FixIndex::Build(&corpus_, options, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto lookup = index->Lookup(Query("/p[pub=\"Springer\"]/t"));
+  ASSERT_TRUE(lookup.ok());
+  // Doc 0 must be a candidate (no false negative). Doc 1 may survive as a
+  // spectral false positive (value buckets only shift edge weights), but
+  // doc 2 — structurally missing pub — must be pruned: its pattern lacks
+  // the pub edge entirely and its spectral radius is strictly smaller.
+  std::set<uint32_t> docs;
+  for (const auto& c : lookup->candidates) docs.insert(c.ref.doc_id);
+  EXPECT_TRUE(docs.count(0));
+  EXPECT_FALSE(docs.count(2));
+}
+
+TEST_F(FixIndexTest, Lambda2TightensPruning) {
+  // Two documents with equal spectral radius but different second
+  // eigenvalue would be distinguished only with use_lambda2. At minimum the
+  // flag must not introduce false negatives.
+  AddXml("<a><b/><b/><c><d/></c></a>");
+  AddXml("<a><c><d/></c></a>");
+  IndexOptions options = Options(0);
+  options.use_lambda2 = true;
+  auto index = FixIndex::Build(&corpus_, options, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto lookup = index->Lookup(Query("/a/c/d"));
+  ASSERT_TRUE(lookup.ok());
+  std::set<uint32_t> docs;
+  for (const auto& c : lookup->candidates) docs.insert(c.ref.doc_id);
+  EXPECT_TRUE(docs.count(0));
+  EXPECT_TRUE(docs.count(1));
+}
+
+TEST_F(FixIndexTest, QueryFeaturesSymmetricRange) {
+  AddXml("<a><b/></a>");
+  auto index = FixIndex::Build(&corpus_, Options(0), nullptr);
+  ASSERT_TRUE(index.ok());
+  auto key = index->QueryFeatures(Query("//a[b]"));
+  ASSERT_TRUE(key.ok());
+  // Anti-symmetric matrices: λ_min = -λ_max, always.
+  EXPECT_DOUBLE_EQ(key->lambda_min, -key->lambda_max);
+  EXPECT_GT(key->lambda_max, 0.0);
+}
+
+TEST_F(FixIndexTest, BuildRequiresPath) {
+  AddXml("<a/>");
+  IndexOptions options;
+  EXPECT_FALSE(FixIndex::Build(&corpus_, options, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace fix

@@ -1,0 +1,233 @@
+// End-to-end tests for FixQueryProcessor (Algorithm 2 with refinement):
+// result correctness against the ground-truth matcher, metric counters, and
+// the clustered / unclustered / value / fallback paths.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "baseline/full_scan.h"
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "core/fix_query.h"
+#include "core/metrics.h"
+#include "query/xpath_parser.h"
+
+namespace fix {
+namespace {
+
+class FixQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_query_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void AddXml(const std::string& xml) {
+    auto id = corpus_.AddXml(xml);
+    ASSERT_TRUE(id.ok()) << id.status();
+  }
+
+  TwigQuery Query(const std::string& text) {
+    auto q = ParseXPath(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    TwigQuery query = std::move(q).value();
+    query.ResolveLabels(corpus_.labels());
+    return query;
+  }
+
+  FixIndex BuildIndex(int depth_limit, bool clustered = false,
+                      uint32_t beta = 0) {
+    IndexOptions options;
+    options.depth_limit = depth_limit;
+    options.clustered = clustered;
+    options.value_beta = beta;
+    options.path = dir_ + "/q.fix";
+    options.buffer_pool_pages = 64;
+    auto index = FixIndex::Build(&corpus_, options, nullptr);
+    EXPECT_TRUE(index.ok()) << index.status();
+    return std::move(index).value();
+  }
+
+  std::string dir_;
+  Corpus corpus_;
+};
+
+TEST_F(FixQueryTest, ResultsMatchFullScanCollection) {
+  AddXml("<a><b/><c/></a>");
+  AddXml("<a><b/></a>");
+  AddXml("<a><c><b/></c></a>");
+  AddXml("<x><b/><c/></x>");
+  FixIndex index = BuildIndex(0);
+  FixQueryProcessor processor(&corpus_, &index);
+
+  for (const char* text : {"/a[b]/c", "//b", "//a/c", "/x/c", "//c/b"}) {
+    TwigQuery q = Query(text);
+    std::vector<NodeRef> via_index;
+    auto stats = processor.Execute(q, &via_index);
+    ASSERT_TRUE(stats.ok()) << text << ": " << stats.status();
+    std::vector<NodeRef> via_scan;
+    FullScan(corpus_, q, &via_scan);
+    std::set<std::pair<uint32_t, uint32_t>> a, b;
+    for (auto r : via_index) a.insert({r.doc_id, r.node_id});
+    for (auto r : via_scan) b.insert({r.doc_id, r.node_id});
+    EXPECT_EQ(a, b) << text;
+    EXPECT_EQ(stats->result_count, b.size()) << text;
+  }
+}
+
+TEST_F(FixQueryTest, ResultsMatchFullScanDepthLimited) {
+  AddXml(
+      "<site><people><person><name/><addr/></person>"
+      "<person><name/></person></people>"
+      "<items><item><name/><desc><par><t/></par></desc></item>"
+      "<item><desc><t/></desc></item></items></site>");
+  FixIndex index = BuildIndex(3);
+  FixQueryProcessor processor(&corpus_, &index);
+  for (const char* text :
+       {"//person/name", "//item/desc", "//desc/par/t", "//person[addr]/name",
+        "//item[name]/desc"}) {
+    TwigQuery q = Query(text);
+    std::vector<NodeRef> via_index;
+    auto stats = processor.Execute(q, &via_index);
+    ASSERT_TRUE(stats.ok()) << text;
+    std::vector<NodeRef> via_scan;
+    FullScan(corpus_, q, &via_scan);
+    std::set<std::pair<uint32_t, uint32_t>> a, b;
+    for (auto r : via_index) a.insert({r.doc_id, r.node_id});
+    for (auto r : via_scan) b.insert({r.doc_id, r.node_id});
+    EXPECT_EQ(a, b) << text;
+  }
+}
+
+TEST_F(FixQueryTest, ClusteredCountsMatchUnclustered) {
+  AddXml("<a><b/><c/></a>");
+  AddXml("<a><b/></a>");
+  AddXml("<a><b/><c/></a>");
+  FixIndex unclustered = BuildIndex(0, false);
+  IndexOptions copts;
+  copts.depth_limit = 0;
+  copts.clustered = true;
+  copts.path = dir_ + "/clustered.fix";
+  copts.buffer_pool_pages = 64;
+  auto clustered = FixIndex::Build(&corpus_, copts, nullptr);
+  ASSERT_TRUE(clustered.ok());
+
+  FixQueryProcessor p1(&corpus_, &unclustered);
+  FixQueryProcessor p2(&corpus_, &*clustered);
+  TwigQuery q = Query("/a[b]/c");
+  auto s1 = p1.Execute(q);
+  auto s2 = p2.Execute(q);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->candidates, s2->candidates);
+  EXPECT_EQ(s1->producing, s2->producing);
+  EXPECT_EQ(s1->result_count, s2->result_count);
+  EXPECT_GT(s2->sequential_bytes, 0u);
+}
+
+TEST_F(FixQueryTest, MetricsConsistent) {
+  AddXml("<a><b/><c/></a>");   // produces
+  AddXml("<a><b/></a>");       // pruned
+  AddXml("<a><b/><c/></a>");   // produces
+  AddXml("<z/>");              // pruned by label
+  FixIndex index = BuildIndex(0);
+  FixQueryProcessor processor(&corpus_, &index);
+  auto stats = processor.Execute(Query("/a[b]/c"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->total_entries, 4u);
+  EXPECT_EQ(stats->candidates, 2u);
+  EXPECT_EQ(stats->producing, 2u);
+  EXPECT_DOUBLE_EQ(stats->selectivity(), 0.5);
+  EXPECT_DOUBLE_EQ(stats->pruning_power(), 0.5);
+  EXPECT_DOUBLE_EQ(stats->false_positive_ratio(), 0.0);
+
+  // Ground truth agrees.
+  GroundTruth gt = ComputeGroundTruth(corpus_, Query("/a[b]/c"), 0);
+  EXPECT_EQ(gt.entries, stats->total_entries);
+  EXPECT_EQ(gt.producers, stats->producing);
+}
+
+TEST_F(FixQueryTest, UncoveredQueryFallsBackToFullScan) {
+  AddXml("<a><b><c><d><e/></d></c></b></a>");
+  FixIndex index = BuildIndex(2);
+  FixQueryProcessor processor(&corpus_, &index);
+  std::vector<NodeRef> results;
+  auto stats = processor.Execute(Query("//b/c/d/e"), &results);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->covered);
+  EXPECT_FALSE(stats->used_index);
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST_F(FixQueryTest, RootedQueryRejectsNonRootCandidates) {
+  // A depth-limited index enumerates every element; a rooted query /b/c
+  // must not accept the nested b element.
+  AddXml("<b><c/><d><b><c/></b></d><e><f><g/></f></e></b>");
+  FixIndex index = BuildIndex(2);
+  FixQueryProcessor processor(&corpus_, &index);
+  std::vector<NodeRef> results;
+  auto stats = processor.Execute(Query("/b/c"), &results);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->covered);
+  ASSERT_EQ(results.size(), 1u);
+  // The result must be the c directly under the document root's b.
+  const Document& doc = corpus_.doc(0);
+  EXPECT_EQ(doc.parent(results[0].node_id), doc.root_element());
+}
+
+TEST_F(FixQueryTest, ValueQueriesRefineExactly) {
+  AddXml("<p><pub>Springer</pub><t/></p>");
+  AddXml("<p><pub>ACM</pub><t/></p>");
+  AddXml("<p><pub>Springer</pub></p>");  // no t: structural reject
+  FixIndex index = BuildIndex(0, false, /*beta=*/16);
+  FixQueryProcessor processor(&corpus_, &index);
+  std::vector<NodeRef> results;
+  auto stats = processor.Execute(Query("/p[pub=\"Springer\"]/t"), &results);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc_id, 0u);
+  EXPECT_EQ(stats->producing, 1u);
+}
+
+TEST_F(FixQueryTest, InteriorDescendantQueriesWork) {
+  AddXml("<open_auction><x><bidder><name/><email/></bidder></x>"
+         "<price/></open_auction>");
+  AddXml("<open_auction><price/></open_auction>");
+  FixIndex index = BuildIndex(0);
+  FixQueryProcessor processor(&corpus_, &index);
+  std::vector<NodeRef> results;
+  auto stats = processor.Execute(
+      Query("//open_auction[.//bidder[name][email]]/price"), &results);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc_id, 0u);
+}
+
+TEST_F(FixQueryTest, RandomReadsChargedWithPrimaryStorage) {
+  AddXml("<a><b/><c/></a>");
+  AddXml("<a><b/><c/></a>");
+  ASSERT_TRUE(corpus_.WritePrimaryStorage(dir_ + "/primary.dat").ok());
+  FixIndex index = BuildIndex(0);
+  FixQueryProcessor processor(&corpus_, &index);
+  auto stats = processor.Execute(Query("/a[b]/c"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->random_reads, 2u);  // one pointer dereference per cand.
+}
+
+TEST_F(FixQueryTest, EmptyResultQuery) {
+  AddXml("<a><b/></a>");
+  FixIndex index = BuildIndex(0);
+  FixQueryProcessor processor(&corpus_, &index);
+  auto stats = processor.Execute(Query("//nothing/here"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->result_count, 0u);
+  EXPECT_EQ(stats->candidates, 0u);
+}
+
+}  // namespace
+}  // namespace fix

@@ -1,0 +1,163 @@
+// Deterministic fuzz suites: every parser/decoder must reject arbitrary
+// garbage with a Status — never crash, never hang, never accept trailing
+// junk — and survive mutations of valid inputs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/persist.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace fix {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  size_t len = rng->Uniform(max_len + 1);
+  std::string out(len, '\0');
+  for (char& c : out) c = static_cast<char>(rng->Uniform(256));
+  return out;
+}
+
+std::string RandomXmlish(Rng* rng, size_t max_len) {
+  // Biased toward XML-relevant characters so parsing goes deeper.
+  static constexpr char kAlphabet[] =
+      "<>/=\"'&;![]CDATA-abcxyz \n\tqwe123#?";
+  size_t len = rng->Uniform(max_len + 1);
+  std::string out(len, '\0');
+  for (char& c : out) {
+    c = kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+TEST(FuzzTest, XmlParserSurvivesGarbage) {
+  Rng rng(1001);
+  LabelTable labels;
+  for (int i = 0; i < 3000; ++i) {
+    std::string input =
+        (i % 2 == 0) ? RandomBytes(&rng, 200) : RandomXmlish(&rng, 200);
+    auto doc = ParseXml(input, &labels);  // must not crash
+    if (doc.ok()) {
+      // Accidentally-valid documents must round-trip.
+      std::string text = SerializeXml(*doc, labels);
+      EXPECT_TRUE(ParseXml(text, &labels).ok()) << text;
+    }
+  }
+}
+
+TEST(FuzzTest, XmlParserSurvivesMutatedValidDocs) {
+  Rng rng(1002);
+  LabelTable labels;
+  const std::string base =
+      "<bib><book year=\"2006\"><title>FIX &amp; XML</title>"
+      "<author><name>Zhang</name></author></book>"
+      "<article><![CDATA[raw<>&]]></article></bib>";
+  for (int i = 0; i < 3000; ++i) {
+    std::string mutated = base;
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Uniform(256));
+    }
+    auto doc = ParseXml(mutated, &labels);  // must not crash
+    (void)doc;
+  }
+}
+
+TEST(FuzzTest, XPathParserSurvivesGarbage) {
+  Rng rng(1003);
+  static constexpr char kAlphabet[] = "/[]*=\"'abcdef_ .@0";
+  for (int i = 0; i < 5000; ++i) {
+    size_t len = rng.Uniform(60);
+    std::string input(len, '\0');
+    for (char& c : input) {
+      c = kAlphabet[rng.Uniform(sizeof(kAlphabet) - 1)];
+    }
+    auto q = ParseXPath(input);  // must not crash
+    if (q.ok()) {
+      // Valid parses must round-trip through their canonical form.
+      std::string printed = q->ToString();
+      auto again = ParseXPath(printed);
+      EXPECT_TRUE(again.ok()) << input << " -> " << printed;
+      if (again.ok()) {
+        EXPECT_EQ(again->ToString(), printed);
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, DocumentCodecSurvivesGarbage) {
+  Rng rng(1004);
+  for (int i = 0; i < 5000; ++i) {
+    std::string buf = RandomBytes(&rng, 120);
+    auto doc = DecodeDocument(buf);  // must not crash
+    (void)doc;
+  }
+}
+
+TEST(FuzzTest, DocumentCodecSurvivesTruncationsAndFlips) {
+  LabelTable labels;
+  auto doc = ParseXml("<a><b>text</b><c><d/><d/></c></a>", &labels);
+  ASSERT_TRUE(doc.ok());
+  std::string valid;
+  EncodeDocument(*doc, &valid);
+
+  // Every prefix must be cleanly rejected or decode to something (no UB).
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    auto truncated = DecodeDocument(valid.substr(0, cut));
+    (void)truncated;
+  }
+  Rng rng(1005);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = valid;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(rng.Uniform(256));
+    auto decoded = DecodeDocument(mutated);
+    (void)decoded;  // any Status is fine; crashing is not
+  }
+}
+
+TEST(FuzzTest, PersistDecodersSurviveGarbage) {
+  Rng rng(1006);
+  for (int i = 0; i < 4000; ++i) {
+    std::string buf = RandomBytes(&rng, 150);
+    LabelTable labels;
+    (void)DecodeLabelTable(buf, &labels);
+    (void)DecodeManifest(buf);
+    (void)DecodeIndexMeta(buf);
+  }
+}
+
+TEST(FuzzTest, PersistDecodersSurviveMutationsOfValidBuffers) {
+  LabelTable labels;
+  labels.Intern("alpha");
+  labels.Intern("beta");
+  std::string label_buf = EncodeLabelTable(labels);
+
+  IndexMeta meta;
+  meta.options.depth_limit = 6;
+  meta.edge_weights = {{42, 1}, {43, 2}};
+  std::string meta_buf = EncodeIndexMeta(meta);
+
+  std::string manifest_buf = EncodeManifest({{0}, {77}, {12345}});
+
+  Rng rng(1007);
+  for (int i = 0; i < 3000; ++i) {
+    for (const std::string* base : {&label_buf, &meta_buf, &manifest_buf}) {
+      std::string mutated = *base;
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+      LabelTable fresh;
+      (void)DecodeLabelTable(mutated, &fresh);
+      (void)DecodeManifest(mutated);
+      (void)DecodeIndexMeta(mutated);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fix

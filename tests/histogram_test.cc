@@ -1,0 +1,147 @@
+// Tests for the Section 5 costing aid: per-label equi-depth histograms over
+// λ_max and FixIndex::EstimateCandidates accuracy.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "core/histogram.h"
+#include "datagen/datasets.h"
+#include "datagen/query_gen.h"
+#include "query/xpath_parser.h"
+
+namespace fix {
+namespace {
+
+class HistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_hist_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(HistogramTest, CountsAndBoundsOnGeneratedIndex) {
+  Corpus corpus;
+  XMarkOptions gen;
+  gen.num_items = 60;
+  gen.num_people = 60;
+  gen.num_open_auctions = 60;
+  gen.num_closed_auctions = 60;
+  gen.num_categories = 30;
+  GenerateXMark(&corpus, gen);
+  IndexOptions options;
+  options.depth_limit = 4;
+  options.path = dir_ + "/h.fix";
+  auto index = FixIndex::Build(&corpus, options, nullptr);
+  ASSERT_TRUE(index.ok());
+
+  auto hist = FeatureHistogram::FromBTree(index->btree());
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->total(), index->num_entries());
+  EXPECT_GT(hist->num_labels(), 10u);
+
+  // Per-label counts match a direct corpus count.
+  LabelId item = corpus.labels()->Find("item");
+  ASSERT_NE(item, kInvalidLabel);
+  uint64_t actual = 0;
+  const Document& doc = corpus.doc(0);
+  for (NodeId n = 1; n < doc.num_nodes(); ++n) {
+    if (doc.IsElement(n) && doc.label(n) == item) ++actual;
+  }
+  EXPECT_EQ(hist->LabelCount(item), actual);
+
+  // EstimateGreaterEqual is monotone decreasing in lambda and bounded by
+  // the label count.
+  double prev = static_cast<double>(hist->LabelCount(item)) + 1;
+  for (double lambda : {0.0, 1.0, 5.0, 20.0, 100.0, 1e9}) {
+    uint64_t estimate = hist->EstimateGreaterEqual(item, lambda);
+    EXPECT_LE(estimate, hist->LabelCount(item));
+    EXPECT_LE(static_cast<double>(estimate), prev);
+    prev = static_cast<double>(estimate);
+  }
+  EXPECT_EQ(hist->EstimateGreaterEqual(item, 1e12), 0u);
+  EXPECT_EQ(hist->EstimateGreaterEqual(item, 0.0), hist->LabelCount(item));
+  EXPECT_EQ(hist->EstimateGreaterEqual(9999999, 0.0), 0u);  // unknown label
+}
+
+TEST_F(HistogramTest, EstimateTracksActualCandidates) {
+  Corpus corpus;
+  TreebankOptions gen;
+  gen.num_sentences = 200;
+  GenerateTreebank(&corpus, gen);
+  IndexOptions options;
+  options.depth_limit = 5;
+  options.path = dir_ + "/t.fix";
+  auto index = FixIndex::Build(&corpus, options, nullptr);
+  ASSERT_TRUE(index.ok());
+
+  QueryGenOptions qopts;
+  qopts.seed = 71;
+  qopts.max_depth = 5;
+  auto queries = GenerateRandomQueries(corpus, 40, qopts);
+  ASSERT_GT(queries.size(), 10u);
+  const Document& doc = corpus.doc(0);
+  for (const auto& q : queries) {
+    auto estimate = index->EstimateCandidates(q);
+    auto lookup = index->Lookup(q);
+    ASSERT_TRUE(estimate.ok());
+    ASSERT_TRUE(lookup.ok());
+    uint64_t actual = lookup->candidates.size();
+    // The estimate over-counts by at most one equi-depth bucket of the
+    // root label's population (the partially-covered boundary bucket) and
+    // under-counts only by integer rounding.
+    uint64_t label_count = 0;
+    for (NodeId n = 1; n < doc.num_nodes(); ++n) {
+      if (doc.IsElement(n) && doc.label(n) == q.steps[q.root].label) {
+        ++label_count;
+      }
+    }
+    double bucket = static_cast<double>(label_count) / 32.0;
+    EXPECT_LE(static_cast<double>(*estimate),
+              static_cast<double>(actual) + bucket + 40)
+        << q.ToString();
+    EXPECT_GE(static_cast<double>(*estimate) + 40.0,
+              static_cast<double>(actual))
+        << q.ToString();
+  }
+}
+
+TEST_F(HistogramTest, EstimateInvalidatedByUpdates) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddXml("<a><b/></a>").ok());
+  IndexOptions options;
+  options.depth_limit = 2;
+  options.path = dir_ + "/u.fix";
+  auto index = FixIndex::Build(&corpus, options, nullptr);
+  ASSERT_TRUE(index.ok());
+
+  auto parsed_q = [&](const char* text) {
+    auto p = ParseXPath(text);
+    TwigQuery q = std::move(p).value();
+    q.ResolveLabels(corpus.labels());
+    return q;
+  };
+  auto before = index->EstimateCandidates(parsed_q("//a/b"));
+  ASSERT_TRUE(before.ok());
+
+  auto id = corpus.AddXml("<a><b/></a>");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(index->InsertDocument(*id, nullptr).ok());
+  auto after = index->EstimateCandidates(parsed_q("//a/b"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(*after, *before);
+}
+
+}  // namespace
+}  // namespace fix

@@ -1,0 +1,153 @@
+// Tests for the navigational twig matcher (the refinement engine): axis
+// semantics, predicates, value constraints, result bindings, and
+// context-rooted evaluation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/match.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+
+namespace fix {
+namespace {
+
+class MatchTest : public ::testing::Test {
+ protected:
+  Document Parse(const std::string& xml) {
+    auto doc = ParseXml(xml, &labels_);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    return std::move(doc).value();
+  }
+
+  TwigQuery Query(const std::string& text) {
+    auto q = ParseXPath(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    TwigQuery query = std::move(q).value();
+    query.ResolveLabels(&labels_);
+    return query;
+  }
+
+  size_t Count(const Document& doc, const std::string& text) {
+    TwigMatcher matcher(&doc);
+    return matcher.Evaluate(Query(text)).size();
+  }
+
+  LabelTable labels_;
+};
+
+TEST_F(MatchTest, ChildAxis) {
+  Document doc = Parse("<a><b/><c><b/></c></a>");
+  EXPECT_EQ(Count(doc, "/a/b"), 1u);
+  EXPECT_EQ(Count(doc, "/a/c/b"), 1u);
+  EXPECT_EQ(Count(doc, "/a/x"), 0u);
+  EXPECT_EQ(Count(doc, "/b"), 0u);  // b is not the root element
+}
+
+TEST_F(MatchTest, DescendantAxis) {
+  Document doc = Parse("<a><b/><c><b/></c></a>");
+  EXPECT_EQ(Count(doc, "//b"), 2u);
+  EXPECT_EQ(Count(doc, "//a"), 1u);
+  EXPECT_EQ(Count(doc, "//c//b"), 1u);
+}
+
+TEST_F(MatchTest, InteriorDescendant) {
+  Document doc = Parse("<a><x><y><b/></y></x><b/></a>");
+  EXPECT_EQ(Count(doc, "/a//b"), 2u);
+  EXPECT_EQ(Count(doc, "/a/x//b"), 1u);
+}
+
+TEST_F(MatchTest, Predicates) {
+  Document doc = Parse(
+      "<lib><book><title/><isbn/></book><book><title/></book></lib>");
+  EXPECT_EQ(Count(doc, "//book[isbn]/title"), 1u);
+  EXPECT_EQ(Count(doc, "//book/title"), 2u);
+  EXPECT_EQ(Count(doc, "//book[isbn][title]"), 1u);
+}
+
+TEST_F(MatchTest, PredicatePaths) {
+  Document doc = Parse(
+      "<r><item><mailbox><mail><text/></mail></mailbox><d/></item>"
+      "<item><mailbox/><d/></item></r>");
+  EXPECT_EQ(Count(doc, "//item[mailbox/mail/text]/d"), 1u);
+  EXPECT_EQ(Count(doc, "//item[mailbox]/d"), 2u);
+  EXPECT_EQ(Count(doc, "//item[.//text]/d"), 1u);
+}
+
+TEST_F(MatchTest, ValueEquality) {
+  Document doc = Parse(
+      "<dblp><inproceedings><year>1998</year><title/></inproceedings>"
+      "<inproceedings><year>1999</year><title/></inproceedings></dblp>");
+  EXPECT_EQ(Count(doc, "//inproceedings[year=\"1998\"]/title"), 1u);
+  EXPECT_EQ(Count(doc, "//inproceedings[year=\"1997\"]/title"), 0u);
+  EXPECT_EQ(Count(doc, "//inproceedings[year]/title"), 2u);
+}
+
+TEST_F(MatchTest, ResultBindingsAreDeduplicated) {
+  // Two distinct b-parents share one c descendant set; result nodes must be
+  // unique even when reachable through multiple bindings.
+  Document doc = Parse("<a><b><b><c/></b></b></a>");
+  EXPECT_EQ(Count(doc, "//b//c"), 1u);
+}
+
+TEST_F(MatchTest, ExistsMatchesEvaluate) {
+  Document doc = Parse("<a><b><c/></b></a>");
+  TwigMatcher matcher(&doc);
+  EXPECT_TRUE(matcher.Exists(Query("//b/c")));
+  EXPECT_FALSE(matcher.Exists(Query("//c/b")));
+}
+
+TEST_F(MatchTest, EvaluateAtBindsContext) {
+  Document doc = Parse("<a><s><n/></s><s><m/></s></a>");
+  TwigQuery q = Query("//s/n");
+  TwigMatcher matcher(&doc);
+  // Locate the two s elements.
+  NodeId root = doc.root_element();
+  NodeId s1 = doc.first_child(root);
+  NodeId s2 = doc.next_sibling(s1);
+  EXPECT_TRUE(matcher.ExistsAt(s1, q));
+  EXPECT_FALSE(matcher.ExistsAt(s2, q));
+  // Context label must match the root step.
+  EXPECT_FALSE(matcher.ExistsAt(root, q));
+}
+
+TEST_F(MatchTest, NewQueryResetsMemo) {
+  Document doc = Parse("<a><b/></a>");
+  TwigMatcher matcher(&doc);
+  TwigQuery q1 = Query("//a[b]");
+  TwigQuery q2 = Query("//a[c]");
+  NodeId root = doc.root_element();
+  EXPECT_TRUE(matcher.ExistsAt(root, q1));
+  matcher.NewQuery();
+  EXPECT_FALSE(matcher.ExistsAt(root, q2));
+}
+
+TEST_F(MatchTest, RecursiveLabelsDeepNesting) {
+  Document doc = Parse("<S><S><NP/><S><NP><PP/></NP></S></S></S>");
+  EXPECT_EQ(Count(doc, "//S/NP"), 2u);
+  EXPECT_EQ(Count(doc, "//S//NP"), 2u);
+  EXPECT_EQ(Count(doc, "//S/S/NP[PP]"), 1u);
+  EXPECT_EQ(Count(doc, "//NP[PP]"), 1u);
+}
+
+TEST_F(MatchTest, TextNodesNeverBindSteps) {
+  Document doc = Parse("<a>b<b/></a>");  // text "b" plus element <b>
+  EXPECT_EQ(Count(doc, "//a/b"), 1u);
+}
+
+TEST_F(MatchTest, NodesVisitedGrowsWithWork) {
+  Document doc = Parse("<a><b/><b/><b/><b/></a>");
+  TwigMatcher matcher(&doc);
+  matcher.Evaluate(Query("//b"));
+  EXPECT_GT(matcher.nodes_visited(), 0u);
+}
+
+TEST_F(MatchTest, UnknownLabelNeverMatches) {
+  Document doc = Parse("<a><b/></a>");
+  EXPECT_EQ(Count(doc, "//zzz"), 0u);
+}
+
+}  // namespace
+}  // namespace fix

@@ -1,0 +1,193 @@
+// Tests for persistence: the serialization codecs, Corpus save/load round
+// trips, and reopening a FIX index from disk with identical query behavior.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "core/fix_query.h"
+#include "core/persist.h"
+#include "datagen/datasets.h"
+#include "datagen/query_gen.h"
+#include "query/xpath_parser.h"
+
+namespace fix {
+namespace {
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_persist_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(PersistTest, FileRoundTrip) {
+  std::string payload = "hello\0world", path = dir_ + "/f";
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  EXPECT_FALSE(ReadFile(dir_ + "/missing").ok());
+}
+
+TEST_F(PersistTest, LabelTableRoundTrip) {
+  LabelTable original;
+  original.Intern("article");
+  original.Intern("author");
+  original.Intern("#v3");
+  std::string buf = EncodeLabelTable(original);
+
+  LabelTable restored;
+  ASSERT_TRUE(DecodeLabelTable(buf, &restored).ok());
+  ASSERT_EQ(restored.size(), original.size());
+  for (LabelId id = 0; id < original.size(); ++id) {
+    EXPECT_EQ(restored.Name(id), original.Name(id));
+  }
+  // Corruption is detected.
+  std::string bad = buf;
+  bad[0] ^= 0x55;
+  LabelTable fresh;
+  EXPECT_FALSE(DecodeLabelTable(bad, &fresh).ok());
+  LabelTable fresh2;
+  EXPECT_FALSE(DecodeLabelTable(buf.substr(0, buf.size() - 2), &fresh2).ok());
+}
+
+TEST_F(PersistTest, ManifestRoundTrip) {
+  std::vector<RecordId> records = {{0}, {123}, {1ULL << 40}};
+  auto restored = DecodeManifest(EncodeManifest(records));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 3u);
+  EXPECT_EQ((*restored)[2].offset, 1ULL << 40);
+}
+
+TEST_F(PersistTest, IndexMetaRoundTrip) {
+  IndexMeta meta;
+  meta.options.depth_limit = 6;
+  meta.options.clustered = true;
+  meta.options.value_beta = 10;
+  meta.options.use_lambda2 = true;
+  meta.options.sound_probe = true;
+  meta.options.epsilon = 1e-7;
+  meta.next_seq = 4242;
+  meta.edge_weights = {{0x100000002ULL, 1}, {0x300000004ULL, 7}};
+  auto restored = DecodeIndexMeta(EncodeIndexMeta(meta));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->options.depth_limit, 6);
+  EXPECT_TRUE(restored->options.clustered);
+  EXPECT_EQ(restored->options.value_beta, 10u);
+  EXPECT_TRUE(restored->options.use_lambda2);
+  EXPECT_TRUE(restored->options.sound_probe);
+  EXPECT_DOUBLE_EQ(restored->options.epsilon, 1e-7);
+  EXPECT_EQ(restored->next_seq, 4242u);
+  EXPECT_EQ(restored->edge_weights, meta.edge_weights);
+}
+
+TEST_F(PersistTest, EdgeEncoderExportImport) {
+  EdgeEncoder original;
+  double w1 = original.Weight(3, 4);
+  double w2 = original.Weight(5, 6);
+  EdgeEncoder restored;
+  restored.Import(original.Export());
+  EXPECT_EQ(restored.Weight(3, 4), w1);
+  EXPECT_EQ(restored.Weight(5, 6), w2);
+  // New pairs continue after the imported maximum.
+  EXPECT_GT(restored.Weight(7, 8), w2);
+}
+
+TEST_F(PersistTest, CorpusSaveLoadRoundTrip) {
+  Corpus original;
+  ASSERT_TRUE(original.AddXml("<a><b>text</b><c/></a>").ok());
+  ASSERT_TRUE(original.AddXml("<x><y/></x>").ok());
+  ASSERT_TRUE(original.Save(dir_).ok());
+
+  auto restored = Corpus::Load(dir_);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->num_docs(), 2u);
+  EXPECT_EQ(restored->TotalElements(), original.TotalElements());
+  EXPECT_EQ(restored->labels()->size(), original.labels()->size());
+  const Document& doc = restored->doc(0);
+  EXPECT_EQ(doc.ChildText(doc.first_child(doc.root_element())), "text");
+}
+
+TEST_F(PersistTest, IndexReopenAnswersIdentically) {
+  Corpus corpus;
+  TcmdOptions gen;
+  gen.num_docs = 40;
+  GenerateTcmd(&corpus, gen);
+  ASSERT_TRUE(corpus.Save(dir_).ok());
+
+  IndexOptions options;
+  options.depth_limit = 4;
+  options.path = dir_ + "/idx.fix";
+  auto built = FixIndex::Build(&corpus, options, nullptr);
+  ASSERT_TRUE(built.ok());
+
+  // Fresh process simulation: reload corpus, reopen index.
+  auto corpus2 = Corpus::Load(dir_);
+  ASSERT_TRUE(corpus2.ok());
+  auto reopened = FixIndex::Open(&*corpus2, dir_ + "/idx.fix");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->num_entries(), built->num_entries());
+  EXPECT_EQ(reopened->options().depth_limit, 4);
+
+  QueryGenOptions qopts;
+  qopts.seed = 55;
+  qopts.max_depth = 4;
+  auto queries = GenerateRandomQueries(corpus, 20, qopts);
+  ASSERT_GT(queries.size(), 5u);
+  for (const auto& q : queries) {
+    auto a = built->Lookup(q);
+    TwigQuery q2 = q;
+    q2.ResolveLabels(corpus2->labels());
+    auto b = reopened->Lookup(q2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->candidates.size(), b->candidates.size()) << q.ToString();
+  }
+}
+
+TEST_F(PersistTest, ReopenedClusteredIndexServesCopies) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddXml("<a><b/><c/></a>").ok());
+  ASSERT_TRUE(corpus.Save(dir_).ok());
+  IndexOptions options;
+  options.clustered = true;
+  options.path = dir_ + "/c.fix";
+  ASSERT_TRUE(FixIndex::Build(&corpus, options, nullptr).ok());
+
+  auto corpus2 = Corpus::Load(dir_);
+  ASSERT_TRUE(corpus2.ok());
+  auto reopened = FixIndex::Open(&*corpus2, dir_ + "/c.fix");
+  ASSERT_TRUE(reopened.ok());
+  FixQueryProcessor processor(&*corpus2, &*reopened);
+  auto parsed = ParseXPath("/a[b]/c");
+  TwigQuery q = std::move(parsed).value();
+  q.ResolveLabels(corpus2->labels());
+  auto stats = processor.Execute(q);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->result_count, 1u);
+  EXPECT_GT(stats->sequential_bytes, 0u);
+}
+
+TEST_F(PersistTest, OpenRejectsMissingOrCorruptMeta) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddXml("<a/>").ok());
+  EXPECT_FALSE(FixIndex::Open(&corpus, dir_ + "/nonexistent.fix").ok());
+
+  IndexOptions options;
+  options.path = dir_ + "/ok.fix";
+  ASSERT_TRUE(FixIndex::Build(&corpus, options, nullptr).ok());
+  ASSERT_TRUE(WriteFile(dir_ + "/ok.fix.meta", "garbage").ok());
+  EXPECT_FALSE(FixIndex::Open(&corpus, dir_ + "/ok.fix").ok());
+}
+
+}  // namespace
+}  // namespace fix

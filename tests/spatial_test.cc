@@ -1,0 +1,136 @@
+// Tests for the kd-tree SpatialProbe (Section 8 extension): equivalence
+// with the brute-force dominance filter and pruning of probe work.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "core/spatial_probe.h"
+#include "datagen/datasets.h"
+
+namespace fix {
+namespace {
+
+class SpatialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_spatial_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    XMarkOptions gen;
+    gen.num_items = 48;
+    gen.num_people = 48;
+    gen.num_open_auctions = 48;
+    gen.num_closed_auctions = 48;
+    gen.num_categories = 24;
+    GenerateXMark(&corpus_, gen);
+    IndexOptions options;
+    options.depth_limit = 4;
+    options.path = dir_ + "/s.fix";
+    auto index = FixIndex::Build(&corpus_, options, nullptr);
+    ASSERT_TRUE(index.ok());
+    index_ = std::make_unique<FixIndex>(std::move(index).value());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Brute-force reference: scan the B+-tree and filter.
+  std::vector<SpatialProbe::Hit> BruteForce(LabelId label, double a,
+                                            double b) {
+    std::vector<SpatialProbe::Hit> out;
+    auto it = index_->btree()->SeekFirst();
+    EXPECT_TRUE(it.ok());
+    while (it->Valid()) {
+      FeatureKey key = DecodeFeatureKey(it->key());
+      if (key.root_label == label && key.lambda_max >= a &&
+          key.lambda2 >= b) {
+        out.push_back({key, DecodeIndexValue(it->value())});
+      }
+      EXPECT_TRUE(it->Next().ok());
+    }
+    return out;
+  }
+
+  static std::set<uint32_t> Seqs(const std::vector<SpatialProbe::Hit>& hits) {
+    std::set<uint32_t> out;
+    for (const auto& h : hits) out.insert(h.key.seq);
+    return out;
+  }
+
+  std::string dir_;
+  Corpus corpus_;
+  std::unique_ptr<FixIndex> index_;
+};
+
+TEST_F(SpatialTest, BuildsOverWholeIndex) {
+  auto probe = SpatialProbe::FromBTree(index_->btree());
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe->total(), index_->num_entries());
+  EXPECT_GT(probe->ApproxBytes(), 0u);
+}
+
+TEST_F(SpatialTest, DominanceQueryMatchesBruteForce) {
+  auto probe = SpatialProbe::FromBTree(index_->btree());
+  ASSERT_TRUE(probe.ok());
+  const char* names[] = {"item", "open_auction", "listitem", "mail",
+                         "description", "person"};
+  const double bounds[][2] = {{0, 0},   {1, 0},    {5, 1},
+                              {10, 3},  {50, 10},  {2.5, 2.5}};
+  for (const char* name : names) {
+    LabelId label = corpus_.labels()->Find(name);
+    ASSERT_NE(label, kInvalidLabel) << name;
+    for (const auto& bound : bounds) {
+      auto got = probe->Query(label, bound[0], bound[1]);
+      auto want = BruteForce(label, bound[0], bound[1]);
+      EXPECT_EQ(Seqs(got), Seqs(want))
+          << name << " a=" << bound[0] << " b=" << bound[1];
+    }
+  }
+}
+
+TEST_F(SpatialTest, UnknownLabelEmpty) {
+  auto probe = SpatialProbe::FromBTree(index_->btree());
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->Query(999999, 0, 0).empty());
+}
+
+TEST_F(SpatialTest, SelectiveProbesVisitFewNodes) {
+  auto probe = SpatialProbe::FromBTree(index_->btree());
+  ASSERT_TRUE(probe.ok());
+  LabelId item = corpus_.labels()->Find("item");
+  ASSERT_NE(item, kInvalidLabel);
+
+  // An unselective probe visits ~everything; a highly selective one (both
+  // bounds far out) must prune most of the tree.
+  uint64_t visited_all = 0;
+  auto everything = probe->Query(item, 0, 0, &visited_all);
+  uint64_t visited_tight = 0;
+  auto tight = probe->Query(item, 1e8, 1e8, &visited_tight);
+  EXPECT_TRUE(tight.empty());
+  EXPECT_GT(visited_all, 0u);
+  EXPECT_LE(visited_tight, 2u);  // bounding boxes kill the root immediately
+  EXPECT_GE(everything.size(), tight.size());
+}
+
+TEST_F(SpatialTest, TinyTrees) {
+  // Degenerate sizes: empty corpus label and a single-entry label.
+  Corpus tiny;
+  ASSERT_TRUE(tiny.AddXml("<only><child/></only>").ok());
+  IndexOptions options;
+  options.depth_limit = 2;
+  options.path = dir_ + "/tiny.fix";
+  auto index = FixIndex::Build(&tiny, options, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto probe = SpatialProbe::FromBTree(index->btree());
+  ASSERT_TRUE(probe.ok());
+  LabelId only = tiny.labels()->Find("only");
+  EXPECT_EQ(probe->Query(only, 0, 0).size(), 1u);
+  EXPECT_EQ(probe->Query(only, 1e9, 0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace fix

@@ -1,0 +1,336 @@
+// Tests for the spectral machinery: the symmetric eigensolver against
+// analytically known spectra, the skew-spectrum fast path against the
+// Hermitian-embedding reference, and the interlacing property (Theorem 3)
+// on randomly generated DAG patterns.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/bisim_builder.h"
+#include "spectral/edge_encoder.h"
+#include "spectral/skew_matrix.h"
+#include "spectral/spectrum.h"
+#include "spectral/sym_eigen.h"
+#include "xml/parser.h"
+
+namespace fix {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::vector<double> Sorted(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// --- symmetric eigensolver ----------------------------------------------
+
+TEST(SymEigenTest, DiagonalMatrix) {
+  DenseMatrix m(3);
+  m.at(0, 0) = 4;
+  m.at(1, 1) = -1;
+  m.at(2, 2) = 2.5;
+  auto eigs = SymmetricEigenvalues(m);
+  ASSERT_TRUE(eigs.ok());
+  std::vector<double> got = Sorted(*eigs);
+  EXPECT_NEAR(got[0], -1, kTol);
+  EXPECT_NEAR(got[1], 2.5, kTol);
+  EXPECT_NEAR(got[2], 4, kTol);
+}
+
+TEST(SymEigenTest, TwoByTwoAnalytic) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  DenseMatrix m(2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;
+  auto eigs = SymmetricEigenvalues(m);
+  ASSERT_TRUE(eigs.ok());
+  std::vector<double> got = Sorted(*eigs);
+  EXPECT_NEAR(got[0], 1, kTol);
+  EXPECT_NEAR(got[1], 3, kTol);
+}
+
+TEST(SymEigenTest, PathGraphAdjacency) {
+  // Path P_n adjacency eigenvalues: 2 cos(k*pi/(n+1)), k = 1..n.
+  const size_t n = 7;
+  DenseMatrix m(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    m.at(i, i + 1) = 1;
+    m.at(i + 1, i) = 1;
+  }
+  auto eigs = SymmetricEigenvalues(m);
+  ASSERT_TRUE(eigs.ok());
+  std::vector<double> got = Sorted(*eigs);
+  std::vector<double> expected;
+  for (size_t k = 1; k <= n; ++k) {
+    expected.push_back(2 * std::cos(M_PI * static_cast<double>(k) / (n + 1)));
+  }
+  std::sort(expected.begin(), expected.end());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-8) << i;
+  }
+}
+
+TEST(SymEigenTest, TraceAndFrobeniusInvariants) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 2 + rng.Uniform(14);
+    DenseMatrix m(n);
+    double trace = 0, frob = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        double v = (rng.NextDouble() - 0.5) * 10;
+        m.at(i, j) = v;
+        m.at(j, i) = v;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      trace += m.at(i, i);
+      for (size_t j = 0; j < n; ++j) frob += m.at(i, j) * m.at(i, j);
+    }
+    auto eigs = SymmetricEigenvalues(m);
+    ASSERT_TRUE(eigs.ok());
+    double sum = 0, sq = 0;
+    for (double e : *eigs) {
+      sum += e;
+      sq += e * e;
+    }
+    EXPECT_NEAR(sum, trace, 1e-7 * (1 + std::fabs(trace)));
+    EXPECT_NEAR(sq, frob, 1e-7 * (1 + frob));
+  }
+}
+
+TEST(SymEigenTest, TrivialSizes) {
+  DenseMatrix m0(0);
+  auto e0 = SymmetricEigenvalues(m0);
+  ASSERT_TRUE(e0.ok());
+  EXPECT_TRUE(e0->empty());
+  DenseMatrix m1(1);
+  m1.at(0, 0) = -7;
+  auto e1 = SymmetricEigenvalues(m1);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_NEAR((*e1)[0], -7, kTol);
+}
+
+// --- skew spectrum ----------------------------------------------------------
+
+TEST(SkewSpectrumTest, TwoCycleAnalytic) {
+  // M = [[0, w], [-w, 0]] has iM eigenvalues ±w.
+  DenseMatrix m(2);
+  m.at(0, 1) = 3;
+  m.at(1, 0) = -3;
+  auto sigmas = SkewSpectrum(m);
+  ASSERT_TRUE(sigmas.ok());
+  ASSERT_EQ(sigmas->size(), 2u);
+  EXPECT_NEAR((*sigmas)[0], 3, kTol);
+  EXPECT_NEAR((*sigmas)[1], 3, kTol);
+  auto pair = SkewEigPair(m);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NEAR(pair->lambda_max, 3, kTol);
+  EXPECT_NEAR(pair->lambda_min, -3, kTol);
+}
+
+TEST(SkewSpectrumTest, StarGraphAnalytic) {
+  // Root with k unit-weight children: σ_max = sqrt(k), rest zero.
+  const size_t k = 5;
+  DenseMatrix m(k + 1);
+  for (size_t i = 1; i <= k; ++i) {
+    m.at(0, i) = 1;
+    m.at(i, 0) = -1;
+  }
+  auto pair = SkewEigPair(m);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NEAR(pair->lambda_max, std::sqrt(5.0), 1e-8);
+  EXPECT_NEAR(pair->lambda_min, -std::sqrt(5.0), 1e-8);
+}
+
+TEST(SkewSpectrumTest, FastPathMatchesEmbeddingReference) {
+  Rng rng(41);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t n = 2 + rng.Uniform(10);
+    DenseMatrix m(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (rng.Chance(0.4)) {
+          double w = 1 + rng.Uniform(9);
+          m.at(j, i) = w;
+          m.at(i, j) = -w;
+        }
+      }
+    }
+    auto fast = SkewSpectrum(m);
+    auto ref = SkewSpectrumEmbedding(m);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(ref.ok());
+    ASSERT_EQ(fast->size(), ref->size());
+    for (size_t i = 0; i < fast->size(); ++i) {
+      EXPECT_NEAR((*fast)[i], (*ref)[i], 1e-6 * (1 + (*fast)[0])) << i;
+    }
+  }
+}
+
+TEST(SkewSpectrumTest, EigPairFromSpectrumPicksSecondDistinctMagnitude) {
+  // Magnitudes come in pairs: [σ1, σ1, σ2, σ2] -> λ2 = σ2.
+  EigPair p = EigPairFromSpectrum({5.0, 5.0, 2.0, 2.0});
+  EXPECT_EQ(p.lambda_max, 5.0);
+  EXPECT_EQ(p.lambda_min, -5.0);
+  EXPECT_EQ(p.lambda2, 2.0);
+  EigPair empty = EigPairFromSpectrum({});
+  EXPECT_EQ(empty.lambda_max, 0.0);
+}
+
+// --- matrix construction ------------------------------------------------
+
+TEST(SkewMatrixTest, AntiSymmetryAndWeightConsistency) {
+  LabelTable labels;
+  auto doc = ParseXml("<r><a><b/></a><a><b/></a><c><b/></c></r>", &labels);
+  ASSERT_TRUE(doc.ok());
+  auto graph = BuildBisimGraph(*doc);
+  ASSERT_TRUE(graph.ok());
+  EdgeEncoder encoder;
+  DenseMatrix m = BuildSkewMatrix(*graph, &encoder);
+  ASSERT_EQ(m.n(), graph->num_vertices());
+  for (size_t i = 0; i < m.n(); ++i) {
+    EXPECT_EQ(m.at(i, i), 0.0);
+    for (size_t j = 0; j < m.n(); ++j) {
+      EXPECT_EQ(m.at(i, j), -m.at(j, i));
+    }
+  }
+  // Same label pair -> same weight: (a,b) and (c,b) must differ, but both
+  // a->b edges collapse to the same bisim edge anyway. Weights are small
+  // positive integers.
+  EXPECT_EQ(encoder.Weight(labels.Find("a"), labels.Find("b")),
+            encoder.Weight(labels.Find("a"), labels.Find("b")));
+  EXPECT_NE(encoder.Weight(labels.Find("a"), labels.Find("b")),
+            encoder.Weight(labels.Find("c"), labels.Find("b")));
+}
+
+TEST(SkewMatrixTest, IsomorphicGraphsIsospectral) {
+  LabelTable labels;
+  auto d1 = ParseXml("<r><a><x/></a><b/></r>", &labels);
+  auto d2 = ParseXml("<r><b/><a><x/></a></r>", &labels);  // reordered
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  auto g1 = BuildBisimGraph(*d1);
+  auto g2 = BuildBisimGraph(*d2);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EdgeEncoder encoder;
+  auto s1 = SkewSpectrum(BuildSkewMatrix(*g1, &encoder));
+  auto s2 = SkewSpectrum(BuildSkewMatrix(*g2, &encoder));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s1->size(), s2->size());
+  for (size_t i = 0; i < s1->size(); ++i) {
+    EXPECT_NEAR((*s1)[i], (*s2)[i], 1e-9);
+  }
+}
+
+// --- Theorem 3 (interlacing / containment) -----------------------------
+
+// Builds the induced subgraph of `graph` on the vertices reachable from
+// `start`, re-using the same edge weights via the shared encoder.
+DenseMatrix InducedReachableMatrix(const BisimGraph& graph,
+                                   BisimVertexId start, EdgeEncoder* encoder,
+                                   size_t* out_n) {
+  std::set<BisimVertexId> keep;
+  std::vector<BisimVertexId> stack{start};
+  while (!stack.empty()) {
+    BisimVertexId v = stack.back();
+    stack.pop_back();
+    if (!keep.insert(v).second) continue;
+    for (BisimVertexId c : graph.vertex(v).children) stack.push_back(c);
+  }
+  std::vector<BisimVertexId> order(keep.begin(), keep.end());
+  DenseMatrix m(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const BisimVertex& u = graph.vertex(order[i]);
+    for (BisimVertexId c : u.children) {
+      auto it = std::lower_bound(order.begin(), order.end(), c);
+      size_t j = static_cast<size_t>(it - order.begin());
+      double w = encoder->Weight(u.label, graph.vertex(c).label);
+      m.at(i, j) = w;
+      m.at(j, i) = -w;
+    }
+  }
+  *out_n = order.size();
+  return m;
+}
+
+TEST(InterlacingTest, ReachableInducedSubgraphsContained) {
+  // Theorem 3: for induced subgraphs, [λ_min(H), λ_max(H)] is inside
+  // [λ_min(G), λ_max(G)]. Reachable sets induce subgraphs of the DAG.
+  Rng rng(53);
+  LabelTable labels;
+  const char* docs[] = {
+      "<r><a><b/><c><d/></c></a><e><b/></e><a><c><d/><b/></c></a></r>",
+      "<r><x><y><z/></y></x><x><z/></x><w><y><z/></y><x/></w></r>",
+      "<bib><article><title/><author><email/></author></article>"
+      "<book><title/><author><phone/><email/></author></book></bib>",
+  };
+  for (const char* xml : docs) {
+    auto doc = ParseXml(xml, &labels);
+    ASSERT_TRUE(doc.ok());
+    auto graph = BuildBisimGraph(*doc);
+    ASSERT_TRUE(graph.ok());
+    EdgeEncoder encoder;
+    auto whole = SkewEigPair(BuildSkewMatrix(*graph, &encoder));
+    ASSERT_TRUE(whole.ok());
+    for (BisimVertexId v = 0; v < graph->num_vertices(); ++v) {
+      size_t n = 0;
+      DenseMatrix sub = InducedReachableMatrix(*graph, v, &encoder, &n);
+      auto pair = SkewEigPair(sub);
+      ASSERT_TRUE(pair.ok());
+      EXPECT_LE(pair->lambda_max, whole->lambda_max + 1e-9);
+      EXPECT_GE(pair->lambda_min, whole->lambda_min - 1e-9);
+    }
+    (void)rng;
+  }
+}
+
+TEST(InterlacingTest, RandomVertexDeletionContained) {
+  // Directly exercises the proof shape: remove one vertex (and incident
+  // edges) from a random skew matrix; the range must shrink or stay.
+  Rng rng(67);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t n = 3 + rng.Uniform(9);
+    DenseMatrix m(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (rng.Chance(0.5)) {
+          double w = 1 + rng.Uniform(6);
+          m.at(j, i) = w;
+          m.at(i, j) = -w;
+        }
+      }
+    }
+    size_t drop = rng.Uniform(n);
+    DenseMatrix sub(n - 1);
+    for (size_t i = 0, si = 0; i < n; ++i) {
+      if (i == drop) continue;
+      for (size_t j = 0, sj = 0; j < n; ++j) {
+        if (j == drop) continue;
+        sub.at(si, sj) = m.at(i, j);
+        ++sj;
+      }
+      ++si;
+    }
+    auto big = SkewEigPair(m);
+    auto small = SkewEigPair(sub);
+    ASSERT_TRUE(big.ok());
+    ASSERT_TRUE(small.ok());
+    EXPECT_LE(small->lambda_max, big->lambda_max + 1e-9);
+    // λ2 interlaces as well (Cauchy, k = 2).
+    EXPECT_LE(small->lambda2, big->lambda2 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fix

@@ -1,0 +1,153 @@
+// Tests for the join-based refinement engine: positional labels, the
+// individual joins, and full equivalence with the navigational TwigMatcher
+// over random generated corpora and the paper's query shapes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/corpus.h"
+#include "datagen/datasets.h"
+#include "datagen/query_gen.h"
+#include "query/match.h"
+#include "query/structural_join.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+
+namespace fix {
+namespace {
+
+TwigQuery MustParse(const std::string& text, LabelTable* labels) {
+  auto q = ParseXPath(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  TwigQuery query = std::move(q).value();
+  query.ResolveLabels(labels);
+  return query;
+}
+
+TEST(PositionIndexTest, IntervalInvariants) {
+  LabelTable labels;
+  auto doc = ParseXml("<a><b><c/><d/></b><b>t</b></a>", &labels);
+  ASSERT_TRUE(doc.ok());
+  PositionIndex index(&*doc);
+  // The document node spans everything at level 0.
+  EXPECT_EQ(index.position(0).level, 0u);
+  // Containment: every element's interval nests within its parent's.
+  for (NodeId n = 1; n < doc->num_nodes(); ++n) {
+    if (!doc->IsElement(n)) continue;
+    const auto& pos = index.position(n);
+    const auto& parent = index.position(doc->parent(n));
+    EXPECT_GT(pos.start, parent.start);
+    EXPECT_LE(pos.end, parent.end == 0 ? UINT32_MAX : parent.end);
+    EXPECT_EQ(pos.level, parent.level + 1);
+    EXPECT_GE(pos.end, pos.start);
+  }
+  // Streams are sorted by start and complete.
+  LabelId b = labels.Find("b");
+  ASSERT_EQ(index.Stream(b).size(), 2u);
+  EXPECT_LT(index.Stream(b)[0].start, index.Stream(b)[1].start);
+  EXPECT_EQ(index.AllElements().size(), doc->CountElements());
+  EXPECT_TRUE(index.Stream(999999).empty());
+}
+
+TEST(StructuralJoinTest, HandCheckedQueries) {
+  LabelTable labels;
+  auto doc = ParseXml(
+      "<lib><book><title/><isbn/></book><book><title/></book>"
+      "<shelf><book><isbn/></book></shelf></lib>",
+      &labels);
+  ASSERT_TRUE(doc.ok());
+  PositionIndex index(&*doc);
+  StructuralJoinEngine engine(&*doc, &index);
+
+  EXPECT_EQ(engine.Evaluate(MustParse("//book", &labels)).size(), 3u);
+  EXPECT_EQ(engine.Evaluate(MustParse("//book[isbn]/title", &labels)).size(),
+            1u);
+  EXPECT_EQ(engine.Evaluate(MustParse("/lib/book", &labels)).size(), 2u);
+  EXPECT_EQ(engine.Evaluate(MustParse("//lib//isbn", &labels)).size(), 2u);
+  EXPECT_EQ(engine.Evaluate(MustParse("//shelf/book/isbn", &labels)).size(),
+            1u);
+  EXPECT_EQ(engine.Evaluate(MustParse("//shelf/title", &labels)).size(), 0u);
+  EXPECT_GT(engine.positions_scanned(), 0u);
+}
+
+TEST(StructuralJoinTest, ValueAndWildcardQueries) {
+  LabelTable labels;
+  auto doc = ParseXml(
+      "<d><p><pub>Springer</pub><t/></p><p><pub>ACM</pub><t/></p></d>",
+      &labels);
+  ASSERT_TRUE(doc.ok());
+  PositionIndex index(&*doc);
+  StructuralJoinEngine engine(&*doc, &index);
+  EXPECT_EQ(
+      engine.Evaluate(MustParse("//p[pub=\"Springer\"]/t", &labels)).size(),
+      1u);
+  EXPECT_EQ(engine.Evaluate(MustParse("//d/*/pub", &labels)).size(), 2u);
+  EXPECT_EQ(engine.Evaluate(MustParse("//*[pub=\"ACM\"]", &labels)).size(),
+            1u);
+}
+
+class JoinEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinEquivalenceTest, MatchesNavigationalEngine) {
+  Corpus corpus;
+  switch (GetParam()) {
+    case 0: {
+      TcmdOptions o;
+      o.num_docs = 20;
+      GenerateTcmd(&corpus, o);
+      break;
+    }
+    case 1: {
+      XMarkOptions o;
+      o.num_items = 18;
+      o.num_people = 18;
+      o.num_open_auctions = 18;
+      o.num_closed_auctions = 18;
+      o.num_categories = 9;
+      GenerateXMark(&corpus, o);
+      break;
+    }
+    default: {
+      TreebankOptions o;
+      o.num_sentences = 60;
+      GenerateTreebank(&corpus, o);
+      break;
+    }
+  }
+  QueryGenOptions qopts;
+  qopts.seed = 606 + GetParam();
+  qopts.max_depth = 4;
+  auto queries = GenerateRandomQueries(corpus, 50, qopts);
+  ASSERT_GT(queries.size(), 10u);
+  // A few fixed shapes with interior // and rooted axes on top.
+  LabelTable* labels = corpus.labels();
+  queries.push_back(MustParse("//S//NP", labels));
+  queries.push_back(MustParse("//item[name]//keyword", labels));
+  queries.push_back(MustParse("/article/prolog//author", labels));
+
+  for (uint32_t d = 0; d < corpus.num_docs(); ++d) {
+    const Document& doc = corpus.doc(d);
+    PositionIndex index(&doc);
+    TwigMatcher matcher(&doc);
+    for (const auto& q : queries) {
+      StructuralJoinEngine engine(&doc, &index);
+      std::vector<NodeId> via_join = engine.Evaluate(q);
+      std::vector<NodeId> via_nav = matcher.Evaluate(q);
+      std::sort(via_nav.begin(), via_nav.end());
+      EXPECT_EQ(via_join, via_nav) << q.ToString() << " doc " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, JoinEquivalenceTest,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(info.param == 0   ? "tcmd"
+                                              : info.param == 1 ? "xmark"
+                                                                : "treebank");
+                         });
+
+}  // namespace
+}  // namespace fix

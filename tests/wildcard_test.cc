@@ -1,0 +1,156 @@
+// Tests for wildcard (*) NameTests across the stack: parsing, matching
+// semantics, FIX lookup degradation (label-only / full-scan fallback), and
+// the F&B baseline.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "baseline/fb_index.h"
+#include "baseline/full_scan.h"
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "core/fix_query.h"
+#include "query/match.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+
+namespace fix {
+namespace {
+
+TwigQuery MustParse(const std::string& text, LabelTable* labels) {
+  auto q = ParseXPath(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status();
+  TwigQuery query = std::move(q).value();
+  query.ResolveLabels(labels);
+  return query;
+}
+
+TEST(WildcardParseTest, ParsesAndPrints) {
+  auto q = ParseXPath("//a/*/c");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->HasWildcard());
+  EXPECT_EQ(q->ToString(), "//a/*/c");
+  auto q2 = ParseXPath("//*[b]/c");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->steps[q2->root].wildcard);
+  EXPECT_FALSE(ParseXPath("//a/**").ok());  // double star is not a name
+}
+
+TEST(WildcardMatchTest, MatchesAnyElement) {
+  LabelTable labels;
+  auto doc = ParseXml("<a><x><c/></x><y><c/></y><z><d/></z></a>", &labels);
+  ASSERT_TRUE(doc.ok());
+  TwigMatcher matcher(&*doc);
+  EXPECT_EQ(matcher.Evaluate(MustParse("//a/*/c", &labels)).size(), 2u);
+  EXPECT_EQ(matcher.Evaluate(MustParse("//a/*", &labels)).size(), 3u);
+  EXPECT_EQ(matcher.Evaluate(MustParse("//*[d]", &labels)).size(), 1u);
+  // Wildcards never match text nodes.
+  auto doc2 = ParseXml("<a>text</a>", &labels);
+  ASSERT_TRUE(doc2.ok());
+  TwigMatcher matcher2(&*doc2);
+  EXPECT_EQ(matcher2.Evaluate(MustParse("//a/*", &labels)).size(), 0u);
+}
+
+class WildcardIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_wild_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    ASSERT_TRUE(corpus_
+                    .AddXml("<r><a><x><c/></x></a><a><y><c/></y></a>"
+                            "<b><z><c/></z></b></r>")
+                    .ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  FixIndex Build(int depth_limit) {
+    IndexOptions options;
+    options.depth_limit = depth_limit;
+    options.path = dir_ + "/w.fix";
+    auto index = FixIndex::Build(&corpus_, options, nullptr);
+    EXPECT_TRUE(index.ok());
+    return std::move(index).value();
+  }
+
+  std::string dir_;
+  Corpus corpus_;
+};
+
+TEST_F(WildcardIndexTest, LabelOnlyDegradationStaysExact) {
+  FixIndex index = Build(3);
+  FixQueryProcessor processor(&corpus_, &index);
+  for (const char* text : {"//a/*/c", "//a/*", "//b/*"}) {
+    TwigQuery q = MustParse(text, corpus_.labels());
+    std::vector<NodeRef> via_index;
+    auto stats = processor.Execute(q, &via_index);
+    ASSERT_TRUE(stats.ok()) << text;
+    EXPECT_TRUE(stats->covered) << text;
+    std::vector<NodeRef> via_scan;
+    FullScan(corpus_, q, &via_scan);
+    std::set<std::pair<uint32_t, uint32_t>> a, b;
+    for (auto r : via_index) a.insert({r.doc_id, r.node_id});
+    for (auto r : via_scan) b.insert({r.doc_id, r.node_id});
+    EXPECT_EQ(a, b) << text;
+  }
+}
+
+TEST_F(WildcardIndexTest, WildcardRootFallsBackToFullScan) {
+  FixIndex index = Build(3);
+  FixQueryProcessor processor(&corpus_, &index);
+  TwigQuery q = MustParse("//*[x]/x/c", corpus_.labels());
+  std::vector<NodeRef> results;
+  auto stats = processor.Execute(q, &results);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->used_index);
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST_F(WildcardIndexTest, LabelScanPrunesOtherLabels) {
+  FixIndex index = Build(3);
+  TwigQuery q = MustParse("//a/*/c", corpus_.labels());
+  auto lookup = index.Lookup(q);
+  ASSERT_TRUE(lookup.ok());
+  // Only the two a entries qualify — b, r, x, y, z, c are pruned by label.
+  EXPECT_EQ(lookup->candidates.size(), 2u);
+}
+
+TEST_F(WildcardIndexTest, EstimateHandlesWildcards) {
+  FixIndex index = Build(3);
+  auto est = index.EstimateCandidates(MustParse("//a/*", corpus_.labels()));
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, 2u);  // label count of a
+  auto est2 =
+      index.EstimateCandidates(MustParse("//*[x]", corpus_.labels()));
+  ASSERT_TRUE(est2.ok());
+  EXPECT_EQ(*est2, index.num_entries());  // no pruning possible
+}
+
+TEST(WildcardFbTest, FbIndexHandlesWildcards) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus
+                  .AddXml("<r><a><x><c/></x></a><a><y><c/></y></a>"
+                          "<b><z><c/></z></b></r>")
+                  .ok());
+  auto index = FbIndex::Build(&corpus, nullptr);
+  ASSERT_TRUE(index.ok());
+  for (const char* text : {"//a/*/c", "//*[z]", "//r/*/*/c", "//a/*"}) {
+    auto parsed = ParseXPath(text);
+    TwigQuery q = std::move(parsed).value();
+    q.ResolveLabels(corpus.labels());
+    std::vector<NodeRef> via_fb, via_scan;
+    auto stats = index->Execute(q, &via_fb);
+    ASSERT_TRUE(stats.ok()) << text;
+    FullScan(corpus, q, &via_scan);
+    std::set<std::pair<uint32_t, uint32_t>> a, b;
+    for (auto r : via_fb) a.insert({r.doc_id, r.node_id});
+    for (auto r : via_scan) b.insert({r.doc_id, r.node_id});
+    EXPECT_EQ(a, b) << text;
+  }
+}
+
+}  // namespace
+}  // namespace fix

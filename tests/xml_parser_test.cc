@@ -1,0 +1,168 @@
+// Unit tests for the XML parser: happy paths, every supported construct,
+// error reporting, and a parse -> serialize -> parse fixpoint property.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace fix {
+namespace {
+
+Result<Document> Parse(const std::string& xml, LabelTable* labels) {
+  return ParseXml(xml, labels);
+}
+
+TEST(XmlParserTest, MinimalDocument) {
+  LabelTable labels;
+  auto doc = Parse("<root/>", &labels);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->CountElements(), 1u);
+  EXPECT_EQ(labels.Name(doc->label(doc->root_element())), "root");
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  LabelTable labels;
+  auto doc = Parse("<a><b>hello</b><c>world</c></a>", &labels);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->CountElements(), 3u);
+  NodeId b = doc->first_child(doc->root_element());
+  EXPECT_EQ(doc->ChildText(b), "hello");
+}
+
+TEST(XmlParserTest, XmlDeclAndDoctypeAndComments) {
+  LabelTable labels;
+  auto doc = Parse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE a [ <!ELEMENT a (b)> ]>\n"
+      "<!-- leading comment -->\n"
+      "<a><!-- inner --><b/></a>\n"
+      "<!-- trailing -->",
+      &labels);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->CountElements(), 2u);
+}
+
+TEST(XmlParserTest, Attributes) {
+  LabelTable labels;
+  auto doc = Parse("<a x=\"1\" y='two &amp; three'><b z=\"3\"/></a>", &labels);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->attributes().size(), 3u);
+  EXPECT_EQ(doc->attributes()[0].name, "x");
+  EXPECT_EQ(doc->attributes()[0].value, "1");
+  EXPECT_EQ(doc->attributes()[1].value, "two & three");
+}
+
+TEST(XmlParserTest, EntitiesAndCharRefs) {
+  LabelTable labels;
+  auto doc = Parse("<a>&lt;x&gt; &amp; &quot;y&quot; &#65;&#x42;</a>",
+                   &labels);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->ChildText(doc->root_element()), "<x> & \"y\" AB");
+}
+
+TEST(XmlParserTest, Cdata) {
+  LabelTable labels;
+  auto doc = Parse("<a><![CDATA[<not & parsed>]]></a>", &labels);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->ChildText(doc->root_element()), "<not & parsed>");
+}
+
+TEST(XmlParserTest, WhitespaceTextSkippedByDefault) {
+  LabelTable labels;
+  auto doc = Parse("<a>\n  <b/>\n</a>", &labels);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->ChildText(doc->root_element()), "");
+}
+
+TEST(XmlParserTest, WhitespaceTextKeptOnRequest) {
+  LabelTable labels;
+  ParseOptions options;
+  options.skip_whitespace_text = false;
+  auto doc = ParseXml("<a> <b/> </a>", &labels, options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->ChildText(doc->root_element()), "  ");
+}
+
+TEST(XmlParserTest, ProcessingInstructionSkipped) {
+  LabelTable labels;
+  auto doc = Parse("<a><?php echo; ?><b/></a>", &labels);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->CountElements(), 2u);
+}
+
+// --- error cases --------------------------------------------------------
+
+TEST(XmlParserTest, MismatchedTagsRejectedWithLine) {
+  LabelTable labels;
+  auto doc = Parse("<a>\n<b>\n</c>\n</a>", &labels);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status();
+}
+
+TEST(XmlParserTest, UnterminatedConstructsRejected) {
+  LabelTable labels;
+  EXPECT_FALSE(Parse("<a>", &labels).ok());
+  EXPECT_FALSE(Parse("<a", &labels).ok());
+  EXPECT_FALSE(Parse("<a><!-- comment", &labels).ok());
+  EXPECT_FALSE(Parse("<a><![CDATA[ oops</a>", &labels).ok());
+  EXPECT_FALSE(Parse("<a x=\"1>", &labels).ok());
+}
+
+TEST(XmlParserTest, GarbageRejected) {
+  LabelTable labels;
+  EXPECT_FALSE(Parse("", &labels).ok());
+  EXPECT_FALSE(Parse("plain text", &labels).ok());
+  EXPECT_FALSE(Parse("<a/><b/>", &labels).ok());  // two roots
+  EXPECT_FALSE(Parse("<a>&unknown;</a>", &labels).ok());
+  EXPECT_FALSE(Parse("<a>&#xZZ;</a>", &labels).ok());
+  EXPECT_FALSE(Parse("<1tag/>", &labels).ok());
+}
+
+TEST(XmlParserTest, LessThanInAttributeRejected) {
+  LabelTable labels;
+  EXPECT_FALSE(Parse("<a x=\"<\"/>", &labels).ok());
+}
+
+// --- round trip -----------------------------------------------------------
+
+TEST(XmlParserTest, SerializeParseFixpoint) {
+  LabelTable labels;
+  const std::string xml =
+      "<bib><book year=\"2006\"><title>FIX &amp; XML</title>"
+      "<author><name>Ning Zhang</name></author></book>"
+      "<article><title>Another</title></article></bib>";
+  auto doc = Parse(xml, &labels);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  std::string once = SerializeXml(*doc, labels);
+  auto doc2 = Parse(once, &labels);
+  ASSERT_TRUE(doc2.ok()) << doc2.status();
+  std::string twice = SerializeXml(*doc2, labels);
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(doc->CountElements(), doc2->CountElements());
+}
+
+TEST(XmlParserTest, DeeplyNestedWithinLimit) {
+  LabelTable labels;
+  std::string xml;
+  const int depth = 1000;
+  for (int i = 0; i < depth; ++i) xml += "<d>";
+  for (int i = 0; i < depth; ++i) xml += "</d>";
+  auto doc = Parse(xml, &labels);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Depth(doc->root_element()), depth);
+}
+
+TEST(XmlParserTest, AbsurdNestingRejected) {
+  LabelTable labels;
+  std::string xml;
+  for (int i = 0; i < 6000; ++i) xml += "<d>";
+  EXPECT_FALSE(Parse(xml, &labels).ok());
+}
+
+}  // namespace
+}  // namespace fix

@@ -1,0 +1,171 @@
+// Tests for the XPath-subset parser and the TwigQuery model, including
+// every query string used in the paper's evaluation section.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/twig_query.h"
+#include "query/xpath_parser.h"
+
+namespace fix {
+namespace {
+
+TwigQuery MustParse(const std::string& text) {
+  auto q = ParseXPath(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status();
+  return std::move(q).value();
+}
+
+TEST(XPathParserTest, SimplePath) {
+  TwigQuery q = MustParse("/a/b/c");
+  EXPECT_EQ(q.steps.size(), 3u);
+  EXPECT_EQ(q.steps[q.root].name, "a");
+  EXPECT_EQ(q.steps[q.root].axis, Axis::kChild);
+  EXPECT_EQ(q.steps[q.result].name, "c");
+  EXPECT_EQ(q.Depth(), 3);
+  EXPECT_TRUE(q.IsPureTwig());
+}
+
+TEST(XPathParserTest, DescendantRoot) {
+  TwigQuery q = MustParse("//article/title");
+  EXPECT_EQ(q.steps[q.root].axis, Axis::kDescendant);
+  EXPECT_TRUE(q.IsPureTwig());
+  EXPECT_EQ(q.ToString(), "//article/title");
+}
+
+TEST(XPathParserTest, Predicates) {
+  TwigQuery q = MustParse("//article[author]/ee");
+  EXPECT_EQ(q.steps.size(), 3u);
+  const QueryStep& root = q.steps[q.root];
+  EXPECT_EQ(root.children.size(), 2u);  // author (pred) + ee (main)
+  EXPECT_GE(root.main_child, 0);
+  EXPECT_EQ(q.steps[q.result].name, "ee");
+  EXPECT_EQ(q.ToString(), "//article[author]/ee");
+}
+
+TEST(XPathParserTest, NestedPredicatesWithRelativeDescendant) {
+  TwigQuery q = MustParse("//open_auction[.//bidder[name][email]]/price");
+  EXPECT_FALSE(q.IsPureTwig());  // .//bidder is an interior descendant edge
+  EXPECT_EQ(q.steps[q.result].name, "price");
+  // bidder carries two predicates.
+  uint32_t bidder = UINT32_MAX;
+  for (uint32_t i = 0; i < q.steps.size(); ++i) {
+    if (q.steps[i].name == "bidder") bidder = i;
+  }
+  ASSERT_NE(bidder, UINT32_MAX);
+  EXPECT_EQ(q.steps[bidder].axis, Axis::kDescendant);
+  EXPECT_EQ(q.steps[bidder].children.size(), 2u);
+}
+
+TEST(XPathParserTest, PredicatePath) {
+  TwigQuery q = MustParse(
+      "//item[payment][quantity][shipping][mailbox/mail/text]"
+      "/description/parlist");
+  EXPECT_TRUE(q.IsPureTwig());
+  EXPECT_EQ(q.steps[q.root].children.size(), 5u);
+  EXPECT_EQ(q.Depth(), 4);  // item/mailbox/mail/text is the deepest chain
+  EXPECT_EQ(q.steps[q.result].name, "parlist");
+}
+
+TEST(XPathParserTest, ValuePredicates) {
+  TwigQuery q = MustParse("//proceedings[publisher=\"Springer\"][title]");
+  EXPECT_TRUE(q.HasValuePredicates());
+  uint32_t pub = UINT32_MAX;
+  for (uint32_t i = 0; i < q.steps.size(); ++i) {
+    if (q.steps[i].name == "publisher") pub = i;
+  }
+  ASSERT_NE(pub, UINT32_MAX);
+  ASSERT_TRUE(q.steps[pub].value_eq.has_value());
+  EXPECT_EQ(*q.steps[pub].value_eq, "Springer");
+  // Value adds a pattern level.
+  EXPECT_EQ(q.Depth(), 3);
+}
+
+TEST(XPathParserTest, SingleQuotedLiteral) {
+  TwigQuery q = MustParse("//inproceedings[year='1998']/author");
+  EXPECT_TRUE(q.HasValuePredicates());
+}
+
+TEST(XPathParserTest, AllPaperQueriesParse) {
+  const char* queries[] = {
+      "/article/epilog[acknowledgements]/references/a_id",
+      "/article/prolog[keywords]/authors/author/contact[phone]",
+      "/article[epilog]/prolog/authors/author",
+      "//proceedings[booktitle]/title[sup][i]",
+      "//article[number]/author",
+      "//inproceedings[url]/title",
+      "//category/description[parlist]/parlist/listitem/text",
+      "//closed_auction/annotation/description/text",
+      "//open_auction[seller]/annotation/description/text",
+      "//EMPTY/S/NP[PP]/NP",
+      "//S[VP]/NP/NP/PP/NP",
+      "//EMPTY/S[VP]/NP",
+      "//item/mailbox/mail/text/emph/keyword",
+      "//description/parlist/listitem",
+      "//item[name]/mailbox/mail[to]/text[bold]/emph/bold",
+      "//item[payment][quantity][shipping][mailbox/mail/text]"
+      "/description/parlist",
+      "//EMPTY/S/NP/NP/PP",
+      "//EMPTY/S/VP",
+      "//inproceedings/title/i",
+      "//dblp/inproceedings/author",
+      "//inproceedings[url]/title[sub][i]",
+      "//proceedings[publisher=\"Springer\"][title]",
+      "//inproceedings[year=\"1998\"][title]/author",
+      "//open_auction[.//bidder[name][email]]/price",
+  };
+  for (const char* text : queries) {
+    auto q = ParseXPath(text);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status();
+  }
+}
+
+TEST(XPathParserTest, ToStringRoundTrips) {
+  const char* queries[] = {
+      "//a/b/c",
+      "/a[b]/c",
+      "//a[b][c/d]/e",
+      "//a[b=\"x\"]/c",
+      "//S[VP]/NP/NP/PP/NP",
+  };
+  for (const char* text : queries) {
+    TwigQuery q1 = MustParse(text);
+    std::string printed = q1.ToString();
+    TwigQuery q2 = MustParse(printed);
+    EXPECT_EQ(q2.ToString(), printed) << text;
+    EXPECT_EQ(q1.steps.size(), q2.steps.size()) << text;
+  }
+}
+
+TEST(XPathParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("a/b").ok());       // missing leading axis
+  EXPECT_FALSE(ParseXPath("/a[b").ok());      // unterminated predicate
+  EXPECT_FALSE(ParseXPath("/a]").ok());       // stray bracket
+  EXPECT_FALSE(ParseXPath("//").ok());        // missing name
+  EXPECT_FALSE(ParseXPath("/a/'lit'").ok());  // literal as a step
+  EXPECT_FALSE(ParseXPath("/a[b=]").ok());    // missing literal
+  EXPECT_FALSE(ParseXPath("/a[b=\"x]").ok()); // unterminated literal
+  EXPECT_FALSE(ParseXPath("/a extra").ok());  // trailing junk
+}
+
+TEST(TwigQueryTest, ResolveLabels) {
+  LabelTable labels;
+  labels.Intern("a");
+  TwigQuery q = MustParse("//a/b");
+  q.ResolveLabels(&labels);
+  EXPECT_EQ(q.steps[q.root].label, labels.Find("a"));
+  EXPECT_NE(q.steps[q.result].label, kInvalidLabel);  // b was interned
+}
+
+TEST(TwigQueryTest, DepthCountsValueLevel) {
+  TwigQuery plain = MustParse("//a/b");
+  TwigQuery valued = MustParse("//a/b=\"x\"");
+  EXPECT_EQ(plain.Depth(), 2);
+  EXPECT_EQ(valued.Depth(), 3);
+}
+
+}  // namespace
+}  // namespace fix
