@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spatial.dir/bench_ablation_spatial.cc.o"
+  "CMakeFiles/bench_ablation_spatial.dir/bench_ablation_spatial.cc.o.d"
+  "bench_ablation_spatial"
+  "bench_ablation_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

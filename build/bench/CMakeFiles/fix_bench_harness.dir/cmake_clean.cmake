@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/fix_bench_harness.dir/harness.cc.o.d"
+  "libfix_bench_harness.a"
+  "libfix_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_collection.dir/document_collection.cpp.o"
+  "CMakeFiles/document_collection.dir/document_collection.cpp.o.d"
+  "document_collection"
+  "document_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

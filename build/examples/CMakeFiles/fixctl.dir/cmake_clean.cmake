@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixctl.dir/fixctl.cpp.o"
+  "CMakeFiles/fixctl.dir/fixctl.cpp.o.d"
+  "fixctl"
+  "fixctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_document.dir/large_document.cpp.o"
+  "CMakeFiles/large_document.dir/large_document.cpp.o.d"
+  "large_document"
+  "large_document.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_document.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_search.dir/value_search.cpp.o"
+  "CMakeFiles/value_search.dir/value_search.cpp.o.d"
+  "value_search"
+  "value_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

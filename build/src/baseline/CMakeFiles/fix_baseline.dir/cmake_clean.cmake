@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_baseline.dir/fb_index.cc.o"
+  "CMakeFiles/fix_baseline.dir/fb_index.cc.o.d"
+  "CMakeFiles/fix_baseline.dir/full_scan.cc.o"
+  "CMakeFiles/fix_baseline.dir/full_scan.cc.o.d"
+  "libfix_baseline.a"
+  "libfix_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

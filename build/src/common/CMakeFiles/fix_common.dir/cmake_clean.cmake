@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_common.dir/logging.cc.o"
+  "CMakeFiles/fix_common.dir/logging.cc.o.d"
+  "CMakeFiles/fix_common.dir/rng.cc.o"
+  "CMakeFiles/fix_common.dir/rng.cc.o.d"
+  "CMakeFiles/fix_common.dir/status.cc.o"
+  "CMakeFiles/fix_common.dir/status.cc.o.d"
+  "libfix_common.a"
+  "libfix_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

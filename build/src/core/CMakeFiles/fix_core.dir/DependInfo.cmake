@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/corpus.cc" "src/core/CMakeFiles/fix_core.dir/corpus.cc.o" "gcc" "src/core/CMakeFiles/fix_core.dir/corpus.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/fix_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/fix_core.dir/database.cc.o.d"
+  "/root/repo/src/core/fix_index.cc" "src/core/CMakeFiles/fix_core.dir/fix_index.cc.o" "gcc" "src/core/CMakeFiles/fix_core.dir/fix_index.cc.o.d"
+  "/root/repo/src/core/fix_query.cc" "src/core/CMakeFiles/fix_core.dir/fix_query.cc.o" "gcc" "src/core/CMakeFiles/fix_core.dir/fix_query.cc.o.d"
+  "/root/repo/src/core/histogram.cc" "src/core/CMakeFiles/fix_core.dir/histogram.cc.o" "gcc" "src/core/CMakeFiles/fix_core.dir/histogram.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/fix_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/fix_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/persist.cc" "src/core/CMakeFiles/fix_core.dir/persist.cc.o" "gcc" "src/core/CMakeFiles/fix_core.dir/persist.cc.o.d"
+  "/root/repo/src/core/spatial_probe.cc" "src/core/CMakeFiles/fix_core.dir/spatial_probe.cc.o" "gcc" "src/core/CMakeFiles/fix_core.dir/spatial_probe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/fix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/fix_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fix_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

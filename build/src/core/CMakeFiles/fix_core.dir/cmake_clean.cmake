@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_core.dir/corpus.cc.o"
+  "CMakeFiles/fix_core.dir/corpus.cc.o.d"
+  "CMakeFiles/fix_core.dir/database.cc.o"
+  "CMakeFiles/fix_core.dir/database.cc.o.d"
+  "CMakeFiles/fix_core.dir/fix_index.cc.o"
+  "CMakeFiles/fix_core.dir/fix_index.cc.o.d"
+  "CMakeFiles/fix_core.dir/fix_query.cc.o"
+  "CMakeFiles/fix_core.dir/fix_query.cc.o.d"
+  "CMakeFiles/fix_core.dir/histogram.cc.o"
+  "CMakeFiles/fix_core.dir/histogram.cc.o.d"
+  "CMakeFiles/fix_core.dir/metrics.cc.o"
+  "CMakeFiles/fix_core.dir/metrics.cc.o.d"
+  "CMakeFiles/fix_core.dir/persist.cc.o"
+  "CMakeFiles/fix_core.dir/persist.cc.o.d"
+  "CMakeFiles/fix_core.dir/spatial_probe.cc.o"
+  "CMakeFiles/fix_core.dir/spatial_probe.cc.o.d"
+  "libfix_core.a"
+  "libfix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

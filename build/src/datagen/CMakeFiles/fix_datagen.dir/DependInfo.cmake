@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dblp_gen.cc" "src/datagen/CMakeFiles/fix_datagen.dir/dblp_gen.cc.o" "gcc" "src/datagen/CMakeFiles/fix_datagen.dir/dblp_gen.cc.o.d"
+  "/root/repo/src/datagen/query_gen.cc" "src/datagen/CMakeFiles/fix_datagen.dir/query_gen.cc.o" "gcc" "src/datagen/CMakeFiles/fix_datagen.dir/query_gen.cc.o.d"
+  "/root/repo/src/datagen/tcmd_gen.cc" "src/datagen/CMakeFiles/fix_datagen.dir/tcmd_gen.cc.o" "gcc" "src/datagen/CMakeFiles/fix_datagen.dir/tcmd_gen.cc.o.d"
+  "/root/repo/src/datagen/text_pool.cc" "src/datagen/CMakeFiles/fix_datagen.dir/text_pool.cc.o" "gcc" "src/datagen/CMakeFiles/fix_datagen.dir/text_pool.cc.o.d"
+  "/root/repo/src/datagen/treebank_gen.cc" "src/datagen/CMakeFiles/fix_datagen.dir/treebank_gen.cc.o" "gcc" "src/datagen/CMakeFiles/fix_datagen.dir/treebank_gen.cc.o.d"
+  "/root/repo/src/datagen/xmark_gen.cc" "src/datagen/CMakeFiles/fix_datagen.dir/xmark_gen.cc.o" "gcc" "src/datagen/CMakeFiles/fix_datagen.dir/xmark_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fix_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/fix_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/fix_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_datagen.dir/dblp_gen.cc.o"
+  "CMakeFiles/fix_datagen.dir/dblp_gen.cc.o.d"
+  "CMakeFiles/fix_datagen.dir/query_gen.cc.o"
+  "CMakeFiles/fix_datagen.dir/query_gen.cc.o.d"
+  "CMakeFiles/fix_datagen.dir/tcmd_gen.cc.o"
+  "CMakeFiles/fix_datagen.dir/tcmd_gen.cc.o.d"
+  "CMakeFiles/fix_datagen.dir/text_pool.cc.o"
+  "CMakeFiles/fix_datagen.dir/text_pool.cc.o.d"
+  "CMakeFiles/fix_datagen.dir/treebank_gen.cc.o"
+  "CMakeFiles/fix_datagen.dir/treebank_gen.cc.o.d"
+  "CMakeFiles/fix_datagen.dir/xmark_gen.cc.o"
+  "CMakeFiles/fix_datagen.dir/xmark_gen.cc.o.d"
+  "libfix_datagen.a"
+  "libfix_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

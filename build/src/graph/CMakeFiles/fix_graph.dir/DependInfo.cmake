@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bisim_builder.cc" "src/graph/CMakeFiles/fix_graph.dir/bisim_builder.cc.o" "gcc" "src/graph/CMakeFiles/fix_graph.dir/bisim_builder.cc.o.d"
+  "/root/repo/src/graph/bisim_traveler.cc" "src/graph/CMakeFiles/fix_graph.dir/bisim_traveler.cc.o" "gcc" "src/graph/CMakeFiles/fix_graph.dir/bisim_traveler.cc.o.d"
+  "/root/repo/src/graph/fb_graph.cc" "src/graph/CMakeFiles/fix_graph.dir/fb_graph.cc.o" "gcc" "src/graph/CMakeFiles/fix_graph.dir/fb_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/fix_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

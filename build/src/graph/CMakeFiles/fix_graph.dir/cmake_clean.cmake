@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_graph.dir/bisim_builder.cc.o"
+  "CMakeFiles/fix_graph.dir/bisim_builder.cc.o.d"
+  "CMakeFiles/fix_graph.dir/bisim_traveler.cc.o"
+  "CMakeFiles/fix_graph.dir/bisim_traveler.cc.o.d"
+  "CMakeFiles/fix_graph.dir/fb_graph.cc.o"
+  "CMakeFiles/fix_graph.dir/fb_graph.cc.o.d"
+  "libfix_graph.a"
+  "libfix_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

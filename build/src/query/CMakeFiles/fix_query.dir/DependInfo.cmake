@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/compile.cc" "src/query/CMakeFiles/fix_query.dir/compile.cc.o" "gcc" "src/query/CMakeFiles/fix_query.dir/compile.cc.o.d"
+  "/root/repo/src/query/match.cc" "src/query/CMakeFiles/fix_query.dir/match.cc.o" "gcc" "src/query/CMakeFiles/fix_query.dir/match.cc.o.d"
+  "/root/repo/src/query/structural_join.cc" "src/query/CMakeFiles/fix_query.dir/structural_join.cc.o" "gcc" "src/query/CMakeFiles/fix_query.dir/structural_join.cc.o.d"
+  "/root/repo/src/query/twig_query.cc" "src/query/CMakeFiles/fix_query.dir/twig_query.cc.o" "gcc" "src/query/CMakeFiles/fix_query.dir/twig_query.cc.o.d"
+  "/root/repo/src/query/xpath_parser.cc" "src/query/CMakeFiles/fix_query.dir/xpath_parser.cc.o" "gcc" "src/query/CMakeFiles/fix_query.dir/xpath_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/fix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fix_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_query.dir/compile.cc.o"
+  "CMakeFiles/fix_query.dir/compile.cc.o.d"
+  "CMakeFiles/fix_query.dir/match.cc.o"
+  "CMakeFiles/fix_query.dir/match.cc.o.d"
+  "CMakeFiles/fix_query.dir/structural_join.cc.o"
+  "CMakeFiles/fix_query.dir/structural_join.cc.o.d"
+  "CMakeFiles/fix_query.dir/twig_query.cc.o"
+  "CMakeFiles/fix_query.dir/twig_query.cc.o.d"
+  "CMakeFiles/fix_query.dir/xpath_parser.cc.o"
+  "CMakeFiles/fix_query.dir/xpath_parser.cc.o.d"
+  "libfix_query.a"
+  "libfix_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectral/skew_matrix.cc" "src/spectral/CMakeFiles/fix_spectral.dir/skew_matrix.cc.o" "gcc" "src/spectral/CMakeFiles/fix_spectral.dir/skew_matrix.cc.o.d"
+  "/root/repo/src/spectral/spectrum.cc" "src/spectral/CMakeFiles/fix_spectral.dir/spectrum.cc.o" "gcc" "src/spectral/CMakeFiles/fix_spectral.dir/spectrum.cc.o.d"
+  "/root/repo/src/spectral/sym_eigen.cc" "src/spectral/CMakeFiles/fix_spectral.dir/sym_eigen.cc.o" "gcc" "src/spectral/CMakeFiles/fix_spectral.dir/sym_eigen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fix_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/fix_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

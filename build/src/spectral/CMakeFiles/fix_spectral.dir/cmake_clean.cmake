@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_spectral.dir/skew_matrix.cc.o"
+  "CMakeFiles/fix_spectral.dir/skew_matrix.cc.o.d"
+  "CMakeFiles/fix_spectral.dir/spectrum.cc.o"
+  "CMakeFiles/fix_spectral.dir/spectrum.cc.o.d"
+  "CMakeFiles/fix_spectral.dir/sym_eigen.cc.o"
+  "CMakeFiles/fix_spectral.dir/sym_eigen.cc.o.d"
+  "libfix_spectral.a"
+  "libfix_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_storage.dir/btree.cc.o"
+  "CMakeFiles/fix_storage.dir/btree.cc.o.d"
+  "CMakeFiles/fix_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/fix_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/fix_storage.dir/page_file.cc.o"
+  "CMakeFiles/fix_storage.dir/page_file.cc.o.d"
+  "CMakeFiles/fix_storage.dir/record_store.cc.o"
+  "CMakeFiles/fix_storage.dir/record_store.cc.o.d"
+  "libfix_storage.a"
+  "libfix_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_xml.dir/doc_stats.cc.o"
+  "CMakeFiles/fix_xml.dir/doc_stats.cc.o.d"
+  "CMakeFiles/fix_xml.dir/document.cc.o"
+  "CMakeFiles/fix_xml.dir/document.cc.o.d"
+  "CMakeFiles/fix_xml.dir/parser.cc.o"
+  "CMakeFiles/fix_xml.dir/parser.cc.o.d"
+  "CMakeFiles/fix_xml.dir/sax.cc.o"
+  "CMakeFiles/fix_xml.dir/sax.cc.o.d"
+  "CMakeFiles/fix_xml.dir/serializer.cc.o"
+  "CMakeFiles/fix_xml.dir/serializer.cc.o.d"
+  "libfix_xml.a"
+  "libfix_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fix_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fix_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fix_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/fix_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/fix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_graph_test.dir/fb_graph_test.cc.o"
+  "CMakeFiles/fb_graph_test.dir/fb_graph_test.cc.o.d"
+  "fb_graph_test"
+  "fb_graph_test.pdb"
+  "fb_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_index_test.dir/fb_index_test.cc.o"
+  "CMakeFiles/fb_index_test.dir/fb_index_test.cc.o.d"
+  "fb_index_test"
+  "fb_index_test.pdb"
+  "fb_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

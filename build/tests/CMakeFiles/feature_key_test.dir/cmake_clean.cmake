@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_key_test.dir/feature_key_test.cc.o"
+  "CMakeFiles/feature_key_test.dir/feature_key_test.cc.o.d"
+  "feature_key_test"
+  "feature_key_test.pdb"
+  "feature_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

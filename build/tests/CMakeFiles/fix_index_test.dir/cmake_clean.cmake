@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_index_test.dir/fix_index_test.cc.o"
+  "CMakeFiles/fix_index_test.dir/fix_index_test.cc.o.d"
+  "fix_index_test"
+  "fix_index_test.pdb"
+  "fix_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_query_test.dir/fix_query_test.cc.o"
+  "CMakeFiles/fix_query_test.dir/fix_query_test.cc.o.d"
+  "fix_query_test"
+  "fix_query_test.pdb"
+  "fix_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/document_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/bisim_test[1]_include.cmake")
+include("/root/repo/build/tests/fb_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/spectral_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_test[1]_include.cmake")
+include("/root/repo/build/tests/match_test[1]_include.cmake")
+include("/root/repo/build/tests/compile_test[1]_include.cmake")
+include("/root/repo/build/tests/fix_index_test[1]_include.cmake")
+include("/root/repo/build/tests/fix_query_test[1]_include.cmake")
+include("/root/repo/build/tests/fb_index_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/persist_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/wildcard_test[1]_include.cmake")
+include("/root/repo/build/tests/update_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/structural_join_test[1]_include.cmake")
+include("/root/repo/build/tests/feature_key_test[1]_include.cmake")
