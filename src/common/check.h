@@ -1,0 +1,89 @@
+// Debug invariant checks, compiled out of release builds.
+//
+// FIX_CHECK (logging.h) is always on and reserved for cheap, unconditional
+// programming-error traps. FIX_DCHECK and friends are for expensive
+// structural invariants — B+-tree node ordering, buffer-pool pin balance,
+// skew-matrix anti-symmetry — that we want validated on every hot-path
+// operation in Debug and sanitizer builds but pay nothing for in release.
+//
+// The build enables them by defining FIX_ENABLE_DCHECKS (see the top-level
+// CMakeLists.txt: automatic for CMAKE_BUILD_TYPE=Debug or any FIX_SANITIZE
+// configuration, and forceable with -DFIX_DCHECK=ON).
+//
+// When disabled, the condition is still parsed (so it cannot bit-rot) but is
+// never evaluated and generates no code.
+
+#ifndef FIX_COMMON_CHECK_H_
+#define FIX_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/logging.h"
+
+#if defined(FIX_ENABLE_DCHECKS)
+#define FIX_DCHECKS_ENABLED 1
+#else
+#define FIX_DCHECKS_ENABLED 0
+#endif
+
+namespace fix {
+namespace internal_check {
+
+/// Prints a failed binary-comparison check with both operand values, then
+/// aborts. Out-of-line cold path so the check sites stay small.
+template <typename A, typename B>
+[[noreturn]] void DCheckOpFail(const char* file, int line, const char* expr,
+                               const A& lhs, const B& rhs) {
+  std::cerr << "FIX_DCHECK failed at " << file << ":" << line << ": " << expr
+            << " (" << lhs << " vs " << rhs << ")" << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace fix
+
+#if FIX_DCHECKS_ENABLED
+
+#define FIX_DCHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "FIX_DCHECK failed at " << __FILE__ << ":" << __LINE__  \
+                << ": " #cond << std::endl;                                \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define FIX_DCHECK_OP_(op, a, b)                                           \
+  do {                                                                     \
+    const auto& _fix_dc_a = (a);                                           \
+    const auto& _fix_dc_b = (b);                                           \
+    if (!(_fix_dc_a op _fix_dc_b)) {                                       \
+      ::fix::internal_check::DCheckOpFail(__FILE__, __LINE__,              \
+                                          #a " " #op " " #b, _fix_dc_a,    \
+                                          _fix_dc_b);                      \
+    }                                                                      \
+  } while (0)
+
+#else  // !FIX_DCHECKS_ENABLED
+
+// `false && (cond)` keeps the condition compiled (names stay checked, no
+// unused-variable warnings) while guaranteeing it is never evaluated; the
+// whole statement folds away at -O1.
+#define FIX_DCHECK(cond) \
+  do {                   \
+    if (false && (cond)) {} \
+  } while (0)
+
+#define FIX_DCHECK_OP_(op, a, b) FIX_DCHECK((a)op(b))
+
+#endif  // FIX_DCHECKS_ENABLED
+
+#define FIX_DCHECK_EQ(a, b) FIX_DCHECK_OP_(==, a, b)
+#define FIX_DCHECK_NE(a, b) FIX_DCHECK_OP_(!=, a, b)
+#define FIX_DCHECK_LT(a, b) FIX_DCHECK_OP_(<, a, b)
+#define FIX_DCHECK_LE(a, b) FIX_DCHECK_OP_(<=, a, b)
+#define FIX_DCHECK_GT(a, b) FIX_DCHECK_OP_(>, a, b)
+#define FIX_DCHECK_GE(a, b) FIX_DCHECK_OP_(>=, a, b)
+
+#endif  // FIX_COMMON_CHECK_H_

@@ -18,8 +18,10 @@ namespace fix {
 ///   Result<int> r = Parse(text);
 ///   if (!r.ok()) return r.status();
 ///   Use(r.value());
+/// Marked [[nodiscard]] at class level (see Status): discarding a Result
+/// silently drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -35,8 +37,8 @@ class Result {
   Result(Result&&) = default;
   Result& operator=(Result&&) = default;
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     assert(ok());

@@ -31,7 +31,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// A Status is either OK (cheap, no allocation) or an error carrying a
 /// code plus a message describing what failed.
-class Status {
+///
+/// Marked [[nodiscard]] at class level: every function returning a Status
+/// must have its result inspected (or explicitly voided with a comment
+/// saying why the error is ignorable).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -68,17 +72,23 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
-  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool IsNotFound() const {
+    return code_ == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
-  bool IsParseError() const { return code_ == StatusCode::kParseError; }
-  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
-  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  [[nodiscard]] bool IsParseError() const {
+    return code_ == StatusCode::kParseError;
+  }
+  [[nodiscard]] bool IsCorruption() const {
+    return code_ == StatusCode::kCorruption;
+  }
+  [[nodiscard]] bool IsIOError() const { return code_ == StatusCode::kIOError; }
 
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -38,7 +38,7 @@ class Corpus {
   }
 
   /// Parses XML text and adds the document.
-  Result<uint32_t> AddXml(std::string_view xml);
+  [[nodiscard]] Result<uint32_t> AddXml(std::string_view xml);
 
   const Document& doc(uint32_t id) const { return docs_[id]; }
   size_t num_docs() const { return docs_.size(); }
@@ -46,12 +46,12 @@ class Corpus {
   /// Writes every document (encoded) to a record store at `path`. Must be
   /// called after all documents are added and before unclustered-index
   /// refinement wants I/O accounting.
-  Status WritePrimaryStorage(const std::string& path);
+  [[nodiscard]] Status WritePrimaryStorage(const std::string& path);
 
   /// Charges one random read of document `id` against the primary store
   /// (refinement-time I/O for unclustered candidates). No-op if the primary
   /// store was never written.
-  Status TouchPrimary(uint32_t id) const;
+  [[nodiscard]] Status TouchPrimary(uint32_t id) const;
 
   bool has_primary() const { return primary_.is_open(); }
   const RecordStore& primary() const { return primary_; }
@@ -64,11 +64,11 @@ class Corpus {
   /// every document in the primary record store (primary.dat), and the
   /// manifest mapping doc ids to record offsets (manifest.dat). Writes the
   /// primary store if it was not written yet.
-  Status Save(const std::string& dir);
+  [[nodiscard]] Status Save(const std::string& dir);
 
   /// Restores a corpus saved with Save(). Documents are decoded back into
   /// memory; the primary store stays open for refinement-time accounting.
-  static Result<Corpus> Load(const std::string& dir);
+  [[nodiscard]] static Result<Corpus> Load(const std::string& dir);
 
  private:
   LabelTable labels_;

@@ -25,7 +25,7 @@ class Database {
   Corpus* corpus() { return &corpus_; }
 
   /// Parses and adds one XML document. Returns its doc id.
-  Result<uint32_t> AddXml(std::string_view xml) { return corpus_.AddXml(xml); }
+  [[nodiscard]] Result<uint32_t> AddXml(std::string_view xml) { return corpus_.AddXml(xml); }
 
   /// Adds an already-built document (generators use this).
   uint32_t AddDocument(Document doc) {
@@ -33,30 +33,30 @@ class Database {
   }
 
   /// Writes the primary record store. Call once after loading documents.
-  Status Finalize() {
+  [[nodiscard]] Status Finalize() {
     return corpus_.WritePrimaryStorage(workdir_ + "/primary.dat");
   }
 
   /// Builds a FIX index named `name` with the given options (options.path
   /// is derived from the name). Returns the index handle; the Database
   /// retains ownership.
-  Result<FixIndex*> BuildIndex(const std::string& name, IndexOptions options,
+  [[nodiscard]] Result<FixIndex*> BuildIndex(const std::string& name, IndexOptions options,
                                BuildStats* stats = nullptr);
 
   FixIndex* index(const std::string& name);
 
   /// Reopens an index previously built (possibly by an earlier process)
   /// under this workdir and registers it under `name`.
-  Result<FixIndex*> AttachIndex(const std::string& name);
+  [[nodiscard]] Result<FixIndex*> AttachIndex(const std::string& name);
 
   /// Parses an XPath string, resolves labels, and executes it through the
   /// named index.
-  Result<ExecStats> Query(const std::string& index_name,
+  [[nodiscard]] Result<ExecStats> Query(const std::string& index_name,
                           const std::string& xpath,
                           std::vector<NodeRef>* results = nullptr);
 
   /// Parses + resolves an XPath string without executing (for harnesses).
-  Result<TwigQuery> Compile(const std::string& xpath);
+  [[nodiscard]] Result<TwigQuery> Compile(const std::string& xpath);
 
  private:
   std::string workdir_;

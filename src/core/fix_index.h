@@ -58,14 +58,14 @@ class FixIndex {
   /// the index. `stats` may be null. Alongside the B+-tree file at
   /// options.path, a metadata sidecar (options + edge-weight encoding) is
   /// written to options.path + ".meta" so the index can be reopened.
-  static Result<FixIndex> Build(Corpus* corpus, const IndexOptions& options,
+  [[nodiscard]] static Result<FixIndex> Build(Corpus* corpus, const IndexOptions& options,
                                 BuildStats* stats);
 
   /// Reopens an index previously built at `path` over the same corpus
   /// (typically one restored with Corpus::Load). The persisted options and
   /// edge-weight encoding are restored exactly; queries probe the on-disk
   /// B+-tree without any rebuild.
-  static Result<FixIndex> Open(Corpus* corpus, const std::string& path);
+  [[nodiscard]] static Result<FixIndex> Open(Corpus* corpus, const std::string& path);
 
   FixIndex(FixIndex&&) = default;
   FixIndex& operator=(FixIndex&&) = default;
@@ -73,7 +73,7 @@ class FixIndex {
   /// Full Algorithm 2 lookup: decomposes at interior //-edges, probes the
   /// B+-tree per usable sub-twig, and (for whole-document indexes)
   /// intersects candidate documents across sub-twigs.
-  Result<LookupResult> Lookup(const TwigQuery& query);
+  [[nodiscard]] Result<LookupResult> Lookup(const TwigQuery& query);
 
   /// Probes with a single pure twig (no decomposition). Exposed for tests
   /// and the metrics harnesses.
@@ -84,29 +84,29 @@ class FixIndex {
   /// (one entry per element), and for whole-document indexes only when the
   /// query is rooted (/a/...) so the pattern root must be the document's
   /// root element. Lookup() picks the sound setting automatically.
-  Result<LookupResult> Probe(const TwigQuery& subtwig,
+  [[nodiscard]] Result<LookupResult> Probe(const TwigQuery& subtwig,
                              bool use_root_label = true);
 
   /// Computes the probe features of a pure twig query (pattern → matrix →
   /// eigenvalues). Exposed for diagnostics.
-  Result<FeatureKey> QueryFeatures(const TwigQuery& subtwig);
+  [[nodiscard]] Result<FeatureKey> QueryFeatures(const TwigQuery& subtwig);
 
   /// Estimates the candidate count of a query without touching candidates,
   /// via per-label equi-depth histograms over λ_max (Section 5's costing
   /// aid). The histogram is built lazily on first use and invalidated by
   /// InsertDocument/RemoveDocument.
-  Result<uint64_t> EstimateCandidates(const TwigQuery& query);
+  [[nodiscard]] Result<uint64_t> EstimateCandidates(const TwigQuery& query);
 
   /// Incrementally indexes a document that was appended to the corpus
   /// after Build (unclustered indexes only: clustered layouts require the
   /// key-ordered copy store to be rebuilt, the update cost the paper's
   /// introduction charges against clustering indexes).
-  Status InsertDocument(uint32_t doc_id, BuildStats* stats = nullptr);
+  [[nodiscard]] Status InsertDocument(uint32_t doc_id, BuildStats* stats = nullptr);
 
   /// Deletes every index entry pointing into `doc_id` (linear scan of the
   /// tree + lazy B+-tree deletes). The document itself stays in the
   /// corpus; callers track liveness.
-  Status RemoveDocument(uint32_t doc_id);
+  [[nodiscard]] Status RemoveDocument(uint32_t doc_id);
 
   uint64_t num_entries() const { return btree_->num_entries(); }
   const IndexOptions& options() const { return options_; }
@@ -126,24 +126,24 @@ class FixIndex {
       : corpus_(corpus), options_(std::move(options)) {}
 
   /// Writes the metadata sidecar (options + encoder + seq counter).
-  Status WriteMeta() const;
+  [[nodiscard]] Status WriteMeta() const;
 
   /// All entries carrying `label` (the wildcard degradation path).
-  Result<LookupResult> LabelOnlyScan(LabelId label);
+  [[nodiscard]] Result<LookupResult> LabelOnlyScan(LabelId label);
 
   /// Computes (memoized on the vertex) the features of the depth-limited
   /// subpattern rooted at `vertex` of `graph`.
-  Result<EigPair> PatternFeatures(BisimGraph* graph, BisimVertexId vertex,
+  [[nodiscard]] Result<EigPair> PatternFeatures(BisimGraph* graph, BisimVertexId vertex,
                                   int depth_limit, BuildStats* stats);
 
   /// Features of a whole (already depth-bounded) pattern graph.
-  Result<EigPair> GraphFeatures(const BisimGraph& graph, BuildStats* stats);
+  [[nodiscard]] Result<EigPair> GraphFeatures(const BisimGraph& graph, BuildStats* stats);
 
-  Status AddEntry(const FeatureKey& key, NodeRef ref);
+  [[nodiscard]] Status AddEntry(const FeatureKey& key, NodeRef ref);
 
   /// Runs Algorithm 1's per-document pass (bisimulation build + entry
   /// insertion) for one document. Shared by Build and InsertDocument.
-  Status IndexDocument(uint32_t doc_id, BuildStats* stats);
+  [[nodiscard]] Status IndexDocument(uint32_t doc_id, BuildStats* stats);
 
   Corpus* corpus_;
   IndexOptions options_;

@@ -71,17 +71,17 @@ class FixQueryProcessor {
   /// clustered subtree copies only counts are meaningful. Clustered
   /// indexes always refine per candidate (each subtree copy is its own
   /// little document).
-  Result<ExecStats> Execute(const TwigQuery& query,
+  [[nodiscard]] Result<ExecStats> Execute(const TwigQuery& query,
                             std::vector<NodeRef>* results = nullptr,
                             RefineMode mode = RefineMode::kPerCandidate);
 
  private:
-  Status RefineCandidates(const TwigQuery& query,
+  [[nodiscard]] Status RefineCandidates(const TwigQuery& query,
                           const std::vector<FixIndex::Candidate>& candidates,
                           RefineMode mode, ExecStats* stats,
                           std::vector<NodeRef>* results);
 
-  Result<ExecStats> FullScan(const TwigQuery& query,
+  [[nodiscard]] Result<ExecStats> FullScan(const TwigQuery& query,
                              std::vector<NodeRef>* results);
 
   Corpus* corpus_;

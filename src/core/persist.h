@@ -21,8 +21,8 @@
 namespace fix {
 
 /// Reads/writes a whole small file.
-Status WriteFile(const std::string& path, const std::string& contents);
-Result<std::string> ReadFile(const std::string& path);
+[[nodiscard]] Status WriteFile(const std::string& path, const std::string& contents);
+[[nodiscard]] Result<std::string> ReadFile(const std::string& path);
 
 // --- label table ----------------------------------------------------------
 
@@ -30,13 +30,13 @@ Result<std::string> ReadFile(const std::string& path);
 std::string EncodeLabelTable(const LabelTable& labels);
 
 /// Restores labels into a fresh table; ids are preserved exactly.
-Status DecodeLabelTable(const std::string& buf, LabelTable* labels);
+[[nodiscard]] Status DecodeLabelTable(const std::string& buf, LabelTable* labels);
 
 // --- corpus manifest --------------------------------------------------------
 
 /// The record ids of each document in primary storage, in doc-id order.
 std::string EncodeManifest(const std::vector<RecordId>& records);
-Result<std::vector<RecordId>> DecodeManifest(const std::string& buf);
+[[nodiscard]] Result<std::vector<RecordId>> DecodeManifest(const std::string& buf);
 
 // --- index metadata ---------------------------------------------------------
 
@@ -47,7 +47,7 @@ struct IndexMeta {
 };
 
 std::string EncodeIndexMeta(const IndexMeta& meta);
-Result<IndexMeta> DecodeIndexMeta(const std::string& buf);
+[[nodiscard]] Result<IndexMeta> DecodeIndexMeta(const std::string& buf);
 
 }  // namespace fix
 

@@ -34,7 +34,7 @@ class SpatialProbe {
   };
 
   /// Builds per-label kd-trees with one scan of the index B+-tree.
-  static Result<SpatialProbe> FromBTree(BTree* btree);
+  [[nodiscard]] static Result<SpatialProbe> FromBTree(BTree* btree);
 
   /// All entries with the given root label dominating (a, b):
   /// λ_max >= a and λ₂ >= b. `visited` (optional) counts kd-tree nodes

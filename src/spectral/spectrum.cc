@@ -3,11 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "spectral/sym_eigen.h"
 
 namespace fix {
 
+namespace {
+
+// Debug-build validation that `m` really is anti-symmetric (zero diagonal,
+// M[i][j] == -M[j][i]) before we rely on it for the MᵀM shortcut. O(n²),
+// compiled out of release builds.
+void DcheckAntiSymmetric(const DenseMatrix& m) {
+#if FIX_DCHECKS_ENABLED
+  for (size_t i = 0; i < m.n(); ++i) {
+    FIX_DCHECK_EQ(m.at(i, i), 0.0);
+    for (size_t j = i + 1; j < m.n(); ++j) {
+      FIX_DCHECK_EQ(m.at(i, j), -m.at(j, i));
+    }
+  }
+#else
+  (void)m;
+#endif
+}
+
+}  // namespace
+
 Result<std::vector<double>> SkewSpectrum(const DenseMatrix& m) {
+  DcheckAntiSymmetric(m);
   size_t n = m.n();
   // B = MᵀM; for anti-symmetric M this is symmetric positive semidefinite
   // with eigenvalues σᵢ².
@@ -48,6 +70,7 @@ Result<EigPair> SkewEigPair(const DenseMatrix& m) {
 }
 
 Result<std::vector<double>> SkewSpectrumEmbedding(const DenseMatrix& m) {
+  DcheckAntiSymmetric(m);
   size_t n = m.n();
   DenseMatrix big(2 * n);
   for (size_t i = 0; i < n; ++i) {

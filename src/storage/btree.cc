@@ -50,6 +50,37 @@ int BTree::CompareKey(const char* a, std::string_view b) const {
   return std::memcmp(a, b.data(), key_size_);
 }
 
+#if FIX_DCHECKS_ENABLED
+void BTree::DcheckNodeInvariants(const char* page) const {
+  uint8_t type = NodeType(page);
+  FIX_DCHECK(type == kLeaf || type == kInner);
+  uint16_t count = NodeCount(page);
+  if (type == kLeaf) {
+    FIX_DCHECK_LE(count, LeafCapacity());
+    for (uint16_t i = 1; i < count; ++i) {
+      // Non-descending: duplicate keys are stored adjacent.
+      FIX_DCHECK_LE(
+          std::memcmp(LeafEntry(page, i - 1), LeafEntry(page, i), key_size_),
+          0);
+    }
+  } else {
+    // An inner node always carries at least one separator (count+1 children)
+    // and its child-0 link must be live.
+    FIX_DCHECK_GE(count, 1);
+    FIX_DCHECK_LE(count, InnerCapacity());
+    FIX_DCHECK_NE(NodeLink(page), kInvalidPage);
+    for (uint16_t i = 1; i < count; ++i) {
+      FIX_DCHECK_LE(
+          std::memcmp(InnerEntry(page, i - 1), InnerEntry(page, i), key_size_),
+          0);
+    }
+    for (uint16_t i = 0; i <= count; ++i) {
+      FIX_DCHECK_NE(InnerChild(page, i), kInvalidPage);
+    }
+  }
+}
+#endif  // FIX_DCHECKS_ENABLED
+
 uint16_t BTree::LeafLowerBound(const char* page, std::string_view key) const {
   uint16_t lo = 0, hi = NodeCount(page);
   while (lo < hi) {
@@ -167,6 +198,7 @@ Status BTree::InsertRec(PageId node_id, std::string_view key,
       std::memcpy(slot + key_size_, value.data(), value_size_);
       SetNodeCount(page, count + 1);
       node.MarkDirty();
+      DcheckNodeInvariants(page);
       out->split = false;
       return Status::OK();
     }
@@ -205,6 +237,8 @@ Status BTree::InsertRec(PageId node_id, std::string_view key,
     std::memcpy(target + key_size_, value.data(), value_size_);
     node.MarkDirty();
     right.MarkDirty();
+    DcheckNodeInvariants(page);
+    DcheckNodeInvariants(rpage);
     out->split = true;
     out->separator.assign(LeafEntry(rpage, 0), key_size_);
     out->right = right.page_id();
@@ -235,6 +269,7 @@ Status BTree::InsertRec(PageId node_id, std::string_view key,
     EncodeFixed32(slot + key_size_, child_split.right);
     SetNodeCount(page, count + 1);
     node.MarkDirty();
+    DcheckNodeInvariants(page);
     out->split = false;
     return Status::OK();
   }
@@ -269,6 +304,8 @@ Status BTree::InsertRec(PageId node_id, std::string_view key,
 
   node.MarkDirty();
   right.MarkDirty();
+  DcheckNodeInvariants(page);
+  DcheckNodeInvariants(rpage);
   out->split = true;
   out->separator.assign(up, key_size_);
   out->right = right.page_id();
@@ -293,6 +330,7 @@ Status BTree::Insert(std::string_view key, std::string_view value) {
     std::memcpy(slot, split.separator.data(), key_size_);
     EncodeFixed32(slot + key_size_, split.right);
     new_root.MarkDirty();
+    DcheckNodeInvariants(page);
     root_ = new_root.page_id();
     ++height_;
   }
@@ -340,6 +378,7 @@ Status BTree::Delete(std::string_view key, std::string_view value) {
                    (count - it.index_ - 1) * LeafEntrySize());
       SetNodeCount(page, count - 1);
       it.leaf_.MarkDirty();
+      DcheckNodeInvariants(page);
       --num_entries_;
       return WriteMeta();
     }

@@ -27,6 +27,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/check.h"
 #include "common/result.h"
 #include "storage/buffer_pool.h"
 
@@ -36,24 +37,24 @@ class BTree {
  public:
   /// Creates a new tree in `pool`'s file (which must be empty) with the
   /// given fixed key/value sizes.
-  static Result<BTree> Create(BufferPool* pool, uint32_t key_size,
+  [[nodiscard]] static Result<BTree> Create(BufferPool* pool, uint32_t key_size,
                               uint32_t value_size);
 
   /// Opens an existing tree from page 0 of `pool`'s file.
-  static Result<BTree> Open(BufferPool* pool);
+  [[nodiscard]] static Result<BTree> Open(BufferPool* pool);
 
   BTree(BTree&&) = default;
   BTree& operator=(BTree&&) = default;
 
   /// Inserts one entry. key/value sizes must match the tree's configuration.
-  Status Insert(std::string_view key, std::string_view value);
+  [[nodiscard]] Status Insert(std::string_view key, std::string_view value);
 
   /// Looks up the first entry with exactly `key`; returns NotFound if absent.
-  Result<std::string> Get(std::string_view key);
+  [[nodiscard]] Result<std::string> Get(std::string_view key);
 
   /// Removes the first entry equal to (key, value); returns NotFound if no
   /// such pair exists. Lazy: pages are never merged or freed.
-  Status Delete(std::string_view key, std::string_view value);
+  [[nodiscard]] Status Delete(std::string_view key, std::string_view value);
 
   /// Forward iterator over (key, value) pairs in key order.
   class Iterator {
@@ -63,7 +64,7 @@ class BTree {
     std::string_view value() const;
     /// Advances; sets Valid() false at the end. Returns a Status because
     /// advancing may read a page.
-    Status Next();
+    [[nodiscard]] Status Next();
 
    private:
     friend class BTree;
@@ -74,13 +75,13 @@ class BTree {
   };
 
   /// Positions an iterator at the first entry with key >= `key`.
-  Result<Iterator> Seek(std::string_view key);
+  [[nodiscard]] Result<Iterator> Seek(std::string_view key);
 
   /// Positions an iterator at the smallest key.
-  Result<Iterator> SeekFirst();
+  [[nodiscard]] Result<Iterator> SeekFirst();
 
   /// Writes all dirty pages and the meta page back to the file.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   uint64_t num_entries() const { return num_entries_; }
   uint32_t height() const { return height_; }
@@ -128,6 +129,17 @@ class BTree {
 
   int CompareKey(const char* a, std::string_view b) const;
 
+  /// Debug-build structural validation of one node: plausible type, count
+  /// within fanout capacity, keys/separators in non-descending order, and a
+  /// live child-0 link for inner nodes. Called after every mutation that
+  /// restructures a node (insert, split, delete). Compiles to nothing
+  /// unless FIX_ENABLE_DCHECKS is defined.
+#if FIX_DCHECKS_ENABLED
+  void DcheckNodeInvariants(const char* page) const;
+#else
+  void DcheckNodeInvariants(const char*) const {}
+#endif
+
   /// First leaf index with entry key >= key (lower bound).
   uint16_t LeafLowerBound(const char* page, std::string_view key) const;
   /// Child index to descend into for `key`.
@@ -139,14 +151,14 @@ class BTree {
     PageId right = kInvalidPage;
   };
 
-  Status InsertRec(PageId node, std::string_view key, std::string_view value,
+  [[nodiscard]] Status InsertRec(PageId node, std::string_view key, std::string_view value,
                    SplitResult* out);
 
-  Status WriteMeta();
-  Status ReadMeta();
+  [[nodiscard]] Status WriteMeta();
+  [[nodiscard]] Status ReadMeta();
 
   /// Descends to the leaf that would contain `key`.
-  Result<PageHandle> FindLeaf(std::string_view key);
+  [[nodiscard]] Result<PageHandle> FindLeaf(std::string_view key);
 
   BufferPool* pool_;
   uint32_t key_size_ = 0;

@@ -44,6 +44,17 @@ void PageHandle::Release() {
   }
 }
 
+BufferPool::~BufferPool() {
+#if FIX_DCHECKS_ENABLED
+  // Pin balance: every Fetch/New must have been matched by a Release by the
+  // time the pool dies, else an outstanding PageHandle points into freed
+  // frames.
+  for (const Frame& f : frames_) {
+    FIX_DCHECK_EQ(f.pins, 0);
+  }
+#endif
+}
+
 BufferPool::BufferPool(PageFile* file, size_t capacity) : file_(file) {
   FIX_CHECK(capacity >= 8);  // the B+-tree pins a handful of pages at once
   frames_.resize(capacity);
@@ -59,6 +70,8 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   if (it != page_to_frame_.end()) {
     ++hits_;
     Frame& f = frames_[it->second];
+    FIX_DCHECK_EQ(f.page, id);
+    FIX_DCHECK_GE(f.pins, 0);
     if (f.pins == 0 && f.in_lru) {
       lru_.erase(f.lru_pos);
       f.in_lru = false;
@@ -106,6 +119,10 @@ Result<size_t> BufferPool::GrabFrame() {
   size_t idx = lru_.back();
   lru_.pop_back();
   Frame& f = frames_[idx];
+  // Only unpinned frames live on the LRU list; evicting a pinned frame
+  // would invalidate a live PageHandle.
+  FIX_DCHECK_EQ(f.pins, 0);
+  FIX_DCHECK_NE(f.page, kInvalidPage);
   f.in_lru = false;
   if (f.dirty) {
     FIX_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
@@ -118,8 +135,10 @@ Result<size_t> BufferPool::GrabFrame() {
 }
 
 void BufferPool::Unpin(size_t frame_idx) {
+  FIX_DCHECK_LT(frame_idx, frames_.size());
   Frame& f = frames_[frame_idx];
   FIX_CHECK(f.pins > 0);
+  FIX_DCHECK(!f.in_lru);  // pinned frames are never on the LRU list
   if (--f.pins == 0) {
     lru_.push_front(frame_idx);
     f.lru_pos = lru_.begin();

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/page_file.h"
@@ -56,17 +57,21 @@ class BufferPool {
   /// `capacity` is the number of kPageSize frames held in memory.
   BufferPool(PageFile* file, size_t capacity);
 
+  /// Debug builds verify pin balance at teardown: a live PageHandle
+  /// outliving its pool is a use-after-free in waiting.
+  ~BufferPool();
+
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns a pinned handle on page `id`, reading it from disk on a miss.
-  Result<PageHandle> Fetch(PageId id);
+  [[nodiscard]] Result<PageHandle> Fetch(PageId id);
 
   /// Allocates a fresh page in the file and returns it pinned (zeroed).
-  Result<PageHandle> New();
+  [[nodiscard]] Result<PageHandle> New();
 
   /// Writes back every dirty frame.
-  Status FlushAll();
+  [[nodiscard]] Status FlushAll();
 
   // Counters (benchmarks read these).
   uint64_t hits() const { return hits_; }
@@ -94,7 +99,7 @@ class BufferPool {
   char* FrameData(size_t frame_idx) { return frames_[frame_idx].data.data(); }
 
   /// Finds a frame to (re)use: a never-used frame or the LRU unpinned one.
-  Result<size_t> GrabFrame();
+  [[nodiscard]] Result<size_t> GrabFrame();
 
   PageFile* file_;
   std::vector<Frame> frames_;

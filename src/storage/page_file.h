@@ -28,22 +28,22 @@ class PageFile {
 
   /// Opens (or creates, if `create`) the file. Re-opening an existing file
   /// recovers the page count from its size, which must be page-aligned.
-  Status Open(const std::string& path, bool create);
+  [[nodiscard]] Status Open(const std::string& path, bool create);
 
-  Status Close();
+  [[nodiscard]] Status Close();
 
   bool is_open() const { return fd_ >= 0; }
 
   /// Extends the file by one zeroed page and returns its id.
-  Status AllocatePage(PageId* id);
+  [[nodiscard]] Status AllocatePage(PageId* id);
 
   /// Reads page `id` into `buf` (must hold kPageSize bytes).
-  Status ReadPage(PageId id, char* buf);
+  [[nodiscard]] Status ReadPage(PageId id, char* buf);
 
   /// Writes kPageSize bytes from `buf` to page `id`.
-  Status WritePage(PageId id, const char* buf);
+  [[nodiscard]] Status WritePage(PageId id, const char* buf);
 
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   PageId num_pages() const { return num_pages_; }
   const std::string& path() const { return path_; }

@@ -36,22 +36,22 @@ class RecordStore {
   RecordStore(RecordStore&& other) noexcept { *this = std::move(other); }
   RecordStore& operator=(RecordStore&& other) noexcept;
 
-  Status Open(const std::string& path, bool create);
-  Status Close();
+  [[nodiscard]] Status Open(const std::string& path, bool create);
+  [[nodiscard]] Status Close();
   bool is_open() const { return fd_ >= 0; }
 
   /// Appends a record; returns its id.
-  Result<RecordId> Append(const std::string& payload);
+  [[nodiscard]] Result<RecordId> Append(const std::string& payload);
 
   /// Reads the record at `id`.
-  Result<std::string> Read(RecordId id) const;
+  [[nodiscard]] Result<std::string> Read(RecordId id) const;
 
   /// Validates the record header at `id` without fetching the payload —
   /// one random I/O, used to charge pointer dereferences during
   /// unclustered-index refinement.
-  Status Touch(RecordId id) const;
+  [[nodiscard]] Status Touch(RecordId id) const;
 
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   uint64_t size_bytes() const { return end_offset_; }
   uint64_t num_records() const { return num_records_; }

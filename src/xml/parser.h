@@ -35,7 +35,7 @@ class XmlParser {
 
   /// Parses a complete document. On failure the Status message includes the
   /// 1-based line number of the offending construct.
-  Result<Document> Parse(std::string_view input);
+  [[nodiscard]] Result<Document> Parse(std::string_view input);
 
  private:
   // Character-level helpers; all operate on (input_, pos_).
@@ -45,19 +45,19 @@ class XmlParser {
   bool Consume(char c);
   bool ConsumeLiteral(std::string_view lit);
   void SkipWhitespace();
-  Status Fail(const std::string& what) const;
+  [[nodiscard]] Status Fail(const std::string& what) const;
 
-  Status ParseProlog();
-  Status ParseMisc();           // comments / PIs between markup
-  Status ParseComment();
-  Status ParsePi();
-  Status ParseDoctype();
-  Status ParseElement(Document* doc, NodeId parent, int depth);
-  Status ParseAttributes(Document* doc, NodeId element);
-  Status ParseContent(Document* doc, NodeId element, int depth);
-  Status ParseCdata(std::string* out);
-  Status ParseReference(std::string* out);
-  Result<std::string> ParseName();
+  [[nodiscard]] Status ParseProlog();
+  [[nodiscard]] Status ParseMisc();           // comments / PIs between markup
+  [[nodiscard]] Status ParseComment();
+  [[nodiscard]] Status ParsePi();
+  [[nodiscard]] Status ParseDoctype();
+  [[nodiscard]] Status ParseElement(Document* doc, NodeId parent, int depth);
+  [[nodiscard]] Status ParseAttributes(Document* doc, NodeId element);
+  [[nodiscard]] Status ParseContent(Document* doc, NodeId element, int depth);
+  [[nodiscard]] Status ParseCdata(std::string* out);
+  [[nodiscard]] Status ParseReference(std::string* out);
+  [[nodiscard]] Result<std::string> ParseName();
 
   static bool IsNameStartChar(char c);
   static bool IsNameChar(char c);
@@ -75,7 +75,7 @@ class XmlParser {
 };
 
 /// Convenience wrapper constructing a parser for one call.
-Result<Document> ParseXml(std::string_view input, LabelTable* labels,
+[[nodiscard]] Result<Document> ParseXml(std::string_view input, LabelTable* labels,
                           ParseOptions options = {});
 
 }  // namespace fix

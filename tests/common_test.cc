@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/check.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -252,6 +253,33 @@ TEST(RngTest, GeometricCountBounded) {
     EXPECT_LE(n, 5);
   }
 }
+
+// --- FIX_DCHECK -------------------------------------------------------------
+
+TEST(DcheckTest, PassingChecksAreSilent) {
+  FIX_DCHECK(1 + 1 == 2);
+  FIX_DCHECK_EQ(4, 4);
+  FIX_DCHECK_NE(4, 5);
+  FIX_DCHECK_LT(4, 5);
+  FIX_DCHECK_LE(5, 5);
+  FIX_DCHECK_GT(5, 4);
+  FIX_DCHECK_GE(5, 5);
+}
+
+#if FIX_DCHECKS_ENABLED
+TEST(DcheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(FIX_DCHECK(2 + 2 == 5), "FIX_DCHECK failed");
+  EXPECT_DEATH(FIX_DCHECK_EQ(1, 2), "1 == 2 \\(1 vs 2\\)");
+}
+#else
+TEST(DcheckTest, DisabledChecksDoNotEvaluateTheCondition) {
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations > 0; };
+  FIX_DCHECK(bump());
+  FIX_DCHECK_EQ(bump(), true);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
 
 }  // namespace
 }  // namespace fix

@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "graph/bisim_builder.h"
 #include "spectral/edge_encoder.h"
@@ -331,6 +332,19 @@ TEST(InterlacingTest, RandomVertexDeletionContained) {
     EXPECT_LE(small->lambda2, big->lambda2 + 1e-9);
   }
 }
+
+#if FIX_DCHECKS_ENABLED
+// The eigendecomposition entry points must trip the anti-symmetry invariant
+// on a corrupted matrix (debug/sanitizer builds only; release compiles the
+// check out).
+TEST(SkewSpectrumDeathTest, NonAntisymmetricInputIsCaught) {
+  DenseMatrix m(2);
+  m.at(0, 1) = 1.0;
+  m.at(1, 0) = 1.0;  // anti-symmetry requires -1.0
+  EXPECT_DEATH((void)SkewSpectrum(m), "FIX_DCHECK failed");
+  EXPECT_DEATH((void)SkewSpectrumEmbedding(m), "FIX_DCHECK failed");
+}
+#endif
 
 }  // namespace
 }  // namespace fix

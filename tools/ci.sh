@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI entry point: builds the two supported configurations, lints changed
+# files, and runs the test suite under both.
+#
+#   1. Release-ish (RelWithDebInfo) with -Werror          -> build/
+#   2. ASan/UBSan with -Werror and FIX_DCHECK invariants  -> build-asan/
+#   3. clang-tidy over changed files (all of src/ if the diff is empty or
+#      git history is unavailable); no-ops when clang-tidy is missing
+#   4. ctest in both trees; the asan tree also runs the `sanitizer-clean`
+#      labeled smoke subset first for fast failure.
+#
+# Usage: tools/ci.sh [base-ref]     (base-ref defaults to origin/main, falls
+#                                    back to HEAD~1, for the changed-file set)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+BASE_REF="${1:-origin/main}"
+
+echo "=== [1/4] Release build (FIX_WERROR=ON) ==="
+cmake -B build -S . -DFIX_WERROR=ON
+cmake --build build -j "$JOBS"
+
+echo "=== [2/4] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
+cmake -B build-asan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="address;undefined"
+cmake --build build-asan -j "$JOBS"
+
+echo "=== [3/4] clang-tidy on changed files ==="
+if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
+  BASE_REF="HEAD~1"
+fi
+CHANGED=()
+if git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
+  mapfile -t CHANGED < <(git diff --name-only --diff-filter=d "$BASE_REF" -- \
+      'src/*.cc' 'src/*.h' | grep '\.cc$' || true)
+fi
+if [ "${#CHANGED[@]}" -gt 0 ]; then
+  tools/run_clang_tidy.sh build "${CHANGED[@]}"
+else
+  tools/run_clang_tidy.sh build
+fi
+
+echo "=== [4/4] Tests ==="
+(cd build-asan && ctest -L sanitizer-clean --output-on-failure)
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "ci.sh: all green."
