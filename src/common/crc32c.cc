@@ -1,0 +1,214 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+
+namespace fix {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78;  // reflected Castagnoli
+
+struct Tables {
+  uint32_t t[4][256];
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+uint32_t Crc32cSoftware(const unsigned char* p, size_t len, uint32_t crc) {
+  const Tables& tb = GetTables();
+  // Slicing-by-4: process aligned 4-byte words through four parallel tables.
+  while (len >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xff] ^ tb.t[2][(crc >> 8) & 0xff] ^
+          tb.t[1][(crc >> 16) & 0xff] ^ tb.t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define FIX_CRC32C_HAVE_HW 1
+
+// --- 3-lane hardware CRC -----------------------------------------------------
+//
+// A single crc32q dependency chain is latency-bound (~3 cycles per 8 bytes),
+// so large buffers run three independent chains over adjacent 336-byte lanes
+// and splice them with precomputed "advance the CRC past N zero bytes"
+// operators. Appending N zero bytes is a linear map over GF(2), so the
+// operator is a 32x32 bit matrix, applied here via four 256-entry lookup
+// tables (same trick as zlib's crc32_combine, specialized to fixed N).
+
+constexpr size_t kLane = 336;  // bytes per lane; superblock = 3 lanes
+
+// column i = operator applied to the unit vector 1<<i
+using CrcMatrix = uint32_t[32];
+
+uint32_t MatrixTimes(const CrcMatrix m, uint32_t v) {
+  uint32_t out = 0;
+  for (int i = 0; v != 0; ++i, v >>= 1) {
+    if (v & 1) out ^= m[i];
+  }
+  return out;
+}
+
+void MatrixMultiply(const CrcMatrix a, const CrcMatrix b, CrcMatrix out) {
+  for (int i = 0; i < 32; ++i) out[i] = MatrixTimes(a, b[i]);
+}
+
+/// Lookup-table form of a zero-append operator: one 256-entry table per
+/// input byte, so applying it is four loads and three xors.
+struct ShiftTable {
+  uint32_t t[4][256];
+
+  void Build(const CrcMatrix m) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      t[0][b] = MatrixTimes(m, b);
+      t[1][b] = MatrixTimes(m, b << 8);
+      t[2][b] = MatrixTimes(m, b << 16);
+      t[3][b] = MatrixTimes(m, b << 24);
+    }
+  }
+
+  uint32_t Apply(uint32_t crc) const {
+    return t[0][crc & 0xff] ^ t[1][(crc >> 8) & 0xff] ^
+           t[2][(crc >> 16) & 0xff] ^ t[3][crc >> 24];
+  }
+};
+
+struct LaneShifts {
+  ShiftTable by_lane;    // advance past kLane zero bytes
+  ShiftTable by_2lanes;  // advance past 2*kLane zero bytes
+
+  LaneShifts() {
+    // One-zero-byte operator from the software table, then exponentiation
+    // by squaring up to kLane bytes.
+    const Tables& tb = GetTables();
+    CrcMatrix byte_op;
+    for (int i = 0; i < 32; ++i) {
+      uint32_t c = 1u << i;
+      byte_op[i] = (c >> 8) ^ tb.t[0][c & 0xff];
+    }
+    CrcMatrix power;   // byte_op^(2^k)
+    CrcMatrix lane;    // byte_op^kLane, accumulated
+    CrcMatrix scratch;
+    std::memcpy(power, byte_op, sizeof(CrcMatrix));
+    bool first = true;
+    for (size_t n = kLane; n != 0; n >>= 1) {
+      if (n & 1) {
+        if (first) {
+          std::memcpy(lane, power, sizeof(CrcMatrix));
+          first = false;
+        } else {
+          MatrixMultiply(power, lane, scratch);
+          std::memcpy(lane, scratch, sizeof(CrcMatrix));
+        }
+      }
+      MatrixMultiply(power, power, scratch);
+      std::memcpy(power, scratch, sizeof(CrcMatrix));
+    }
+    by_lane.Build(lane);
+    CrcMatrix two;
+    MatrixMultiply(lane, lane, two);
+    by_2lanes.Build(two);
+  }
+};
+
+const LaneShifts& GetLaneShifts() {
+  static const LaneShifts shifts;
+  return shifts;
+}
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    const unsigned char* p, size_t len, uint32_t crc) {
+  if (len >= 3 * kLane) {
+    const LaneShifts& shifts = GetLaneShifts();
+    do {
+      uint64_t a = crc, b = 0, c = 0;
+      const unsigned char* pa = p;
+      const unsigned char* pb = p + kLane;
+      const unsigned char* pc = p + 2 * kLane;
+      for (size_t i = 0; i < kLane / 8; ++i) {
+        uint64_t wa, wb, wc;
+        std::memcpy(&wa, pa, 8);
+        std::memcpy(&wb, pb, 8);
+        std::memcpy(&wc, pc, 8);
+        a = __builtin_ia32_crc32di(a, wa);
+        b = __builtin_ia32_crc32di(b, wb);
+        c = __builtin_ia32_crc32di(c, wc);
+        pa += 8;
+        pb += 8;
+        pc += 8;
+      }
+      crc = shifts.by_2lanes.Apply(static_cast<uint32_t>(a)) ^
+            shifts.by_lane.Apply(static_cast<uint32_t>(b)) ^
+            static_cast<uint32_t>(c);
+      p += 3 * kLane;
+      len -= 3 * kLane;
+    } while (len >= 3 * kLane);
+  }
+  uint64_t crc64 = crc;
+  while (len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    len -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  if (len >= 4) {
+    uint32_t word;
+    std::memcpy(&word, p, 4);
+    crc = __builtin_ia32_crc32si(crc, word);
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+  }
+  return crc;
+}
+
+bool HardwareCrcSupported() {
+  static const bool supported = __builtin_cpu_supports("sse4.2");
+  return supported;
+}
+#endif  // __x86_64__ && __GNUC__
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const uint32_t crc = ~seed;
+#ifdef FIX_CRC32C_HAVE_HW
+  if (HardwareCrcSupported()) {
+    return ~Crc32cHardware(p, len, crc);
+  }
+#endif
+  return ~Crc32cSoftware(p, len, crc);
+}
+
+}  // namespace fix

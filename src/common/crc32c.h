@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding every on-disk page (storage/page_file.cc) and the scrub
+// tool. Software slicing-by-4 implementation: ~1.5 GB/s, far below the noise
+// floor of index construction (the eigensolver dominates), so checksums stay
+// on by default.
+
+#ifndef FIX_COMMON_CRC32C_H_
+#define FIX_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fix {
+
+/// CRC32C of `data[0, len)`. `seed` chains multi-extent checksums:
+/// Crc32c(b, n, Crc32c(a, m)) == CRC of a||b.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_CRC32C_H_

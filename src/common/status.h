@@ -24,6 +24,7 @@ enum class StatusCode {
   kOutOfRange,        ///< index or offset beyond a bound
   kParseError,        ///< XML or XPath text could not be parsed
   kInternal,          ///< invariant violation (a bug)
+  kUnavailable,       ///< transient failure; safe to retry with backoff
 };
 
 /// Returns a human-readable name for a StatusCode ("Ok", "IOError", ...).
@@ -71,6 +72,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -89,6 +93,9 @@ class [[nodiscard]] Status {
     return code_ == StatusCode::kCorruption;
   }
   [[nodiscard]] bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  [[nodiscard]] bool IsUnavailable() const {
+    return code_ == StatusCode::kUnavailable;
+  }
 
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;

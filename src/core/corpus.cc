@@ -42,6 +42,20 @@ size_t Corpus::TotalElements() const {
 Status Corpus::Save(const std::string& dir) {
   if (!primary_.is_open()) {
     FIX_RETURN_IF_ERROR(WritePrimaryStorage(dir + "/primary.dat"));
+  } else if (primary_ids_.size() < docs_.size()) {
+    // Documents appended since the corpus was loaded (or last saved) have
+    // no records yet; append them before rewriting the manifest, or they
+    // would silently vanish on the next Load. Records are synced before the
+    // manifest that references them is written, so a crash in between
+    // leaves at worst unreferenced (harmless) trailing records.
+    for (size_t i = primary_ids_.size(); i < docs_.size(); ++i) {
+      std::string buf;
+      EncodeDocument(docs_[i], &buf);
+      RecordId id;
+      FIX_ASSIGN_OR_RETURN(id, primary_.Append(buf));
+      primary_ids_.push_back(id);
+    }
+    FIX_RETURN_IF_ERROR(primary_.Sync());
   }
   FIX_RETURN_IF_ERROR(
       WriteFile(dir + "/labels.dat", EncodeLabelTable(labels_)));

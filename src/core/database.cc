@@ -1,13 +1,121 @@
 #include "core/database.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "common/logging.h"
 #include "query/xpath_parser.h"
 
 namespace fix {
 
+namespace {
+
+/// Renames `path` to `path + ".quarantined"` if it exists (best effort:
+/// quarantine must not fail recovery, so errors are logged, not returned).
+void QuarantineFile(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return;
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  if (ec) {
+    FIX_LOG(Error) << "quarantine rename failed for " << path << ": "
+                   << ec.message();
+  }
+}
+
+void RemoveIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& workdir,
+                                                 OpenOptions options) {
+  auto db = std::make_unique<Database>(workdir);
+  db->open_options_ = std::move(options);
+  {
+    Result<Corpus> corpus = Corpus::Load(workdir);
+    FIX_RETURN_IF_ERROR(corpus.status());
+    db->corpus_ = std::move(corpus).value();
+  }
+  // Attach every index in the directory; corrupt ones degrade, they never
+  // abort recovery.
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(workdir, ec)) {
+    if (entry.path().extension() == ".fix") {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  if (ec) {
+    return Status::IOError("cannot list " + workdir + ": " + ec.message());
+  }
+  std::sort(names.begin(), names.end());  // deterministic attach order
+  for (const std::string& name : names) {
+    FIX_RETURN_IF_ERROR(db->AttachOrQuarantine(name));
+  }
+  return db;
+}
+
+void Database::QuarantineIndex(const std::string& name, const Status& why) {
+  FIX_LOG(Error) << "index '" << name << "' quarantined: " << why.ToString()
+                 << " — queries fall back to full scan until RebuildIndex";
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (it->first == name) {
+      indexes_.erase(it);
+      break;
+    }
+  }
+  const std::string path = IndexPath(name);
+  QuarantineFile(path);
+  QuarantineFile(path + ".meta");
+  QuarantineFile(path + ".data");
+  degraded_.insert(name);
+  ++health_.quarantined_indexes;
+}
+
+Status Database::AttachOrQuarantine(const std::string& name) {
+  auto opened =
+      FixIndex::Open(&corpus_, IndexPath(name), open_options_.page_io_factory);
+  Status failure = opened.status();
+  if (opened.ok()) {
+    auto idx = std::make_unique<FixIndex>(std::move(opened).value());
+    if (open_options_.verify_on_attach) {
+      const uint32_t covered = idx->indexed_docs();
+      if (covered != kIndexedDocsUnknown &&
+          covered != corpus_.num_docs()) {
+        // Internally consistent but missing documents: the signature of a
+        // crash between corpus growth and the index's meta write. No
+        // checksum catches this; only the coverage count does.
+        failure = Status::Corruption(
+            "stale index: covers " + std::to_string(covered) + " of " +
+            std::to_string(corpus_.num_docs()) + " documents");
+      } else {
+        failure = idx->Verify();
+      }
+    }
+    if (failure.ok()) {
+      indexes_.emplace_back(name, std::move(idx));
+      return Status::OK();
+    }
+    // idx is destroyed (closing its files) before the quarantine rename.
+  }
+  if (failure.IsCorruption() || failure.IsIOError() || failure.IsNotFound()) {
+    ++health_.corruption_events;
+    QuarantineIndex(name, failure);
+    return Status::OK();
+  }
+  return failure;  // unexpected (e.g. InvalidArgument): a bug, not damage
+}
+
 Result<FixIndex*> Database::BuildIndex(const std::string& name,
                                        IndexOptions options,
                                        BuildStats* stats) {
-  options.path = workdir_ + "/" + name + ".fix";
+  options.path = IndexPath(name);
+  if (options.page_io_factory == nullptr) {
+    options.page_io_factory = open_options_.page_io_factory;
+  }
   auto built = FixIndex::Build(&corpus_, options, stats);
   if (!built.ok()) return built.status();
   indexes_.emplace_back(name,
@@ -16,11 +124,33 @@ Result<FixIndex*> Database::BuildIndex(const std::string& name,
 }
 
 Result<FixIndex*> Database::AttachIndex(const std::string& name) {
-  auto opened = FixIndex::Open(&corpus_, workdir_ + "/" + name + ".fix");
+  auto opened =
+      FixIndex::Open(&corpus_, IndexPath(name), open_options_.page_io_factory);
   if (!opened.ok()) return opened.status();
   indexes_.emplace_back(name,
                         std::make_unique<FixIndex>(std::move(opened).value()));
   return indexes_.back().second.get();
+}
+
+Result<FixIndex*> Database::RebuildIndex(const std::string& name,
+                                         IndexOptions options,
+                                         BuildStats* stats) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (it->first == name) {
+      indexes_.erase(it);
+      break;
+    }
+  }
+  degraded_.erase(name);
+  const std::string path = IndexPath(name);
+  for (const std::string& p :
+       {path, path + ".meta", path + ".data", path + ".quarantined",
+        path + ".meta.quarantined", path + ".data.quarantined"}) {
+    RemoveIfExists(p);
+  }
+  auto rebuilt = BuildIndex(name, std::move(options), stats);
+  if (rebuilt.ok()) ++health_.rebuilds;
+  return rebuilt;
 }
 
 FixIndex* Database::index(const std::string& name) {
@@ -40,14 +170,38 @@ Result<TwigQuery> Database::Compile(const std::string& xpath) {
 Result<ExecStats> Database::Query(const std::string& index_name,
                                   const std::string& xpath,
                                   std::vector<NodeRef>* results) {
+  TwigQuery q;
+  FIX_ASSIGN_OR_RETURN(q, Compile(xpath));
+  if (degraded_.count(index_name) > 0) {
+    ++health_.degraded_queries;
+    ExecStats stats;
+    FIX_ASSIGN_OR_RETURN(stats,
+                         FullScanExecute(&corpus_, q, results, /*total=*/0));
+    stats.degraded = true;
+    return stats;
+  }
   FixIndex* idx = index(index_name);
   if (idx == nullptr) {
     return Status::NotFound("no index named " + index_name);
   }
-  TwigQuery q;
-  FIX_ASSIGN_OR_RETURN(q, Compile(xpath));
   FixQueryProcessor processor(&corpus_, idx);
-  return processor.Execute(q, results);
+  Result<ExecStats> executed = processor.Execute(q, results);
+  if (executed.ok()) return executed;
+  if (executed.status().IsCorruption() || executed.status().IsIOError()) {
+    // Damage surfaced mid-query (a checksum failure on a lazily-read page,
+    // say). Quarantine the index and answer from the ground truth — the
+    // caller gets a correct result and a degraded-mode flag, never the
+    // corruption masked as an empty result set.
+    ++health_.corruption_events;
+    QuarantineIndex(index_name, executed.status());
+    ++health_.degraded_queries;
+    ExecStats stats;
+    FIX_ASSIGN_OR_RETURN(stats,
+                         FullScanExecute(&corpus_, q, results, /*total=*/0));
+    stats.degraded = true;
+    return stats;
+  }
+  return executed;
 }
 
 }  // namespace fix

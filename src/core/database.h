@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -14,13 +15,47 @@
 #include "core/fix_index.h"
 #include "core/fix_query.h"
 #include "core/index_options.h"
+#include "core/metrics.h"
 
 namespace fix {
 
 class Database {
  public:
+  struct OpenOptions {
+    /// Audit every index at attach time (B+-tree structural walk + corpus
+    /// consistency). Costs one full index read; disable only in tests that
+    /// want to exercise the mid-query corruption path.
+    bool verify_on_attach = true;
+    /// Backend override for index page files (see
+    /// IndexOptions::page_io_factory). Tests only.
+    std::function<std::unique_ptr<PageIo>()> page_io_factory;
+  };
+
   /// `workdir` holds the primary store and index files; it must exist.
   explicit Database(std::string workdir) : workdir_(std::move(workdir)) {}
+
+  /// Recovery-aware opening of an existing database directory: restores the
+  /// corpus (Corpus::Save layout) and attaches every `*.fix` index found.
+  /// An index that fails to open, fails verification, or is stale (its meta
+  /// covers fewer documents than the corpus holds — the signature of a
+  /// crash mid-update) is quarantined: its files are renamed aside with a
+  /// ".quarantined" suffix and queries naming it transparently fall back to
+  /// the always-correct full scan (ExecStats::degraded is set). Answers are
+  /// never wrong, only slower, and RebuildIndex() restores indexed speed.
+  ///
+  /// Returns a pointer (not a value): FixIndex handles keep raw pointers to
+  /// the owning corpus, so the Database must never move after indexes
+  /// attach.
+  [[nodiscard]] static Result<std::unique_ptr<Database>> Open(
+      const std::string& workdir, OpenOptions options);
+  [[nodiscard]] static Result<std::unique_ptr<Database>> Open(
+      const std::string& workdir) {
+    return Open(workdir, OpenOptions());
+  }
+
+  /// Persists the corpus into the workdir (Corpus::Save layout) so the
+  /// database can later be reopened with Open().
+  [[nodiscard]] Status Save() { return corpus_.Save(workdir_); }
 
   Corpus* corpus() { return &corpus_; }
 
@@ -49,6 +84,21 @@ class Database {
   /// under this workdir and registers it under `name`.
   [[nodiscard]] Result<FixIndex*> AttachIndex(const std::string& name);
 
+  /// Drops any trace of index `name` (attached handle, quarantined files,
+  /// degraded marker) and builds it afresh from the in-memory corpus —
+  /// the recovery path out of degraded mode.
+  [[nodiscard]] Result<FixIndex*> RebuildIndex(const std::string& name,
+                                               IndexOptions options,
+                                               BuildStats* stats = nullptr);
+
+  /// True when queries naming `name` are being answered by full scan
+  /// because the index was quarantined as corrupt or stale.
+  bool IsDegraded(const std::string& name) const {
+    return degraded_.count(name) > 0;
+  }
+
+  const StorageHealth& health() const { return health_; }
+
   /// Parses an XPath string, resolves labels, and executes it through the
   /// named index.
   [[nodiscard]] Result<ExecStats> Query(const std::string& index_name,
@@ -59,9 +109,25 @@ class Database {
   [[nodiscard]] Result<TwigQuery> Compile(const std::string& xpath);
 
  private:
+  std::string IndexPath(const std::string& name) const {
+    return workdir_ + "/" + name + ".fix";
+  }
+
+  /// Attaches index `name`, or — on corruption, I/O failure, or staleness —
+  /// quarantines it and records the degradation. Only unexpected statuses
+  /// (e.g. InvalidArgument) propagate.
+  [[nodiscard]] Status AttachOrQuarantine(const std::string& name);
+
+  /// Renames the index files aside (".quarantined" suffix), drops any
+  /// attached handle, and marks the name degraded.
+  void QuarantineIndex(const std::string& name, const Status& why);
+
   std::string workdir_;
   Corpus corpus_;
   std::vector<std::pair<std::string, std::unique_ptr<FixIndex>>> indexes_;
+  OpenOptions open_options_;
+  std::unordered_set<std::string> degraded_;
+  StorageHealth health_;
 };
 
 }  // namespace fix

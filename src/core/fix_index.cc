@@ -97,7 +97,9 @@ Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
   }
   Timer timer;
   FixIndex index(corpus, options);
-  index.file_ = std::make_unique<PageFile>();
+  index.file_ = options.page_io_factory != nullptr
+                    ? std::make_unique<PageFile>(options.page_io_factory())
+                    : std::make_unique<PageFile>();
   FIX_RETURN_IF_ERROR(index.file_->Open(options.path, /*create=*/true));
   index.pool_ = std::make_unique<BufferPool>(index.file_.get(),
                                              options.buffer_pool_pages);
@@ -138,6 +140,13 @@ Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
     FIX_RETURN_IF_ERROR(index.clustered_.Sync());
   }
   FIX_RETURN_IF_ERROR(index.btree_->Flush());
+  // The page file is deliberately not fsynced here: a bulk build is a
+  // rebuildable artifact, and a power loss racing one at worst tears pages
+  // that the checksums catch on reopen — the index quarantines and service
+  // degrades to full scan, never to a wrong answer. Incremental updates
+  // (small, and feeding the staleness check) do sync before their meta
+  // write.
+  index.indexed_docs_ = corpus->num_docs();
   FIX_RETURN_IF_ERROR(index.WriteMeta());
 
   if (stats != nullptr) {
@@ -205,6 +214,13 @@ Status FixIndex::InsertDocument(uint32_t doc_id, BuildStats* stats) {
   histogram_.reset();  // estimates must see the new entries
   FIX_RETURN_IF_ERROR(IndexDocument(doc_id, stats));
   FIX_RETURN_IF_ERROR(btree_->Flush());
+  FIX_RETURN_IF_ERROR(file_->Sync());
+  // Extend coverage only after the pages are durable: a crash mid-update
+  // leaves the old sidecar claiming fewer docs than the corpus holds, which
+  // Database::Open detects as staleness.
+  if (indexed_docs_ != kIndexedDocsUnknown) {
+    indexed_docs_ = std::max(indexed_docs_, doc_id + 1);
+  }
   return WriteMeta();  // encoder may have interned new pairs
 }
 
@@ -288,20 +304,28 @@ Status FixIndex::WriteMeta() const {
   meta.options.path.clear();  // path is where the caller found the file
   meta.next_seq = next_seq_;
   meta.edge_weights = encoder_.Export();
+  meta.storage_format = kPageFormatVersion;
+  meta.indexed_docs = indexed_docs_;
   return WriteFile(options_.path + ".meta", EncodeIndexMeta(meta));
 }
 
-Result<FixIndex> FixIndex::Open(Corpus* corpus, const std::string& path) {
+Result<FixIndex> FixIndex::Open(
+    Corpus* corpus, const std::string& path,
+    const std::function<std::unique_ptr<PageIo>()>& page_io_factory) {
   std::string meta_buf;
   FIX_ASSIGN_OR_RETURN(meta_buf, ReadFile(path + ".meta"));
   IndexMeta meta;
   FIX_ASSIGN_OR_RETURN(meta, DecodeIndexMeta(meta_buf));
   meta.options.path = path;
+  meta.options.page_io_factory = page_io_factory;
 
   FixIndex index(corpus, meta.options);
   index.next_seq_ = meta.next_seq;
+  index.indexed_docs_ = meta.indexed_docs;
   index.encoder_.Import(meta.edge_weights);
-  index.file_ = std::make_unique<PageFile>();
+  index.file_ = page_io_factory != nullptr
+                    ? std::make_unique<PageFile>(page_io_factory())
+                    : std::make_unique<PageFile>();
   FIX_RETURN_IF_ERROR(index.file_->Open(path, /*create=*/false));
   index.pool_ = std::make_unique<BufferPool>(index.file_.get(),
                                              meta.options.buffer_pool_pages);

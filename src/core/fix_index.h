@@ -64,8 +64,13 @@ class FixIndex {
   /// Reopens an index previously built at `path` over the same corpus
   /// (typically one restored with Corpus::Load). The persisted options and
   /// edge-weight encoding are restored exactly; queries probe the on-disk
-  /// B+-tree without any rebuild.
-  [[nodiscard]] static Result<FixIndex> Open(Corpus* corpus, const std::string& path);
+  /// B+-tree without any rebuild. `page_io_factory` (optional) overrides
+  /// the page-file backend, mirroring IndexOptions::page_io_factory — it is
+  /// a parameter here because the factory is never persisted in the meta.
+  [[nodiscard]] static Result<FixIndex> Open(
+      Corpus* corpus, const std::string& path,
+      const std::function<std::unique_ptr<PageIo>()>& page_io_factory =
+          nullptr);
 
   FixIndex(FixIndex&&) = default;
   FixIndex& operator=(FixIndex&&) = default;
@@ -108,12 +113,21 @@ class FixIndex {
   /// corpus; callers track liveness.
   [[nodiscard]] Status RemoveDocument(uint32_t doc_id);
 
+  /// Integrity audit of the on-disk index: full B+-tree structural walk
+  /// (every page read passes through the checksum layer on the way).
+  /// Returns kCorruption describing the first violation found.
+  [[nodiscard]] Status Verify() { return btree_->VerifyStructure(); }
+
   uint64_t num_entries() const { return btree_->num_entries(); }
   const IndexOptions& options() const { return options_; }
   Corpus* corpus() { return corpus_; }
   const ValueHasher* value_hasher() const { return value_hasher_.get(); }
   RecordStore* clustered_store() { return &clustered_; }
   BTree* btree() { return btree_.get(); }
+  PageFile* page_file() { return file_.get(); }
+  /// Documents covered at the last successful meta write
+  /// (kIndexedDocsUnknown for indexes persisted by pre-v2 metas).
+  uint32_t indexed_docs() const { return indexed_docs_; }
 
   /// On-disk footprint: B+-tree bytes (+ clustered copy store bytes).
   uint64_t BTreeBytes() const { return btree_->SizeBytes(); }
@@ -155,6 +169,7 @@ class FixIndex {
   EdgeEncoder encoder_;
   std::unique_ptr<FeatureHistogram> histogram_;  // lazy; see EstimateCandidates
   uint32_t next_seq_ = 0;
+  uint32_t indexed_docs_ = 0;  // see indexed_docs()
   /// Deferred entries for clustered builds (sorted before materializing).
   std::vector<std::pair<std::string, NodeRef>> pending_;
 };

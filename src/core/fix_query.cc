@@ -157,16 +157,18 @@ Status FixQueryProcessor::RefineCandidates(
   return Status::OK();
 }
 
-Result<ExecStats> FixQueryProcessor::FullScan(const TwigQuery& query,
-                                              std::vector<NodeRef>* results) {
+Result<ExecStats> FullScanExecute(Corpus* corpus, const TwigQuery& query,
+                                  std::vector<NodeRef>* results,
+                                  uint64_t total_entries) {
+  if (results != nullptr) results->clear();
   ExecStats stats;
   stats.covered = false;
   stats.used_index = false;
-  stats.total_entries = index_->num_entries();
+  stats.total_entries = total_entries;
   stats.candidates = stats.total_entries;  // nothing pruned
   Timer timer;
-  for (uint32_t d = 0; d < corpus_->num_docs(); ++d) {
-    TwigMatcher matcher(&corpus_->doc(d));
+  for (uint32_t d = 0; d < corpus->num_docs(); ++d) {
+    TwigMatcher matcher(&corpus->doc(d));
     std::vector<NodeId> bindings = matcher.Evaluate(query);
     stats.nodes_visited += matcher.nodes_visited();
     stats.result_count += bindings.size();
@@ -177,6 +179,11 @@ Result<ExecStats> FixQueryProcessor::FullScan(const TwigQuery& query,
   }
   stats.refine_ms = timer.ElapsedMillis();
   return stats;
+}
+
+Result<ExecStats> FixQueryProcessor::FullScan(const TwigQuery& query,
+                                              std::vector<NodeRef>* results) {
+  return FullScanExecute(corpus_, query, results, index_->num_entries());
 }
 
 }  // namespace fix

@@ -36,6 +36,8 @@ struct ExecStats {
                                 ///< evaluation runs on primary documents)
   bool covered = true;          ///< query depth within the index limit
   bool used_index = true;       ///< false on full-scan fallback
+  bool degraded = false;        ///< full scan forced by index corruption
+                                ///< (quarantine), not by query depth
   double lookup_ms = 0;         ///< pruning phase wall time
   double refine_ms = 0;         ///< refinement phase wall time
   uint64_t entries_scanned = 0; ///< B+-tree entries touched
@@ -59,6 +61,16 @@ struct ExecStats {
                : 1.0 - static_cast<double>(producing) / candidates;
   }
 };
+
+/// Evaluates `query` with the navigational matcher over every document —
+/// the always-correct baseline path. Shared by FixQueryProcessor (queries
+/// the index does not cover) and Database (graceful degradation when an
+/// index is quarantined as corrupt). `total_entries` is only bookkeeping
+/// for the pruning-power stats; pass 0 when no index exists.
+[[nodiscard]] Result<ExecStats> FullScanExecute(Corpus* corpus,
+                                                const TwigQuery& query,
+                                                std::vector<NodeRef>* results,
+                                                uint64_t total_entries);
 
 class FixQueryProcessor {
  public:

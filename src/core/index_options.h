@@ -5,9 +5,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 namespace fix {
+
+class PageIo;
 
 struct IndexOptions {
   /// Subpattern depth limit L of Algorithm 1. 0 indexes each document as a
@@ -60,6 +64,12 @@ struct IndexOptions {
 
   /// Index file path. The clustered store (if any) lives at path + ".data".
   std::string path;
+
+  /// Backend factory for the index page file. Unset => a plain file
+  /// (FilePageIo). Tests set this to wrap the file in a
+  /// FaultInjectionPageIo, placing injected faults underneath the page
+  /// checksums. Not persisted in the index meta sidecar.
+  std::function<std::unique_ptr<PageIo>()> page_io_factory;
 };
 
 /// Construction-time statistics (Table 1 columns and diagnostics).

@@ -30,6 +30,17 @@ struct GroundTruth {
 GroundTruth ComputeGroundTruth(const Corpus& corpus, const TwigQuery& query,
                                int depth_limit);
 
+/// Per-database storage fault bookkeeping, surfaced by Database::health().
+/// Counts events, not states: a single corrupt index bumps
+/// corruption_events once at detection and quarantined_indexes once at
+/// quarantine, then every query routed around it bumps degraded_queries.
+struct StorageHealth {
+  uint64_t corruption_events = 0;    ///< kCorruption statuses observed
+  uint64_t quarantined_indexes = 0;  ///< indexes renamed aside as corrupt
+  uint64_t degraded_queries = 0;     ///< queries answered by full scan
+  uint64_t rebuilds = 0;             ///< successful RebuildIndex calls
+};
+
 }  // namespace fix
 
 #endif  // FIX_CORE_METRICS_H_

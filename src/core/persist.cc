@@ -11,21 +11,27 @@ constexpr uint32_t kLabelMagic = 0x4649584c;  // "FIXL"
 constexpr uint32_t kManifestMagic = 0x4649584d;  // "FIXM"
 constexpr uint32_t kMetaMagic = 0x46495849;  // "FIXI"
 constexpr uint32_t kVersion = 1;
+// Index-meta format: v2 appends storage_format + indexed_docs (see
+// IndexMeta). v1 sidecars remain readable; the new fields decode to their
+// "unknown" defaults.
+constexpr uint32_t kMetaVersion = 2;
 
-void PutHeader(std::string* out, uint32_t magic) {
+void PutHeader(std::string* out, uint32_t magic, uint32_t version = kVersion) {
   PutFixed32(out, magic);
-  PutFixed32(out, kVersion);
+  PutFixed32(out, version);
 }
 
 Status CheckHeader(const std::string& buf, size_t* pos, uint32_t magic,
-                   const char* what) {
+                   const char* what, uint32_t max_version = kVersion,
+                   uint32_t* version_out = nullptr) {
   if (buf.size() < 8 || DecodeFixed32(buf.data()) != magic) {
     return Status::Corruption(std::string("bad magic in ") + what);
   }
   uint32_t version = DecodeFixed32(buf.data() + 4);
-  if (version != kVersion) {
+  if (version == 0 || version > max_version) {
     return Status::Corruption(std::string("unsupported version in ") + what);
   }
+  if (version_out != nullptr) *version_out = version;
   *pos = 8;
   return Status::OK();
 }
@@ -141,7 +147,7 @@ Result<std::vector<RecordId>> DecodeManifest(const std::string& buf) {
 
 std::string EncodeIndexMeta(const IndexMeta& meta) {
   std::string out;
-  PutHeader(&out, kMetaMagic);
+  PutHeader(&out, kMetaMagic, kMetaVersion);
   const IndexOptions& o = meta.options;
   PutVarint32(&out, static_cast<uint32_t>(o.depth_limit));
   PutVarint32(&out, o.clustered ? 1 : 0);
@@ -157,12 +163,17 @@ std::string EncodeIndexMeta(const IndexMeta& meta) {
     PutVarint64(&out, pair);
     PutVarint32(&out, weight);
   }
+  // v2 fields.
+  PutVarint32(&out, meta.storage_format);
+  PutVarint32(&out, meta.indexed_docs);
   return out;
 }
 
 Result<IndexMeta> DecodeIndexMeta(const std::string& buf) {
   size_t pos = 0;
-  FIX_RETURN_IF_ERROR(CheckHeader(buf, &pos, kMetaMagic, "index meta"));
+  uint32_t version = 0;
+  FIX_RETURN_IF_ERROR(
+      CheckHeader(buf, &pos, kMetaMagic, "index meta", kMetaVersion, &version));
   IndexMeta meta;
   uint32_t depth = 0, clustered = 0, beta = 0, l2 = 0, sound = 0;
   if (!GetVarint32(buf, &pos, &depth) || !GetVarint32(buf, &pos, &clustered) ||
@@ -199,6 +210,15 @@ Result<IndexMeta> DecodeIndexMeta(const std::string& buf) {
       return Status::Corruption("index meta: truncated weights");
     }
     meta.edge_weights.emplace_back(pair, weight);
+  }
+  if (version >= 2) {
+    if (!GetVarint32(buf, &pos, &meta.storage_format) ||
+        !GetVarint32(buf, &pos, &meta.indexed_docs)) {
+      return Status::Corruption("index meta: truncated storage fields");
+    }
+  } else {
+    meta.storage_format = 0;  // pre-checksum page format
+    meta.indexed_docs = kIndexedDocsUnknown;
   }
   if (pos != buf.size()) {
     return Status::Corruption("index meta: trailing bytes");

@@ -40,10 +40,22 @@ std::string EncodeManifest(const std::vector<RecordId>& records);
 
 // --- index metadata ---------------------------------------------------------
 
+/// indexed_docs value meaning "written by a pre-v2 meta, count unknown":
+/// consistency checks against the corpus are skipped for such indexes.
+inline constexpr uint32_t kIndexedDocsUnknown = UINT32_MAX;
+
 struct IndexMeta {
   IndexOptions options;  ///< path field is not persisted (caller supplies)
   uint32_t next_seq = 0;
   std::vector<std::pair<uint64_t, uint32_t>> edge_weights;
+  /// Page-file format the index was written with (kPageFormatVersion);
+  /// 0 for metas predating the checksummed page format.
+  uint32_t storage_format = 1;
+  /// Number of corpus documents the index covered when the sidecar was
+  /// written. Database::Open compares this against the corpus to detect a
+  /// stale index — one that survived a crash internally consistent but
+  /// missing updates (wrong answers that no checksum can catch).
+  uint32_t indexed_docs = kIndexedDocsUnknown;
 };
 
 std::string EncodeIndexMeta(const IndexMeta& meta);

@@ -8,7 +8,6 @@
 namespace fix {
 
 namespace {
-constexpr uint32_t kBTreeMagic = 0x46495842;  // "FIXB"
 constexpr uint8_t kLeaf = 0;
 constexpr uint8_t kInner = 1;
 }  // namespace
@@ -445,6 +444,126 @@ Status BTree::Iterator::Next() {
 Status BTree::Flush() {
   FIX_RETURN_IF_ERROR(WriteMeta());
   return pool_->FlushAll();
+}
+
+// --- structural verification ------------------------------------------------
+
+Status BTree::VerifyNode(PageId id, uint32_t depth,
+                         std::unordered_set<PageId>* visited,
+                         std::vector<PageId>* leaves) {
+  const PageId num_pages = pool_->file()->num_pages();
+  if (id == kInvalidPage || id == 0 || id >= num_pages) {
+    return Status::Corruption("B+-tree node id out of range: " +
+                              std::to_string(id));
+  }
+  if (!visited->insert(id).second) {
+    return Status::Corruption("B+-tree cycle: page " + std::to_string(id) +
+                              " reachable twice");
+  }
+  PageHandle node;
+  FIX_ASSIGN_OR_RETURN(node, pool_->Fetch(id));
+  const char* page = node.data();
+  const uint8_t type = NodeType(page);
+  const uint16_t count = NodeCount(page);
+
+  if (type == kLeaf) {
+    if (depth != height_) {
+      return Status::Corruption("leaf page " + std::to_string(id) +
+                                " at depth " + std::to_string(depth) +
+                                ", expected " + std::to_string(height_));
+    }
+    // count == 0 is legal (lazy deletion can empty a leaf).
+    if (count > LeafCapacity()) {
+      return Status::Corruption("leaf page " + std::to_string(id) +
+                                " count exceeds capacity");
+    }
+    for (uint16_t i = 1; i < count; ++i) {
+      if (std::memcmp(LeafEntry(page, i - 1), LeafEntry(page, i), key_size_) >
+          0) {
+        return Status::Corruption("keys out of order in leaf page " +
+                                  std::to_string(id));
+      }
+    }
+    leaves->push_back(id);
+    return Status::OK();
+  }
+
+  if (type != kInner) {
+    return Status::Corruption("bad node type " + std::to_string(type) +
+                              " on page " + std::to_string(id));
+  }
+  if (depth >= height_) {
+    return Status::Corruption("inner page " + std::to_string(id) +
+                              " at leaf depth");
+  }
+  if (count == 0 || count > InnerCapacity()) {
+    return Status::Corruption("inner page " + std::to_string(id) +
+                              " separator count out of range");
+  }
+  for (uint16_t i = 1; i < count; ++i) {
+    if (std::memcmp(InnerEntry(page, i - 1), InnerEntry(page, i), key_size_) >
+        0) {
+      return Status::Corruption("separators out of order in inner page " +
+                                std::to_string(id));
+    }
+  }
+  // Copy the child list out, then unpin before recursing: the walk must not
+  // hold a pin per level of recursion fan-out, only per depth.
+  std::vector<PageId> children;
+  children.reserve(count + 1);
+  for (uint16_t i = 0; i <= count; ++i) {
+    children.push_back(InnerChild(page, i));
+  }
+  node.Release();
+  for (PageId child : children) {
+    FIX_RETURN_IF_ERROR(VerifyNode(child, depth + 1, visited, leaves));
+  }
+  return Status::OK();
+}
+
+Status BTree::VerifyStructure() {
+  std::unordered_set<PageId> visited;
+  std::vector<PageId> leaves;
+  FIX_RETURN_IF_ERROR(VerifyNode(root_, 1, &visited, &leaves));
+
+  // The sibling chain must thread the leaves exactly in discovery (key)
+  // order and terminate, keys must be globally non-descending across it,
+  // and the entries it holds must add up to the meta count.
+  uint64_t total_entries = 0;
+  std::string prev_key;
+  bool have_prev = false;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    PageHandle leaf;
+    FIX_ASSIGN_OR_RETURN(leaf, pool_->Fetch(leaves[i]));
+    const char* page = leaf.data();
+    const uint16_t count = NodeCount(page);
+    total_entries += count;
+    for (uint16_t j = 0; j < count; ++j) {
+      const char* key = LeafEntry(page, j);
+      if (have_prev && std::memcmp(prev_key.data(), key, key_size_) > 0) {
+        return Status::Corruption("keys out of order across leaf chain at page " +
+                                  std::to_string(leaves[i]));
+      }
+      prev_key.assign(key, key_size_);
+      have_prev = true;
+    }
+    const uint32_t link = NodeLink(page);
+    const PageId expected =
+        (i + 1 < leaves.size()) ? leaves[i + 1] : kInvalidPage;
+    if (link != expected) {
+      return Status::Corruption("leaf sibling chain broken at page " +
+                                std::to_string(leaves[i]) + ": link " +
+                                std::to_string(link) + ", expected " +
+                                std::to_string(expected));
+    }
+  }
+  if (total_entries != num_entries_) {
+    return Status::Corruption("entry count mismatch: meta says " +
+                              std::to_string(num_entries_) +
+                              ", leaves hold " +
+                              std::to_string(total_entries));
+  }
+  return Status::OK();
 }
 
 }  // namespace fix

@@ -60,7 +60,7 @@ BufferPool::BufferPool(PageFile* file, size_t capacity) : file_(file) {
   frames_.resize(capacity);
   free_frames_.reserve(capacity);
   for (size_t i = 0; i < capacity; ++i) {
-    frames_[i].data.resize(kPageSize);
+    frames_[i].data.resize(kDiskPageSize);
     free_frames_.push_back(capacity - 1 - i);
   }
 }
@@ -83,7 +83,13 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   size_t idx;
   FIX_ASSIGN_OR_RETURN(idx, GrabFrame());
   Frame& f = frames_[idx];
-  FIX_RETURN_IF_ERROR(file_->ReadPage(id, f.data.data()));
+  Status read = file_->ReadPageBlock(id, f.data.data());
+  if (!read.ok()) {
+    // Nothing maps to this frame yet; hand it back so a failed read (e.g. a
+    // corrupt page) does not permanently shrink the pool.
+    free_frames_.push_back(idx);
+    return read;
+  }
   f.page = id;
   f.pins = 1;
   f.dirty = false;
@@ -98,7 +104,7 @@ Result<PageHandle> BufferPool::New() {
   size_t idx;
   FIX_ASSIGN_OR_RETURN(idx, GrabFrame());
   Frame& f = frames_[idx];
-  std::memset(f.data.data(), 0, kPageSize);
+  std::memset(f.data.data(), 0, kDiskPageSize);
   f.page = id;
   f.pins = 1;
   f.dirty = true;  // a new page must reach disk even if never touched again
@@ -117,17 +123,19 @@ Result<size_t> BufferPool::GrabFrame() {
     return Status::Internal("buffer pool exhausted: every frame is pinned");
   }
   size_t idx = lru_.back();
-  lru_.pop_back();
   Frame& f = frames_[idx];
   // Only unpinned frames live on the LRU list; evicting a pinned frame
   // would invalidate a live PageHandle.
   FIX_DCHECK_EQ(f.pins, 0);
   FIX_DCHECK_NE(f.page, kInvalidPage);
-  f.in_lru = false;
   if (f.dirty) {
-    FIX_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
+    // Flush before unlinking: if the write fails the frame stays on the LRU
+    // list (still cached, still dirty) instead of leaking.
+    FIX_RETURN_IF_ERROR(file_->WritePageBlock(f.page, f.data.data()));
     f.dirty = false;
   }
+  lru_.pop_back();
+  f.in_lru = false;
   page_to_frame_.erase(f.page);
   f.page = kInvalidPage;
   ++evictions_;
@@ -149,7 +157,7 @@ void BufferPool::Unpin(size_t frame_idx) {
 Status BufferPool::FlushAll() {
   for (Frame& f : frames_) {
     if (f.page != kInvalidPage && f.dirty) {
-      FIX_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
+      FIX_RETURN_IF_ERROR(file_->WritePageBlock(f.page, f.data.data()));
       f.dirty = false;
     }
   }

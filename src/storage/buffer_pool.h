@@ -96,7 +96,12 @@ class BufferPool {
 
   void Unpin(size_t frame_idx);
   void MarkDirty(size_t frame_idx) { frames_[frame_idx].dirty = true; }
-  char* FrameData(size_t frame_idx) { return frames_[frame_idx].data.data(); }
+  // Frames hold the full kDiskPageSize block so page I/O verifies and
+  // stamps in place (PageFile::{Read,Write}PageBlock); handles only ever
+  // see the payload region.
+  char* FrameData(size_t frame_idx) {
+    return frames_[frame_idx].data.data() + kPageHeaderSize;
+  }
 
   /// Finds a frame to (re)use: a never-used frame or the LRU unpinned one.
   [[nodiscard]] Result<size_t> GrabFrame();

@@ -1,47 +1,110 @@
-// PageFile: a file of fixed-size (4 KiB) pages addressed by page id.
+// PageFile: a file of fixed-size (4 KiB payload) pages addressed by page id.
 //
-// This is the lowest layer of the storage substrate; the buffer pool sits on
-// top of it and the B+-tree on top of that. Reads and writes use
-// pread/pwrite so the file offset is never shared state.
+// This is the framing layer of the storage substrate; the buffer pool sits
+// on top of it and the B+-tree on top of that. Underneath, all raw byte I/O
+// goes through a PageIo backend (page_io.h), which tests replace with a
+// FaultInjectionPageIo to exercise the failure paths below the checksums.
+//
+// On-disk format (v1): each page occupies kDiskPageSize = 4120 bytes —
+// a 24-byte header followed by the 4096-byte payload the upper layers see.
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------------
+//        0     4  magic "FXPG" (little-endian 0x47505846 on disk)
+//        4     4  format version (currently 1)
+//        8     4  page id — catches misdirected reads/writes: a block that
+//                 lands at the wrong offset fails this check even when its
+//                 checksum is self-consistent
+//       12     4  CRC32C over bytes [0,12) and [16,4120) of the disk block,
+//                 i.e. everything except the CRC field itself, so any
+//                 single-bit flip anywhere in the block is detected
+//       16     8  write counter — session-monotonic LSN stamped on every
+//                 write; purely diagnostic (scrub reports it for forensics)
+//
+// The payload stride stays 4096 so version-0 files (headerless, payload
+// only) upgrade losslessly: each old page becomes the payload of a new
+// framed page without re-packing any B+-tree node. The upgrade happens once,
+// on open, through a temp file + rename so a crash mid-upgrade leaves the
+// original intact.
+//
+// Transient backend failures (Status::Unavailable) are retried internally
+// with exponential backoff; corruption and hard I/O errors propagate.
 
 #ifndef FIX_STORAGE_PAGE_FILE_H_
 #define FIX_STORAGE_PAGE_FILE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
+#include "storage/page_io.h"
 
 namespace fix {
 
+/// Payload bytes per page — the page size the upper layers (buffer pool,
+/// B+-tree) see. Unchanged from format v0.
 inline constexpr size_t kPageSize = 4096;
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPage = UINT32_MAX;
 
+/// Per-page header: magic + version + page id + CRC32C + write counter.
+inline constexpr size_t kPageHeaderSize = 24;
+/// Physical bytes per page on disk (header + payload).
+inline constexpr size_t kDiskPageSize = kPageHeaderSize + kPageSize;
+/// "FXPG" little-endian.
+inline constexpr uint32_t kPageMagic = 0x47505846;
+inline constexpr uint32_t kPageFormatVersion = 1;
+
 class PageFile {
  public:
   PageFile() = default;
+  /// Uses the given backend instead of a plain file — this is how tests
+  /// slide a FaultInjectionPageIo underneath the checksum layer.
+  explicit PageFile(std::unique_ptr<PageIo> io) : io_(std::move(io)) {}
   ~PageFile();
 
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
-  /// Opens (or creates, if `create`) the file. Re-opening an existing file
-  /// recovers the page count from its size, which must be page-aligned.
+  /// Opens (or creates+truncates, if `create`) the file. Re-opening an
+  /// existing file recovers the page count from its size. A headerless
+  /// version-0 file is upgraded in place (temp file + rename) to the framed
+  /// format; a v1 file with a torn final page (partial trailing block) has
+  /// the tail truncated with a logged warning.
   [[nodiscard]] Status Open(const std::string& path, bool create);
+
+  /// Like Open(create=false) but strictly read-only in effect: no format
+  /// upgrade, no tail repair. Used by the scrub tool, which must never
+  /// mutate the file it is diagnosing.
+  [[nodiscard]] Status OpenForScrub(const std::string& path);
 
   [[nodiscard]] Status Close();
 
-  bool is_open() const { return fd_ >= 0; }
+  bool is_open() const { return io_ != nullptr && io_->is_open(); }
 
-  /// Extends the file by one zeroed page and returns its id.
+  /// Extends the file by one page (metadata-only truncate; the block stays
+  /// zero until first written) and returns its id. Reading a page that was
+  /// never written after allocation reports kCorruption, as the zero block
+  /// carries no valid header.
   [[nodiscard]] Status AllocatePage(PageId* id);
 
-  /// Reads page `id` into `buf` (must hold kPageSize bytes).
+  /// Reads page `id` into `buf` (must hold kPageSize bytes). Verifies the
+  /// header: magic/version mismatch, wrong embedded page id (misdirected
+  /// I/O), or CRC failure all return kCorruption.
   [[nodiscard]] Status ReadPage(PageId id, char* buf);
 
-  /// Writes kPageSize bytes from `buf` to page `id`.
+  /// Writes kPageSize bytes from `buf` to page `id`, stamping a fresh
+  /// header (page id, write counter, CRC32C).
   [[nodiscard]] Status WritePage(PageId id, const char* buf);
+
+  /// Zero-copy variants for the buffer pool: `block` is a caller-owned
+  /// kDiskPageSize buffer whose payload lives at block + kPageHeaderSize.
+  /// ReadPageBlock verifies in place; WritePageBlock stamps the header in
+  /// place (mutating the header region of `block`) and writes. Both skip the
+  /// staging copy ReadPage/WritePage pay for their payload-only interface.
+  [[nodiscard]] Status ReadPageBlock(PageId id, char* block);
+  [[nodiscard]] Status WritePageBlock(PageId id, char* block);
 
   [[nodiscard]] Status Sync();
 
@@ -53,12 +116,38 @@ class PageFile {
   uint64_t writes() const { return writes_; }
   void ResetCounters() { reads_ = writes_ = 0; }
 
+  /// Pages that failed header/CRC verification on read (never reset).
+  uint64_t checksum_failures() const { return checksum_failures_; }
+  /// Transient-fault retries performed (successful or not).
+  uint64_t retries() const { return retries_; }
+
+  /// Reads the raw kDiskPageSize block of page `id` without any header or
+  /// checksum verification. For the scrub tool and tests only.
+  [[nodiscard]] Status ReadRawBlock(PageId id, char* buf);
+  /// Writes a raw kDiskPageSize block verbatim (no header stamping). For
+  /// tests that simulate misdirected writes and bit rot.
+  [[nodiscard]] Status WriteRawBlock(PageId id, const char* buf);
+
  private:
-  int fd_ = -1;
+  [[nodiscard]] Status OpenInternal(const std::string& path, bool create,
+                                    bool allow_repair);
+  [[nodiscard]] Status UpgradeV0File(uint64_t size);
+  /// Verifies the header of the block in `block` against expected id.
+  [[nodiscard]] Status VerifyBlock(PageId id, const char* block) const;
+  void StampHeader(PageId id, char* block);
+  /// Runs `op` up to kMaxIoAttempts times while it returns Unavailable,
+  /// sleeping with exponential backoff between attempts.
+  template <typename Op>
+  [[nodiscard]] Status RetryTransient(Op&& op);
+
+  std::unique_ptr<PageIo> io_;
   PageId num_pages_ = 0;
   std::string path_;
+  uint64_t write_counter_ = 0;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  uint64_t checksum_failures_ = 0;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace fix

@@ -1,0 +1,204 @@
+#include "storage/page_io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace fix {
+
+Status PReadFull(int fd, uint64_t offset, char* buf, size_t len,
+                 const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd, buf + done, len - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread " + path + ": " + strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("pread " + path + ": unexpected EOF at offset " +
+                             std::to_string(offset + done));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PWriteFull(int fd, uint64_t offset, const char* buf, size_t len,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pwrite(fd, buf + done, len - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite " + path + ": " + strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// --- FilePageIo --------------------------------------------------------------
+
+FilePageIo::~FilePageIo() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status FilePageIo::Open(const std::string& path, bool create) {
+  if (fd_ >= 0) return Status::InvalidArgument("PageIo already open");
+  int flags = O_RDWR | O_CLOEXEC;
+  if (create) flags |= O_CREAT;
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("open " + path + ": " + strerror(errno));
+    }
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  fd_ = fd;
+  path_ = path;
+  return Status::OK();
+}
+
+Status FilePageIo::Close() {
+  if (fd_ < 0) return Status::OK();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    return Status::IOError("close " + path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FilePageIo::Size() const {
+  if (fd_ < 0) return Status::InvalidArgument("PageIo not open");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError("fstat " + path_ + ": " + strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status FilePageIo::Truncate(uint64_t size) {
+  if (fd_ < 0) return Status::InvalidArgument("PageIo not open");
+  int rc;
+  do {
+    rc = ::ftruncate(fd_, static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::IOError("ftruncate " + path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FilePageIo::Read(uint64_t offset, char* buf, size_t len) {
+  if (fd_ < 0) return Status::InvalidArgument("PageIo not open");
+  return PReadFull(fd_, offset, buf, len, path_);
+}
+
+Status FilePageIo::Write(uint64_t offset, const char* buf, size_t len) {
+  if (fd_ < 0) return Status::InvalidArgument("PageIo not open");
+  return PWriteFull(fd_, offset, buf, len, path_);
+}
+
+Status FilePageIo::Sync() {
+  if (fd_ < 0) return Status::InvalidArgument("PageIo not open");
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::IOError("fsync " + path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+// --- FaultInjectionPageIo ----------------------------------------------------
+
+Status FaultInjectionPageIo::Truncate(uint64_t size) {
+  if (crashed_) return Crashed();
+  return base_->Truncate(size);
+}
+
+Status FaultInjectionPageIo::Read(uint64_t offset, char* buf, size_t len) {
+  if (crashed_) return Crashed();
+  ++reads_;
+  if (read_faults_ > 0) {
+    --read_faults_;
+    ++injected_faults_;
+    if (read_faults_transient_) {
+      return Status::Unavailable("injected transient read fault");
+    }
+    return Status::IOError("injected read fault (EIO)");
+  }
+  return base_->Read(offset, buf, len);
+}
+
+Status FaultInjectionPageIo::Write(uint64_t offset, const char* buf,
+                                   size_t len) {
+  if (crashed_) return Crashed();
+  ++writes_;
+  if (write_faults_ > 0) {
+    --write_faults_;
+    ++injected_faults_;
+    if (write_faults_transient_) {
+      return Status::Unavailable("injected transient write fault");
+    }
+    return Status::IOError("injected write fault (EIO)");
+  }
+  if (crash_armed_ && crash_budget_ == 0) {
+    // Power fails mid-write: a random prefix reaches the platter, then the
+    // device disappears. Subsequent operations all fail until the caller
+    // "reboots" by reopening the file through a fresh PageIo.
+    crashed_ = true;
+    crash_armed_ = false;
+    ++injected_faults_;
+    size_t kept = static_cast<size_t>(rng_.Uniform(len));
+    if (kept > 0) {
+      // Persist the surviving prefix on a best-effort basis, as the real
+      // disk would; the error (if any) is unobservable to the crashed app.
+      Status ignored = base_->Write(offset, buf, kept);
+      (void)ignored;
+    }
+    return Crashed();
+  }
+  if (crash_armed_) --crash_budget_;
+  if (tear_next_write_) {
+    tear_next_write_ = false;
+    ++injected_faults_;
+    // Guarantee a strict prefix (at least 1 byte short) so the page really
+    // is torn.
+    size_t kept = static_cast<size_t>(rng_.Uniform(len));
+    if (kept > 0) {
+      FIX_RETURN_IF_ERROR(base_->Write(offset, buf, kept));
+    }
+    if (tear_silent_) return Status::OK();
+    return Status::IOError("injected torn write");
+  }
+  return base_->Write(offset, buf, len);
+}
+
+Status FaultInjectionPageIo::Sync() {
+  if (crashed_) return Crashed();
+  if (sync_faults_ > 0) {
+    --sync_faults_;
+    ++injected_faults_;
+    return Status::IOError("injected fsync fault");
+  }
+  return base_->Sync();
+}
+
+}  // namespace fix

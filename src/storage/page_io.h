@@ -1,0 +1,179 @@
+// PageIo: the raw byte-addressed I/O substrate underneath PageFile.
+//
+// PageFile (the checksummed-page framing layer) talks to the disk only
+// through this interface, which makes the real backend swappable for a
+// FaultInjectionPageIo in tests: injected faults land *below* the page
+// checksums, exactly where real torn writes, bit rot, and misdirected I/O
+// happen, so the detection machinery is exercised end to end.
+//
+// FilePageIo is the production backend. Its Read/Write loop over
+// pread/pwrite, retrying EINTR and continuing after short transfers, so a
+// signal or a filesystem that returns partial counts never surfaces as a
+// spurious failure (the seed treated any short transfer as fatal).
+
+#ifndef FIX_STORAGE_PAGE_IO_H_
+#define FIX_STORAGE_PAGE_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fix {
+
+class PageIo {
+ public:
+  virtual ~PageIo() = default;
+
+  [[nodiscard]] virtual Status Open(const std::string& path, bool create) = 0;
+  [[nodiscard]] virtual Status Close() = 0;
+  virtual bool is_open() const = 0;
+  virtual const std::string& path() const = 0;
+
+  /// Current file size in bytes.
+  [[nodiscard]] virtual Result<uint64_t> Size() const = 0;
+
+  /// Truncates (or extends with zeros) the file to `size` bytes.
+  [[nodiscard]] virtual Status Truncate(uint64_t size) = 0;
+
+  /// Reads exactly `len` bytes at `offset`; anything less is an error.
+  [[nodiscard]] virtual Status Read(uint64_t offset, char* buf,
+                                    size_t len) = 0;
+
+  /// Writes exactly `len` bytes at `offset`.
+  [[nodiscard]] virtual Status Write(uint64_t offset, const char* buf,
+                                     size_t len) = 0;
+
+  [[nodiscard]] virtual Status Sync() = 0;
+};
+
+/// Reads exactly `len` bytes at `offset` from `fd`, retrying EINTR and
+/// resuming short transfers. Hitting EOF before `len` bytes is an IOError.
+[[nodiscard]] Status PReadFull(int fd, uint64_t offset, char* buf, size_t len,
+                               const std::string& path);
+
+/// Writes exactly `len` bytes at `offset` to `fd`, retrying EINTR and
+/// resuming short transfers.
+[[nodiscard]] Status PWriteFull(int fd, uint64_t offset, const char* buf,
+                                size_t len, const std::string& path);
+
+/// The production backend: a plain file accessed with pread/pwrite.
+class FilePageIo : public PageIo {
+ public:
+  FilePageIo() = default;
+  ~FilePageIo() override;
+
+  FilePageIo(const FilePageIo&) = delete;
+  FilePageIo& operator=(const FilePageIo&) = delete;
+
+  [[nodiscard]] Status Open(const std::string& path, bool create) override;
+  [[nodiscard]] Status Close() override;
+  bool is_open() const override { return fd_ >= 0; }
+  const std::string& path() const override { return path_; }
+  [[nodiscard]] Result<uint64_t> Size() const override;
+  [[nodiscard]] Status Truncate(uint64_t size) override;
+  [[nodiscard]] Status Read(uint64_t offset, char* buf, size_t len) override;
+  [[nodiscard]] Status Write(uint64_t offset, const char* buf,
+                             size_t len) override;
+  [[nodiscard]] Status Sync() override;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Wraps any PageIo and injects faults on a deterministic, seedable
+/// schedule. All faults are armed explicitly by the test; an unarmed
+/// injector is a transparent pass-through.
+///
+/// Fault kinds:
+///   * transient read/write failures  -> Status::Unavailable (the framing
+///     layer must retry with backoff and succeed once the budget drains)
+///   * hard read/write/sync failures  -> Status::IOError (simulated EIO)
+///   * torn writes: only a prefix of the buffer reaches the backend; the
+///     call either lies (reports success — firmware-style silent tear,
+///     caught later by the page checksum) or reports failure
+///   * crash points: after N more successful writes the injector goes dead —
+///     the tripping write is itself torn (a seeded prefix survives) and
+///     every later operation fails, modeling power loss mid-write. The test
+///     then discards in-memory state and reopens the file fresh.
+class FaultInjectionPageIo : public PageIo {
+ public:
+  /// `seed` drives the torn-write prefix lengths (deterministic schedules).
+  explicit FaultInjectionPageIo(std::unique_ptr<PageIo> base,
+                                uint64_t seed = 0x5eed)
+      : base_(std::move(base)), rng_(seed) {}
+
+  // --- fault arming ---------------------------------------------------------
+  void FailNextReads(uint64_t n, bool transient) {
+    read_faults_ = n;
+    read_faults_transient_ = transient;
+  }
+  void FailNextWrites(uint64_t n, bool transient) {
+    write_faults_ = n;
+    write_faults_transient_ = transient;
+  }
+  void FailNextSyncs(uint64_t n) { sync_faults_ = n; }
+  /// The next write persists only a seeded prefix. `silent` => the call
+  /// still reports success.
+  void TearNextWrite(bool silent) {
+    tear_next_write_ = true;
+    tear_silent_ = silent;
+  }
+  /// After `n` more successful writes, the injector enters the crashed
+  /// state (the n+1-th write is torn and everything after fails).
+  void CrashAfterWrites(uint64_t n) {
+    crash_armed_ = true;
+    crash_budget_ = n;
+  }
+  bool crashed() const { return crashed_; }
+
+  // --- counters -------------------------------------------------------------
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t injected_faults() const { return injected_faults_; }
+
+  // --- PageIo ---------------------------------------------------------------
+  [[nodiscard]] Status Open(const std::string& path, bool create) override {
+    return base_->Open(path, create);
+  }
+  [[nodiscard]] Status Close() override { return base_->Close(); }
+  bool is_open() const override { return base_->is_open(); }
+  const std::string& path() const override { return base_->path(); }
+  [[nodiscard]] Result<uint64_t> Size() const override {
+    return base_->Size();
+  }
+  [[nodiscard]] Status Truncate(uint64_t size) override;
+  [[nodiscard]] Status Read(uint64_t offset, char* buf, size_t len) override;
+  [[nodiscard]] Status Write(uint64_t offset, const char* buf,
+                             size_t len) override;
+  [[nodiscard]] Status Sync() override;
+
+ private:
+  Status Crashed() const {
+    return Status::IOError("injected crash: device is gone");
+  }
+
+  std::unique_ptr<PageIo> base_;
+  Rng rng_;
+  uint64_t read_faults_ = 0;
+  bool read_faults_transient_ = false;
+  uint64_t write_faults_ = 0;
+  bool write_faults_transient_ = false;
+  uint64_t sync_faults_ = 0;
+  bool tear_next_write_ = false;
+  bool tear_silent_ = false;
+  bool crash_armed_ = false;
+  uint64_t crash_budget_ = 0;
+  bool crashed_ = false;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t injected_faults_ = 0;
+};
+
+}  // namespace fix
+
+#endif  // FIX_STORAGE_PAGE_IO_H_

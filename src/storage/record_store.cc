@@ -7,6 +7,8 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/logging.h"
+#include "storage/page_io.h"
 
 namespace fix {
 
@@ -19,7 +21,13 @@ std::string Errno(const std::string& op, const std::string& path) {
 }  // namespace
 
 RecordStore::~RecordStore() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    Status s = Close();
+    if (!s.ok()) {
+      FIX_LOG(Error) << "RecordStore destructor: close failed for " << path_
+                     << ": " << s.ToString();
+    }
+  }
 }
 
 RecordStore& RecordStore::operator=(RecordStore&& other) noexcept {
@@ -70,11 +78,8 @@ Result<RecordId> RecordStore::Append(const std::string& payload) {
   PutFixed32(&frame, kRecordMagic);
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   frame += payload;
-  ssize_t n = ::pwrite(fd_, frame.data(), frame.size(),
-                       static_cast<off_t>(end_offset_));
-  if (n != static_cast<ssize_t>(frame.size())) {
-    return Status::IOError(Errno("pwrite", path_));
-  }
+  FIX_RETURN_IF_ERROR(
+      PWriteFull(fd_, end_offset_, frame.data(), frame.size(), path_));
   RecordId id{end_offset_};
   end_offset_ += frame.size();
   ++num_records_;
@@ -84,11 +89,8 @@ Result<RecordId> RecordStore::Append(const std::string& payload) {
 Result<std::string> RecordStore::Read(RecordId id) const {
   if (fd_ < 0) return Status::InvalidArgument("RecordStore not open");
   char header[8];
-  ssize_t n = ::pread(fd_, header, sizeof(header),
-                      static_cast<off_t>(id.offset));
-  if (n != static_cast<ssize_t>(sizeof(header))) {
-    return Status::IOError("record header read failed in " + path_);
-  }
+  FIX_RETURN_IF_ERROR(
+      PReadFull(fd_, id.offset, header, sizeof(header), path_));
   if (DecodeFixed32(header) != kRecordMagic) {
     return Status::Corruption("bad record magic in " + path_);
   }
@@ -97,10 +99,8 @@ Result<std::string> RecordStore::Read(RecordId id) const {
     return Status::Corruption("record length past end of " + path_);
   }
   std::string payload(len, '\0');
-  n = ::pread(fd_, payload.data(), len, static_cast<off_t>(id.offset + 8));
-  if (n != static_cast<ssize_t>(len)) {
-    return Status::IOError("record payload read failed in " + path_);
-  }
+  FIX_RETURN_IF_ERROR(
+      PReadFull(fd_, id.offset + 8, payload.data(), len, path_));
   ++reads_;
   return payload;
 }
@@ -108,11 +108,8 @@ Result<std::string> RecordStore::Read(RecordId id) const {
 Status RecordStore::Touch(RecordId id) const {
   if (fd_ < 0) return Status::InvalidArgument("RecordStore not open");
   char header[8];
-  ssize_t n = ::pread(fd_, header, sizeof(header),
-                      static_cast<off_t>(id.offset));
-  if (n != static_cast<ssize_t>(sizeof(header))) {
-    return Status::IOError("record header read failed in " + path_);
-  }
+  FIX_RETURN_IF_ERROR(
+      PReadFull(fd_, id.offset, header, sizeof(header), path_));
   if (DecodeFixed32(header) != kRecordMagic) {
     return Status::Corruption("bad record magic in " + path_);
   }

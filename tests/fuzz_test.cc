@@ -4,11 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/persist.h"
 #include "query/xpath_parser.h"
+#include "storage/page_file.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -274,6 +278,78 @@ TEST(FuzzTest, PersistDecodersSurviveGarbage) {
     (void)DecodeManifest(buf);
     (void)DecodeIndexMeta(buf);
   }
+}
+
+TEST(FuzzTest, IndexMetaPrefixesAlwaysRejected) {
+  // The meta codec consumes the buffer exactly (trailing bytes are an
+  // error), so every strict prefix must be rejected — there is no cut point
+  // that silently decodes to a shorter valid meta.
+  IndexMeta meta;
+  meta.options.depth_limit = 5;
+  meta.next_seq = 9;
+  meta.edge_weights = {{7, 1}, {8, 2}, {9, 3}};
+  meta.indexed_docs = 1234;
+  std::string buf = EncodeIndexMeta(meta);
+  ASSERT_TRUE(DecodeIndexMeta(buf).ok());
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    auto decoded = DecodeIndexMeta(buf.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix of length " << cut << " accepted";
+  }
+}
+
+TEST(FuzzTest, ChecksummedPagesRejectBitFlipsOfStoredRecords) {
+  // Serialized document records and index-meta bytes stored in checksummed
+  // pages: any single-bit flip of the raw on-disk blocks must surface as
+  // kCorruption from ReadPage — never a crash, never silently accepted data
+  // handed to the deserializers.
+  const std::string dir =
+      ::testing::TempDir() + "/fix_fuzz_pages";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/records.pf";
+
+  LabelTable labels;
+  auto doc = ParseXml("<bib><book><title>FIX</title></book></bib>", &labels);
+  ASSERT_TRUE(doc.ok());
+  std::string record;
+  EncodeDocument(*doc, &record);
+  IndexMeta meta;
+  meta.edge_weights = {{42, 1}};
+  std::string meta_buf = EncodeIndexMeta(meta);
+
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, /*create=*/true).ok());
+  std::vector<char> payload(kPageSize, 0);
+  for (const std::string* content : {&record, &meta_buf}) {
+    PageId id = kInvalidPage;
+    ASSERT_TRUE(file.AllocatePage(&id).ok());
+    ASSERT_LE(content->size(), kPageSize);
+    std::memset(payload.data(), 0, kPageSize);
+    std::memcpy(payload.data(), content->data(), content->size());
+    ASSERT_TRUE(file.WritePage(id, payload.data()).ok());
+  }
+
+  Rng rng(1008);
+  std::vector<char> block(kDiskPageSize), out(kPageSize);
+  for (int trial = 0; trial < 500; ++trial) {
+    const PageId id = static_cast<PageId>(rng.Uniform(file.num_pages()));
+    const size_t byte = rng.Uniform(kDiskPageSize);
+    const int bit = static_cast<int>(rng.Uniform(8));
+    ASSERT_TRUE(file.ReadRawBlock(id, block.data()).ok());
+    block[byte] = static_cast<char>(block[byte] ^ (1 << bit));
+    ASSERT_TRUE(file.WriteRawBlock(id, block.data()).ok());
+
+    Status read = file.ReadPage(id, out.data());
+    EXPECT_TRUE(read.IsCorruption())
+        << "page " << id << " byte " << byte << " bit " << bit << ": "
+        << read.ToString();
+
+    block[byte] = static_cast<char>(block[byte] ^ (1 << bit));  // heal
+    ASSERT_TRUE(file.WriteRawBlock(id, block.data()).ok());
+    ASSERT_TRUE(file.ReadPage(id, out.data()).ok());
+  }
+  ASSERT_TRUE(file.Close().ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(FuzzTest, PersistDecodersSurviveMutationsOfValidBuffers) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
@@ -20,13 +21,23 @@ namespace {
 class PersistTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/fix_persist_" +
+    // FIX_PERSIST_TEST_DIR (set by tools/ci.sh) redirects the output and
+    // keeps it after the run so fixdb_scrub can verify every page file the
+    // suite produced.
+    const char* keep = std::getenv("FIX_PERSIST_TEST_DIR");
+    keep_output_ = keep != nullptr && keep[0] != '\0';
+    const std::string base = keep_output_ ? keep : ::testing::TempDir();
+    dir_ = base + "/fix_persist_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    if (!keep_output_) std::filesystem::remove_all(dir_);
+  }
 
   std::string dir_;
+  bool keep_output_ = false;
 };
 
 TEST_F(PersistTest, FileRoundTrip) {
@@ -78,6 +89,8 @@ TEST_F(PersistTest, IndexMetaRoundTrip) {
   meta.options.epsilon = 1e-7;
   meta.next_seq = 4242;
   meta.edge_weights = {{0x100000002ULL, 1}, {0x300000004ULL, 7}};
+  meta.storage_format = 1;
+  meta.indexed_docs = 321;
   auto restored = DecodeIndexMeta(EncodeIndexMeta(meta));
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->options.depth_limit, 6);
@@ -88,6 +101,8 @@ TEST_F(PersistTest, IndexMetaRoundTrip) {
   EXPECT_DOUBLE_EQ(restored->options.epsilon, 1e-7);
   EXPECT_EQ(restored->next_seq, 4242u);
   EXPECT_EQ(restored->edge_weights, meta.edge_weights);
+  EXPECT_EQ(restored->storage_format, 1u);
+  EXPECT_EQ(restored->indexed_docs, 321u);
 }
 
 TEST_F(PersistTest, EdgeEncoderExportImport) {

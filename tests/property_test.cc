@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <set>
 #include <string>
@@ -73,7 +74,13 @@ void Generate(DataSet data, Corpus* corpus) {
 class PropertyTest : public ::testing::TestWithParam<Config> {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/fix_prop_" + GetParam().name;
+    // Include the test-case name: ctest runs the cases of one dataset as
+    // separate parallel processes, and a shared directory would let one
+    // case's TearDown delete another's live index files.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string case_name = info->name();  // "TestName/param" for TEST_P
+    std::replace(case_name.begin(), case_name.end(), '/', '_');
+    dir_ = ::testing::TempDir() + "/fix_prop_" + case_name;
     std::filesystem::create_directories(dir_);
     Generate(GetParam().data, &corpus_);
   }

@@ -45,9 +45,13 @@ TEST_F(StorageTest, PageFileAllocateWriteRead) {
   std::string read(kPageSize, 0);
   ASSERT_TRUE(file.ReadPage(p1, read.data()).ok());
   EXPECT_EQ(read, buf);
-  // Fresh page is zeroed.
+  // Allocation is metadata-only: a page that was never written has no valid
+  // header yet, so reading it reports corruption rather than silent zeros.
+  Status fresh = file.ReadPage(p0, read.data());
+  EXPECT_TRUE(fresh.IsCorruption()) << fresh.ToString();
+  ASSERT_TRUE(file.WritePage(p0, buf.data()).ok());
   ASSERT_TRUE(file.ReadPage(p0, read.data()).ok());
-  EXPECT_EQ(read, std::string(kPageSize, '\0'));
+  EXPECT_EQ(read, buf);
 }
 
 TEST_F(StorageTest, PageFileReadPastEndFails) {
@@ -78,10 +82,11 @@ TEST_F(StorageTest, PageFileCountsIo) {
   PageId id;
   ASSERT_TRUE(file.AllocatePage(&id).ok());
   char buf[kPageSize] = {0};
+  ASSERT_TRUE(file.WritePage(id, buf).ok());
   ASSERT_TRUE(file.ReadPage(id, buf).ok());
   ASSERT_TRUE(file.ReadPage(id, buf).ok());
   EXPECT_EQ(file.reads(), 2u);
-  EXPECT_GE(file.writes(), 1u);  // allocation writes zeros
+  EXPECT_EQ(file.writes(), 1u);  // allocation is metadata-only, no write
 }
 
 // --- BufferPool -------------------------------------------------------------

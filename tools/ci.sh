@@ -8,6 +8,10 @@
 #      git history is unavailable); no-ops when clang-tidy is missing
 #   4. ctest in both trees; the asan tree also runs the `sanitizer-clean`
 #      labeled smoke subset first for fast failure.
+#   5. the `fault-injection` labeled suite as its own stage in both trees
+#      (injected I/O faults, torn writes, crash-recovery matrix).
+#   6. fixdb_scrub over every index page file persist_test produced
+#      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step).
 #
 # Usage: tools/ci.sh [base-ref]     (base-ref defaults to origin/main, falls
 #                                    back to HEAD~1, for the changed-file set)
@@ -42,9 +46,25 @@ else
   tools/run_clang_tidy.sh build
 fi
 
-echo "=== [4/4] Tests ==="
+echo "=== [4/6] Tests ==="
 (cd build-asan && ctest -L sanitizer-clean --output-on-failure)
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "=== [5/6] Fault-injection suite (Release + ASan) ==="
+(cd build && ctest -L fault-injection --output-on-failure -j "$JOBS")
+(cd build-asan && ctest -L fault-injection --output-on-failure -j "$JOBS")
+
+echo "=== [6/6] Scrub of persist_test databases ==="
+SCRUB_DIR="$(mktemp -d)"
+trap 'rm -rf "$SCRUB_DIR"' EXIT
+(cd build && FIX_PERSIST_TEST_DIR="$SCRUB_DIR" ctest -R '^PersistTest' \
+    --output-on-failure -j "$JOBS")
+mapfile -t INDEX_FILES < <(find "$SCRUB_DIR" -name '*.fix' | sort)
+if [ "${#INDEX_FILES[@]}" -eq 0 ]; then
+  echo "error: persist_test left no index files to scrub" >&2
+  exit 1
+fi
+build/tools/fixdb_scrub "${INDEX_FILES[@]}"
 
 echo "ci.sh: all green."
