@@ -6,11 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/corpus.h"
+#include "core/fix_index.h"
 #include "datagen/datasets.h"
 #include "graph/bisim_builder.h"
 #include "query/compile.h"
@@ -91,6 +95,64 @@ void BM_BTreeInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  // The sorted-run load used by the construction pipeline, against the same
+  // key/value shape as BM_BTreeInsert (compare items_per_second directly).
+  std::string dir = "/tmp/fix_bench_micro";
+  std::filesystem::create_directories(dir);
+  Rng rng(13);
+  std::vector<std::pair<std::string, std::string>> entries(state.range(0));
+  for (auto& [key, value] : entries) {
+    key.assign(32, '\0');
+    value.assign(16, '\0');
+    uint64_t k = rng.Next();
+    std::memcpy(key.data(), &k, 8);
+  }
+  std::sort(entries.begin(), entries.end());
+  for (auto _ : state) {
+    state.PauseTiming();
+    PageFile file;
+    FIX_CHECK(file.Open(dir + "/btb", true).ok());
+    BufferPool pool(&file, 1024);
+    auto tree = BTree::Create(&pool, 32, 16);
+    FIX_CHECK(tree.ok());
+    state.ResumeTiming();
+    FIX_CHECK(tree->BulkLoad(entries).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_ParallelIndexBuild(benchmark::State& state) {
+  // End-to-end pipeline scaling: full FIX build over a small XMark corpus
+  // at state.range(0) worker threads.
+  std::string dir = "/tmp/fix_bench_micro_pipeline";
+  Corpus corpus;
+  XMarkOptions xmark;
+  xmark.num_items = 150;
+  xmark.num_people = 150;
+  xmark.num_open_auctions = 120;
+  xmark.num_closed_auctions = 100;
+  xmark.num_categories = 50;
+  GenerateXMark(&corpus, xmark);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    state.ResumeTiming();
+    IndexOptions options;
+    options.depth_limit = 6;
+    options.build_threads = static_cast<uint32_t>(state.range(0));
+    options.path = dir + "/index.fix";
+    BuildStats stats;
+    auto idx = FixIndex::Build(&corpus, options, &stats);
+    FIX_CHECK(idx.ok());
+    benchmark::DoNotOptimize(stats.entries);
+  }
+}
+BENCHMARK(BM_ParallelIndexBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BTreeSeekScan(benchmark::State& state) {
   std::string dir = "/tmp/fix_bench_micro";

@@ -5,7 +5,7 @@
 //   fixctl gen   <dir> <tcmd|dblp|xmark|treebank> [scale]
 //   fixctl load  <dir> <file.xml>...
 //   fixctl build <dir> [--depth k] [--clustered] [--beta B] [--lambda2]
-//                      [--sound]
+//                      [--sound] [--threads N] [--cache-mb M]
 //   fixctl query <dir> "<xpath>" [--explain]
 //   fixctl stats <dir>
 //
@@ -36,6 +36,7 @@ int Usage() {
                "  fixctl load  <dir> <file.xml>...\n"
                "  fixctl build <dir> [--depth k] [--clustered] [--beta B]"
                " [--lambda2] [--sound]\n"
+               "               [--threads N] [--cache-mb M]\n"
                "  fixctl query <dir> \"<xpath>\" [--explain]\n"
                "  fixctl stats <dir>\n");
   return 2;
@@ -108,6 +109,10 @@ int CmdBuild(const std::string& dir, int argc, char** argv) {
       options.use_lambda2 = true;
     } else if (arg == "--sound") {
       options.sound_probe = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.build_threads = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--cache-mb" && i + 1 < argc) {
+      options.feature_cache_mb = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else {
       return Usage();
     }

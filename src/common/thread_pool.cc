@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace fix {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  FIX_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared claim counter + a private completion latch, so concurrent
+  // ParallelFor calls on one pool cannot observe each other's completion.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending;
+  };
+  const size_t helpers = std::min(pool->num_threads(), n);
+  auto latch = std::make_shared<Latch>();
+  latch->pending = helpers;
+  for (size_t w = 0; w < helpers; ++w) {
+    pool->Submit([next, latch, &fn, n] {
+      for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next->fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+      {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        --latch->pending;
+      }
+      latch->cv.notify_one();
+    });
+  }
+  // The calling thread works the same claim loop instead of idling.
+  for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next->fetch_add(1, std::memory_order_relaxed)) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&latch] { return latch->pending == 0; });
+}
+
+}  // namespace fix

@@ -1,0 +1,72 @@
+// A small fixed-size thread pool for the index construction pipeline.
+//
+// The pool is deliberately minimal: Submit enqueues a task, Wait blocks
+// until every submitted task has finished. There is no futures machinery —
+// pipeline stages communicate through pre-sized arrays indexed by task id,
+// so workers never contend on output structures and the fallible work
+// records per-slot Statuses instead of throwing.
+//
+// ParallelFor is the only construct the pipeline uses directly: it runs
+// fn(0..n-1) with dynamic (claim-next) scheduling, the calling thread
+// participating alongside the workers. With a null pool (or a single-thread
+// pool) it degenerates to a plain sequential loop on the calling thread, so
+// build_threads=1 exercises byte-for-byte the same code path without ever
+// touching a mutex.
+
+#ifndef FIX_COMMON_THREAD_POOL_H_
+#define FIX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fix {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; fallible work should record a
+  /// Status in caller-owned storage.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // queue became non-empty / shutdown
+  std::condition_variable idle_cv_;  // a task finished or was dequeued
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, n) with dynamic load balancing: each
+/// participant claims the next unprocessed index from a shared counter, so
+/// uneven per-item cost (one huge document among many small ones) cannot
+/// idle the pool. The calling thread participates; the call returns only
+/// after every index has been processed. With pool == nullptr or a
+/// single-thread pool the loop runs inline on the calling thread.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_THREAD_POOL_H_

@@ -116,8 +116,15 @@ Result<FixIndex*> Database::BuildIndex(const std::string& name,
   if (options.page_io_factory == nullptr) {
     options.page_io_factory = open_options_.page_io_factory;
   }
-  auto built = FixIndex::Build(&corpus_, options, stats);
+  // Route through a local BuildStats when the caller passed none, so the
+  // feature-cache counters still reach health().
+  BuildStats local;
+  BuildStats* effective = stats != nullptr ? stats : &local;
+  auto built = FixIndex::Build(&corpus_, options, effective);
   if (!built.ok()) return built.status();
+  health_.feature_cache_hits += effective->feature_cache_hits;
+  health_.feature_cache_misses += effective->feature_cache_misses;
+  health_.feature_cache_evictions += effective->feature_cache_evictions;
   indexes_.emplace_back(name,
                         std::make_unique<FixIndex>(std::move(built).value()));
   return indexes_.back().second.get();

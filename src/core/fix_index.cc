@@ -4,12 +4,17 @@
 #include <limits>
 #include <cstring>
 #include <set>
+#include <thread>
+#include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "graph/bisim_builder.h"
 #include "graph/bisim_traveler.h"
 #include "query/compile.h"
+#include "spectral/feature_cache.h"
 #include "spectral/skew_matrix.h"
 #include "spectral/spectrum.h"
 #include "xml/serializer.h"
@@ -17,6 +22,17 @@
 namespace fix {
 
 namespace {
+
+/// See IndexOptions::build_threads: 0 means hardware concurrency, then
+/// clamp to [1, 64].
+uint32_t ResolveBuildThreads(uint32_t requested) {
+  uint32_t n = requested;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  return std::clamp<uint32_t>(n, 1, 64);
+}
 
 EigPair OversizedPair() {
   EigPair p;
@@ -80,14 +96,13 @@ Result<EigPair> FixIndex::PatternFeatures(BisimGraph* graph,
 }
 
 Status FixIndex::AddEntry(const FeatureKey& key, NodeRef ref) {
+  // Only incremental insertion lands here: Build routes every entry
+  // through BuildPipeline's sorted bulk load, and InsertDocument rejects
+  // clustered indexes before reaching this point.
   FeatureKey numbered = key;
   numbered.seq = next_seq_++;
-  std::string encoded = EncodeFeatureKey(numbered);
-  if (options_.clustered) {
-    pending_.emplace_back(std::move(encoded), ref);
-    return Status::OK();
-  }
-  return btree_->Insert(encoded, EncodeIndexValue({ref, 0}));
+  return btree_->Insert(EncodeFeatureKey(numbered),
+                        EncodeIndexValue({ref, 0}));
 }
 
 Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
@@ -118,27 +133,10 @@ Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
         std::make_unique<ValueHasher>(corpus->labels(), options.value_beta);
   }
 
-  // CONSTRUCT-INDEX over the collection.
-  for (uint32_t doc_id = 0; doc_id < corpus->num_docs(); ++doc_id) {
-    FIX_RETURN_IF_ERROR(index.IndexDocument(doc_id, stats));
-  }
-
-  // Clustered: materialize subtree copies in key order, then bulk-insert.
-  if (options.clustered) {
-    std::sort(index.pending_.begin(), index.pending_.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [key, ref] : index.pending_) {
-      std::string buf;
-      EncodeDocument(corpus->doc(ref.doc_id), &buf, ref.node_id);
-      RecordId rid;
-      FIX_ASSIGN_OR_RETURN(rid, index.clustered_.Append(buf));
-      FIX_RETURN_IF_ERROR(
-          index.btree_->Insert(key, EncodeIndexValue({ref, rid.offset})));
-    }
-    index.pending_.clear();
-    index.pending_.shrink_to_fit();
-    FIX_RETURN_IF_ERROR(index.clustered_.Sync());
-  }
+  // CONSTRUCT-INDEX over the collection: the batched fan-out / intern /
+  // solve / emit pipeline, then a sorted bulk load (see DESIGN.md,
+  // "Construction pipeline").
+  FIX_RETURN_IF_ERROR(index.BuildPipeline(stats));
   FIX_RETURN_IF_ERROR(index.btree_->Flush());
   // The page file is deliberately not fsynced here: a bulk build is a
   // rebuildable artifact, and a power loss racing one at worst tears pages
@@ -156,6 +154,208 @@ Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
     stats->clustered_bytes = index.ClusteredBytes();
   }
   return index;
+}
+
+void FixIndex::PrepareDocument(uint32_t doc_id, DocWork* out) const {
+  const Document& doc = corpus_->doc(doc_id);
+  NodeId root_elem = doc.root_element();
+  if (root_elem == kInvalidNode) {
+    out->empty = true;
+    return;
+  }
+  out->depth = doc.Depth(root_elem);
+  const int limit = options_.depth_limit;
+
+  DocumentEventStream stream(&doc, doc_id, value_hasher_.get());
+  BisimBuilder builder;
+  std::unordered_set<BisimVertexId> seen;
+  BisimBuilder::CloseCallback on_close =
+      [&](BisimGraph* graph, BisimVertexId vertex, NodeRef ref,
+          bool is_root) -> Status {
+    if (limit == 0 && !is_root) return Status::OK();
+    out->closes.push_back(CloseEvent{vertex, ref});
+    if (!seen.insert(vertex).second) return Status::OK();  // memoized later
+
+    PatternWork work;
+    work.vertex = vertex;
+    if (limit == 0) {
+      // Whole-document pattern; the root closes last, so the graph is
+      // complete here. The signature reads the graph in place.
+      if (graph->num_vertices() > options_.max_pattern_vertices) {
+        work.oversized = true;
+      } else {
+        work.signature = CanonicalPatternSignature(*graph);
+      }
+    } else {
+      uint64_t expanded = ExpandedPatternSize(*graph, vertex, limit,
+                                              options_.max_expanded_nodes);
+      if (expanded >= options_.max_expanded_nodes) {
+        work.oversized = true;
+      } else {
+        BisimGraph pattern;
+        FIX_ASSIGN_OR_RETURN(pattern,
+                             BuildDepthLimitedPattern(*graph, vertex, limit));
+        if (pattern.num_vertices() > options_.max_pattern_vertices) {
+          work.oversized = true;
+        } else {
+          work.signature = CanonicalPatternSignature(pattern);
+          work.pattern = std::move(pattern);
+        }
+      }
+    }
+    out->patterns.push_back(std::move(work));
+    return Status::OK();
+  };
+  auto built = builder.Build(&stream, on_close);
+  if (!built.ok()) {
+    out->status = built.status();
+    return;
+  }
+  out->graph = std::move(built).value();
+  out->vertices = out->graph.num_vertices();
+  out->edges = out->graph.num_edges();
+}
+
+void FixIndex::SolvePattern(const BisimGraph& doc_graph, PatternWork* work,
+                            FeatureCache* cache) const {
+  if (work->oversized) {
+    work->eigs = OversizedPair();
+    return;
+  }
+  const BisimGraph& pattern =
+      work->pattern.has_value() ? *work->pattern : doc_graph;
+  if (cache != nullptr) {
+    CachedFeature hit;
+    if (cache->Lookup(work->signature, &hit)) {
+      work->eigs = hit.eigs;
+      work->solver_failed = hit.solver_failed;
+      return;
+    }
+  }
+  DenseMatrix m = BuildSkewMatrixFrozen(pattern, encoder_);
+  auto sigmas = SkewSpectrum(m);
+  CachedFeature computed;
+  if (sigmas.ok()) {
+    computed.eigs = EigPairFromSpectrum(*sigmas);
+  } else {
+    // Eigensolver failure: same Section 6.1 degradation as the legacy
+    // path. The failure bit rides along in the cache so replayed hits
+    // count toward oversized_patterns exactly like the first computation.
+    computed.eigs = OversizedPair();
+    computed.solver_failed = true;
+  }
+  work->eigs = computed.eigs;
+  work->solver_failed = computed.solver_failed;
+  if (cache != nullptr) cache->Insert(work->signature, computed);
+}
+
+Status FixIndex::BuildPipeline(BuildStats* stats) {
+  const uint32_t threads = ResolveBuildThreads(options_.build_threads);
+  if (stats != nullptr) stats->build_threads_used = threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  FeatureCache cache(static_cast<size_t>(options_.feature_cache_mb) * 1024 *
+                     1024);
+  FeatureCache* cache_ptr =
+      options_.feature_cache_mb > 0 ? &cache : nullptr;
+
+  // (encoded key, source node) runs accumulated across every window, sorted
+  // once at the end. Sorting before loading is what makes the result
+  // independent of build_threads.
+  std::vector<std::pair<std::string, NodeRef>> entries;
+
+  const uint32_t num_docs = corpus_->num_docs();
+  const size_t window = std::max<size_t>(1, static_cast<size_t>(threads) * 8);
+  for (uint32_t begin = 0; begin < num_docs;
+       begin += static_cast<uint32_t>(window)) {
+    const uint32_t end = static_cast<uint32_t>(
+        std::min<uint64_t>(num_docs, static_cast<uint64_t>(begin) + window));
+    std::vector<DocWork> works(end - begin);
+
+    // Phase A (parallel): parse, bisimulate, prepare distinct patterns.
+    // Workers touch only read-only index state and their own DocWork.
+    ParallelFor(pool.get(), works.size(), [&](size_t i) {
+      PrepareDocument(begin + static_cast<uint32_t>(i), &works[i]);
+    });
+    for (const DocWork& w : works) FIX_RETURN_IF_ERROR(w.status);
+
+    // Phase B (sequential): intern edge weights in document/pattern order.
+    // The encoder must end up with exactly the single-threaded content —
+    // weight ids feed the matrices and the persisted meta — so interning
+    // covers every non-oversized distinct pattern, cache hit or not.
+    for (DocWork& w : works) {
+      for (PatternWork& p : w.patterns) {
+        if (p.oversized) continue;
+        InternPatternWeights(
+            p.pattern.has_value() ? *p.pattern : w.graph, &encoder_);
+      }
+    }
+
+    // Phase C (parallel): feature-cache lookup or frozen eigensolve.
+    std::vector<std::pair<const BisimGraph*, PatternWork*>> flat;
+    for (DocWork& w : works) {
+      for (PatternWork& p : w.patterns) flat.emplace_back(&w.graph, &p);
+    }
+    ParallelFor(pool.get(), flat.size(), [&](size_t i) {
+      SolvePattern(*flat[i].first, flat[i].second, cache_ptr);
+    });
+
+    // Phase D (sequential): stats, per-vertex feature memo, and entry
+    // emission in close order (sequence numbers must match the legacy
+    // single-threaded assignment).
+    for (DocWork& w : works) {
+      if (w.empty) continue;
+      if (stats != nullptr) {
+        stats->max_document_depth =
+            std::max(stats->max_document_depth, w.depth);
+        stats->bisim_vertices += w.vertices;
+        stats->bisim_edges += w.edges;
+        stats->distinct_patterns += w.patterns.size();
+        for (const PatternWork& p : w.patterns) {
+          if (p.oversized || p.solver_failed) ++stats->oversized_patterns;
+        }
+      }
+      for (const PatternWork& p : w.patterns) {
+        w.graph.vertex(p.vertex).eigs = p.eigs;
+      }
+      for (const CloseEvent& c : w.closes) {
+        const BisimVertex& v = w.graph.vertex(c.vertex);
+        FeatureKey key = MakeKey(v.label, *v.eigs);
+        key.seq = next_seq_++;
+        entries.emplace_back(EncodeFeatureKey(key), c.ref);
+      }
+    }
+  }
+
+  // Merge: one global sort by encoded key (unique thanks to the seq
+  // suffix), then clustered copies in key order, then the packed load.
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::string, std::string>> kv;
+  kv.reserve(entries.size());
+  if (options_.clustered) {
+    for (auto& [key, ref] : entries) {
+      std::string buf;
+      EncodeDocument(corpus_->doc(ref.doc_id), &buf, ref.node_id);
+      RecordId rid;
+      FIX_ASSIGN_OR_RETURN(rid, clustered_.Append(buf));
+      kv.emplace_back(std::move(key), EncodeIndexValue({ref, rid.offset}));
+    }
+    FIX_RETURN_IF_ERROR(clustered_.Sync());
+  } else {
+    for (auto& [key, ref] : entries) {
+      kv.emplace_back(std::move(key), EncodeIndexValue({ref, 0}));
+    }
+  }
+  FIX_RETURN_IF_ERROR(btree_->BulkLoad(kv));
+
+  if (stats != nullptr && cache_ptr != nullptr) {
+    FeatureCacheStats cs = cache.Stats();
+    stats->feature_cache_hits = cs.hits;
+    stats->feature_cache_misses = cs.misses;
+    stats->feature_cache_evictions = cs.evictions;
+  }
+  return Status::OK();
 }
 
 Status FixIndex::IndexDocument(uint32_t doc_id, BuildStats* stats) {

@@ -17,7 +17,9 @@
 #define FIX_CORE_FIX_INDEX_H_
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -28,6 +30,7 @@
 #include "core/persist.h"
 #include "query/twig_query.h"
 #include "spectral/edge_encoder.h"
+#include "spectral/feature_cache.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
@@ -139,6 +142,55 @@ class FixIndex {
   FixIndex(Corpus* corpus, IndexOptions options)
       : corpus_(corpus), options_(std::move(options)) {}
 
+  // --- construction pipeline (Build only; see DESIGN.md) -------------------
+
+  /// One closing element awaiting entry emission (pipeline stage D).
+  struct CloseEvent {
+    BisimVertexId vertex = kInvalidVertex;
+    NodeRef ref;
+  };
+
+  /// Feature computation for one distinct pattern of one document.
+  struct PatternWork {
+    BisimVertexId vertex = kInvalidVertex;  ///< vertex in the document graph
+    /// Depth-limited pattern graph; unset when the whole document graph is
+    /// the pattern (depth_limit == 0) or the pattern is oversized.
+    std::optional<BisimGraph> pattern;
+    std::string signature;  ///< cache key; empty when oversized
+    bool oversized = false;
+    bool solver_failed = false;
+    EigPair eigs;
+  };
+
+  /// Per-document pipeline state, filled by PrepareDocument.
+  struct DocWork {
+    BisimGraph graph;
+    std::vector<CloseEvent> closes;      ///< in close (document) order
+    std::vector<PatternWork> patterns;   ///< distinct, in first-close order
+    int depth = 0;
+    size_t vertices = 0;
+    size_t edges = 0;
+    bool empty = false;  ///< document has no root element
+    Status status;       ///< deferred error from the parallel stage
+  };
+
+  /// Runs the batched fan-out/intern/solve/emit pipeline over the whole
+  /// corpus and bulk-loads the B+-tree (and, for clustered indexes, the
+  /// copy store) from the sorted result.
+  [[nodiscard]] Status BuildPipeline(BuildStats* stats);
+
+  /// Pipeline stage A, parallel per document: parse, bisimulate, collect
+  /// close events, and prepare each distinct pattern (expansion bound,
+  /// depth-limited pattern graph, canonical signature). Touches only
+  /// read-only index state and `out`.
+  void PrepareDocument(uint32_t doc_id, DocWork* out) const;
+
+  /// Pipeline stage C, parallel per pattern: feature-cache lookup, or a
+  /// skew-matrix eigensolve against the frozen edge encoder on a miss.
+  /// Touches only read-only index state, `work`, and the sharded cache.
+  void SolvePattern(const BisimGraph& doc_graph, PatternWork* work,
+                    FeatureCache* cache) const;
+
   /// Writes the metadata sidecar (options + encoder + seq counter).
   [[nodiscard]] Status WriteMeta() const;
 
@@ -170,8 +222,6 @@ class FixIndex {
   std::unique_ptr<FeatureHistogram> histogram_;  // lazy; see EstimateCandidates
   uint32_t next_seq_ = 0;
   uint32_t indexed_docs_ = 0;  // see indexed_docs()
-  /// Deferred entries for clustered builds (sorted before materializing).
-  std::vector<std::pair<std::string, NodeRef>> pending_;
 };
 
 }  // namespace fix

@@ -39,6 +39,11 @@ struct StorageHealth {
   uint64_t quarantined_indexes = 0;  ///< indexes renamed aside as corrupt
   uint64_t degraded_queries = 0;     ///< queries answered by full scan
   uint64_t rebuilds = 0;             ///< successful RebuildIndex calls
+  /// Spectral feature cache totals accumulated across every index this
+  /// database built or rebuilt (see IndexOptions::feature_cache_mb).
+  uint64_t feature_cache_hits = 0;
+  uint64_t feature_cache_misses = 0;
+  uint64_t feature_cache_evictions = 0;
 };
 
 }  // namespace fix

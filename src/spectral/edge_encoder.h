@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "xml/label_table.h"
 
 namespace fix {
@@ -36,6 +37,17 @@ class EdgeEncoder {
     uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
     auto [it, inserted] = weights_.emplace(key, next_weight_);
     if (inserted) ++next_weight_;
+    return static_cast<double>(it->second);
+  }
+
+  /// Read-only lookup for concurrent use by the construction pipeline's
+  /// solver threads: the pair must already be interned (the sequential
+  /// interning phase guarantees it). Never mutates, so any number of
+  /// threads may call it while no thread calls Weight/Import.
+  double FrozenWeight(LabelId from, LabelId to) const {
+    uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+    auto it = weights_.find(key);
+    FIX_CHECK(it != weights_.end());
     return static_cast<double>(it->second);
   }
 

@@ -1,0 +1,82 @@
+#include "spectral/feature_cache.h"
+
+#include <functional>
+
+#include "common/bytes.h"
+
+namespace fix {
+
+std::string CanonicalPatternSignature(const BisimGraph& graph) {
+  std::string sig;
+  // Typical depth-limited patterns are tens of vertices; one reserve avoids
+  // repeated growth without overshooting for the common case.
+  sig.reserve(16 + graph.num_vertices() * 6);
+  PutVarint64(&sig, graph.num_vertices());
+  PutVarint32(&sig, graph.root());
+  for (BisimVertexId v = 0; v < graph.num_vertices(); ++v) {
+    const BisimVertex& vert = graph.vertex(v);
+    PutVarint32(&sig, vert.label);
+    PutVarint64(&sig, vert.children.size());
+    for (BisimVertexId child : vert.children) {
+      PutVarint32(&sig, child);
+    }
+  }
+  return sig;
+}
+
+FeatureCache::FeatureCache(size_t budget_bytes)
+    : shard_budget_(budget_bytes / kNumShards) {}
+
+FeatureCache::Shard& FeatureCache::ShardFor(std::string_view key) {
+  return shards_[std::hash<std::string_view>{}(key) % kNumShards];
+}
+
+size_t FeatureCache::EntryBytes(std::string_view key) {
+  // Key bytes + list node + hash-map slot, approximately.
+  return key.size() + sizeof(Entry) + 64;
+}
+
+bool FeatureCache::Lookup(std::string_view key, CachedFeature* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  *out = it->second->value;
+  return true;
+}
+
+void FeatureCache::Insert(std::string_view key, const CachedFeature& value) {
+  const size_t cost = EntryBytes(key);
+  if (cost > shard_budget_) return;  // would evict the whole shard for one key
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.index.count(key) > 0) return;  // lost a benign insert race
+  shard.entries.push_front(Entry{std::string(key), value});
+  shard.index.emplace(std::string_view(shard.entries.front().key),
+                      shard.entries.begin());
+  shard.bytes += cost;
+  while (shard.bytes > shard_budget_ && !shard.entries.empty()) {
+    const Entry& oldest = shard.entries.back();
+    shard.bytes -= EntryBytes(oldest.key);
+    shard.index.erase(std::string_view(oldest.key));
+    shard.entries.pop_back();
+    ++shard.evictions;
+  }
+}
+
+FeatureCacheStats FeatureCache::Stats() const {
+  FeatureCacheStats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+  }
+  return out;
+}
+
+}  // namespace fix

@@ -1,0 +1,110 @@
+// FeatureCache: a sharded, bounded memo of spectral features keyed by the
+// canonical signature of a pattern's bisimulation graph.
+//
+// Downward bisimulation makes structurally identical subtrees collapse to
+// identical pattern graphs, and the same depth-L patterns recur massively
+// across elements and documents (the paper's own motivation for bisimulation
+// in Section 4). Construction therefore memoizes (pattern shape) → EigPair
+// so only the first occurrence of a shape pays the O(n³) eigensolve.
+//
+// Soundness: the full serialized signature is the map key — the hash is used
+// only for shard selection — so a hash collision can never alias two
+// different shapes onto one cached result. The signature is canonical
+// because every pattern graph is produced by the deterministic
+// BisimTraveler → BisimBuilder round trip, which numbers vertices in
+// first-close order of a fixed traversal: isomorphic patterns serialize to
+// identical byte strings.
+//
+// Concurrency: 16 shards, each behind its own mutex, so solver threads
+// rarely contend. Eviction is FIFO per shard under a per-shard byte budget.
+// Cache behavior never affects build output — a miss recomputes the same
+// bits a hit would have returned (the edge-weight encoding is frozen before
+// solving starts) — so eviction timing being thread-schedule-dependent is
+// harmless; only the hit/miss counters vary.
+
+#ifndef FIX_SPECTRAL_FEATURE_CACHE_H_
+#define FIX_SPECTRAL_FEATURE_CACHE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "graph/bisim_graph.h"
+
+namespace fix {
+
+/// Canonical byte-string signature of a pattern graph: vertex count, root,
+/// and per-vertex (label, children) in vertex-id order. Two pattern graphs
+/// get equal signatures iff they are identical as numbered graphs, which
+/// for traveler-rebuilt patterns means structurally identical shapes.
+std::string CanonicalPatternSignature(const BisimGraph& graph);
+
+/// Cached solve result. `solver_failed` records that the eigensolver did
+/// not converge for this shape (the pattern was indexed with the artificial
+/// always-a-candidate range); replaying it on a hit keeps the
+/// oversized-pattern counter deterministic.
+struct CachedFeature {
+  EigPair eigs;
+  bool solver_failed = false;
+};
+
+struct FeatureCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+class FeatureCache {
+ public:
+  /// `budget_bytes` bounds the total (approximate) memory of cached
+  /// entries across all shards.
+  explicit FeatureCache(size_t budget_bytes);
+
+  FeatureCache(const FeatureCache&) = delete;
+  FeatureCache& operator=(const FeatureCache&) = delete;
+
+  /// Returns true and fills `*out` when `key` is cached.
+  bool Lookup(std::string_view key, CachedFeature* out);
+
+  /// Inserts (key, value), evicting oldest entries of the target shard if
+  /// the shard exceeds its budget slice. Concurrent duplicate inserts (two
+  /// threads missing on the same key) keep the first value.
+  void Insert(std::string_view key, const CachedFeature& value);
+
+  /// Aggregated counters across shards.
+  FeatureCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedFeature value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> entries;  // front = newest, evict from the back
+    // Keys view into the owning list entry, so each key is stored once.
+    std::unordered_map<std::string_view,
+                       std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardFor(std::string_view key);
+  static size_t EntryBytes(std::string_view key);
+
+  size_t shard_budget_;
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_SPECTRAL_FEATURE_CACHE_H_

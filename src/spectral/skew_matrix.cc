@@ -15,4 +15,29 @@ DenseMatrix BuildSkewMatrix(const BisimGraph& graph, EdgeEncoder* encoder) {
   return m;
 }
 
+void InternPatternWeights(const BisimGraph& graph, EdgeEncoder* encoder) {
+  // Must visit edges in exactly BuildSkewMatrix's order: first-seen order
+  // determines the weight values.
+  for (BisimVertexId u = 0; u < graph.num_vertices(); ++u) {
+    const BisimVertex& vu = graph.vertex(u);
+    for (BisimVertexId v : vu.children) {
+      encoder->Weight(vu.label, graph.vertex(v).label);
+    }
+  }
+}
+
+DenseMatrix BuildSkewMatrixFrozen(const BisimGraph& graph,
+                                  const EdgeEncoder& encoder) {
+  DenseMatrix m(graph.num_vertices());
+  for (BisimVertexId u = 0; u < graph.num_vertices(); ++u) {
+    const BisimVertex& vu = graph.vertex(u);
+    for (BisimVertexId v : vu.children) {
+      double w = encoder.FrozenWeight(vu.label, graph.vertex(v).label);
+      m.at(u, v) = w;
+      m.at(v, u) = -w;
+    }
+  }
+  return m;
+}
+
 }  // namespace fix

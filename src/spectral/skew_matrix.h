@@ -37,6 +37,19 @@ class DenseMatrix {
 /// isospectral).
 DenseMatrix BuildSkewMatrix(const BisimGraph& graph, EdgeEncoder* encoder);
 
+/// Interns every edge weight BuildSkewMatrix would request for `graph`, in
+/// the same first-seen order, without building the matrix. The construction
+/// pipeline runs this sequentially over patterns in document/close order so
+/// the encoder's weight assignment is independent of how many solver
+/// threads later run.
+void InternPatternWeights(const BisimGraph& graph, EdgeEncoder* encoder);
+
+/// BuildSkewMatrix against a frozen encoder: every (label, label) pair of
+/// `graph` must already be interned (see InternPatternWeights). Safe to
+/// call from many threads concurrently.
+DenseMatrix BuildSkewMatrixFrozen(const BisimGraph& graph,
+                                  const EdgeEncoder& encoder);
+
 }  // namespace fix
 
 #endif  // FIX_SPECTRAL_SKEW_MATRIX_H_

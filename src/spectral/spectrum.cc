@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
 #include "spectral/sym_eigen.h"
@@ -11,14 +12,27 @@ namespace fix {
 namespace {
 
 // Debug-build validation that `m` really is anti-symmetric (zero diagonal,
-// M[i][j] == -M[j][i]) before we rely on it for the MᵀM shortcut. O(n²),
-// compiled out of release builds.
+// M[i][j] == -M[j][i]) before we rely on it for the MᵀM shortcut. O(n²) but
+// stops at the first violation, reporting the offending (i, j) so a bad
+// matrix is diagnosable without dumping all n² entries. Compiled out of
+// release builds.
 void DcheckAntiSymmetric(const DenseMatrix& m) {
 #if FIX_DCHECKS_ENABLED
   for (size_t i = 0; i < m.n(); ++i) {
-    FIX_DCHECK_EQ(m.at(i, i), 0.0);
+    if (m.at(i, i) != 0.0) {
+      ::fix::internal_check::DCheckOpFail(
+          __FILE__, __LINE__, "anti-symmetry: nonzero diagonal at (i, i), i",
+          i, m.at(i, i));
+    }
     for (size_t j = i + 1; j < m.n(); ++j) {
-      FIX_DCHECK_EQ(m.at(i, j), -m.at(j, i));
+      if (m.at(i, j) != -m.at(j, i)) {
+        ::fix::internal_check::DCheckOpFail(
+            __FILE__, __LINE__,
+            ("anti-symmetry violated at (i, j) = (" + std::to_string(i) +
+             ", " + std::to_string(j) + "): m(i, j) vs -m(j, i)")
+                .c_str(),
+            m.at(i, j), -m.at(j, i));
+      }
     }
   }
 #else
@@ -29,19 +43,37 @@ void DcheckAntiSymmetric(const DenseMatrix& m) {
 }  // namespace
 
 Result<std::vector<double>> SkewSpectrum(const DenseMatrix& m) {
+  const size_t n = m.n();
+  if (n == 0) return std::vector<double>{};  // empty pattern: empty spectrum
   DcheckAntiSymmetric(m);
-  size_t n = m.n();
   // B = MᵀM; for anti-symmetric M this is symmetric positive semidefinite
-  // with eigenvalues σᵢ².
+  // with eigenvalues σᵢ². Anti-symmetry turns the column dot product
+  // Σₖ m(k,i)·m(k,j) into the row dot product Σₖ m(i,k)·m(j,k) — the two
+  // are bitwise identical per term ((-a)·(-b) flips both sign bits) — so
+  // the whole product runs on unit-stride rows instead of strided columns,
+  // and only the lower triangle is computed. Tiling i and j keeps a block
+  // of j-rows resident in cache across the i-block; k always runs 0..n-1
+  // ascending within one (i, j) pair, preserving the accumulation order
+  // (and therefore the exact floating-point result) of the naive loop.
+  constexpr size_t kBlock = 64;
   DenseMatrix b(n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j <= i; ++j) {
-      double sum = 0.0;
-      for (size_t k = 0; k < n; ++k) {
-        sum += m.at(k, i) * m.at(k, j);
+  const std::vector<double>& data = m.data();
+  for (size_t ib = 0; ib < n; ib += kBlock) {
+    const size_t imax = std::min(ib + kBlock, n);
+    for (size_t jb = 0; jb <= ib; jb += kBlock) {
+      for (size_t i = ib; i < imax; ++i) {
+        const double* row_i = data.data() + i * n;
+        const size_t jmax = std::min(jb + kBlock, i + 1);
+        for (size_t j = jb; j < jmax; ++j) {
+          const double* row_j = data.data() + j * n;
+          double sum = 0.0;
+          for (size_t k = 0; k < n; ++k) {
+            sum += row_i[k] * row_j[k];
+          }
+          b.at(i, j) = sum;
+          b.at(j, i) = sum;
+        }
       }
-      b.at(i, j) = sum;
-      b.at(j, i) = sum;
     }
   }
   std::vector<double> sq;

@@ -1,5 +1,6 @@
 #include "storage/btree.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -334,6 +335,117 @@ Status BTree::Insert(std::string_view key, std::string_view value) {
     ++height_;
   }
   ++num_entries_;
+  return WriteMeta();
+}
+
+// --- bulk load --------------------------------------------------------------
+
+Status BTree::BulkLoad(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  if (num_entries_ != 0 || height_ != 1) {
+    return Status::InvalidArgument(
+        "BulkLoad requires a freshly created empty tree");
+  }
+  {
+    PageHandle root;
+    FIX_ASSIGN_OR_RETURN(root, pool_->Fetch(root_));
+    if (NodeType(root.data()) != kLeaf || NodeCount(root.data()) != 0) {
+      return Status::InvalidArgument(
+          "BulkLoad requires the root to be an empty leaf");
+    }
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].first.size() != key_size_ ||
+        entries[i].second.size() != value_size_) {
+      return Status::InvalidArgument("key/value size mismatch at entry " +
+                                     std::to_string(i));
+    }
+    if (i > 0 && std::memcmp(entries[i - 1].first.data(),
+                             entries[i].first.data(), key_size_) > 0) {
+      return Status::InvalidArgument("BulkLoad input not sorted at entry " +
+                                     std::to_string(i));
+    }
+  }
+  if (entries.empty()) return WriteMeta();
+
+  // A node of the level currently being assembled: its page and the
+  // smallest key in its subtree (the separator its parent will carry).
+  struct LevelNode {
+    std::string low_key;
+    PageId page;
+  };
+  std::vector<LevelNode> level;
+
+  // Leaves: packed full, left to right. The first leaf reuses the empty
+  // root page so a small load never abandons it; the previous leaf stays
+  // pinned just long enough to patch its sibling link.
+  const size_t leaf_cap = LeafCapacity();
+  level.reserve(entries.size() / leaf_cap + 1);
+  PageHandle prev;
+  for (size_t pos = 0; pos < entries.size();) {
+    PageHandle leaf;
+    if (pos == 0) {
+      FIX_ASSIGN_OR_RETURN(leaf, pool_->Fetch(root_));
+    } else {
+      FIX_ASSIGN_OR_RETURN(leaf, pool_->New());
+    }
+    const size_t take = std::min(leaf_cap, entries.size() - pos);
+    char* page = leaf.data();
+    SetNodeType(page, kLeaf);
+    SetNodeCount(page, static_cast<uint16_t>(take));
+    SetNodeLink(page, kInvalidPage);
+    for (size_t i = 0; i < take; ++i) {
+      char* slot = LeafEntry(page, static_cast<uint16_t>(i));
+      std::memcpy(slot, entries[pos + i].first.data(), key_size_);
+      std::memcpy(slot + key_size_, entries[pos + i].second.data(),
+                  value_size_);
+    }
+    leaf.MarkDirty();
+    DcheckNodeInvariants(page);
+    if (prev.valid()) {
+      SetNodeLink(prev.data(), leaf.page_id());
+      prev.MarkDirty();
+    }
+    level.push_back(LevelNode{entries[pos].first, leaf.page_id()});
+    prev = std::move(leaf);
+    pos += take;
+  }
+  prev.Release();
+
+  // Inner levels, bottom up. Children pack InnerCapacity()+1 per node,
+  // except that a chunk never strands a single child for the next node —
+  // an inner node must hold at least one separator (two children).
+  // InnerCapacity() >= 7 for every legal key size, so shrinking a full
+  // chunk by one always leaves a valid node.
+  const size_t max_children = static_cast<size_t>(InnerCapacity()) + 1;
+  while (level.size() > 1) {
+    std::vector<LevelNode> parents;
+    parents.reserve(level.size() / max_children + 1);
+    for (size_t i = 0; i < level.size();) {
+      size_t take = std::min(max_children, level.size() - i);
+      if (level.size() - i - take == 1) --take;
+      PageHandle node;
+      FIX_ASSIGN_OR_RETURN(node, pool_->New());
+      char* page = node.data();
+      SetNodeType(page, kInner);
+      SetNodeCount(page, static_cast<uint16_t>(take - 1));
+      SetNodeLink(page, level[i].page);
+      for (size_t c = 1; c < take; ++c) {
+        char* slot = InnerEntry(page, static_cast<uint16_t>(c - 1));
+        std::memcpy(slot, level[i + c].low_key.data(), key_size_);
+        EncodeFixed32(slot + key_size_, level[i + c].page);
+      }
+      node.MarkDirty();
+      DcheckNodeInvariants(page);
+      parents.push_back(LevelNode{std::move(level[i].low_key),
+                                  node.page_id()});
+      i += take;
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level[0].page;
+  num_entries_ = entries.size();
   return WriteMeta();
 }
 

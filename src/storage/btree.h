@@ -27,6 +27,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -54,6 +55,17 @@ class BTree {
 
   /// Inserts one entry. key/value sizes must match the tree's configuration.
   [[nodiscard]] Status Insert(std::string_view key, std::string_view value);
+
+  /// Bulk-loads `entries` — which must be sorted by key, non-descending
+  /// (duplicates allowed) — into a freshly created, still-empty tree,
+  /// building 100%-packed leaves left to right and the inner levels bottom
+  /// up. One sequential pass instead of n random root-to-leaf descents:
+  /// every page is written exactly once and leaves carry no split slack.
+  /// The tree remains fully mutable afterwards (Insert/Delete work as
+  /// usual). Returns InvalidArgument if the tree is not empty, the input is
+  /// not sorted, or any key/value has the wrong size.
+  [[nodiscard]] Status BulkLoad(
+      const std::vector<std::pair<std::string, std::string>>& entries);
 
   /// Looks up the first entry with exactly `key`; returns NotFound if absent.
   [[nodiscard]] Result<std::string> Get(std::string_view key);

@@ -243,5 +243,147 @@ TEST_F(BTreeTest, ModelConformance) {
   EXPECT_EQ(mit, model.end());
 }
 
+// --- BulkLoad ---------------------------------------------------------------
+
+/// Entries with capacity math available: with kKey = kVal = 8 a leaf holds
+/// (kPageSize - 8) / 16 entries.
+size_t LeafCap() { return (kPageSize - 8) / (kKey + kVal); }
+
+std::vector<std::pair<std::string, std::string>> MakeEntries(size_t n) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.emplace_back(K(i), V(i * 3 + 1));
+  return out;
+}
+
+class BTreeBulkLoadTest : public BTreeTest {
+ protected:
+  /// Bulk-loads `entries` into the fixture tree and cross-checks it against
+  /// a second, incrementally-filled tree: same count, same full scan, same
+  /// point lookups, and both pass the structural audit.
+  void LoadAndCompare(
+      const std::vector<std::pair<std::string, std::string>>& entries) {
+    ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+    ASSERT_TRUE(tree_->VerifyStructure().ok());
+    EXPECT_EQ(tree_->num_entries(), entries.size());
+
+    PageFile ref_file;
+    ASSERT_TRUE(ref_file.Open(dir_ + "/ref", true).ok());
+    {
+      BufferPool ref_pool(&ref_file, 64);
+      auto ref = BTree::Create(&ref_pool, kKey, kVal);
+      ASSERT_TRUE(ref.ok());
+      for (const auto& [k, v] : entries) {
+        ASSERT_TRUE(ref->Insert(k, v).ok());
+      }
+      ASSERT_TRUE(ref->VerifyStructure().ok());
+
+      auto it = tree_->SeekFirst();
+      auto rit = ref->SeekFirst();
+      ASSERT_TRUE(it.ok());
+      ASSERT_TRUE(rit.ok());
+      while (rit->Valid()) {
+        ASSERT_TRUE(it->Valid());
+        EXPECT_EQ(it->key(), rit->key());
+        EXPECT_EQ(it->value(), rit->value());
+        ASSERT_TRUE(it->Next().ok());
+        ASSERT_TRUE(rit->Next().ok());
+      }
+      EXPECT_FALSE(it->Valid());
+
+      for (size_t i = 0; i < entries.size(); i += 7) {
+        auto got = tree_->Get(entries[i].first);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, entries[i].second);
+      }
+    }
+    ASSERT_TRUE(ref_file.Close().ok());
+  }
+};
+
+TEST_F(BTreeBulkLoadTest, Empty) {
+  ASSERT_TRUE(tree_->BulkLoad({}).ok());
+  EXPECT_EQ(tree_->num_entries(), 0u);
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+  // The tree stays usable for incremental inserts afterwards.
+  ASSERT_TRUE(tree_->Insert(K(1), V(1)).ok());
+  EXPECT_TRUE(tree_->Get(K(1)).ok());
+}
+
+TEST_F(BTreeBulkLoadTest, SingleEntry) { LoadAndCompare(MakeEntries(1)); }
+
+TEST_F(BTreeBulkLoadTest, ExactlyOneLeaf) {
+  LoadAndCompare(MakeEntries(LeafCap()));
+}
+
+TEST_F(BTreeBulkLoadTest, OneLeafPlusOne) {
+  LoadAndCompare(MakeEntries(LeafCap() + 1));
+}
+
+TEST_F(BTreeBulkLoadTest, MultiLevel) {
+  // Enough for several inner levels with 8-byte keys.
+  LoadAndCompare(MakeEntries(10000));
+}
+
+TEST_F(BTreeBulkLoadTest, DuplicateKeysSurvive) {
+  // Equal keys keep input order in a bulk load, which need not match the
+  // incremental tree's internal duplicate placement — compare multisets.
+  // (The FIX index never stores duplicates: the seq suffix makes keys
+  // unique; this guards plain duplicate storage.)
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (size_t i = 0; i < 600; ++i) entries.emplace_back(K(i / 3), V(i));
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+  EXPECT_EQ(tree_->num_entries(), entries.size());
+  std::multimap<std::string, std::string> want(entries.begin(), entries.end());
+  std::multimap<std::string, std::string> got;
+  auto it = tree_->SeekFirst();
+  ASSERT_TRUE(it.ok());
+  std::string prev_key;
+  while (it->Valid()) {
+    EXPECT_LE(prev_key, std::string(it->key()));
+    prev_key = std::string(it->key());
+    got.emplace(it->key(), it->value());
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(BTreeBulkLoadTest, RejectsUnsortedInput) {
+  std::vector<std::pair<std::string, std::string>> entries = {{K(2), V(2)},
+                                                              {K(1), V(1)}};
+  EXPECT_FALSE(tree_->BulkLoad(entries).ok());
+}
+
+TEST_F(BTreeBulkLoadTest, RejectsWrongSizes) {
+  EXPECT_FALSE(tree_->BulkLoad({{"short", V(1)}}).ok());
+  EXPECT_FALSE(tree_->BulkLoad({{K(1), "tiny"}}).ok());
+}
+
+TEST_F(BTreeBulkLoadTest, RejectsNonEmptyTree) {
+  ASSERT_TRUE(tree_->Insert(K(1), V(1)).ok());
+  EXPECT_FALSE(tree_->BulkLoad(MakeEntries(3)).ok());
+}
+
+TEST_F(BTreeBulkLoadTest, PersistsAcrossReopen) {
+  auto entries = MakeEntries(5000);
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  ASSERT_TRUE(tree_->Flush().ok());
+  tree_.reset();
+  pool_.reset();
+  ASSERT_TRUE(file_.Close().ok());
+
+  ASSERT_TRUE(file_.Open(dir_ + "/tree", false).ok());
+  pool_ = std::make_unique<BufferPool>(&file_, 64);
+  auto reopened = BTree::Open(pool_.get());
+  ASSERT_TRUE(reopened.ok());
+  tree_ = std::make_unique<BTree>(std::move(reopened).value());
+  EXPECT_EQ(tree_->num_entries(), entries.size());
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+  auto got = tree_->Get(K(4321));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, V(4321 * 3 + 1));
+}
+
 }  // namespace
 }  // namespace fix

@@ -1,0 +1,177 @@
+// Parallel construction pipeline tests: the built index must be
+// byte-identical regardless of build_threads and feature_cache_mb, the
+// bulk-loaded tree must pass the structural audit, and the cache must
+// actually hit on repetitive data. Registered under the `concurrency` label
+// so CI replays the multi-threaded builds under TSan.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/fix_index.h"
+#include "core/fix_query.h"
+#include "core/persist.h"
+#include "datagen/datasets.h"
+#include "query/xpath_parser.h"
+
+namespace fix {
+namespace {
+
+class ParallelBuildTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_parallel_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// A corpus with heavy structural repetition (many near-identical small
+  /// documents) plus one structure-rich document.
+  static void FillCorpus(Corpus* corpus) {
+    GenerateTcmd(corpus, TcmdOptions{.seed = 11, .num_docs = 60});
+    GenerateXMark(corpus, XMarkOptions{.seed = 12,
+                                       .num_items = 40,
+                                       .num_people = 40,
+                                       .num_open_auctions = 30,
+                                       .num_closed_auctions = 20,
+                                       .num_categories = 10});
+  }
+
+  std::string ReadAll(const std::string& path) {
+    auto data = ReadFile(path);
+    EXPECT_TRUE(data.ok()) << path << ": " << data.status();
+    return data.ok() ? *data : std::string();
+  }
+
+  /// Builds one index and returns (stats, concatenated file bytes).
+  std::pair<BuildStats, std::string> BuildOnce(Corpus* corpus,
+                                               const std::string& tag,
+                                               IndexOptions options) {
+    options.path = dir_ + "/" + tag + ".fix";
+    BuildStats stats;
+    auto built = FixIndex::Build(corpus, options, &stats);
+    EXPECT_TRUE(built.ok()) << built.status();
+    if (built.ok()) {
+      EXPECT_TRUE(built->Verify().ok());
+    }
+    std::string bytes = ReadAll(options.path) + ReadAll(options.path + ".meta");
+    if (options.clustered) bytes += ReadAll(options.path + ".data");
+    return {stats, std::move(bytes)};
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ParallelBuildTest, EightThreadsByteIdenticalToOne) {
+  Corpus corpus;
+  FillCorpus(&corpus);
+  for (int depth_limit : {0, 4}) {
+    IndexOptions base;
+    base.depth_limit = depth_limit;
+    IndexOptions threaded = base;
+    threaded.build_threads = 8;
+    auto [stats1, bytes1] =
+        BuildOnce(&corpus, "t1_d" + std::to_string(depth_limit), base);
+    auto [stats8, bytes8] =
+        BuildOnce(&corpus, "t8_d" + std::to_string(depth_limit), threaded);
+    EXPECT_EQ(stats1.build_threads_used, 1u);
+    EXPECT_EQ(stats8.build_threads_used, 8u);
+    ASSERT_EQ(bytes1.size(), bytes8.size()) << "depth " << depth_limit;
+    EXPECT_EQ(bytes1, bytes8) << "depth " << depth_limit;
+    // The parallel stages only redistribute work: every counter that
+    // describes the data (not the schedule) must agree.
+    EXPECT_EQ(stats1.entries, stats8.entries);
+    EXPECT_EQ(stats1.distinct_patterns, stats8.distinct_patterns);
+    EXPECT_EQ(stats1.oversized_patterns, stats8.oversized_patterns);
+    EXPECT_EQ(stats1.bisim_vertices, stats8.bisim_vertices);
+    EXPECT_GT(stats1.entries, 0u);
+  }
+}
+
+TEST_F(ParallelBuildTest, CacheOnOffByteIdentical) {
+  Corpus corpus;
+  FillCorpus(&corpus);
+  IndexOptions cached;
+  cached.depth_limit = 3;
+  cached.build_threads = 4;
+  IndexOptions uncached = cached;
+  uncached.feature_cache_mb = 0;
+  auto [stats_on, bytes_on] = BuildOnce(&corpus, "cache_on", cached);
+  auto [stats_off, bytes_off] = BuildOnce(&corpus, "cache_off", uncached);
+  EXPECT_EQ(bytes_on, bytes_off);
+  EXPECT_GT(stats_on.feature_cache_hits, 0u)
+      << "repetitive corpus must produce cache hits";
+  EXPECT_EQ(stats_off.feature_cache_hits, 0u);
+  EXPECT_EQ(stats_off.feature_cache_misses, 0u);
+  EXPECT_EQ(stats_on.feature_cache_hits + stats_on.feature_cache_misses,
+            stats_on.distinct_patterns - stats_on.oversized_patterns);
+}
+
+TEST_F(ParallelBuildTest, ClusteredParallelBuildByteIdentical) {
+  Corpus corpus;
+  GenerateTcmd(&corpus, TcmdOptions{.seed = 21, .num_docs = 50});
+  IndexOptions base;
+  base.depth_limit = 3;
+  base.clustered = true;
+  IndexOptions threaded = base;
+  threaded.build_threads = 8;
+  auto [stats1, bytes1] = BuildOnce(&corpus, "c1", base);
+  auto [stats8, bytes8] = BuildOnce(&corpus, "c8", threaded);
+  EXPECT_EQ(bytes1, bytes8);
+  EXPECT_GT(stats1.clustered_bytes, 0u);
+}
+
+TEST_F(ParallelBuildTest, ZeroMeansHardwareConcurrency) {
+  Corpus corpus;
+  GenerateTcmd(&corpus, TcmdOptions{.seed = 31, .num_docs = 5});
+  IndexOptions options;
+  options.depth_limit = 2;
+  options.build_threads = 0;
+  auto [stats, bytes] = BuildOnce(&corpus, "hw", options);
+  EXPECT_GE(stats.build_threads_used, 1u);
+  EXPECT_LE(stats.build_threads_used, 64u);
+}
+
+TEST_F(ParallelBuildTest, ParallelBuildAnswersQueriesIdentically) {
+  // End to end: the bulk-loaded parallel index must return the same result
+  // set as the single-threaded one (and both must satisfy the query
+  // processor's no-false-negative refinement).
+  Corpus corpus;
+  FillCorpus(&corpus);
+  IndexOptions base;
+  base.depth_limit = 4;
+  IndexOptions threaded = base;
+  threaded.build_threads = 8;
+  base.path = dir_ + "/q1.fix";
+  threaded.path = dir_ + "/q8.fix";
+  auto idx1 = FixIndex::Build(&corpus, base, nullptr);
+  auto idx8 = FixIndex::Build(&corpus, threaded, nullptr);
+  ASSERT_TRUE(idx1.ok()) << idx1.status();
+  ASSERT_TRUE(idx8.ok()) << idx8.status();
+  for (const char* xpath : {"/article/body/section", "//author/name",
+                            "//item/name", "//parlist//listitem"}) {
+    auto query = ParseXPath(xpath);
+    ASSERT_TRUE(query.ok()) << xpath;
+    query->ResolveLabels(corpus.labels());
+    FixQueryProcessor p1(&corpus, &*idx1);
+    FixQueryProcessor p8(&corpus, &*idx8);
+    std::vector<NodeRef> r1, r8;
+    auto s1 = p1.Execute(*query, &r1);
+    auto s8 = p8.Execute(*query, &r8);
+    ASSERT_TRUE(s1.ok()) << xpath << ": " << s1.status();
+    ASSERT_TRUE(s8.ok()) << xpath << ": " << s8.status();
+    ASSERT_EQ(r1.size(), r8.size()) << xpath;
+    for (size_t i = 0; i < r1.size(); ++i) {
+      EXPECT_EQ(r1[i].doc_id, r8[i].doc_id) << xpath;
+      EXPECT_EQ(r1[i].node_id, r8[i].node_id) << xpath;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fix

@@ -10,7 +10,9 @@
 #      labeled smoke subset first for fast failure.
 #   5. the `fault-injection` labeled suite as its own stage in both trees
 #      (injected I/O faults, torn writes, crash-recovery matrix).
-#   6. fixdb_scrub over every index page file persist_test produced
+#   6. a TSan build running the `concurrency` labeled suite (thread pool,
+#      feature cache, parallel index construction).
+#   7. fixdb_scrub over every index page file persist_test produced
 #      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step).
 #
 # Usage: tools/ci.sh [base-ref]     (base-ref defaults to origin/main, falls
@@ -23,15 +25,15 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BASE_REF="${1:-origin/main}"
 
-echo "=== [1/4] Release build (FIX_WERROR=ON) ==="
+echo "=== [1/7] Release build (FIX_WERROR=ON) ==="
 cmake -B build -S . -DFIX_WERROR=ON
 cmake --build build -j "$JOBS"
 
-echo "=== [2/4] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
+echo "=== [2/7] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
 cmake -B build-asan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 
-echo "=== [3/4] clang-tidy on changed files ==="
+echo "=== [3/7] clang-tidy on changed files ==="
 if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
   BASE_REF="HEAD~1"
 fi
@@ -46,16 +48,21 @@ else
   tools/run_clang_tidy.sh build
 fi
 
-echo "=== [4/6] Tests ==="
+echo "=== [4/7] Tests ==="
 (cd build-asan && ctest -L sanitizer-clean --output-on-failure)
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "=== [5/6] Fault-injection suite (Release + ASan) ==="
+echo "=== [5/7] Fault-injection suite (Release + ASan) ==="
 (cd build && ctest -L fault-injection --output-on-failure -j "$JOBS")
 (cd build-asan && ctest -L fault-injection --output-on-failure -j "$JOBS")
 
-echo "=== [6/6] Scrub of persist_test databases ==="
+echo "=== [6/7] TSan build + concurrency suite ==="
+cmake -B build-tsan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="thread"
+cmake --build build-tsan -j "$JOBS"
+(cd build-tsan && ctest -L concurrency --output-on-failure -j "$JOBS")
+
+echo "=== [7/7] Scrub of persist_test databases ==="
 SCRUB_DIR="$(mktemp -d)"
 trap 'rm -rf "$SCRUB_DIR"' EXIT
 (cd build && FIX_PERSIST_TEST_DIR="$SCRUB_DIR" ctest -R '^PersistTest' \
