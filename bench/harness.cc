@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/timer.h"
 #include "datagen/datasets.h"
 #include "query/xpath_parser.h"
@@ -131,6 +132,18 @@ Report::~Report() {
     std::fwrite(csv_.data(), 1, csv_.size(), f);
     std::fclose(f);
     std::printf("[csv written to %s]\n\n", csv_path_.c_str());
+  }
+  // The same registry snapshot fixctl stats --format=prom serves: the
+  // run's candidate-selection vs refinement split, I/O counts, and
+  // eigensolve costs come from the instrumented path, not bespoke
+  // stopwatches.
+  const std::string prom_path = csv_path_ + ".metrics.prom";
+  FILE* pf = std::fopen(prom_path.c_str(), "w");
+  if (pf != nullptr) {
+    const std::string text = MetricsRegistry::Instance().PrometheusText();
+    std::fwrite(text.data(), 1, text.size(), pf);
+    std::fclose(pf);
+    std::printf("[metrics snapshot written to %s]\n\n", prom_path.c_str());
   }
 }
 

@@ -2,12 +2,9 @@
 // corpus, build indexes, run queries, inspect statistics. This is the
 // "ops tool" a downstream user would reach for first.
 //
-//   fixctl gen   <dir> <tcmd|dblp|xmark|treebank> [scale]
-//   fixctl load  <dir> <file.xml>...
-//   fixctl build <dir> [--depth k] [--clustered] [--beta B] [--lambda2]
-//                      [--sound] [--threads N] [--cache-mb M]
-//   fixctl query <dir> "<xpath>" [--explain]
-//   fixctl stats <dir>
+// Run `fixctl help` for the full command synopsis; the tables driving both
+// the parser and the help text live in fixctl_cli.{h,cc} and are kept in
+// sync by tests/fixctl_cli_test.cc.
 //
 // <dir> holds the corpus (labels/primary/manifest) and one index
 // ("main.fix"). Every subcommand is restartable: state lives on disk.
@@ -18,27 +15,21 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "core/corpus.h"
 #include "core/fix_index.h"
 #include "core/fix_query.h"
 #include "core/metrics.h"
 #include "core/persist.h"
 #include "datagen/datasets.h"
+#include "fixctl_cli.h"
 #include "query/xpath_parser.h"
 #include "xml/doc_stats.h"
 
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  fixctl gen   <dir> <tcmd|dblp|xmark|treebank> [scale]\n"
-               "  fixctl load  <dir> <file.xml>...\n"
-               "  fixctl build <dir> [--depth k] [--clustered] [--beta B]"
-               " [--lambda2] [--sound]\n"
-               "               [--threads N] [--cache-mb M]\n"
-               "  fixctl query <dir> \"<xpath>\" [--explain]\n"
-               "  fixctl stats <dir>\n");
+  std::fprintf(stderr, "%s", fixctl::UsageText().c_str());
   return 2;
 }
 
@@ -96,9 +87,14 @@ int CmdLoad(const std::string& dir, const std::vector<std::string>& files) {
 }
 
 int CmdBuild(const std::string& dir, int argc, char** argv) {
+  const fixctl::CliCommand* cmd = fixctl::FindCommand("build");
   fix::IndexOptions options;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
+    if (fixctl::FindFlag(*cmd, arg) == nullptr) {
+      std::fprintf(stderr, "fixctl build: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
     if (arg == "--depth" && i + 1 < argc) {
       options.depth_limit = std::atoi(argv[++i]);
     } else if (arg == "--clustered") {
@@ -135,7 +131,8 @@ int CmdBuild(const std::string& dir, int argc, char** argv) {
   return 0;
 }
 
-int CmdQuery(const std::string& dir, const std::string& xpath, bool explain) {
+int CmdQuery(const std::string& dir, const std::string& xpath, bool explain,
+             bool metrics) {
   auto corpus = fix::Corpus::Load(dir);
   if (!corpus.ok()) return Fail(corpus.status());
   auto index = fix::FixIndex::Open(&*corpus, dir + "/main.fix");
@@ -176,29 +173,54 @@ int CmdQuery(const std::string& dir, const std::string& xpath, bool explain) {
                     ->Name(corpus->doc(ref.doc_id).label(ref.node_id))
                     .c_str());
   }
+  if (metrics) {
+    std::printf("\n%s",
+                fix::MetricsRegistry::Instance().HumanTable().c_str());
+  }
   return 0;
 }
 
-int CmdStats(const std::string& dir) {
+int CmdStats(const std::string& dir, const std::string& format) {
+  if (format != "human" && format != "prom") {
+    std::fprintf(stderr, "fixctl stats: unknown format '%s'\n",
+                 format.c_str());
+    return Usage();
+  }
   auto corpus = fix::Corpus::Load(dir);
   if (!corpus.ok()) return Fail(corpus.status());
-  fix::DocStats agg;
-  for (uint32_t d = 0; d < corpus->num_docs(); ++d) {
-    agg.Merge(ComputeDocStats(corpus->doc(d), *corpus->labels()));
+  const bool prom = format == "prom";
+  if (!prom) {
+    fix::DocStats agg;
+    for (uint32_t d = 0; d < corpus->num_docs(); ++d) {
+      agg.Merge(ComputeDocStats(corpus->doc(d), *corpus->labels()));
+    }
+    std::printf("documents: %zu\nelements:  %zu\ntext:      %zu node(s), "
+                "%zu byte(s)\nmax depth: %d\nlabels:    %zu\n",
+                corpus->num_docs(), agg.elements, agg.text_nodes,
+                agg.text_bytes, agg.max_depth, corpus->labels()->size());
   }
-  std::printf("documents: %zu\nelements:  %zu\ntext:      %zu node(s), "
-              "%zu byte(s)\nmax depth: %d\nlabels:    %zu\n",
-              corpus->num_docs(), agg.elements, agg.text_nodes,
-              agg.text_bytes, agg.max_depth, corpus->labels()->size());
   auto index = fix::FixIndex::Open(&*corpus, dir + "/main.fix");
-  if (index.ok()) {
-    std::printf("index:     %llu entries, depth limit %d%s%s\n",
-                static_cast<unsigned long long>(index->num_entries()),
-                index->options().depth_limit,
-                index->options().clustered ? ", clustered" : "",
-                index->options().value_beta > 0 ? ", values" : "");
+  if (!prom) {
+    if (index.ok()) {
+      std::printf("index:     %llu entries, depth limit %d%s%s\n",
+                  static_cast<unsigned long long>(index->num_entries()),
+                  index->options().depth_limit,
+                  index->options().clustered ? ", clustered" : "",
+                  index->options().value_beta > 0 ? ", values" : "");
+    } else {
+      std::printf("index:     (none built)\n");
+    }
+  }
+  // Live registry snapshot. In a fresh process this reflects the work this
+  // command just did (opening the corpus and index populates the PageIo
+  // and buffer-pool counters); a long-lived embedder sees its own history.
+  // Prometheus mode prints the exposition alone so the output scrapes
+  // cleanly.
+  fix::MetricsRegistry& registry = fix::MetricsRegistry::Instance();
+  if (prom) {
+    std::printf("%s", registry.PrometheusText().c_str());
   } else {
-    std::printf("index:     (none built)\n");
+    std::printf("\n%s", registry.HumanTable().c_str());
   }
   return 0;
 }
@@ -206,6 +228,11 @@ int CmdStats(const std::string& dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "help") == 0 ||
+                    std::strcmp(argv[1], "--help") == 0)) {
+    std::printf("%s", fixctl::HelpText().c_str());
+    return 0;
+  }
   if (argc < 3) return Usage();
   std::string cmd = argv[1];
   std::string dir = argv[2];
@@ -220,11 +247,31 @@ int main(int argc, char** argv) {
     return CmdBuild(dir, argc - 3, argv + 3);
   }
   if (cmd == "query" && argc >= 4) {
-    bool explain = argc >= 5 && std::strcmp(argv[4], "--explain") == 0;
-    return CmdQuery(dir, argv[3], explain);
+    const fixctl::CliCommand* spec = fixctl::FindCommand("query");
+    bool explain = false;
+    bool metrics = false;
+    for (int i = 4; i < argc; ++i) {
+      if (fixctl::FindFlag(*spec, argv[i]) == nullptr) return Usage();
+      if (std::strcmp(argv[i], "--explain") == 0) explain = true;
+      if (std::strcmp(argv[i], "--metrics") == 0) metrics = true;
+    }
+    return CmdQuery(dir, argv[3], explain, metrics);
   }
   if (cmd == "stats") {
-    return CmdStats(dir);
+    const fixctl::CliCommand* spec = fixctl::FindCommand("stats");
+    std::string format = "human";
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      const std::string prefix = "--format=";
+      if (arg.rfind(prefix, 0) == 0) {
+        format = arg.substr(prefix.size());
+      } else if (fixctl::FindFlag(*spec, arg) != nullptr && i + 1 < argc) {
+        format = argv[++i];
+      } else {
+        return Usage();
+      }
+    }
+    return CmdStats(dir, format);
   }
   return Usage();
 }

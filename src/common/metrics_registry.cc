@@ -1,0 +1,305 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fix {
+
+namespace {
+
+/// Highest set bit position (undefined for 0; callers guard).
+inline int Msb(uint64_t v) { return 63 - __builtin_clzll(v); }
+
+/// Relaxed atomic min/max update. Races between two updaters can only
+/// settle on one of the two candidate values, both of which were observed,
+/// so the result is always a value that was actually recorded.
+void RelaxedMin(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void RelaxedMax(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map '.'
+/// (and any other outlaw byte) to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < 16) return static_cast<size_t>(value);
+  const int msb = Msb(value);  // >= 4
+  // Top three mantissa bits below the leading bit select the sub-bucket.
+  const uint64_t sub = (value >> (msb - 3)) - 8;  // 0..7
+  return 16 + static_cast<size_t>(msb - 4) * 8 + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i < 16) return static_cast<uint64_t>(i);
+  const uint64_t octave = i / 8 + 2;      // 16 -> 4, 24 -> 5, ...
+  const uint64_t sub = (i - 16) % 8;      // 0..7
+  // Lower bound is (8 + sub) << (octave - 3); the bucket spans one
+  // (1 << (octave - 3)) stride, inclusive upper bound = next lower - 1.
+  return ((8 + sub + 1) << (octave - 3)) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  RelaxedMin(&min_, value);
+  RelaxedMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  // Quantiles from the bucket counts themselves (total), not count_: the
+  // two can disagree transiently under concurrent writers, and quantile
+  // ranks must be consistent with the array being walked.
+  out.count = total;
+  out.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t min = min_.load(std::memory_order_relaxed);
+  out.min = min == UINT64_MAX ? 0 : min;
+  out.max = max_.load(std::memory_order_relaxed);
+  if (total == 0) return out;
+  const auto quantile = [&](double q) -> uint64_t {
+    // Smallest bucket whose cumulative count reaches ceil(q * total).
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) return std::min(BucketUpperBound(i), out.max);
+    }
+    return out.max;
+  };
+  out.p50 = quantile(0.50);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked on purpose: metrics are updated from static destructors of
+  // other translation units (buffer pools torn down at exit), so the
+  // registry must never be destroyed first.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      std::string_view unit,
+                                                      std::string_view help,
+                                                      MetricType type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->name == name) return e->type == type ? e.get() : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->unit = std::string(unit);
+  entry->help = std::string(help);
+  entry->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::FindOrCreateCounter(std::string_view name,
+                                              std::string_view unit,
+                                              std::string_view help) {
+  Entry* e = FindOrCreate(name, unit, help, MetricType::kCounter);
+  return e == nullptr ? nullptr : e->counter.get();
+}
+
+Gauge* MetricsRegistry::FindOrCreateGauge(std::string_view name,
+                                          std::string_view unit,
+                                          std::string_view help) {
+  Entry* e = FindOrCreate(name, unit, help, MetricType::kGauge);
+  return e == nullptr ? nullptr : e->gauge.get();
+}
+
+Histogram* MetricsRegistry::FindOrCreateHistogram(std::string_view name,
+                                                  std::string_view unit,
+                                                  std::string_view help) {
+  Entry* e = FindOrCreate(name, unit, help, MetricType::kHistogram);
+  return e == nullptr ? nullptr : e->histogram.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      MetricSnapshot s;
+      s.name = e->name;
+      s.unit = e->unit;
+      s.help = e->help;
+      s.type = e->type;
+      switch (e->type) {
+        case MetricType::kCounter:
+          s.counter = e->counter->value();
+          break;
+        case MetricType::kGauge:
+          s.gauge = e->gauge->value();
+          break;
+        case MetricType::kHistogram:
+          s.hist = e->histogram->Snapshot();
+          break;
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  char buf[160];
+  for (const MetricSnapshot& m : Snapshot()) {
+    const std::string name = PromName(m.name);
+    if (!m.help.empty()) {
+      out += "# HELP " + name + " " + m.help +
+             (m.unit.empty() ? "" : " (" + m.unit + ")") + "\n";
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(m.counter));
+        out += buf;
+        break;
+      case MetricType::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%s %lld\n", name.c_str(),
+                      static_cast<long long>(m.gauge));
+        out += buf;
+        break;
+      case MetricType::kHistogram: {
+        out += "# TYPE " + name + " summary\n";
+        const struct {
+          const char* q;
+          uint64_t v;
+        } qs[] = {{"0.5", m.hist.p50}, {"0.95", m.hist.p95},
+                  {"0.99", m.hist.p99}};
+        for (const auto& q : qs) {
+          std::snprintf(buf, sizeof(buf), "%s{quantile=\"%s\"} %llu\n",
+                        name.c_str(), q.q,
+                        static_cast<unsigned long long>(q.v));
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "%s_sum %llu\n%s_count %llu\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(m.hist.sum),
+                      name.c_str(),
+                      static_cast<unsigned long long>(m.hist.count));
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::HumanTable() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-44s %-10s %s\n", "metric", "unit",
+                "value");
+  out += buf;
+  for (const MetricSnapshot& m : Snapshot()) {
+    switch (m.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), "%-44s %-10s %llu\n", m.name.c_str(),
+                      m.unit.c_str(),
+                      static_cast<unsigned long long>(m.counter));
+        break;
+      case MetricType::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-44s %-10s %lld\n", m.name.c_str(),
+                      m.unit.c_str(), static_cast<long long>(m.gauge));
+        break;
+      case MetricType::kHistogram:
+        std::snprintf(
+            buf, sizeof(buf),
+            "%-44s %-10s n=%llu p50=%llu p95=%llu p99=%llu max=%llu "
+            "mean=%.1f\n",
+            m.name.c_str(), m.unit.c_str(),
+            static_cast<unsigned long long>(m.hist.count),
+            static_cast<unsigned long long>(m.hist.p50),
+            static_cast<unsigned long long>(m.hist.p95),
+            static_cast<unsigned long long>(m.hist.p99),
+            static_cast<unsigned long long>(m.hist.max), m.hist.mean());
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    switch (e->type) {
+      case MetricType::kCounter:
+        e->counter->Reset();
+        break;
+      case MetricType::kGauge:
+        e->gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        e->histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace fix

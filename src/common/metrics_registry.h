@@ -1,0 +1,190 @@
+// MetricsRegistry: the process-wide observability substrate — named
+// counters, gauges, and log-scale latency histograms, registered once and
+// updated lock-free from any thread.
+//
+// Design constraints (see docs/OBSERVABILITY.md for the full metric list):
+//
+//   * Hot-path updates are a single relaxed atomic RMW — no locks, no
+//     allocation, no syscalls. A Counter::Increment costs a handful of
+//     nanoseconds, cheap enough to live inside the buffer pool's Fetch and
+//     the B+-tree probe loop.
+//   * Registration is the only synchronized operation (a mutex over a
+//     name → metric map) and happens once per call site, typically through
+//     a function-local static; after that, call sites hold a stable
+//     pointer. Metrics are never unregistered, so pointers never dangle.
+//   * Snapshot() reads every atomic with relaxed loads while writers keep
+//     writing. A snapshot is therefore not an atomic cut across metrics
+//     (count and sum of a histogram may disagree by in-flight updates),
+//     which is the standard, documented trade-off for wait-free telemetry.
+//
+// Histograms are log-scale (HdrHistogram-style sub-bucketing): values below
+// 16 are exact; above, each power-of-two octave is split into 8 sub-buckets,
+// bounding the relative quantile error at 12.5%. p50/p95/p99 are derived
+// from the bucket counts at snapshot time, never maintained online.
+
+#ifndef FIX_COMMON_METRICS_REGISTRY_H_
+#define FIX_COMMON_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fix {
+
+/// Monotonically increasing event count. Thread-safety: all methods are
+/// safe to call concurrently; updates use relaxed atomics (no ordering
+/// guarantees with respect to other memory, which telemetry never needs).
+class Counter {
+ public:
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  /// Test/bench support: reset to zero (registration survives).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (last build's thread count, attached index
+/// count, ...). Thread-safety: same as Counter.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Quantiles and moments derived from a histogram's buckets at snapshot
+/// time. Quantile values are bucket upper bounds, so each q is an upper
+/// bound on the true quantile with relative error <= 12.5%.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< 0 when count == 0
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  double mean() const { return count == 0 ? 0 : double(sum) / double(count); }
+};
+
+/// Log-scale histogram of non-negative integer samples (typically
+/// microseconds, sometimes dimensions or byte counts — the unit is carried
+/// by the registration, not the type). Thread-safety: Record and Snapshot
+/// may run concurrently from any number of threads; everything is relaxed
+/// atomics.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+
+  /// Derives count/sum/min/max/p50/p95/p99 from the live buckets. Safe
+  /// while writers write; the result is a consistent-enough view, not an
+  /// atomic cut (see file comment).
+  HistogramSnapshot Snapshot() const;
+
+  /// Test/bench support: zero every bucket (registration survives).
+  void Reset();
+
+  /// Inclusive upper bound of bucket `i` (exposed for the quantile-bounds
+  /// tests; bucket layout is an implementation detail otherwise).
+  static uint64_t BucketUpperBound(size_t i);
+  static size_t BucketIndex(uint64_t value);
+
+  /// Values < 16 get exact buckets; octaves 4..63 get 8 sub-buckets each.
+  static constexpr size_t kNumBuckets = 16 + (64 - 4) * 8;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One metric in a registry snapshot.
+struct MetricSnapshot {
+  std::string name;
+  std::string unit;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  uint64_t counter = 0;     ///< kCounter
+  int64_t gauge = 0;        ///< kGauge
+  HistogramSnapshot hist;   ///< kHistogram
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. First call constructs it; never destroyed
+  /// (intentional leak so metrics outlive static-destruction order).
+  static MetricsRegistry& Instance();
+
+  /// Finds or registers the named metric. The returned pointer is stable
+  /// for the life of the process — call once and cache it (the idiomatic
+  /// call site is a function-local static). `unit` and `help` are recorded
+  /// on first registration and ignored afterwards. Registering the same
+  /// name with two different metric types is a programming error and
+  /// returns the first registration's object of the *requested* type only
+  /// if types match; otherwise nullptr (tests assert on this).
+  Counter* FindOrCreateCounter(std::string_view name, std::string_view unit,
+                               std::string_view help);
+  Gauge* FindOrCreateGauge(std::string_view name, std::string_view unit,
+                           std::string_view help);
+  Histogram* FindOrCreateHistogram(std::string_view name,
+                                   std::string_view unit,
+                                   std::string_view help);
+
+  /// Relaxed-read snapshot of every registered metric, sorted by name.
+  /// Safe while writers keep writing.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Prometheus text exposition (text/plain; version 0.0.4): counters and
+  /// gauges as-is, histograms as summaries with p50/p95/p99 quantile
+  /// labels. Metric names have '.' mapped to '_'.
+  std::string PrometheusText() const;
+
+  /// Fixed-width human table (the `fixctl stats` format): one row per
+  /// metric, histograms showing count/p50/p95/p99/max.
+  std::string HumanTable() const;
+
+  /// Zeroes every registered metric's value. Registrations (and cached
+  /// pointers) survive. Tests and the bench harness use this to scope a
+  /// snapshot to one run.
+  void ResetAllForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Entry {
+    std::string name;
+    std::string unit;
+    std::string help;
+    MetricType type;
+    // Exactly one of these is set, matching `type`. unique_ptr keeps the
+    // metric's address stable across map growth.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, std::string_view unit,
+                      std::string_view help, MetricType type);
+
+  mutable std::mutex mu_;       // guards entries_ (registration + iteration)
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_METRICS_REGISTRY_H_

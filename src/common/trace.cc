@@ -1,0 +1,229 @@
+#include "common/trace.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
+
+namespace fix {
+
+namespace {
+
+// Sink state. `g_enabled` is the hot-path flag: span construction reads it
+// with one relaxed load. The FILE* and the mutex serializing line appends
+// are only touched on the slow (enabled) path.
+std::atomic<bool> g_enabled{false};
+std::mutex g_sink_mu;           // guards g_sink and line appends
+std::FILE* g_sink = nullptr;    // owned unless it aliases stderr
+bool g_sink_is_stderr = false;
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+// Innermost live span on this thread; 0 = top level.
+thread_local uint64_t t_current_span = 0;
+
+uint64_t OsThreadId() {
+#if defined(__linux__)
+  return static_cast<uint64_t>(::syscall(SYS_gettid));
+#else
+  return static_cast<uint64_t>(::getpid());
+#endif
+}
+
+uint64_t NowEpochUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t NowWallNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t NowCpuNs() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool Trace::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Status Trace::Enable(const TraceOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("TraceOptions.path is empty");
+  }
+  std::FILE* f = nullptr;
+  bool is_stderr = false;
+  if (options.path == "-") {
+    f = stderr;
+    is_stderr = true;
+  } else {
+    f = std::fopen(options.path.c_str(), options.append ? "ae" : "we");
+    if (f == nullptr) {
+      return Status::IOError("cannot open trace sink: " + options.path);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    if (g_sink != nullptr && !g_sink_is_stderr) std::fclose(g_sink);
+    g_sink = f;
+    g_sink_is_stderr = is_stderr;
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Trace::Disable() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink != nullptr && !g_sink_is_stderr) std::fclose(g_sink);
+  g_sink = nullptr;
+  g_sink_is_stderr = false;
+}
+
+void Trace::InitFromEnv() {
+  const char* path = std::getenv("FIX_TRACE");
+  if (path == nullptr || path[0] == '\0') return;
+  TraceOptions options;
+  options.path = path;
+  options.append = true;  // many processes (ctest, fixctl runs) may share it
+  // Falls back to no tracing on failure; tracing must never break the tool.
+  Status s = Trace::Enable(options);
+  if (!s.ok()) {
+    std::fprintf(stderr, "fix: FIX_TRACE ignored: %s\n", s.ToString().c_str());
+  }
+}
+
+namespace {
+// Attach the env-driven sink before main(); harmless when FIX_TRACE is
+// unset (one getenv).
+struct TraceEnvInit {
+  TraceEnvInit() { Trace::InitFromEnv(); }
+};
+TraceEnvInit g_trace_env_init;
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!Trace::enabled()) return;
+  active_ = true;
+  name_ = name;
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = t_current_span;
+  t_current_span = span_id_;
+  start_epoch_us_ = NowEpochUs();
+  start_cpu_ns_ = NowCpuNs();
+  start_wall_ns_ = NowWallNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const uint64_t wall_ns = NowWallNs() - start_wall_ns_;
+  const uint64_t cpu_ns = NowCpuNs() - start_cpu_ns_;
+  t_current_span = parent_id_;
+
+  std::string line;
+  line.reserve(160 + attrs_.size());
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"span\":%" PRIu64 ",\"parent\":%" PRIu64
+                ",\"tid\":%" PRIu64 ",\"ts_us\":%" PRIu64
+                ",\"wall_us\":%" PRIu64 ",\"cpu_us\":%" PRIu64,
+                name_, span_id_, parent_id_, OsThreadId(), start_epoch_us_,
+                wall_ns / 1000, cpu_ns / 1000);
+  line += buf;
+  if (!attrs_.empty()) {
+    line += ",\"attrs\":{";
+    line.append(attrs_, 1, attrs_.size() - 1);  // drop leading comma
+    line += "}";
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  // The sink may have been disabled between construction and destruction;
+  // drop the line rather than write to a closed FILE.
+  if (g_sink != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), g_sink);
+    std::fflush(g_sink);
+  }
+}
+
+void TraceSpan::AddAttr(std::string_view key, uint64_t value) {
+  if (!active_) return;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"%.*s\":%" PRIu64,
+                static_cast<int>(key.size()), key.data(), value);
+  attrs_ += buf;
+}
+
+void TraceSpan::AddAttr(std::string_view key, int64_t value) {
+  if (!active_) return;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"%.*s\":%" PRId64,
+                static_cast<int>(key.size()), key.data(), value);
+  attrs_ += buf;
+}
+
+void TraceSpan::AddAttr(std::string_view key, double value) {
+  if (!active_) return;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"%.*s\":%.6g",
+                static_cast<int>(key.size()), key.data(), value);
+  attrs_ += buf;
+}
+
+void TraceSpan::AddAttr(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  attrs_ += ",\"";
+  AppendJsonEscaped(&attrs_, key);
+  attrs_ += "\":\"";
+  AppendJsonEscaped(&attrs_, value);
+  attrs_ += "\"";
+}
+
+}  // namespace fix

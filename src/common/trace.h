@@ -1,0 +1,107 @@
+// Per-query trace spans: RAII wall+CPU timing with nesting, emitted as
+// JSON lines to an optional sink.
+//
+// The contract that makes this safe to leave in hot paths: with no sink
+// attached (the default), constructing and destroying a TraceSpan is one
+// relaxed atomic load and a branch — no clock reads, no allocation, no
+// formatting. Attaching a sink (programmatically via Trace::Enable, or by
+// setting the FIX_TRACE environment variable to a file path before the
+// first span) turns every span into one JSON line on close:
+//
+//   {"name":"query.lookup","span":7,"parent":6,"tid":140245,
+//    "ts_us":1722950000123456,"wall_us":412,"cpu_us":395,
+//    "attrs":{"candidates":128}}
+//
+//   name     span name (stable identifier; dotted, lowercase)
+//   span     process-unique span id
+//   parent   id of the innermost enclosing live span on this thread, 0 if
+//            top-level (nesting is tracked per thread)
+//   tid      OS thread id
+//   ts_us    wall-clock start, microseconds since the Unix epoch
+//   wall_us  elapsed wall time
+//   cpu_us   elapsed CPU time of this thread (CLOCK_THREAD_CPUTIME_ID)
+//   attrs    optional key -> number|string map added via AddAttr
+//
+// Lines are appended under a mutex, so a trace file interleaves whole
+// lines from many threads but never partial ones. Spans close in LIFO
+// order per thread (they are scoped), so a child's line precedes its
+// parent's.
+//
+// Thread-safety: Trace::Enable/Disable may race with span construction;
+// a span captures the sink decision once at construction.
+
+#ifndef FIX_COMMON_TRACE_H_
+#define FIX_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace fix {
+
+struct TraceOptions {
+  /// JSON-lines output path. "-" means stderr.
+  std::string path;
+  /// Append to an existing file instead of truncating.
+  bool append = false;
+};
+
+/// Global trace sink control. All methods are safe from any thread.
+class Trace {
+ public:
+  /// True when a sink is attached (the span fast-path check).
+  static bool enabled();
+
+  /// Opens `options.path` and routes every subsequently *constructed* span
+  /// to it. Replaces any previous sink.
+  [[nodiscard]] static Status Enable(const TraceOptions& options);
+
+  /// Detaches and closes the sink. Spans constructed while it was attached
+  /// still write their line (the file closes after the last one releases
+  /// it).
+  static void Disable();
+
+  /// Reads FIX_TRACE; when set and non-empty, calls Enable with its value
+  /// as the path. Invoked automatically before main() from trace.cc, so
+  /// `FIX_TRACE=/tmp/t.jsonl fixctl query ...` needs no code changes.
+  static void InitFromEnv();
+};
+
+/// One timed, nestable span. Construct at the top of the region; the line
+/// is emitted at destruction. Non-copyable, non-movable: a span is bound
+/// to its scope and thread.
+class TraceSpan {
+ public:
+  /// `name` must outlive the span (string literals only, by convention).
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a key -> value attribute to the span's JSON line. No-ops when
+  /// tracing is disabled. Keys must be JSON-safe identifiers; string
+  /// values are escaped.
+  void AddAttr(std::string_view key, uint64_t value);
+  void AddAttr(std::string_view key, int64_t value);
+  void AddAttr(std::string_view key, double value);
+  void AddAttr(std::string_view key, std::string_view value);
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  const char* name_ = nullptr;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint64_t start_epoch_us_ = 0;
+  uint64_t start_wall_ns_ = 0;
+  uint64_t start_cpu_ns_ = 0;
+  std::string attrs_;  // pre-rendered ,"key":value fragments
+};
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_TRACE_H_

@@ -5,11 +5,45 @@
 #include <system_error>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "query/xpath_parser.h"
 
 namespace fix {
 
 namespace {
+
+// Process-wide mirrors of the per-instance StorageHealth counters: health()
+// stays the per-database view tests assert on; these accumulate across every
+// Database in the process (docs/OBSERVABILITY.md).
+Counter& CorruptionEvents() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.storage.corruption_events", "ops",
+      "checksum/coverage failures detected");
+  return *c;
+}
+Counter& QuarantinedIndexes() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.storage.quarantined_indexes", "ops",
+      "indexes renamed aside after damage");
+  return *c;
+}
+Counter& DegradedQueries() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.storage.degraded_queries", "ops",
+      "queries answered by full scan because of quarantine");
+  return *c;
+}
+Counter& Rebuilds() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.storage.rebuilds", "ops", "successful RebuildIndex calls");
+  return *c;
+}
+Gauge& OpenIndexes() {
+  static Gauge* g = MetricsRegistry::Instance().FindOrCreateGauge(
+      "fix.db.open_indexes", "indexes",
+      "attached (non-quarantined) indexes across live databases");
+  return *g;
+}
 
 /// Renames `path` to `path + ".quarantined"` if it exists (best effort:
 /// quarantine must not fail recovery, so errors are logged, not returned).
@@ -29,6 +63,10 @@ void RemoveIfExists(const std::string& path) {
 }
 
 }  // namespace
+
+Database::~Database() {
+  OpenIndexes().Add(-static_cast<int64_t>(indexes_.size()));
+}
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& workdir,
                                                  OpenOptions options) {
@@ -64,6 +102,7 @@ void Database::QuarantineIndex(const std::string& name, const Status& why) {
   for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
     if (it->first == name) {
       indexes_.erase(it);
+      OpenIndexes().Add(-1);
       break;
     }
   }
@@ -73,6 +112,7 @@ void Database::QuarantineIndex(const std::string& name, const Status& why) {
   QuarantineFile(path + ".data");
   degraded_.insert(name);
   ++health_.quarantined_indexes;
+  QuarantinedIndexes().Increment();
 }
 
 Status Database::AttachOrQuarantine(const std::string& name) {
@@ -97,12 +137,14 @@ Status Database::AttachOrQuarantine(const std::string& name) {
     }
     if (failure.ok()) {
       indexes_.emplace_back(name, std::move(idx));
+      OpenIndexes().Add(1);
       return Status::OK();
     }
     // idx is destroyed (closing its files) before the quarantine rename.
   }
   if (failure.IsCorruption() || failure.IsIOError() || failure.IsNotFound()) {
     ++health_.corruption_events;
+    CorruptionEvents().Increment();
     QuarantineIndex(name, failure);
     return Status::OK();
   }
@@ -127,6 +169,7 @@ Result<FixIndex*> Database::BuildIndex(const std::string& name,
   health_.feature_cache_evictions += effective->feature_cache_evictions;
   indexes_.emplace_back(name,
                         std::make_unique<FixIndex>(std::move(built).value()));
+  OpenIndexes().Add(1);
   return indexes_.back().second.get();
 }
 
@@ -136,6 +179,7 @@ Result<FixIndex*> Database::AttachIndex(const std::string& name) {
   if (!opened.ok()) return opened.status();
   indexes_.emplace_back(name,
                         std::make_unique<FixIndex>(std::move(opened).value()));
+  OpenIndexes().Add(1);
   return indexes_.back().second.get();
 }
 
@@ -145,6 +189,7 @@ Result<FixIndex*> Database::RebuildIndex(const std::string& name,
   for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
     if (it->first == name) {
       indexes_.erase(it);
+      OpenIndexes().Add(-1);
       break;
     }
   }
@@ -156,7 +201,10 @@ Result<FixIndex*> Database::RebuildIndex(const std::string& name,
     RemoveIfExists(p);
   }
   auto rebuilt = BuildIndex(name, std::move(options), stats);
-  if (rebuilt.ok()) ++health_.rebuilds;
+  if (rebuilt.ok()) {
+    ++health_.rebuilds;
+    Rebuilds().Increment();
+  }
   return rebuilt;
 }
 
@@ -181,6 +229,7 @@ Result<ExecStats> Database::Query(const std::string& index_name,
   FIX_ASSIGN_OR_RETURN(q, Compile(xpath));
   if (degraded_.count(index_name) > 0) {
     ++health_.degraded_queries;
+    DegradedQueries().Increment();
     ExecStats stats;
     FIX_ASSIGN_OR_RETURN(stats,
                          FullScanExecute(&corpus_, q, results, /*total=*/0));
@@ -200,8 +249,10 @@ Result<ExecStats> Database::Query(const std::string& index_name,
     // caller gets a correct result and a degraded-mode flag, never the
     // corruption masked as an empty result set.
     ++health_.corruption_events;
+    CorruptionEvents().Increment();
     QuarantineIndex(index_name, executed.status());
     ++health_.degraded_queries;
+    DegradedQueries().Increment();
     ExecStats stats;
     FIX_ASSIGN_OR_RETURN(stats,
                          FullScanExecute(&corpus_, q, results, /*total=*/0));

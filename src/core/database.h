@@ -1,6 +1,16 @@
 // Database: the one-stop public facade. Owns the corpus and any number of
 // FIX indexes; parses XPath strings; routes queries through the best
 // applicable index (or a full scan). This is the API the examples use.
+//
+// Thread-safety: a Database is single-threaded from the caller's point of
+// view — no method may run concurrently with any other method on the same
+// instance (index building parallelizes internally via
+// IndexOptions::build_threads, which is invisible here). Distinct Database
+// instances are independent and may be used from different threads.
+//
+// Observability: per-instance counters are served by health(); every event
+// is also mirrored into the process-wide MetricsRegistry under the
+// `fix.storage.*` / `fix.db.*` names (see docs/OBSERVABILITY.md).
 
 #ifndef FIX_CORE_DATABASE_H_
 #define FIX_CORE_DATABASE_H_
@@ -31,8 +41,16 @@ class Database {
     std::function<std::unique_ptr<PageIo>()> page_io_factory;
   };
 
-  /// `workdir` holds the primary store and index files; it must exist.
+  /// @pre `workdir` (the directory holding the primary store and index
+  /// files) exists.
   explicit Database(std::string workdir) : workdir_(std::move(workdir)) {}
+
+  /// Releases every attached index (closing their files) and drops their
+  /// contribution to the process-wide `fix.db.open_indexes` gauge.
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
 
   /// Recovery-aware opening of an existing database directory: restores the
   /// corpus (Corpus::Save layout) and attaches every `*.fix` index found.
@@ -46,6 +64,12 @@ class Database {
   /// Returns a pointer (not a value): FixIndex handles keep raw pointers to
   /// the owning corpus, so the Database must never move after indexes
   /// attach.
+  ///
+  /// @pre `workdir` was populated by Save()/Finalize() (or fixctl).
+  /// @post Every healthy `*.fix` index in the directory is attached;
+  ///       damaged ones are renamed aside and marked degraded.
+  /// @return The opened database, or NotFound/IOError when the corpus
+  ///         itself cannot be restored (index damage never fails Open).
   [[nodiscard]] static Result<std::unique_ptr<Database>> Open(
       const std::string& workdir, OpenOptions options);
   [[nodiscard]] static Result<std::unique_ptr<Database>> Open(
@@ -57,9 +81,11 @@ class Database {
   /// database can later be reopened with Open().
   [[nodiscard]] Status Save() { return corpus_.Save(workdir_); }
 
+  /// The owned corpus; never null, valid for the Database's lifetime.
   Corpus* corpus() { return &corpus_; }
 
-  /// Parses and adds one XML document. Returns its doc id.
+  /// Parses and adds one XML document.
+  /// @return The new document's id, or ParseError on malformed XML.
   [[nodiscard]] Result<uint32_t> AddXml(std::string_view xml) { return corpus_.AddXml(xml); }
 
   /// Adds an already-built document (generators use this).
@@ -73,20 +99,33 @@ class Database {
   }
 
   /// Builds a FIX index named `name` with the given options (options.path
-  /// is derived from the name). Returns the index handle; the Database
-  /// retains ownership.
+  /// is derived from the name).
+  /// @pre No attached index is already registered under `name`.
+  /// @post On success the index is attached and queryable under `name`.
+  /// @return A handle owned by the Database (valid until the index is
+  ///         quarantined, rebuilt, or the Database dies), or the build
+  ///         failure (InvalidArgument/IOError).
   [[nodiscard]] Result<FixIndex*> BuildIndex(const std::string& name, IndexOptions options,
                                BuildStats* stats = nullptr);
 
+  /// The attached index registered under `name`, or nullptr (unknown name,
+  /// or quarantined).
   FixIndex* index(const std::string& name);
 
   /// Reopens an index previously built (possibly by an earlier process)
   /// under this workdir and registers it under `name`.
+  /// @return A Database-owned handle, or NotFound/Corruption from opening
+  ///         the on-disk files (no quarantine happens on this path).
   [[nodiscard]] Result<FixIndex*> AttachIndex(const std::string& name);
 
   /// Drops any trace of index `name` (attached handle, quarantined files,
   /// degraded marker) and builds it afresh from the in-memory corpus —
   /// the recovery path out of degraded mode.
+  /// @post On success IsDegraded(name) is false and health().rebuilds has
+  ///       been incremented.
+  /// @return The fresh Database-owned handle, or the build failure (in
+  ///         which case the old files are already gone and the name stays
+  ///         unregistered).
   [[nodiscard]] Result<FixIndex*> RebuildIndex(const std::string& name,
                                                IndexOptions options,
                                                BuildStats* stats = nullptr);
@@ -97,15 +136,24 @@ class Database {
     return degraded_.count(name) > 0;
   }
 
+  /// This instance's degradation/corruption counters. Process-wide totals
+  /// (across all databases) live in the MetricsRegistry as
+  /// `fix.storage.*`; this is the per-database slice of the same events.
   const StorageHealth& health() const { return health_; }
 
   /// Parses an XPath string, resolves labels, and executes it through the
-  /// named index.
+  /// named index. A degraded (quarantined) name is answered by full scan
+  /// with ExecStats::degraded set; corruption surfacing mid-query
+  /// quarantines the index and re-answers from the ground truth.
+  /// @return The execution's stats, or ParseError (bad XPath) / NotFound
+  ///         (unknown, non-degraded index name). Never returns Corruption:
+  ///         damage degrades, it does not fail queries.
   [[nodiscard]] Result<ExecStats> Query(const std::string& index_name,
                           const std::string& xpath,
                           std::vector<NodeRef>* results = nullptr);
 
   /// Parses + resolves an XPath string without executing (for harnesses).
+  /// @return The compiled twig, or ParseError.
   [[nodiscard]] Result<TwigQuery> Compile(const std::string& xpath);
 
  private:

@@ -9,8 +9,10 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "graph/bisim_builder.h"
 #include "graph/bisim_traveler.h"
 #include "query/compile.h"
@@ -49,6 +51,40 @@ FeatureKey MakeKey(LabelId label, const EigPair& eigs) {
   key.lambda_min = eigs.lambda_min;
   key.lambda2 = eigs.lambda2;
   return key;
+}
+
+// Registry fold of one finished bulk build (docs/OBSERVABILITY.md).
+void RecordBuildStats(const BuildStats& stats) {
+  MetricsRegistry& r = MetricsRegistry::Instance();
+  static Counter* builds = r.FindOrCreateCounter(
+      "fix.build.count", "ops", "bulk index builds completed");
+  static Counter* entries = r.FindOrCreateCounter(
+      "fix.build.entries.total", "entries", "index entries emitted by builds");
+  static Counter* oversized = r.FindOrCreateCounter(
+      "fix.build.oversized.total", "patterns",
+      "patterns degraded to the always-candidate range");
+  static Counter* distinct = r.FindOrCreateCounter(
+      "fix.build.distinct_patterns.total", "patterns",
+      "distinct depth-limited patterns solved");
+  static Counter* vertices = r.FindOrCreateCounter(
+      "fix.build.bisim_vertices.total", "vertices",
+      "bisimulation-graph vertices built");
+  static Counter* edges = r.FindOrCreateCounter(
+      "fix.build.bisim_edges.total", "edges",
+      "bisimulation-graph edges built");
+  static Gauge* threads = r.FindOrCreateGauge(
+      "fix.build.threads", "threads", "thread count of the last build");
+  static Histogram* duration = r.FindOrCreateHistogram(
+      "fix.build.construction_us", "us", "bulk build wall time");
+  builds->Increment();
+  entries->Add(stats.entries);
+  oversized->Add(stats.oversized_patterns);
+  distinct->Add(stats.distinct_patterns);
+  vertices->Add(stats.bisim_vertices);
+  edges->Add(stats.bisim_edges);
+  threads->Set(stats.build_threads_used);
+  duration->Record(
+      static_cast<uint64_t>(stats.construction_seconds * 1e6));
 }
 
 }  // namespace
@@ -110,7 +146,12 @@ Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
   if (options.path.empty()) {
     return Status::InvalidArgument("IndexOptions.path must be set");
   }
+  TraceSpan span("index.build");
   Timer timer;
+  // Collect stats even when the caller passed none, so the registry fold
+  // below always sees the real numbers.
+  BuildStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   FixIndex index(corpus, options);
   index.file_ = options.page_io_factory != nullptr
                     ? std::make_unique<PageFile>(options.page_io_factory())
@@ -147,12 +188,13 @@ Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
   index.indexed_docs_ = corpus->num_docs();
   FIX_RETURN_IF_ERROR(index.WriteMeta());
 
-  if (stats != nullptr) {
-    stats->construction_seconds = timer.ElapsedSeconds();
-    stats->entries = index.btree_->num_entries();
-    stats->btree_bytes = index.BTreeBytes();
-    stats->clustered_bytes = index.ClusteredBytes();
-  }
+  stats->construction_seconds = timer.ElapsedSeconds();
+  stats->entries = index.btree_->num_entries();
+  stats->btree_bytes = index.BTreeBytes();
+  stats->clustered_bytes = index.ClusteredBytes();
+  RecordBuildStats(*stats);
+  span.AddAttr("entries", stats->entries);
+  span.AddAttr("threads", static_cast<uint64_t>(stats->build_threads_used));
   return index;
 }
 
@@ -581,6 +623,12 @@ Result<FeatureKey> FixIndex::QueryFeatures(const TwigQuery& subtwig) {
 
 Result<FixIndex::LookupResult> FixIndex::Probe(const TwigQuery& subtwig,
                                                bool use_root_label) {
+  static Counter* probes = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.index.probe.count", "ops", "B+-tree range probes");
+  static Histogram* probe_us = MetricsRegistry::Instance().FindOrCreateHistogram(
+      "fix.index.probe_us", "us", "B+-tree range probe latency");
+  TraceSpan span("index.probe");
+  Timer timer;
   LookupResult out;
   FeatureKey probe;
   FIX_ASSIGN_OR_RETURN(probe, QueryFeatures(subtwig));
@@ -635,6 +683,10 @@ Result<FixIndex::LookupResult> FixIndex::Probe(const TwigQuery& subtwig,
     }
     FIX_RETURN_IF_ERROR(it.Next());
   }
+  probes->Increment();
+  probe_us->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+  span.AddAttr("entries_scanned", out.entries_scanned);
+  span.AddAttr("candidates", static_cast<uint64_t>(out.candidates.size()));
   return out;
 }
 

@@ -39,6 +39,17 @@
 
 namespace fix {
 
+/// The FIX index proper: spectral feature keys in a disk-resident B+-tree.
+///
+/// Thread-safety: a FixIndex must be used from one thread at a time.
+/// Build() parallelizes internally (per IndexOptions::build_threads) but
+/// returns a fully quiesced object; no worker threads outlive it. Lookup,
+/// Probe, and EstimateCandidates mutate shared state (buffer pool, lazy
+/// histogram) and are not safe to call concurrently.
+///
+/// Observability: construction records fix.build.* and lookup records
+/// fix.index.probe* in the process-wide MetricsRegistry, and both emit
+/// trace spans ("index.build", "index.probe") when tracing is enabled.
 class FixIndex {
  public:
   /// One index hit awaiting refinement.
@@ -57,10 +68,18 @@ class FixIndex {
     bool covered = true;
   };
 
-  /// Builds the index over `corpus` per `options`. The corpus must outlive
-  /// the index. `stats` may be null. Alongside the B+-tree file at
-  /// options.path, a metadata sidecar (options + edge-weight encoding) is
-  /// written to options.path + ".meta" so the index can be reopened.
+  /// Builds the index over `corpus` per `options`. `stats` may be null.
+  /// Alongside the B+-tree file at options.path, a metadata sidecar
+  /// (options + edge-weight encoding) is written to options.path + ".meta"
+  /// so the index can be reopened.
+  ///
+  /// @pre `corpus` is non-null and outlives the returned index.
+  /// @pre options.path names a writable location; an existing file there
+  ///      is truncated.
+  /// @post on success the B+-tree and meta sidecar are flushed to disk and
+  ///       the index is immediately queryable.
+  /// @return the opened index, or InvalidArgument (bad options), IOError
+  ///         (storage), or Internal (eigensolver) on failure.
   [[nodiscard]] static Result<FixIndex> Build(Corpus* corpus, const IndexOptions& options,
                                 BuildStats* stats);
 
@@ -70,6 +89,10 @@ class FixIndex {
   /// B+-tree without any rebuild. `page_io_factory` (optional) overrides
   /// the page-file backend, mirroring IndexOptions::page_io_factory — it is
   /// a parameter here because the factory is never persisted in the meta.
+  ///
+  /// @pre `corpus` is non-null and is the corpus the index was built over.
+  /// @return the reopened index, or NotFound (missing file), Corruption
+  ///         (checksum or meta damage), or IOError on failure.
   [[nodiscard]] static Result<FixIndex> Open(
       Corpus* corpus, const std::string& path,
       const std::function<std::unique_ptr<PageIo>()>& page_io_factory =
@@ -81,6 +104,10 @@ class FixIndex {
   /// Full Algorithm 2 lookup: decomposes at interior //-edges, probes the
   /// B+-tree per usable sub-twig, and (for whole-document indexes)
   /// intersects candidate documents across sub-twigs.
+  ///
+  /// @pre `query` has had ResolveLabels run against this index's corpus.
+  /// @return the candidate set (covered == false signals the caller must
+  ///         full-scan), or Corruption/IOError if a probe page read fails.
   [[nodiscard]] Result<LookupResult> Lookup(const TwigQuery& query);
 
   /// Probes with a single pure twig (no decomposition). Exposed for tests
@@ -92,33 +119,53 @@ class FixIndex {
   /// (one entry per element), and for whole-document indexes only when the
   /// query is rooted (/a/...) so the pattern root must be the document's
   /// root element. Lookup() picks the sound setting automatically.
+  ///
+  /// @pre `subtwig` is a pure twig (no interior //-edges) with resolved
+  ///      labels.
+  /// @return candidates of the single range scan, or Corruption/IOError.
   [[nodiscard]] Result<LookupResult> Probe(const TwigQuery& subtwig,
                              bool use_root_label = true);
 
   /// Computes the probe features of a pure twig query (pattern → matrix →
   /// eigenvalues). Exposed for diagnostics.
+  ///
+  /// @return the feature key, or Internal if the eigensolver fails to
+  ///         converge on the query pattern.
   [[nodiscard]] Result<FeatureKey> QueryFeatures(const TwigQuery& subtwig);
 
   /// Estimates the candidate count of a query without touching candidates,
   /// via per-label equi-depth histograms over λ_max (Section 5's costing
   /// aid). The histogram is built lazily on first use and invalidated by
   /// InsertDocument/RemoveDocument.
+  ///
+  /// @return the estimate (0 for uncovered queries), or Corruption/IOError
+  ///         if the lazy histogram build's tree scan fails.
   [[nodiscard]] Result<uint64_t> EstimateCandidates(const TwigQuery& query);
 
   /// Incrementally indexes a document that was appended to the corpus
   /// after Build (unclustered indexes only: clustered layouts require the
   /// key-ordered copy store to be rebuilt, the update cost the paper's
   /// introduction charges against clustering indexes).
+  ///
+  /// @pre doc_id is a valid corpus document not yet indexed.
+  /// @post on success the meta sidecar is rewritten (indexed_docs advances).
+  /// @return OK, NotSupported for clustered indexes, InvalidArgument for a
+  ///         doc_id outside the corpus, or the first storage/solver error.
   [[nodiscard]] Status InsertDocument(uint32_t doc_id, BuildStats* stats = nullptr);
 
   /// Deletes every index entry pointing into `doc_id` (linear scan of the
   /// tree + lazy B+-tree deletes). The document itself stays in the
   /// corpus; callers track liveness.
+  ///
+  /// @post the candidate-estimate histogram is invalidated.
+  /// @return OK (removing an unindexed document is a no-op), or the first
+  ///         scan/delete/flush error.
   [[nodiscard]] Status RemoveDocument(uint32_t doc_id);
 
   /// Integrity audit of the on-disk index: full B+-tree structural walk
   /// (every page read passes through the checksum layer on the way).
-  /// Returns kCorruption describing the first violation found.
+  ///
+  /// @return OK, or Corruption describing the first violation found.
   [[nodiscard]] Status Verify() { return btree_->VerifyStructure(); }
 
   uint64_t num_entries() const { return btree_->num_entries(); }

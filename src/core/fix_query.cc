@@ -4,7 +4,9 @@
 #include <memory>
 #include <set>
 
+#include "common/metrics_registry.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "query/match.h"
 #include "xml/serializer.h"
 
@@ -19,18 +21,106 @@ bool IsRootedQuery(const TwigQuery& q) {
   return q.steps[q.root].axis == Axis::kChild;
 }
 
+// Query-path metrics (docs/OBSERVABILITY.md). One RecordExecStats call per
+// finished execution keeps the hot refinement loops free of atomics.
+struct QueryMetrics {
+  Counter* queries;
+  Counter* fullscans;
+  Counter* uncovered;
+  Counter* candidates;
+  Counter* producing;
+  Counter* results;
+  Counter* entries_scanned;
+  Counter* nodes_visited;
+  Counter* random_reads;
+  Counter* sequential_bytes;
+  Histogram* lookup_us;
+  Histogram* refine_us;
+};
+
+const QueryMetrics& GetQueryMetrics() {
+  static const QueryMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Instance();
+    QueryMetrics qm;
+    qm.queries = r.FindOrCreateCounter("fix.query.count", "ops",
+                                       "queries executed (any path)");
+    qm.fullscans = r.FindOrCreateCounter(
+        "fix.query.fullscan.count", "ops",
+        "queries answered by the navigational full scan");
+    qm.uncovered = r.FindOrCreateCounter(
+        "fix.query.uncovered.count", "ops",
+        "queries deeper than the index's depth limit");
+    // Degradation is counted by fix.storage.degraded_queries (database.cc):
+    // the Database decides to degrade after this layer's stats are already
+    // recorded, so a counter here would never move.
+    qm.candidates = r.FindOrCreateCounter(
+        "fix.query.candidates.total", "entries",
+        "index-probe candidates across all queries (cdt)");
+    qm.producing = r.FindOrCreateCounter(
+        "fix.query.producing.total", "entries",
+        "candidates that produced >= 1 result (rst)");
+    qm.results = r.FindOrCreateCounter("fix.query.results.total", "nodes",
+                                       "result bindings returned");
+    qm.entries_scanned = r.FindOrCreateCounter(
+        "fix.query.entries_scanned.total", "entries",
+        "B+-tree leaf entries touched during probes");
+    qm.nodes_visited = r.FindOrCreateCounter(
+        "fix.query.nodes_visited.total", "nodes",
+        "matcher nodes visited during refinement");
+    qm.random_reads = r.FindOrCreateCounter(
+        "fix.query.random_reads.total", "ops",
+        "primary-storage pointer dereferences during refinement");
+    qm.sequential_bytes = r.FindOrCreateCounter(
+        "fix.query.sequential_bytes.total", "bytes",
+        "clustered-store bytes read during refinement");
+    qm.lookup_us = r.FindOrCreateHistogram(
+        "fix.query.lookup_us", "us",
+        "candidate-selection (index probe) latency");
+    qm.refine_us = r.FindOrCreateHistogram("fix.query.refine_us", "us",
+                                           "refinement latency");
+    return qm;
+  }();
+  return m;
+}
+
 }  // namespace
+
+void RecordExecStats(const ExecStats& stats) {
+  const QueryMetrics& m = GetQueryMetrics();
+  m.queries->Increment();
+  if (!stats.used_index) m.fullscans->Increment();
+  if (!stats.covered) m.uncovered->Increment();
+  if (stats.used_index) m.candidates->Add(stats.candidates);
+  if (stats.producing_valid) m.producing->Add(stats.producing);
+  m.results->Add(stats.result_count);
+  m.entries_scanned->Add(stats.entries_scanned);
+  m.nodes_visited->Add(stats.nodes_visited);
+  m.random_reads->Add(stats.random_reads);
+  m.sequential_bytes->Add(stats.sequential_bytes);
+  m.lookup_us->Record(static_cast<uint64_t>(stats.lookup_ms * 1000.0));
+  m.refine_us->Record(static_cast<uint64_t>(stats.refine_ms * 1000.0));
+}
 
 Result<ExecStats> FixQueryProcessor::Execute(const TwigQuery& query,
                                              std::vector<NodeRef>* results,
                                              RefineMode mode) {
   if (results != nullptr) results->clear();
+  TraceSpan span("query.execute");
   Timer timer;
   FixIndex::LookupResult lookup;
-  FIX_ASSIGN_OR_RETURN(lookup, index_->Lookup(query));
+  {
+    TraceSpan lookup_span("query.lookup");
+    auto lookup_or = index_->Lookup(query);
+    if (!lookup_or.ok()) return lookup_or.status();
+    lookup = std::move(lookup_or).value();
+    lookup_span.AddAttr("candidates",
+                        static_cast<uint64_t>(lookup.candidates.size()));
+    lookup_span.AddAttr("entries_scanned", lookup.entries_scanned);
+  }
   if (!lookup.covered) {
     // Algorithm 2 step 1 failed: the optimizer falls back to the
     // navigational operator over the whole database.
+    span.AddAttr("path", "fullscan");
     return FullScan(query, results);
   }
   ExecStats stats;
@@ -40,9 +130,15 @@ Result<ExecStats> FixQueryProcessor::Execute(const TwigQuery& query,
   stats.entries_scanned = lookup.entries_scanned;
 
   timer.Reset();
-  FIX_RETURN_IF_ERROR(
-      RefineCandidates(query, lookup.candidates, mode, &stats, results));
+  {
+    TraceSpan refine_span("query.refine");
+    FIX_RETURN_IF_ERROR(
+        RefineCandidates(query, lookup.candidates, mode, &stats, results));
+    refine_span.AddAttr("nodes_visited", stats.nodes_visited);
+    refine_span.AddAttr("results", stats.result_count);
+  }
   stats.refine_ms = timer.ElapsedMillis();
+  RecordExecStats(stats);
   return stats;
 }
 
@@ -161,6 +257,7 @@ Result<ExecStats> FullScanExecute(Corpus* corpus, const TwigQuery& query,
                                   std::vector<NodeRef>* results,
                                   uint64_t total_entries) {
   if (results != nullptr) results->clear();
+  TraceSpan span("query.fullscan");
   ExecStats stats;
   stats.covered = false;
   stats.used_index = false;
@@ -178,6 +275,7 @@ Result<ExecStats> FullScanExecute(Corpus* corpus, const TwigQuery& query,
     }
   }
   stats.refine_ms = timer.ElapsedMillis();
+  RecordExecStats(stats);
   return stats;
 }
 

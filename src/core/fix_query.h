@@ -62,6 +62,13 @@ struct ExecStats {
   }
 };
 
+/// Folds one finished execution's ExecStats into the process-wide
+/// MetricsRegistry (fix.query.* counters and latency histograms; see
+/// docs/OBSERVABILITY.md). Called automatically by FixQueryProcessor and
+/// FullScanExecute; exposed so alternative drivers can keep the registry
+/// honest.
+void RecordExecStats(const ExecStats& stats);
+
 /// Evaluates `query` with the navigational matcher over every document —
 /// the always-correct baseline path. Shared by FixQueryProcessor (queries
 /// the index does not cover) and Database (graceful degradation when an

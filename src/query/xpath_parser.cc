@@ -2,6 +2,10 @@
 
 #include <cctype>
 
+#include "common/metrics_registry.h"
+#include "common/timer.h"
+#include "common/trace.h"
+
 namespace fix {
 
 namespace {
@@ -164,8 +168,18 @@ class Parser {
 }  // namespace
 
 Result<TwigQuery> ParseXPath(std::string_view text) {
+  static Counter* compiles = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.xpath.compile.count", "ops", "XPath expressions compiled");
+  static Histogram* latency = MetricsRegistry::Instance().FindOrCreateHistogram(
+      "fix.xpath.compile_us", "us", "XPath compile latency");
+  TraceSpan span("xpath.compile");
+  Timer timer;
   Parser parser(text);
-  return parser.Parse();
+  auto result = parser.Parse();
+  compiles->Increment();
+  latency->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+  span.AddAttr("ok", static_cast<uint64_t>(result.ok() ? 1 : 0));
+  return result;
 }
 
 }  // namespace fix

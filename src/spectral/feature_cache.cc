@@ -3,8 +3,32 @@
 #include <functional>
 
 #include "common/bytes.h"
+#include "common/metrics_registry.h"
 
 namespace fix {
+
+namespace {
+
+// Process-wide mirrors of the per-cache shard counters (Stats() keeps the
+// per-instance view used by BuildStats).
+Counter& CacheHits() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.spectral.cache.hits", "ops", "feature-cache signature hits");
+  return *c;
+}
+Counter& CacheMisses() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.spectral.cache.misses", "ops", "feature-cache signature misses");
+  return *c;
+}
+Counter& CacheEvictions() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.spectral.cache.evictions", "ops",
+      "feature-cache entries evicted by the byte budget");
+  return *c;
+}
+
+}  // namespace
 
 std::string CanonicalPatternSignature(const BisimGraph& graph) {
   std::string sig;
@@ -42,9 +66,11 @@ bool FeatureCache::Lookup(std::string_view key, CachedFeature* out) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    CacheMisses().Increment();
     return false;
   }
   ++shard.hits;
+  CacheHits().Increment();
   *out = it->second->value;
   return true;
 }
@@ -65,6 +91,7 @@ void FeatureCache::Insert(std::string_view key, const CachedFeature& value) {
     shard.index.erase(std::string_view(oldest.key));
     shard.entries.pop_back();
     ++shard.evictions;
+    CacheEvictions().Increment();
   }
 }
 

@@ -5,11 +5,38 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/metrics_registry.h"
+#include "common/timer.h"
 #include "spectral/sym_eigen.h"
 
 namespace fix {
 
 namespace {
+
+// Every spectral key computed anywhere (build, probe, cache miss) funnels
+// through SkewSpectrum, so this is the one place eigensolve cost is
+// accounted (docs/OBSERVABILITY.md).
+Counter& EigCount() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.spectral.eigensolve.count", "ops", "skew-spectrum eigensolves");
+  return *c;
+}
+Counter& EigFailures() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.spectral.eigensolve_failures.count", "ops",
+      "eigensolves that did not converge");
+  return *c;
+}
+Histogram& EigLatency() {
+  static Histogram* h = MetricsRegistry::Instance().FindOrCreateHistogram(
+      "fix.spectral.eigensolve_us", "us", "skew-spectrum eigensolve latency");
+  return *h;
+}
+Histogram& EigMatrixDim() {
+  static Histogram* h = MetricsRegistry::Instance().FindOrCreateHistogram(
+      "fix.spectral.matrix_dim", "n", "bisimulation matrix dimension");
+  return *h;
+}
 
 // Debug-build validation that `m` really is anti-symmetric (zero diagonal,
 // M[i][j] == -M[j][i]) before we rely on it for the MᵀM shortcut. O(n²) but
@@ -46,6 +73,8 @@ Result<std::vector<double>> SkewSpectrum(const DenseMatrix& m) {
   const size_t n = m.n();
   if (n == 0) return std::vector<double>{};  // empty pattern: empty spectrum
   DcheckAntiSymmetric(m);
+  Timer timer;
+  EigMatrixDim().Record(n);
   // B = MᵀM; for anti-symmetric M this is symmetric positive semidefinite
   // with eigenvalues σᵢ². Anti-symmetry turns the column dot product
   // Σₖ m(k,i)·m(k,j) into the row dot product Σₖ m(i,k)·m(j,k) — the two
@@ -76,8 +105,14 @@ Result<std::vector<double>> SkewSpectrum(const DenseMatrix& m) {
       }
     }
   }
-  std::vector<double> sq;
-  FIX_ASSIGN_OR_RETURN(sq, SymmetricEigenvalues(b));
+  auto sq_or = SymmetricEigenvalues(b);
+  if (!sq_or.ok()) {
+    EigFailures().Increment();
+    return sq_or.status();
+  }
+  std::vector<double> sq = std::move(sq_or).value();
+  EigCount().Increment();
+  EigLatency().Record(static_cast<uint64_t>(timer.ElapsedMicros()));
   std::vector<double> sigmas(sq.size());
   for (size_t i = 0; i < sq.size(); ++i) {
     sigmas[i] = std::sqrt(std::max(0.0, sq[i]));  // clamp round-off

@@ -40,20 +40,38 @@ namespace fix {
 /// scrub tool can identify B+-tree files without opening a full BTree.
 inline constexpr uint32_t kBTreeMagic = 0x46495842;
 
+/// Thread-safety: a BTree (and the BufferPool beneath it) confines itself
+/// to one thread at a time; reads pin pages in the shared pool and writes
+/// mutate the meta page. The parallel build pipeline respects this by
+/// funneling all inserts/bulk-loads through one thread.
 class BTree {
  public:
-  /// Creates a new tree in `pool`'s file (which must be empty) with the
-  /// given fixed key/value sizes.
+  /// Creates a new tree in `pool`'s file with the given fixed key/value
+  /// sizes.
+  ///
+  /// @pre `pool` is non-null and its file is empty; one leaf entry and one
+  ///      inner entry must each fit a page.
+  /// @post page 0 holds the meta and page 1 an empty root leaf.
+  /// @return the new tree, or InvalidArgument/IOError on failure.
   [[nodiscard]] static Result<BTree> Create(BufferPool* pool, uint32_t key_size,
                               uint32_t value_size);
 
   /// Opens an existing tree from page 0 of `pool`'s file.
+  ///
+  /// @pre `pool` is non-null and outlives the tree.
+  /// @return the tree, or Corruption if the meta page fails validation
+  ///         (magic, sizes, root id), or IOError.
   [[nodiscard]] static Result<BTree> Open(BufferPool* pool);
 
   BTree(BTree&&) = default;
   BTree& operator=(BTree&&) = default;
 
-  /// Inserts one entry. key/value sizes must match the tree's configuration.
+  /// Inserts one entry.
+  ///
+  /// @pre key/value sizes match the tree's configuration.
+  /// @post num_entries() grows by one; splits may add pages but never move
+  ///       existing entries to earlier keys.
+  /// @return OK, InvalidArgument on a size mismatch, or a page I/O error.
   [[nodiscard]] Status Insert(std::string_view key, std::string_view value);
 
   /// Bulk-loads `entries` — which must be sorted by key, non-descending
@@ -62,16 +80,25 @@ class BTree {
   /// up. One sequential pass instead of n random root-to-leaf descents:
   /// every page is written exactly once and leaves carry no split slack.
   /// The tree remains fully mutable afterwards (Insert/Delete work as
-  /// usual). Returns InvalidArgument if the tree is not empty, the input is
-  /// not sorted, or any key/value has the wrong size.
+  /// usual).
+  ///
+  /// @pre the tree is freshly created and empty; `entries` is sorted.
+  /// @return OK, InvalidArgument if the tree is not empty, the input is
+  ///         not sorted, or any key/value has the wrong size; else I/O
+  ///         errors from page writes.
   [[nodiscard]] Status BulkLoad(
       const std::vector<std::pair<std::string, std::string>>& entries);
 
-  /// Looks up the first entry with exactly `key`; returns NotFound if absent.
+  /// Looks up the first entry with exactly `key`.
+  ///
+  /// @return the value, NotFound if absent, or Corruption/IOError from the
+  ///         descent's page reads.
   [[nodiscard]] Result<std::string> Get(std::string_view key);
 
-  /// Removes the first entry equal to (key, value); returns NotFound if no
-  /// such pair exists. Lazy: pages are never merged or freed.
+  /// Removes the first entry equal to (key, value). Lazy: pages are never
+  /// merged or freed.
+  ///
+  /// @return OK, NotFound if no such pair exists, or a page I/O error.
   [[nodiscard]] Status Delete(std::string_view key, std::string_view value);
 
   /// Forward iterator over (key, value) pairs in key order.
@@ -93,12 +120,23 @@ class BTree {
   };
 
   /// Positions an iterator at the first entry with key >= `key`.
+  ///
+  /// @return the iterator (Valid() false when every key is smaller), or a
+  ///         page read error. The iterator pins its leaf; it must not
+  ///         outlive the tree.
   [[nodiscard]] Result<Iterator> Seek(std::string_view key);
 
   /// Positions an iterator at the smallest key.
+  ///
+  /// @return the iterator (Valid() false on an empty tree), or a page read
+  ///         error.
   [[nodiscard]] Result<Iterator> SeekFirst();
 
   /// Writes all dirty pages and the meta page back to the file.
+  ///
+  /// @post on OK every modification so far is in the file (though not
+  ///       necessarily fsync'ed — that is PageFile::Sync's job).
+  /// @return OK or the first page write error.
   [[nodiscard]] Status Flush();
 
   /// Full structural audit, independent of page checksums: walks every node
@@ -110,6 +148,8 @@ class BTree {
   /// description of the first violation. Catches damage that per-page CRCs
   /// cannot — pages that are internally consistent but mutually inconsistent
   /// (e.g. a crash that persisted only some dirty pages).
+  ///
+  /// @return OK, Corruption with the first violation, or a page I/O error.
   [[nodiscard]] Status VerifyStructure();
 
   uint64_t num_entries() const { return num_entries_; }

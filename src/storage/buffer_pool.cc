@@ -3,8 +3,31 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 
 namespace fix {
+
+namespace {
+
+// Process-wide mirrors of the per-pool hits_/misses_/evictions_ members
+// (which tests assert on per instance; see docs/OBSERVABILITY.md).
+Counter& PoolHits() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.bufferpool.hits", "ops", "page fetches served from the pool");
+  return *c;
+}
+Counter& PoolMisses() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.bufferpool.misses", "ops", "page fetches that went to disk");
+  return *c;
+}
+Counter& PoolEvictions() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.bufferpool.evictions", "ops", "frames reclaimed from the LRU list");
+  return *c;
+}
+
+}  // namespace
 
 PageHandle::PageHandle(BufferPool* pool, size_t frame, PageId page)
     : pool_(pool), frame_(frame), page_(page) {}
@@ -69,6 +92,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     ++hits_;
+    PoolHits().Increment();
     Frame& f = frames_[it->second];
     FIX_DCHECK_EQ(f.page, id);
     FIX_DCHECK_GE(f.pins, 0);
@@ -80,6 +104,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     return PageHandle(this, it->second, id);
   }
   ++misses_;
+  PoolMisses().Increment();
   size_t idx;
   FIX_ASSIGN_OR_RETURN(idx, GrabFrame());
   Frame& f = frames_[idx];
@@ -139,6 +164,7 @@ Result<size_t> BufferPool::GrabFrame() {
   page_to_frame_.erase(f.page);
   f.page = kInvalidPage;
   ++evictions_;
+  PoolEvictions().Increment();
   return idx;
 }
 

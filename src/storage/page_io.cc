@@ -9,7 +9,41 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/metrics_registry.h"
+
 namespace fix {
+
+namespace {
+
+// Process-wide I/O telemetry (docs/OBSERVABILITY.md). Registered once via
+// function-local statics; every FilePageIo instance feeds the same totals.
+Counter& PageReadOps() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.pageio.reads", "ops", "completed pread calls");
+  return *c;
+}
+Counter& PageReadBytes() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.pageio.read_bytes", "bytes", "bytes read from disk");
+  return *c;
+}
+Counter& PageWriteOps() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.pageio.writes", "ops", "completed pwrite calls");
+  return *c;
+}
+Counter& PageWriteBytes() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.pageio.write_bytes", "bytes", "bytes written to disk");
+  return *c;
+}
+Counter& PageFsyncs() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.pageio.fsyncs", "ops", "completed fsync calls");
+  return *c;
+}
+
+}  // namespace
 
 Status PReadFull(int fd, uint64_t offset, char* buf, size_t len,
                  const std::string& path) {
@@ -106,12 +140,18 @@ Status FilePageIo::Truncate(uint64_t size) {
 
 Status FilePageIo::Read(uint64_t offset, char* buf, size_t len) {
   if (fd_ < 0) return Status::InvalidArgument("PageIo not open");
-  return PReadFull(fd_, offset, buf, len, path_);
+  FIX_RETURN_IF_ERROR(PReadFull(fd_, offset, buf, len, path_));
+  PageReadOps().Increment();
+  PageReadBytes().Add(len);
+  return Status::OK();
 }
 
 Status FilePageIo::Write(uint64_t offset, const char* buf, size_t len) {
   if (fd_ < 0) return Status::InvalidArgument("PageIo not open");
-  return PWriteFull(fd_, offset, buf, len, path_);
+  FIX_RETURN_IF_ERROR(PWriteFull(fd_, offset, buf, len, path_));
+  PageWriteOps().Increment();
+  PageWriteBytes().Add(len);
+  return Status::OK();
 }
 
 Status FilePageIo::Sync() {
@@ -123,6 +163,7 @@ Status FilePageIo::Sync() {
   if (rc != 0) {
     return Status::IOError("fsync " + path_ + ": " + strerror(errno));
   }
+  PageFsyncs().Increment();
   return Status::OK();
 }
 

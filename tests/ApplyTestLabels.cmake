@@ -1,0 +1,20 @@
+# Included from the generated CTestTestfile (via TEST_INCLUDE_FILES) after
+# gtest test discovery. Re-applies the full ctest label list to every test
+# an executable defines, because forwarding a multi-label list through
+# gtest_discover_tests(PROPERTIES LABELS ...) flattens it to one label —
+# each ${ARGN}/command-line hop splits on the list separator.
+#
+# Inputs (set by the per-target <name>_labels.cmake shim):
+#   FIX_TESTS_FILE  - the <name>[1]_tests.cmake discovery output
+#   FIX_TEST_LABELS - the label list to apply
+if(EXISTS "${FIX_TESTS_FILE}")
+  file(STRINGS "${FIX_TESTS_FILE}" _fix_add_test_lines REGEX "^add_test")
+  foreach(_fix_line IN LISTS _fix_add_test_lines)
+    # Test names are bracket-quoted: add_test([=[Suite.Case]=] ...). None of
+    # our test names contain `]`, so capture up to the first one.
+    if(_fix_line MATCHES "^add_test\\(\\[=+\\[([^]]+)\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+        LABELS "${FIX_TEST_LABELS}")
+    endif()
+  endforeach()
+endif()

@@ -1,0 +1,253 @@
+// MetricsRegistry: exact concurrent counting, histogram quantile error
+// bounds, and snapshot-while-writing safety (the latter is what the
+// `concurrency` ctest label runs under TSan).
+
+#include "common/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fix {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, AddAndReset) {
+  Counter counter;
+  counter.Add(41);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddNegative) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-25);
+  EXPECT_EQ(gauge.value(), -15);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(HistogramTest, BucketRoundTrip) {
+  // Every value lands in a bucket whose bounds contain it, and each
+  // bucket's upper bound maps back to that bucket.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{15}, uint64_t{16},
+                     uint64_t{17}, uint64_t{100}, uint64_t{1023},
+                     uint64_t{1024}, uint64_t{999999}, uint64_t{1} << 40,
+                     uint64_t{UINT64_MAX / 2}}) {
+    const size_t i = Histogram::BucketIndex(v);
+    ASSERT_LT(i, Histogram::kNumBuckets);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << "value " << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(i - 1)) << "value " << v;
+    }
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i)), i)
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram hist;
+  for (uint64_t v = 0; v < 16; ++v) hist.Record(v);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 16u);
+  EXPECT_EQ(snap.sum, 120u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 15u);
+  // Values below 16 get exact buckets, so quantiles are exact rank values
+  // (rank = floor(q * count), cumulative-count convention).
+  EXPECT_EQ(snap.p50, 7u);
+  EXPECT_EQ(snap.p95, 14u);
+}
+
+TEST(HistogramTest, QuantileErrorBounded) {
+  // Uniform 1..10000: every reported quantile must be an upper bound on the
+  // true quantile with at most 12.5% relative error (the sub-bucket width).
+  Histogram hist;
+  constexpr uint64_t kN = 10000;
+  for (uint64_t v = 1; v <= kN; ++v) hist.Record(v);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, kN);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, kN);
+  const struct {
+    uint64_t reported;
+    uint64_t truth;
+  } cases[] = {{snap.p50, kN / 2}, {snap.p95, kN * 95 / 100},
+               {snap.p99, kN * 99 / 100}};
+  for (const auto& c : cases) {
+    EXPECT_GE(c.reported, c.truth);
+    EXPECT_LE(static_cast<double>(c.reported),
+              static_cast<double>(c.truth) * 1.125 + 1.0);
+  }
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram hist;
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.p99, 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(HistogramTest, SnapshotWhileWriting) {
+  // Readers snapshot continuously while writers record; every snapshot must
+  // be internally consistent (ordered quantiles, quantiles bounded by max,
+  // count never decreasing). Run under TSan via the `concurrency` label.
+  Histogram hist;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&hist, &stop, t] {
+      uint64_t v = static_cast<uint64_t>(t) + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        hist.Record(v % 100000);
+        v = v * 2862933555777941757ull + 3037000493ull;  // cheap LCG
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    HistogramSnapshot snap = hist.Snapshot();
+    EXPECT_GE(snap.count, last_count);
+    last_count = snap.count;
+    if (snap.count > 0) {
+      EXPECT_LE(snap.p50, snap.p95);
+      EXPECT_LE(snap.p95, snap.p99);
+      EXPECT_LE(snap.p99, snap.max);
+      EXPECT_LE(snap.min, snap.max);
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointer) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  Counter* a = registry.FindOrCreateCounter("test.registry.stable", "ops", "");
+  Counter* b = registry.FindOrCreateCounter("test.registry.stable", "ops", "");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchReturnsNull) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  ASSERT_NE(registry.FindOrCreateCounter("test.registry.typed", "ops", ""),
+            nullptr);
+  EXPECT_EQ(registry.FindOrCreateGauge("test.registry.typed", "ops", ""),
+            nullptr);
+  EXPECT_EQ(registry.FindOrCreateHistogram("test.registry.typed", "ops", ""),
+            nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedAndComplete) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.FindOrCreateCounter("test.snap.b", "ops", "")->Add(2);
+  registry.FindOrCreateCounter("test.snap.a", "ops", "")->Add(1);
+  std::vector<MetricSnapshot> snaps = registry.Snapshot();
+  size_t found = 0;
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_LT(snaps[i - 1].name, snaps[i].name);  // sorted, unique
+  }
+  for (const MetricSnapshot& s : snaps) {
+    if (s.name == "test.snap.a") {
+      ++found;
+      EXPECT_GE(s.counter, 1u);
+    }
+    if (s.name == "test.snap.b") {
+      ++found;
+      EXPECT_GE(s.counter, 2u);
+    }
+  }
+  EXPECT_EQ(found, 2u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationOneWinner) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* c = registry.FindOrCreateCounter("test.registry.race", "ops",
+                                                "registration race");
+      c->Increment();
+      seen[static_cast<size_t>(t)] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[0], seen[static_cast<size_t>(t)]);
+  }
+  EXPECT_EQ(seen[0]->value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(MetricsRegistryTest, PrometheusTextFormat) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.FindOrCreateCounter("test.prom.counter", "ops", "a counter")
+      ->Add(7);
+  registry.FindOrCreateGauge("test.prom.gauge", "items", "a gauge")->Set(-3);
+  registry.FindOrCreateHistogram("test.prom.hist", "us", "a histogram")
+      ->Record(42);
+  std::string text = registry.PrometheusText();
+  // Dots map to underscores; counters/gauges print raw, histograms print
+  // summary quantiles plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_hist summary"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count"), std::string::npos);
+  // No un-mapped dotted names anywhere in the exposition.
+  EXPECT_EQ(text.find("test.prom"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HumanTableListsMetrics) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.FindOrCreateCounter("test.human.counter", "ops", "")->Add(5);
+  std::string table = registry.HumanTable();
+  EXPECT_NE(table.find("test.human.counter"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesValuesKeepsRegistrations) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  Counter* c = registry.FindOrCreateCounter("test.reset.counter", "ops", "");
+  Histogram* h = registry.FindOrCreateHistogram("test.reset.hist", "us", "");
+  c->Add(9);
+  h->Record(100);
+  registry.ResetAllForTest();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  // Cached pointers stay valid and usable after the reset.
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+}  // namespace
+}  // namespace fix

@@ -1,0 +1,183 @@
+// TraceSpan: zero-sink fast path, JSON-lines well-formedness, nesting, and
+// attribute escaping.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fix {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::Disable();  // a stray FIX_TRACE env var must not leak in
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/fix_trace_" + info->name() + ".jsonl";
+    std::filesystem::remove(path_);
+  }
+
+  void TearDown() override {
+    Trace::Disable();
+    std::filesystem::remove(path_);
+  }
+
+  std::vector<std::string> ReadLines() {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  // Extracts the integer after `"field":` in a JSON line.
+  static uint64_t Field(const std::string& line, const std::string& field) {
+    const std::string needle = "\"" + field + "\":";
+    size_t pos = line.find(needle);
+    EXPECT_NE(pos, std::string::npos) << field << " in " << line;
+    if (pos == std::string::npos) return 0;
+    return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+  }
+
+  std::string path_;
+};
+
+TEST_F(TraceTest, DisabledSpanIsInert) {
+  ASSERT_FALSE(Trace::enabled());
+  TraceSpan span("test.disabled");
+  EXPECT_FALSE(span.active());
+  span.AddAttr("ignored", uint64_t{1});  // must be a no-op, not a crash
+}
+
+TEST_F(TraceTest, EmptyPathRejected) {
+  TraceOptions options;
+  Status s = Trace::Enable(options);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(Trace::enabled());
+}
+
+TEST_F(TraceTest, EmitsOneWellFormedLinePerSpan) {
+  TraceOptions options;
+  options.path = path_;
+  ASSERT_TRUE(Trace::Enable(options).ok());
+  {
+    TraceSpan span("test.one");
+    span.AddAttr("count", uint64_t{7});
+  }
+  { TraceSpan span("test.two"); }
+  Trace::Disable();
+
+  std::vector<std::string> lines = ReadLines();
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    // Minimal JSON shape check: one object per line, no stray newline
+    // inside, balanced quotes.
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    size_t quotes = 0;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) ++quotes;
+    }
+    EXPECT_EQ(quotes % 2, 0u) << line;
+  }
+  EXPECT_NE(lines[0].find("\"name\":\"test.one\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"attrs\":{\"count\":7}"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"test.two\""), std::string::npos);
+  // Wall/CPU fields exist and wall time is sane (well under a second).
+  EXPECT_LT(Field(lines[0], "wall_us"), 1000000u);
+  Field(lines[0], "cpu_us");
+}
+
+TEST_F(TraceTest, NestedSpansLinkParentIds) {
+  TraceOptions options;
+  options.path = path_;
+  ASSERT_TRUE(Trace::Enable(options).ok());
+  {
+    TraceSpan outer("test.outer");
+    {
+      TraceSpan inner("test.inner");
+      { TraceSpan leaf("test.leaf"); }
+    }
+    { TraceSpan sibling("test.sibling"); }
+  }
+  Trace::Disable();
+
+  std::vector<std::string> lines = ReadLines();
+  ASSERT_EQ(lines.size(), 4u);  // close order: leaf, inner, sibling, outer
+  EXPECT_NE(lines[0].find("test.leaf"), std::string::npos);
+  EXPECT_NE(lines[1].find("test.inner"), std::string::npos);
+  EXPECT_NE(lines[2].find("test.sibling"), std::string::npos);
+  EXPECT_NE(lines[3].find("test.outer"), std::string::npos);
+
+  const uint64_t outer_id = Field(lines[3], "span");
+  const uint64_t inner_id = Field(lines[1], "span");
+  EXPECT_EQ(Field(lines[3], "parent"), 0u);  // top level
+  EXPECT_EQ(Field(lines[1], "parent"), outer_id);
+  EXPECT_EQ(Field(lines[0], "parent"), inner_id);
+  EXPECT_EQ(Field(lines[2], "parent"), outer_id);  // sibling, not leaf/inner
+}
+
+TEST_F(TraceTest, StringAttrsAreEscaped) {
+  TraceOptions options;
+  options.path = path_;
+  ASSERT_TRUE(Trace::Enable(options).ok());
+  {
+    TraceSpan span("test.escape");
+    span.AddAttr("query", std::string_view("a\"b\\c\nd"));
+    span.AddAttr("ratio", 0.5);
+    span.AddAttr("delta", int64_t{-4});
+  }
+  Trace::Disable();
+
+  std::vector<std::string> lines = ReadLines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"query\":\"a\\\"b\\\\c\\nd\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"ratio\":0.5"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"delta\":-4"), std::string::npos);
+}
+
+TEST_F(TraceTest, AppendModePreservesEarlierLines) {
+  TraceOptions options;
+  options.path = path_;
+  ASSERT_TRUE(Trace::Enable(options).ok());
+  { TraceSpan span("test.first"); }
+  Trace::Disable();
+  options.append = true;
+  ASSERT_TRUE(Trace::Enable(options).ok());
+  { TraceSpan span("test.second"); }
+  Trace::Disable();
+
+  std::vector<std::string> lines = ReadLines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("test.first"), std::string::npos);
+  EXPECT_NE(lines[1].find("test.second"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpanIdsAreUniqueAndIncreasing) {
+  TraceOptions options;
+  options.path = path_;
+  ASSERT_TRUE(Trace::Enable(options).ok());
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("test.seq");
+  }
+  Trace::Disable();
+  std::vector<std::string> lines = ReadLines();
+  ASSERT_EQ(lines.size(), 5u);
+  uint64_t last = 0;
+  for (const std::string& line : lines) {
+    uint64_t id = Field(line, "span");
+    EXPECT_GT(id, last);
+    last = id;
+  }
+}
+
+}  // namespace
+}  // namespace fix

@@ -14,6 +14,9 @@
 #      feature cache, parallel index construction).
 #   7. fixdb_scrub over every index page file persist_test produced
 #      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step).
+#   8. docs-check: every relative markdown link in the repo's *.md files
+#      must resolve, and the documented headers must keep their
+#      thread-safety contracts (plain grep/awk — no extra tooling).
 #
 # Usage: tools/ci.sh [base-ref]     (base-ref defaults to origin/main, falls
 #                                    back to HEAD~1, for the changed-file set)
@@ -25,15 +28,15 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BASE_REF="${1:-origin/main}"
 
-echo "=== [1/7] Release build (FIX_WERROR=ON) ==="
+echo "=== [1/8] Release build (FIX_WERROR=ON) ==="
 cmake -B build -S . -DFIX_WERROR=ON
 cmake --build build -j "$JOBS"
 
-echo "=== [2/7] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
+echo "=== [2/8] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
 cmake -B build-asan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 
-echo "=== [3/7] clang-tidy on changed files ==="
+echo "=== [3/8] clang-tidy on changed files ==="
 if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
   BASE_REF="HEAD~1"
 fi
@@ -48,21 +51,24 @@ else
   tools/run_clang_tidy.sh build
 fi
 
-echo "=== [4/7] Tests ==="
+echo "=== [4/8] Tests ==="
 (cd build-asan && ctest -L sanitizer-clean --output-on-failure)
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "=== [5/7] Fault-injection suite (Release + ASan) ==="
+echo "=== [5/8] Fault-injection suite (Release + ASan) ==="
 (cd build && ctest -L fault-injection --output-on-failure -j "$JOBS")
 (cd build-asan && ctest -L fault-injection --output-on-failure -j "$JOBS")
 
-echo "=== [6/7] TSan build + concurrency suite ==="
+echo "=== [6/8] TSan build + concurrency/observability suites ==="
 cmake -B build-tsan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest -L concurrency --output-on-failure -j "$JOBS")
+# Snapshot-while-writing and trace-sink races only surface under TSan;
+# the observability label also runs in the Release tree via stage 4.
+(cd build-tsan && ctest -L observability --output-on-failure -j "$JOBS")
 
-echo "=== [7/7] Scrub of persist_test databases ==="
+echo "=== [7/8] Scrub of persist_test databases ==="
 SCRUB_DIR="$(mktemp -d)"
 trap 'rm -rf "$SCRUB_DIR"' EXIT
 (cd build && FIX_PERSIST_TEST_DIR="$SCRUB_DIR" ctest -R '^PersistTest' \
@@ -73,5 +79,37 @@ if [ "${#INDEX_FILES[@]}" -eq 0 ]; then
   exit 1
 fi
 build/tools/fixdb_scrub "${INDEX_FILES[@]}"
+
+echo "=== [8/8] docs-check ==="
+# Every relative link in tracked markdown must resolve. grep emits
+# `file:](target)`; the loop strips the wrapper, drops externals and pure
+# anchors, and resolves the rest against the linking file's directory.
+DOCS_BROKEN=0
+while IFS=: read -r md_file link; do
+  target="${link#](}"
+  target="${target%)}"
+  target="${target%%#*}"   # in-page anchors: check only the file part
+  [ -z "$target" ] && continue
+  case "$target" in
+    http://*|https://*|mailto:*) continue ;;
+  esac
+  if [ ! -e "$(dirname "$md_file")/$target" ]; then
+    echo "docs-check: broken link in $md_file: $link" >&2
+    DOCS_BROKEN=1
+  fi
+done < <(git ls-files '*.md' | xargs grep -oHE '\]\([^)]+\)' || true)
+# The documented API contracts must not silently disappear: the headers the
+# docs point at keep their thread-safety sections (cheap stand-in for a
+# doc-coverage linter; no new tooling).
+for hdr in src/core/database.h src/core/fix_index.h src/storage/btree.h; do
+  if ! grep -qi "thread-safety" "$hdr"; then
+    echo "docs-check: $hdr lost its thread-safety contract comment" >&2
+    DOCS_BROKEN=1
+  fi
+done
+if [ "$DOCS_BROKEN" -ne 0 ]; then
+  echo "docs-check: failures above" >&2
+  exit 1
+fi
 
 echo "ci.sh: all green."
