@@ -9,13 +9,18 @@
 // <dir> holds the corpus (labels/primary/manifest) and one index
 // ("main.fix"). Every subcommand is restartable: state lives on disk.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/thread_pool.h"
 #include "core/corpus.h"
 #include "core/fix_index.h"
 #include "core/fix_query.h"
@@ -132,7 +137,7 @@ int CmdBuild(const std::string& dir, int argc, char** argv) {
 }
 
 int CmdQuery(const std::string& dir, const std::string& xpath, bool explain,
-             bool metrics) {
+             bool metrics, int threads) {
   auto corpus = fix::Corpus::Load(dir);
   if (!corpus.ok()) return Fail(corpus.status());
   auto index = fix::FixIndex::Open(&*corpus, dir + "/main.fix");
@@ -150,7 +155,13 @@ int CmdQuery(const std::string& dir, const std::string& xpath, bool explain,
                   static_cast<unsigned long long>(index->num_entries()));
     }
   }
-  fix::FixQueryProcessor processor(&*corpus, &*index);
+  size_t n = threads > 0
+                 ? static_cast<size_t>(threads)
+                 : std::max(1u, std::thread::hardware_concurrency());
+  n = std::min<size_t>(n, 64);
+  std::unique_ptr<fix::ThreadPool> pool;
+  if (n > 1) pool = std::make_unique<fix::ThreadPool>(n);
+  fix::FixQueryProcessor processor(&*corpus, &*index, pool.get());
   std::vector<fix::NodeRef> results;
   auto stats = processor.Execute(query, &results);
   if (!stats.ok()) return Fail(stats.status());
@@ -250,12 +261,23 @@ int main(int argc, char** argv) {
     const fixctl::CliCommand* spec = fixctl::FindCommand("query");
     bool explain = false;
     bool metrics = false;
+    int threads = 1;
     for (int i = 4; i < argc; ++i) {
+      std::string arg = argv[i];
+      const std::string tprefix = "--threads=";
+      if (arg.rfind(tprefix, 0) == 0) {
+        threads = std::atoi(arg.c_str() + tprefix.size());
+        continue;
+      }
       if (fixctl::FindFlag(*spec, argv[i]) == nullptr) return Usage();
-      if (std::strcmp(argv[i], "--explain") == 0) explain = true;
-      if (std::strcmp(argv[i], "--metrics") == 0) metrics = true;
+      if (arg == "--explain") explain = true;
+      if (arg == "--metrics") metrics = true;
+      if (arg == "--threads") {
+        if (i + 1 >= argc) return Usage();
+        threads = std::atoi(argv[++i]);
+      }
     }
-    return CmdQuery(dir, argv[3], explain, metrics);
+    return CmdQuery(dir, argv[3], explain, metrics, threads);
   }
   if (cmd == "stats") {
     const fixctl::CliCommand* spec = fixctl::FindCommand("stats");

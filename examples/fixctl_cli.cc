@@ -20,6 +20,8 @@ const CliFlag kBuildFlags[] = {
 const CliFlag kQueryFlags[] = {
     {"--explain", nullptr, "print the candidate estimate before executing"},
     {"--metrics", nullptr, "dump the metrics registry after the query"},
+    {"--threads", "N",
+     "parallelize candidate refinement over N threads (0 = all cores)"},
 };
 
 const CliFlag kStatsFlags[] = {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <system_error>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/metrics_registry.h"
@@ -43,6 +44,12 @@ Gauge& OpenIndexes() {
       "fix.db.open_indexes", "indexes",
       "attached (non-quarantined) indexes across live databases");
   return *g;
+}
+Counter& BatchQueries() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.db.batch_queries", "ops",
+      "queries executed through Database::ExecuteMany");
+  return *c;
 }
 
 /// Renames `path` to `path + ".quarantined"` if it exists (best effort:
@@ -97,21 +104,35 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& workdir,
 }
 
 void Database::QuarantineIndex(const std::string& name, const Status& why) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (degraded_.count(name) > 0) {
+      // Another observer of the same damage already quarantined this name;
+      // the files are renamed and the handle detached. Nothing to redo.
+      return;
+    }
+    for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+      if (it->first == name) {
+        // Detaching drops this Database's reference; queries that copied
+        // the shared_ptr before the quarantine finish against the old
+        // object, which closes its files when the last reference dies.
+        indexes_.erase(it);
+        OpenIndexes().Add(-1);
+        break;
+      }
+    }
+    degraded_.insert(name);
+  }
   FIX_LOG(Error) << "index '" << name << "' quarantined: " << why.ToString()
                  << " — queries fall back to full scan until RebuildIndex";
-  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
-    if (it->first == name) {
-      indexes_.erase(it);
-      OpenIndexes().Add(-1);
-      break;
-    }
-  }
   const std::string path = IndexPath(name);
   QuarantineFile(path);
   QuarantineFile(path + ".meta");
   QuarantineFile(path + ".data");
-  degraded_.insert(name);
-  ++health_.quarantined_indexes;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    ++health_.quarantined_indexes;
+  }
   QuarantinedIndexes().Increment();
 }
 
@@ -120,7 +141,7 @@ Status Database::AttachOrQuarantine(const std::string& name) {
       FixIndex::Open(&corpus_, IndexPath(name), open_options_.page_io_factory);
   Status failure = opened.status();
   if (opened.ok()) {
-    auto idx = std::make_unique<FixIndex>(std::move(opened).value());
+    auto idx = std::make_shared<FixIndex>(std::move(opened).value());
     if (open_options_.verify_on_attach) {
       const uint32_t covered = idx->indexed_docs();
       if (covered != kIndexedDocsUnknown &&
@@ -136,6 +157,7 @@ Status Database::AttachOrQuarantine(const std::string& name) {
       }
     }
     if (failure.ok()) {
+      std::unique_lock<std::shared_mutex> lock(mu_);
       indexes_.emplace_back(name, std::move(idx));
       OpenIndexes().Add(1);
       return Status::OK();
@@ -143,7 +165,10 @@ Status Database::AttachOrQuarantine(const std::string& name) {
     // idx is destroyed (closing its files) before the quarantine rename.
   }
   if (failure.IsCorruption() || failure.IsIOError() || failure.IsNotFound()) {
-    ++health_.corruption_events;
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      ++health_.corruption_events;
+    }
     CorruptionEvents().Increment();
     QuarantineIndex(name, failure);
     return Status::OK();
@@ -164,11 +189,15 @@ Result<FixIndex*> Database::BuildIndex(const std::string& name,
   BuildStats* effective = stats != nullptr ? stats : &local;
   auto built = FixIndex::Build(&corpus_, options, effective);
   if (!built.ok()) return built.status();
-  health_.feature_cache_hits += effective->feature_cache_hits;
-  health_.feature_cache_misses += effective->feature_cache_misses;
-  health_.feature_cache_evictions += effective->feature_cache_evictions;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_.feature_cache_hits += effective->feature_cache_hits;
+    health_.feature_cache_misses += effective->feature_cache_misses;
+    health_.feature_cache_evictions += effective->feature_cache_evictions;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   indexes_.emplace_back(name,
-                        std::make_unique<FixIndex>(std::move(built).value()));
+                        std::make_shared<FixIndex>(std::move(built).value()));
   OpenIndexes().Add(1);
   return indexes_.back().second.get();
 }
@@ -177,8 +206,9 @@ Result<FixIndex*> Database::AttachIndex(const std::string& name) {
   auto opened =
       FixIndex::Open(&corpus_, IndexPath(name), open_options_.page_io_factory);
   if (!opened.ok()) return opened.status();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   indexes_.emplace_back(name,
-                        std::make_unique<FixIndex>(std::move(opened).value()));
+                        std::make_shared<FixIndex>(std::move(opened).value()));
   OpenIndexes().Add(1);
   return indexes_.back().second.get();
 }
@@ -186,14 +216,17 @@ Result<FixIndex*> Database::AttachIndex(const std::string& name) {
 Result<FixIndex*> Database::RebuildIndex(const std::string& name,
                                          IndexOptions options,
                                          BuildStats* stats) {
-  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
-    if (it->first == name) {
-      indexes_.erase(it);
-      OpenIndexes().Add(-1);
-      break;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+      if (it->first == name) {
+        indexes_.erase(it);
+        OpenIndexes().Add(-1);
+        break;
+      }
     }
+    degraded_.erase(name);
   }
-  degraded_.erase(name);
   const std::string path = IndexPath(name);
   for (const std::string& p :
        {path, path + ".meta", path + ".data", path + ".quarantined",
@@ -202,24 +235,105 @@ Result<FixIndex*> Database::RebuildIndex(const std::string& name,
   }
   auto rebuilt = BuildIndex(name, std::move(options), stats);
   if (rebuilt.ok()) {
-    ++health_.rebuilds;
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      ++health_.rebuilds;
+    }
     Rebuilds().Increment();
   }
   return rebuilt;
 }
 
 FixIndex* Database::index(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (auto& [n, idx] : indexes_) {
     if (n == name) return idx.get();
   }
   return nullptr;
 }
 
+std::shared_ptr<FixIndex> Database::SharedIndex(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [n, idx] : indexes_) {
+    if (n == name) return idx;
+  }
+  return nullptr;
+}
+
 Result<TwigQuery> Database::Compile(const std::string& xpath) {
+  if (auto cached = plan_cache_.Lookup(xpath)) return *cached;
+  std::lock_guard<std::mutex> lock(compile_mu_);
+  // Double-checked: a racing compile of the same string may have landed
+  // while we waited for the lock.
+  if (auto cached = plan_cache_.Lookup(xpath)) return *cached;
   TwigQuery q;
   FIX_ASSIGN_OR_RETURN(q, ParseXPath(xpath));
   q.ResolveLabels(corpus_.labels());
+  plan_cache_.Insert(xpath, q);
   return q;
+}
+
+void Database::BumpDegradedQuery() {
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    ++health_.degraded_queries;
+  }
+  DegradedQueries().Increment();
+}
+
+Result<ExecStats> Database::QueryInternal(const std::string& index_name,
+                                          const TwigQuery& q,
+                                          std::vector<NodeRef>* results,
+                                          ThreadPool* pool) {
+  bool is_degraded = false;
+  std::shared_ptr<FixIndex> idx;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    is_degraded = degraded_.count(index_name) > 0;
+    if (!is_degraded) {
+      for (const auto& [n, p] : indexes_) {
+        if (n == index_name) {
+          idx = p;
+          break;
+        }
+      }
+    }
+  }
+  if (is_degraded) {
+    BumpDegradedQuery();
+    ExecStats stats;
+    FIX_ASSIGN_OR_RETURN(stats, FullScanExecute(&corpus_, q, results,
+                                                /*total_entries=*/0, pool));
+    stats.degraded = true;
+    return stats;
+  }
+  if (idx == nullptr) {
+    return Status::NotFound("no index named " + index_name);
+  }
+  FixQueryProcessor processor(&corpus_, idx.get(), pool);
+  Result<ExecStats> executed = processor.Execute(q, results);
+  if (executed.ok()) return executed;
+  if (executed.status().IsCorruption() || executed.status().IsIOError()) {
+    // Damage surfaced mid-query (a checksum failure on a lazily-read page,
+    // say). Quarantine the index and answer from the ground truth — the
+    // caller gets a correct result and a degraded-mode flag, never the
+    // corruption masked as an empty result set. Concurrent observers of
+    // the same damage race benignly: QuarantineIndex is idempotent, and
+    // every loser re-answers by full scan exactly like the winner.
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      ++health_.corruption_events;
+    }
+    CorruptionEvents().Increment();
+    QuarantineIndex(index_name, executed.status());
+    BumpDegradedQuery();
+    ExecStats stats;
+    FIX_ASSIGN_OR_RETURN(stats, FullScanExecute(&corpus_, q, results,
+                                                /*total_entries=*/0, pool));
+    stats.degraded = true;
+    return stats;
+  }
+  return executed;
 }
 
 Result<ExecStats> Database::Query(const std::string& index_name,
@@ -227,39 +341,40 @@ Result<ExecStats> Database::Query(const std::string& index_name,
                                   std::vector<NodeRef>* results) {
   TwigQuery q;
   FIX_ASSIGN_OR_RETURN(q, Compile(xpath));
-  if (degraded_.count(index_name) > 0) {
-    ++health_.degraded_queries;
-    DegradedQueries().Increment();
-    ExecStats stats;
-    FIX_ASSIGN_OR_RETURN(stats,
-                         FullScanExecute(&corpus_, q, results, /*total=*/0));
-    stats.degraded = true;
-    return stats;
+  return QueryInternal(index_name, q, results, /*pool=*/nullptr);
+}
+
+Result<std::vector<Database::BatchQueryOutcome>> Database::ExecuteMany(
+    const std::string& index_name, const std::vector<std::string>& xpaths,
+    int threads) {
+  size_t n = threads > 0 ? static_cast<size_t>(threads)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  n = std::min<size_t>(n, 64);
+  std::unique_ptr<ThreadPool> pool;
+  if (n > 1) pool = std::make_unique<ThreadPool>(n);
+
+  // Queries run in order, each fanning its own refinement over the pool:
+  // per-document work units are disjoint and merge deterministically, so
+  // the batch's outcome is byte-identical across thread counts.
+  std::vector<BatchQueryOutcome> outcomes(xpaths.size());
+  for (size_t i = 0; i < xpaths.size(); ++i) {
+    BatchQueryOutcome& out = outcomes[i];
+    auto compiled = Compile(xpaths[i]);
+    if (!compiled.ok()) {
+      out.status = compiled.status();
+      continue;
+    }
+    auto executed =
+        QueryInternal(index_name, *compiled, &out.results, pool.get());
+    if (!executed.ok()) {
+      if (executed.status().IsNotFound()) return executed.status();
+      out.status = executed.status();
+      continue;
+    }
+    out.stats = std::move(executed).value();
+    BatchQueries().Increment();
   }
-  FixIndex* idx = index(index_name);
-  if (idx == nullptr) {
-    return Status::NotFound("no index named " + index_name);
-  }
-  FixQueryProcessor processor(&corpus_, idx);
-  Result<ExecStats> executed = processor.Execute(q, results);
-  if (executed.ok()) return executed;
-  if (executed.status().IsCorruption() || executed.status().IsIOError()) {
-    // Damage surfaced mid-query (a checksum failure on a lazily-read page,
-    // say). Quarantine the index and answer from the ground truth — the
-    // caller gets a correct result and a degraded-mode flag, never the
-    // corruption masked as an empty result set.
-    ++health_.corruption_events;
-    CorruptionEvents().Increment();
-    QuarantineIndex(index_name, executed.status());
-    ++health_.degraded_queries;
-    DegradedQueries().Increment();
-    ExecStats stats;
-    FIX_ASSIGN_OR_RETURN(stats,
-                         FullScanExecute(&corpus_, q, results, /*total=*/0));
-    stats.degraded = true;
-    return stats;
-  }
-  return executed;
+  return outcomes;
 }
 
 }  // namespace fix

@@ -2,11 +2,19 @@
 // FIX indexes; parses XPath strings; routes queries through the best
 // applicable index (or a full scan). This is the API the examples use.
 //
-// Thread-safety: a Database is single-threaded from the caller's point of
-// view — no method may run concurrently with any other method on the same
-// instance (index building parallelizes internally via
-// IndexOptions::build_threads, which is invisible here). Distinct Database
-// instances are independent and may be used from different threads.
+// Thread-safety: the read path is concurrent. Query, ExecuteMany, Compile,
+// IsDegraded, and health() may be called from any number of threads at once
+// — compiled plans come from a lock-striped PlanCache, index handles are
+// shared_ptrs looked up under a shared mutex (so a quarantine racing a
+// query can never free an index mid-probe), and the layers below follow
+// their own concurrent-read contracts (fix_index.h, btree.h,
+// buffer_pool.h). Everything that changes the set of indexes or documents
+// is writer-exclusive: Open, Save, Finalize, AddXml/AddDocument,
+// BuildIndex, AttachIndex, RebuildIndex must not overlap with each other or
+// with any read. Lock order (never acquire leftward while holding
+// rightward): Database::mu_ → health_mu_ / compile_mu_ / PlanCache shard →
+// FixIndex encoder mutex → BufferPool shard. See docs/ARCHITECTURE.md,
+// "Concurrent reads".
 //
 // Observability: per-instance counters are served by health(); every event
 // is also mirrored into the process-wide MetricsRegistry under the
@@ -16,16 +24,20 @@
 #define FIX_CORE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/corpus.h"
 #include "core/fix_index.h"
 #include "core/fix_query.h"
 #include "core/index_options.h"
 #include "core/metrics.h"
+#include "query/plan_cache.h"
 
 namespace fix {
 
@@ -133,13 +145,18 @@ class Database {
   /// True when queries naming `name` are being answered by full scan
   /// because the index was quarantined as corrupt or stale.
   bool IsDegraded(const std::string& name) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return degraded_.count(name) > 0;
   }
 
-  /// This instance's degradation/corruption counters. Process-wide totals
-  /// (across all databases) live in the MetricsRegistry as
-  /// `fix.storage.*`; this is the per-database slice of the same events.
-  const StorageHealth& health() const { return health_; }
+  /// This instance's degradation/corruption counters, by value — a snapshot
+  /// consistent under concurrent queries. Process-wide totals (across all
+  /// databases) live in the MetricsRegistry as `fix.storage.*`; this is the
+  /// per-database slice of the same events.
+  StorageHealth health() const {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    return health_;
+  }
 
   /// Parses an XPath string, resolves labels, and executes it through the
   /// named index. A degraded (quarantined) name is answered by full scan
@@ -152,9 +169,36 @@ class Database {
                           const std::string& xpath,
                           std::vector<NodeRef>* results = nullptr);
 
+  /// One query's outcome within an ExecuteMany batch. `status` is per-query
+  /// (a ParseError in one XPath does not fail its batchmates); stats and
+  /// results are meaningful only when status.ok().
+  struct BatchQueryOutcome {
+    Status status;
+    ExecStats stats;
+    std::vector<NodeRef> results;
+  };
+
+  /// Executes a batch of XPath queries against the named index, fanning
+  /// candidate refinement out over an internal ThreadPool of `threads`
+  /// workers (0 = hardware concurrency; clamped to [1, 64]). Queries are
+  /// compiled and issued in order; each one's refinement parallelizes over
+  /// per-document work units, and the merged results are byte-identical to
+  /// what `threads = 1` (or Query) produces — determinism is the contract,
+  /// verified by test on all four datasets.
+  ///
+  /// @return one outcome per input XPath (same order), or NotFound when
+  ///         `index_name` is neither attached nor degraded.
+  [[nodiscard]] Result<std::vector<BatchQueryOutcome>> ExecuteMany(
+      const std::string& index_name, const std::vector<std::string>& xpaths,
+      int threads = 0);
+
   /// Parses + resolves an XPath string without executing (for harnesses).
+  /// Serves repeated strings from the plan cache. Thread-safe.
   /// @return The compiled twig, or ParseError.
   [[nodiscard]] Result<TwigQuery> Compile(const std::string& xpath);
+
+  /// Plan-cache statistics (hits/misses/evictions/entries).
+  PlanCache::Stats plan_cache_stats() const { return plan_cache_.GetStats(); }
 
  private:
   std::string IndexPath(const std::string& name) const {
@@ -167,15 +211,44 @@ class Database {
   [[nodiscard]] Status AttachOrQuarantine(const std::string& name);
 
   /// Renames the index files aside (".quarantined" suffix), drops any
-  /// attached handle, and marks the name degraded.
+  /// attached handle, and marks the name degraded. Idempotent: a second
+  /// caller (e.g. two queries observing the same corruption concurrently)
+  /// finds the name already degraded and returns without double-renaming.
+  /// In-flight queries keep the index alive through their shared_ptr.
   void QuarantineIndex(const std::string& name, const Status& why);
+
+  /// The shared execution path behind Query and ExecuteMany: `q` is already
+  /// compiled; `pool` (may be null) parallelizes refinement.
+  [[nodiscard]] Result<ExecStats> QueryInternal(const std::string& index_name,
+                                                const TwigQuery& q,
+                                                std::vector<NodeRef>* results,
+                                                ThreadPool* pool);
+
+  /// Looks up the attached index `name` under the shared lock; null when
+  /// unknown or degraded.
+  std::shared_ptr<FixIndex> SharedIndex(const std::string& name) const;
+
+  void BumpDegradedQuery();
 
   std::string workdir_;
   Corpus corpus_;
-  std::vector<std::pair<std::string, std::unique_ptr<FixIndex>>> indexes_;
+  /// Guards indexes_ and degraded_. Readers (Query/ExecuteMany/IsDegraded)
+  /// take it shared only long enough to copy a shared_ptr; quarantine and
+  /// the writer-exclusive index mutations take it unique.
+  mutable std::shared_mutex mu_;
+  /// shared_ptr, not unique_ptr: a query holds its own reference while
+  /// executing, so quarantine (which detaches the index) can never free it
+  /// under a concurrent reader.
+  std::vector<std::pair<std::string, std::shared_ptr<FixIndex>>> indexes_;
   OpenOptions open_options_;
   std::unordered_set<std::string> degraded_;
+  /// Guards health_ (kept a plain copyable struct; mutations are rare).
+  mutable std::mutex health_mu_;
   StorageHealth health_;
+  /// Serializes compilation misses: ResolveLabels interns into the shared
+  /// LabelTable, which is not itself thread-safe.
+  std::mutex compile_mu_;
+  mutable PlanCache plan_cache_;
 };
 
 }  // namespace fix

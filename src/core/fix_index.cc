@@ -593,7 +593,14 @@ Result<FeatureKey> FixIndex::QueryFeatures(const TwigQuery& subtwig) {
   BisimGraph pattern;
   FIX_ASSIGN_OR_RETURN(pattern,
                        QueryToBisimGraph(subtwig, value_hasher_.get()));
-  DenseMatrix m = BuildSkewMatrix(pattern, &encoder_);
+  DenseMatrix m(0);
+  {
+    // Query patterns may contain label pairs the corpus never produced;
+    // weighting them interns into the shared encoder, which concurrent
+    // lookups must serialize. The eigensolve below stays outside the lock.
+    std::lock_guard<std::mutex> lock(*encoder_mu_);
+    m = BuildSkewMatrix(pattern, &encoder_);
+  }
   if (!options_.sound_probe) {
     auto sigmas = SkewSpectrum(m);
     if (sigmas.ok()) {

@@ -17,6 +17,7 @@
 #define FIX_CORE_FIX_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -41,11 +42,20 @@ namespace fix {
 
 /// The FIX index proper: spectral feature keys in a disk-resident B+-tree.
 ///
-/// Thread-safety: a FixIndex must be used from one thread at a time.
-/// Build() parallelizes internally (per IndexOptions::build_threads) but
-/// returns a fully quiesced object; no worker threads outlive it. Lookup,
-/// Probe, and EstimateCandidates mutate shared state (buffer pool, lazy
-/// histogram) and are not safe to call concurrently.
+/// Thread-safety: the read path — Lookup, Probe, QueryFeatures, and the
+/// const accessors — is safe from any number of threads once the index is
+/// built or opened and no writer is active. Reads go through the
+/// lock-striped BufferPool and the concurrent-read B+-tree contract
+/// (btree.h); the one mutable piece on that path, interning unseen query
+/// label pairs into the edge-weight encoder, is serialized by an internal
+/// mutex (an unseen pair can never match indexed data, so interleaved
+/// interning cannot change any result set). Everything that restructures
+/// the index stays writer-exclusive: Build, InsertDocument, RemoveDocument,
+/// and EstimateCandidates (which lazily builds the costing histogram) must
+/// not overlap with each other or with reads. Build() parallelizes
+/// internally (per IndexOptions::build_threads) but returns a fully
+/// quiesced object; no worker threads outlive it. See docs/ARCHITECTURE.md,
+/// "Concurrent reads".
 ///
 /// Observability: construction records fix.build.* and lookup records
 /// fix.index.probe* in the process-wide MetricsRegistry, and both emit
@@ -266,6 +276,9 @@ class FixIndex {
   RecordStore clustered_;
   std::unique_ptr<ValueHasher> value_hasher_;
   EdgeEncoder encoder_;
+  /// Serializes query-time interning into encoder_ (see the class comment).
+  /// Heap-allocated because FixIndex keeps its defaulted move operations.
+  std::unique_ptr<std::mutex> encoder_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<FeatureHistogram> histogram_;  // lazy; see EstimateCandidates
   uint32_t next_seq_ = 0;
   uint32_t indexed_docs_ = 0;  // see indexed_docs()

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <set>
+#include <unordered_set>
+#include <utility>
 
 #include "common/metrics_registry.h"
 #include "common/timer.h"
@@ -119,9 +120,14 @@ Result<ExecStats> FixQueryProcessor::Execute(const TwigQuery& query,
   }
   if (!lookup.covered) {
     // Algorithm 2 step 1 failed: the optimizer falls back to the
-    // navigational operator over the whole database.
+    // navigational operator over the whole database. The lookup-side costs
+    // paid before the decision (depth check, any partial probes) ride along
+    // in the seed so the fallback's stats don't report zero lookup cost.
     span.AddAttr("path", "fullscan");
-    return FullScan(query, results);
+    ExecStats seed;
+    seed.lookup_ms = timer.ElapsedMillis();
+    seed.entries_scanned = lookup.entries_scanned;
+    return FullScan(query, results, &seed);
   }
   ExecStats stats;
   stats.lookup_ms = timer.ElapsedMillis();
@@ -142,72 +148,61 @@ Result<ExecStats> FixQueryProcessor::Execute(const TwigQuery& query,
   return stats;
 }
 
-Status FixQueryProcessor::RefineCandidates(
-    const TwigQuery& query,
-    const std::vector<FixIndex::Candidate>& candidates, RefineMode mode,
-    ExecStats* stats, std::vector<NodeRef>* results) {
+void FixQueryProcessor::RefineDocGroup(
+    const TwigQuery& query, const std::vector<FixIndex::Candidate>& sorted,
+    size_t begin, size_t end, RefineMode mode, bool rooted,
+    GroupOutcome* out) {
   const IndexOptions& options = index_->options();
-  const bool rooted = IsRootedQuery(query);
-  std::set<std::pair<uint32_t, NodeId>> dedup;
-
-  // Group candidates by document so the matcher memo is shared.
-  std::vector<FixIndex::Candidate> sorted = candidates;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const FixIndex::Candidate& a, const FixIndex::Candidate& b) {
-              return a.ref.doc_id < b.ref.doc_id;
-            });
+  const uint32_t doc_id = sorted[begin].ref.doc_id;
+  const Document& doc = corpus_->doc(doc_id);
 
   if (mode == RefineMode::kBatch && !options.clustered &&
       options.depth_limit > 0) {
-    // One navigational pass per document, frontier seeded with that
-    // document's candidates.
-    stats->producing_valid = false;
-    stats->random_reads = sorted.size();  // pointer dereferences
-    size_t i = 0;
-    while (i < sorted.size()) {
-      uint32_t doc_id = sorted[i].ref.doc_id;
-      const Document& doc = corpus_->doc(doc_id);
-      std::vector<NodeId> contexts;
-      for (; i < sorted.size() && sorted[i].ref.doc_id == doc_id; ++i) {
-        if (rooted && doc.parent(sorted[i].ref.node_id) != 0) continue;
-        contexts.push_back(sorted[i].ref.node_id);
-      }
-      TwigMatcher matcher(&doc);
-      std::vector<NodeId> bindings = matcher.EvaluateAtMany(contexts, query);
-      stats->nodes_visited += matcher.nodes_visited();
-      for (NodeId b : bindings) {
-        if (dedup.insert({doc_id, b}).second && results != nullptr) {
-          results->push_back({doc_id, b});
-        }
-      }
+    // One navigational pass over this document, frontier seeded with its
+    // whole candidate group.
+    std::vector<NodeId> contexts;
+    contexts.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      if (rooted && doc.parent(sorted[i].ref.node_id) != 0) continue;
+      contexts.push_back(sorted[i].ref.node_id);
     }
-    stats->result_count = dedup.size();
-    return Status::OK();
+    TwigMatcher matcher(&doc);
+    std::vector<NodeId> bindings = matcher.EvaluateAtMany(contexts, query);
+    out->nodes_visited = matcher.nodes_visited();
+    std::unordered_set<NodeId> dedup;
+    dedup.reserve(bindings.size());
+    out->results.reserve(bindings.size());
+    for (NodeId b : bindings) {
+      if (dedup.insert(b).second) out->results.push_back({doc_id, b});
+    }
+    out->result_count = dedup.size();
+    return;
   }
 
-  uint32_t current_doc = UINT32_MAX;
-  std::unique_ptr<TwigMatcher> matcher;
-  bool doc_unit = false;  // candidate granularity for the current document
+  const bool doc_unit = options.depth_limit == 0;
+  TwigMatcher matcher(&doc);
+  std::unordered_set<NodeId> dedup;
 
-  for (const FixIndex::Candidate& c : sorted) {
-    const Document& doc = corpus_->doc(c.ref.doc_id);
-    if (c.ref.doc_id != current_doc) {
-      current_doc = c.ref.doc_id;
-      matcher = std::make_unique<TwigMatcher>(&doc);
-      doc_unit = options.depth_limit == 0;
-    }
-
+  for (size_t i = begin; i < end; ++i) {
+    const FixIndex::Candidate& c = sorted[i];
     std::vector<NodeId> bindings;
     if (options.clustered) {
       // Clustered refinement reads the subtree copy (sequential I/O — the
       // copies were laid out in key order) and matches on the copy.
-      std::string record;
-      FIX_ASSIGN_OR_RETURN(record,
-                           index_->clustered_store()->Read(
-                               RecordId{c.clustered_offset}));
-      stats->sequential_bytes += record.size();
-      Document copy;
-      FIX_ASSIGN_OR_RETURN(copy, DecodeDocument(record));
+      auto record_or =
+          index_->clustered_store()->Read(RecordId{c.clustered_offset});
+      if (!record_or.ok()) {
+        out->status = record_or.status();
+        return;
+      }
+      std::string record = std::move(record_or).value();
+      out->sequential_bytes += record.size();
+      auto copy_or = DecodeDocument(record);
+      if (!copy_or.ok()) {
+        out->status = copy_or.status();
+        return;
+      }
+      Document copy = std::move(copy_or).value();
       TwigMatcher copy_matcher(&copy);
       if (doc_unit) {
         bindings = copy_matcher.Evaluate(query);
@@ -219,10 +214,10 @@ Status FixQueryProcessor::RefineCandidates(
         }
         bindings = copy_matcher.EvaluateAt(copy.root_element(), query);
       }
-      stats->nodes_visited += copy_matcher.nodes_visited();
+      out->nodes_visited += copy_matcher.nodes_visited();
       if (!bindings.empty()) {
-        ++stats->producing;
-        stats->result_count += bindings.size();
+        ++out->producing;
+        out->result_count += bindings.size();
       }
       continue;
     }
@@ -231,47 +226,108 @@ Status FixQueryProcessor::RefineCandidates(
     // would-be random I/O per candidate; we account for it in random_reads
     // without issuing a syscall so that the timed path compares engines on
     // equal (in-memory) footing. See EXPERIMENTS.md for the I/O analysis.
-    ++stats->random_reads;
-    uint64_t visited_before = matcher->nodes_visited();
+    ++out->random_reads;
+    uint64_t visited_before = matcher.nodes_visited();
     if (doc_unit) {
-      bindings = matcher->Evaluate(query);
+      bindings = matcher.Evaluate(query);
     } else {
       if (rooted && doc.parent(c.ref.node_id) != 0) continue;
-      bindings = matcher->EvaluateAt(c.ref.node_id, query);
+      bindings = matcher.EvaluateAt(c.ref.node_id, query);
     }
-    stats->nodes_visited += matcher->nodes_visited() - visited_before;
-    if (!bindings.empty()) ++stats->producing;
+    out->nodes_visited += matcher.nodes_visited() - visited_before;
+    if (!bindings.empty()) ++out->producing;
     for (NodeId b : bindings) {
-      if (dedup.insert({c.ref.doc_id, b}).second) {
-        if (results != nullptr) results->push_back({c.ref.doc_id, b});
-      }
+      if (dedup.insert(b).second) out->results.push_back({doc_id, b});
     }
   }
-  if (!options.clustered) {
-    stats->result_count = dedup.size();
+  if (!options.clustered) out->result_count = dedup.size();
+}
+
+Status FixQueryProcessor::RefineCandidates(
+    const TwigQuery& query,
+    const std::vector<FixIndex::Candidate>& candidates, RefineMode mode,
+    ExecStats* stats, std::vector<NodeRef>* results) {
+  const IndexOptions& options = index_->options();
+  const bool rooted = IsRootedQuery(query);
+
+  // Group candidates by document so the matcher memo is shared; the groups
+  // are also the parallel work units (documents are disjoint, so per-group
+  // dedup + in-order merge is equivalent to the sequential global dedup).
+  std::vector<FixIndex::Candidate> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FixIndex::Candidate& a, const FixIndex::Candidate& b) {
+              return a.ref.doc_id < b.ref.doc_id;
+            });
+
+  if (mode == RefineMode::kBatch && !options.clustered &&
+      options.depth_limit > 0) {
+    stats->producing_valid = false;
+    stats->random_reads = sorted.size();  // pointer dereferences
+  }
+
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end) per doc
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i + 1;
+    while (j < sorted.size() &&
+           sorted[j].ref.doc_id == sorted[i].ref.doc_id) {
+      ++j;
+    }
+    groups.emplace_back(i, j);
+    i = j;
+  }
+
+  std::vector<GroupOutcome> outcomes(groups.size());
+  ParallelFor(pool_, groups.size(), [&](size_t g) {
+    RefineDocGroup(query, sorted, groups[g].first, groups[g].second, mode,
+                   rooted, &outcomes[g]);
+  });
+
+  size_t total_results = 0;
+  for (const GroupOutcome& o : outcomes) {
+    FIX_RETURN_IF_ERROR(o.status);
+    total_results += o.results.size();
+  }
+  if (results != nullptr) results->reserve(results->size() + total_results);
+  for (const GroupOutcome& o : outcomes) {
+    stats->nodes_visited += o.nodes_visited;
+    stats->producing += o.producing;
+    stats->result_count += o.result_count;
+    stats->random_reads += o.random_reads;
+    stats->sequential_bytes += o.sequential_bytes;
+    if (results != nullptr) {
+      results->insert(results->end(), o.results.begin(), o.results.end());
+    }
   }
   return Status::OK();
 }
 
 Result<ExecStats> FullScanExecute(Corpus* corpus, const TwigQuery& query,
                                   std::vector<NodeRef>* results,
-                                  uint64_t total_entries) {
+                                  uint64_t total_entries, ThreadPool* pool,
+                                  const ExecStats* seed) {
   if (results != nullptr) results->clear();
   TraceSpan span("query.fullscan");
   ExecStats stats;
+  if (seed != nullptr) stats = *seed;
   stats.covered = false;
   stats.used_index = false;
   stats.total_entries = total_entries;
   stats.candidates = stats.total_entries;  // nothing pruned
   Timer timer;
-  for (uint32_t d = 0; d < corpus->num_docs(); ++d) {
-    TwigMatcher matcher(&corpus->doc(d));
-    std::vector<NodeId> bindings = matcher.Evaluate(query);
-    stats.nodes_visited += matcher.nodes_visited();
-    stats.result_count += bindings.size();
-    if (!bindings.empty()) ++stats.producing;
+  const uint32_t num_docs = corpus->num_docs();
+  std::vector<std::vector<NodeId>> per_doc(num_docs);
+  std::vector<uint64_t> visited(num_docs, 0);
+  ParallelFor(pool, num_docs, [&](size_t d) {
+    TwigMatcher matcher(&corpus->doc(static_cast<uint32_t>(d)));
+    per_doc[d] = matcher.Evaluate(query);
+    visited[d] = matcher.nodes_visited();
+  });
+  for (uint32_t d = 0; d < num_docs; ++d) {
+    stats.nodes_visited += visited[d];
+    stats.result_count += per_doc[d].size();
+    if (!per_doc[d].empty()) ++stats.producing;
     if (results != nullptr) {
-      for (NodeId b : bindings) results->push_back({d, b});
+      for (NodeId b : per_doc[d]) results->push_back({d, b});
     }
   }
   stats.refine_ms = timer.ElapsedMillis();
@@ -280,8 +336,10 @@ Result<ExecStats> FullScanExecute(Corpus* corpus, const TwigQuery& query,
 }
 
 Result<ExecStats> FixQueryProcessor::FullScan(const TwigQuery& query,
-                                              std::vector<NodeRef>* results) {
-  return FullScanExecute(corpus_, query, results, index_->num_entries());
+                                              std::vector<NodeRef>* results,
+                                              const ExecStats* seed) {
+  return FullScanExecute(corpus_, query, results, index_->num_entries(),
+                         pool_, seed);
 }
 
 }  // namespace fix

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/corpus.h"
 #include "core/fix_index.h"
 #include "query/twig_query.h"
@@ -74,15 +75,35 @@ void RecordExecStats(const ExecStats& stats);
 /// the index does not cover) and Database (graceful degradation when an
 /// index is quarantined as corrupt). `total_entries` is only bookkeeping
 /// for the pruning-power stats; pass 0 when no index exists.
+///
+/// `pool` (optional) fans the per-document matching out over a ThreadPool;
+/// results and stats are merged in document order, so the output is
+/// byte-identical to the sequential scan. `seed` (optional) carries
+/// lookup-side stats (lookup_ms, entries_scanned) measured before the
+/// caller decided to fall back — without it uncovered queries would report
+/// zero lookup cost.
 [[nodiscard]] Result<ExecStats> FullScanExecute(Corpus* corpus,
                                                 const TwigQuery& query,
                                                 std::vector<NodeRef>* results,
-                                                uint64_t total_entries);
+                                                uint64_t total_entries,
+                                                ThreadPool* pool = nullptr,
+                                                const ExecStats* seed = nullptr);
 
+/// Thread-safety: distinct FixQueryProcessor instances over the same
+/// (corpus, index) pair may Execute concurrently — the processor itself is
+/// stateless between calls, and the index's concurrent-read contract
+/// (fix_index.h) covers the shared state. A single instance must not be
+/// shared across threads only because Execute is not reentrant with respect
+/// to the caller's `results` vector.
 class FixQueryProcessor {
  public:
-  FixQueryProcessor(Corpus* corpus, FixIndex* index)
-      : corpus_(corpus), index_(index) {}
+  /// `pool` (optional, caller-owned, may be null) parallelizes candidate
+  /// refinement across per-document work units. With a null or single-thread
+  /// pool the exact sequential code path runs; with N threads the merged
+  /// results are byte-identical to the sequential order (candidate groups
+  /// are disjoint per document and merged in ascending doc id).
+  FixQueryProcessor(Corpus* corpus, FixIndex* index, ThreadPool* pool = nullptr)
+      : corpus_(corpus), index_(index), pool_(pool) {}
 
   /// Runs the full query. `results` (optional) receives the deduplicated
   /// result-step bindings; it is filled only when refinement runs against
@@ -95,16 +116,37 @@ class FixQueryProcessor {
                             RefineMode mode = RefineMode::kPerCandidate);
 
  private:
+  /// Refinement output of one per-document candidate group.
+  struct GroupOutcome {
+    Status status;
+    std::vector<NodeRef> results;
+    uint64_t nodes_visited = 0;
+    uint64_t producing = 0;
+    uint64_t result_count = 0;
+    uint64_t random_reads = 0;
+    uint64_t sequential_bytes = 0;
+  };
+
   [[nodiscard]] Status RefineCandidates(const TwigQuery& query,
                           const std::vector<FixIndex::Candidate>& candidates,
                           RefineMode mode, ExecStats* stats,
                           std::vector<NodeRef>* results);
 
+  /// Refines the candidate group sorted[begin, end) — all of one document —
+  /// into `out`. Runs on pool workers; touches only read-shared index state
+  /// and `out`.
+  void RefineDocGroup(const TwigQuery& query,
+                      const std::vector<FixIndex::Candidate>& sorted,
+                      size_t begin, size_t end, RefineMode mode, bool rooted,
+                      GroupOutcome* out);
+
   [[nodiscard]] Result<ExecStats> FullScan(const TwigQuery& query,
-                             std::vector<NodeRef>* results);
+                             std::vector<NodeRef>* results,
+                             const ExecStats* seed);
 
   Corpus* corpus_;
   FixIndex* index_;
+  ThreadPool* pool_;
 };
 
 }  // namespace fix

@@ -1,0 +1,79 @@
+#include "query/plan_cache.h"
+
+#include "common/metrics_registry.h"
+
+namespace fix {
+
+namespace {
+
+// Process-wide mirrors of the per-cache counters (docs/OBSERVABILITY.md).
+Counter& CacheHits() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.query.plan_cache.hits", "ops",
+      "query compilations served from the plan cache");
+  return *c;
+}
+Counter& CacheMisses() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.query.plan_cache.misses", "ops",
+      "plan-cache lookups that required a fresh compile");
+  return *c;
+}
+Counter& CacheEvictions() {
+  static Counter* c = MetricsRegistry::Instance().FindOrCreateCounter(
+      "fix.query.plan_cache.evictions", "ops",
+      "plans dropped from a full plan-cache shard (FIFO)");
+  return *c;
+}
+
+}  // namespace
+
+std::optional<TwigQuery> PlanCache::Lookup(const std::string& xpath) {
+  Shard& shard = ShardFor(xpath);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.plans.find(xpath);
+  if (it == shard.plans.end()) {
+    ++shard.misses;
+    CacheMisses().Increment();
+    return std::nullopt;
+  }
+  ++shard.hits;
+  CacheHits().Increment();
+  return it->second;
+}
+
+void PlanCache::Insert(const std::string& xpath, const TwigQuery& plan) {
+  Shard& shard = ShardFor(xpath);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.plans.count(xpath) > 0) return;
+  if (shard.plans.size() >= shard_capacity_) {
+    shard.plans.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+    ++shard.evictions;
+    CacheEvictions().Increment();
+  }
+  shard.plans.emplace(xpath, plan);
+  shard.fifo.push_back(xpath);
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.plans.size();
+  }
+  return stats;
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.plans.clear();
+    shard.fifo.clear();
+  }
+}
+
+}  // namespace fix

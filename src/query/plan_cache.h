@@ -1,0 +1,83 @@
+// PlanCache: a small sharded cache of compiled query plans (XPath string →
+// label-resolved TwigQuery), so repeated queries skip parse + resolve.
+//
+// Caching a *resolved* plan is sound because the LabelTable is append-only:
+// a label id, once assigned, never changes or disappears, so a TwigQuery
+// resolved against the corpus yesterday still means the same thing today.
+// (Adding documents can introduce new labels, but cannot re-map old ones.)
+//
+// Thread-safety: fully thread-safe. Keys hash to one of kNumShards
+// lock-striped partitions; Lookup/Insert take only that shard's mutex.
+// Eviction is FIFO per shard — plans are tiny and re-compiling is cheap, so
+// recency tracking isn't worth the extra bookkeeping on the hit path.
+//
+// Hits/misses/evictions feed the process-wide MetricsRegistry under
+// `fix.query.plan_cache.*` (see docs/OBSERVABILITY.md).
+
+#ifndef FIX_QUERY_PLAN_CACHE_H_
+#define FIX_QUERY_PLAN_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "query/twig_query.h"
+
+namespace fix {
+
+class PlanCache {
+ public:
+  static constexpr size_t kNumShards = 8;
+  static constexpr size_t kDefaultShardCapacity = 64;
+
+  explicit PlanCache(size_t shard_capacity = kDefaultShardCapacity)
+      : shard_capacity_(shard_capacity == 0 ? 1 : shard_capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for `xpath`, or nullopt on a miss.
+  std::optional<TwigQuery> Lookup(const std::string& xpath);
+
+  /// Caches `plan` under `xpath`, evicting the shard's oldest entry when
+  /// the shard is full. Inserting an already-present key is a no-op (the
+  /// first compilation wins; both plans are identical anyway).
+  void Insert(const std::string& xpath, const TwigQuery& plan);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  /// Snapshot of the counters plus the current entry count.
+  Stats GetStats() const;
+
+  /// Drops every cached plan (counters keep their values).
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, TwigQuery> plans;
+    std::deque<std::string> fifo;  // insertion order; front = oldest
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& xpath) {
+    return shards_[std::hash<std::string>{}(xpath) % kNumShards];
+  }
+
+  size_t shard_capacity_;
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_QUERY_PLAN_CACHE_H_

@@ -40,10 +40,16 @@ namespace fix {
 /// scrub tool can identify B+-tree files without opening a full BTree.
 inline constexpr uint32_t kBTreeMagic = 0x46495842;
 
-/// Thread-safety: a BTree (and the BufferPool beneath it) confines itself
-/// to one thread at a time; reads pin pages in the shared pool and writes
-/// mutate the meta page. The parallel build pipeline respects this by
-/// funneling all inserts/bulk-loads through one thread.
+/// Thread-safety — concurrent-read contract: once a tree is built (or
+/// opened) and no writer is active, Get/Seek/SeekFirst and iterator Next may
+/// be called from any number of threads concurrently. Reads touch only the
+/// lock-striped BufferPool (itself safe for concurrent Fetch/Release) and
+/// the const meta fields root_/height_/key_size_/value_size_; nothing on the
+/// read path mutates the tree. Each thread must use its own Iterator —
+/// iterators themselves are not shared. Writers remain exclusive:
+/// Insert/Delete/BulkLoad/Flush must not overlap with each other or with any
+/// read (the parallel build pipeline funnels all inserts through one
+/// thread). See docs/ARCHITECTURE.md, "Concurrent reads".
 class BTree {
  public:
   /// Creates a new tree in `pool`'s file with the given fixed key/value

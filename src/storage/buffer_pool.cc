@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -27,10 +28,17 @@ Counter& PoolEvictions() {
   return *c;
 }
 
+size_t FloorPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
 }  // namespace
 
-PageHandle::PageHandle(BufferPool* pool, size_t frame, PageId page)
-    : pool_(pool), frame_(frame), page_(page) {}
+PageHandle::PageHandle(BufferPool* pool, uint32_t shard, size_t frame,
+                       PageId page)
+    : pool_(pool), shard_(shard), frame_(frame), page_(page) {}
 
 PageHandle::~PageHandle() { Release(); }
 
@@ -38,6 +46,7 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
     Release();
     pool_ = other.pool_;
+    shard_ = other.shard_;
     frame_ = other.frame_;
     page_ = other.page_;
     other.pool_ = nullptr;
@@ -47,22 +56,22 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 
 char* PageHandle::data() {
   FIX_CHECK(valid());
-  return pool_->FrameData(frame_);
+  return pool_->FrameData(shard_, frame_);
 }
 
 const char* PageHandle::data() const {
   FIX_CHECK(valid());
-  return pool_->FrameData(frame_);
+  return pool_->FrameData(shard_, frame_);
 }
 
 void PageHandle::MarkDirty() {
   FIX_CHECK(valid());
-  pool_->MarkDirty(frame_);
+  pool_->MarkDirty(shard_, frame_);
 }
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(shard_, frame_);
     pool_ = nullptr;
   }
 }
@@ -72,83 +81,115 @@ BufferPool::~BufferPool() {
   // Pin balance: every Fetch/New must have been matched by a Release by the
   // time the pool dies, else an outstanding PageHandle points into freed
   // frames.
-  for (const Frame& f : frames_) {
-    FIX_DCHECK_EQ(f.pins, 0);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const Frame& f : shard->frames) {
+      FIX_DCHECK_EQ(f.pins, 0);
+    }
   }
 #endif
 }
 
-BufferPool::BufferPool(PageFile* file, size_t capacity) : file_(file) {
-  FIX_CHECK(capacity >= 8);  // the B+-tree pins a handful of pages at once
-  frames_.resize(capacity);
-  free_frames_.reserve(capacity);
-  for (size_t i = 0; i < capacity; ++i) {
-    frames_[i].data.resize(kDiskPageSize);
-    free_frames_.push_back(capacity - 1 - i);
+BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
+    : file_(file), capacity_(capacity) {
+  FIX_CHECK(capacity >= kMinFramesPerShard);  // the B+-tree pins several
+                                              // pages at once
+  size_t want = shards == 0 ? kMaxShards : shards;
+  size_t num_shards = FloorPow2(
+      std::min({want, kMaxShards, capacity / kMinFramesPerShard}));
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  size_t base = capacity / num_shards;
+  size_t rem = capacity % num_shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    size_t n = base + (s < rem ? 1 : 0);
+    shard->frames.resize(n);
+    shard->free_frames.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      shard->frames[i].data.resize(kDiskPageSize);
+      shard->free_frames.push_back(n - 1 - i);
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
-Result<PageHandle> BufferPool::Fetch(PageId id) {
-  auto it = page_to_frame_.find(id);
-  if (it != page_to_frame_.end()) {
-    ++hits_;
+Result<size_t> BufferPool::PinPageLocked(Shard* shard, PageId id) {
+  auto it = shard->page_to_frame.find(id);
+  if (it != shard->page_to_frame.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     PoolHits().Increment();
-    Frame& f = frames_[it->second];
+    Frame& f = shard->frames[it->second];
     FIX_DCHECK_EQ(f.page, id);
     FIX_DCHECK_GE(f.pins, 0);
     if (f.pins == 0 && f.in_lru) {
-      lru_.erase(f.lru_pos);
+      shard->lru.erase(f.lru_pos);
       f.in_lru = false;
     }
     ++f.pins;
-    return PageHandle(this, it->second, id);
+    return it->second;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   PoolMisses().Increment();
   size_t idx;
-  FIX_ASSIGN_OR_RETURN(idx, GrabFrame());
-  Frame& f = frames_[idx];
+  FIX_ASSIGN_OR_RETURN(idx, GrabFrame(shard));
+  Frame& f = shard->frames[idx];
+  // The disk read runs under the shard mutex. That serializes misses within
+  // one shard, but guarantees two threads fetching the same absent page
+  // cannot both read it into different frames (no in-flight placeholder
+  // state to track), and the other shards proceed unimpeded.
   Status read = file_->ReadPageBlock(id, f.data.data());
   if (!read.ok()) {
     // Nothing maps to this frame yet; hand it back so a failed read (e.g. a
     // corrupt page) does not permanently shrink the pool.
-    free_frames_.push_back(idx);
+    shard->free_frames.push_back(idx);
     return read;
   }
   f.page = id;
   f.pins = 1;
   f.dirty = false;
   f.in_lru = false;
-  page_to_frame_[id] = idx;
-  return PageHandle(this, idx, id);
+  shard->page_to_frame[id] = idx;
+  return idx;
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  uint32_t s = ShardOf(id);
+  Shard* shard = shards_[s].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  size_t idx;
+  FIX_ASSIGN_OR_RETURN(idx, PinPageLocked(shard, id));
+  return PageHandle(this, s, idx, id);
 }
 
 Result<PageHandle> BufferPool::New() {
   PageId id;
   FIX_RETURN_IF_ERROR(file_->AllocatePage(&id));
+  uint32_t s = ShardOf(id);
+  Shard* shard = shards_[s].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
   size_t idx;
-  FIX_ASSIGN_OR_RETURN(idx, GrabFrame());
-  Frame& f = frames_[idx];
+  FIX_ASSIGN_OR_RETURN(idx, GrabFrame(shard));
+  Frame& f = shard->frames[idx];
   std::memset(f.data.data(), 0, kDiskPageSize);
   f.page = id;
   f.pins = 1;
   f.dirty = true;  // a new page must reach disk even if never touched again
   f.in_lru = false;
-  page_to_frame_[id] = idx;
-  return PageHandle(this, idx, id);
+  shard->page_to_frame[id] = idx;
+  return PageHandle(this, s, idx, id);
 }
 
-Result<size_t> BufferPool::GrabFrame() {
-  if (!free_frames_.empty()) {
-    size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferPool::GrabFrame(Shard* shard) {
+  if (!shard->free_frames.empty()) {
+    size_t idx = shard->free_frames.back();
+    shard->free_frames.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
+  if (shard->lru.empty()) {
     return Status::Internal("buffer pool exhausted: every frame is pinned");
   }
-  size_t idx = lru_.back();
-  Frame& f = frames_[idx];
+  size_t idx = shard->lru.back();
+  Frame& f = shard->frames[idx];
   // Only unpinned frames live on the LRU list; evicting a pinned frame
   // would invalidate a live PageHandle.
   FIX_DCHECK_EQ(f.pins, 0);
@@ -159,32 +200,43 @@ Result<size_t> BufferPool::GrabFrame() {
     FIX_RETURN_IF_ERROR(file_->WritePageBlock(f.page, f.data.data()));
     f.dirty = false;
   }
-  lru_.pop_back();
+  shard->lru.pop_back();
   f.in_lru = false;
-  page_to_frame_.erase(f.page);
+  shard->page_to_frame.erase(f.page);
   f.page = kInvalidPage;
-  ++evictions_;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   PoolEvictions().Increment();
   return idx;
 }
 
-void BufferPool::Unpin(size_t frame_idx) {
-  FIX_DCHECK_LT(frame_idx, frames_.size());
-  Frame& f = frames_[frame_idx];
+void BufferPool::Unpin(uint32_t shard_idx, size_t frame_idx) {
+  Shard* shard = shards_[shard_idx].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  FIX_DCHECK_LT(frame_idx, shard->frames.size());
+  Frame& f = shard->frames[frame_idx];
   FIX_CHECK(f.pins > 0);
   FIX_DCHECK(!f.in_lru);  // pinned frames are never on the LRU list
   if (--f.pins == 0) {
-    lru_.push_front(frame_idx);
-    f.lru_pos = lru_.begin();
+    shard->lru.push_front(frame_idx);
+    f.lru_pos = shard->lru.begin();
     f.in_lru = true;
   }
 }
 
+void BufferPool::MarkDirty(uint32_t shard_idx, size_t frame_idx) {
+  Shard* shard = shards_[shard_idx].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->frames[frame_idx].dirty = true;
+}
+
 Status BufferPool::FlushAll() {
-  for (Frame& f : frames_) {
-    if (f.page != kInvalidPage && f.dirty) {
-      FIX_RETURN_IF_ERROR(file_->WritePageBlock(f.page, f.data.data()));
-      f.dirty = false;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Frame& f : shard->frames) {
+      if (f.page != kInvalidPage && f.dirty) {
+        FIX_RETURN_IF_ERROR(file_->WritePageBlock(f.page, f.data.data()));
+        f.dirty = false;
+      }
     }
   }
   return Status::OK();

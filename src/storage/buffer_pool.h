@@ -1,14 +1,34 @@
-// BufferPool: a fixed-capacity page cache with LRU eviction and pin counts.
+// BufferPool: a fixed-capacity page cache with LRU eviction and pin counts,
+// lock-striped for concurrent readers.
 //
 // All B+-tree page access goes through here. The hit/miss counters double as
 // the logical-I/O metric reported by the benchmark harnesses (a miss is a
 // physical read).
+//
+// Thread-safety: the pool is sharded into N lock-striped partitions (pages
+// map to shards by page id). Each shard owns its frames, its LRU list, and a
+// mutex; Fetch/New/Release/MarkDirty take only the owning shard's mutex, so
+// probes against disjoint shards never contend. Counters are relaxed
+// atomics. Concurrent Fetch/Release from any number of threads is safe —
+// including concurrent fetches of the same page, which serialize on the
+// shard mutex (the miss path performs its disk read while holding the shard
+// lock, trading a little miss-path parallelism for a design with no
+// in-flight placeholder states). Writes remain writer-exclusive: New,
+// MarkDirty-after-mutation, and FlushAll must not run concurrently with any
+// other pool call (see docs/ARCHITECTURE.md, "Concurrent reads").
+//
+// Eviction only considers unpinned frames of the shard being fetched into; a
+// pinned frame is never evicted, so a live PageHandle's data() stays valid
+// no matter what other threads fetch.
 
 #ifndef FIX_STORAGE_BUFFER_POOL_H_
 #define FIX_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,7 +46,7 @@ class BufferPool;
 class PageHandle {
  public:
   PageHandle() = default;
-  PageHandle(BufferPool* pool, size_t frame, PageId page);
+  PageHandle(BufferPool* pool, uint32_t shard, size_t frame, PageId page);
   ~PageHandle();
 
   PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
@@ -48,14 +68,20 @@ class PageHandle {
 
  private:
   BufferPool* pool_ = nullptr;
+  uint32_t shard_ = 0;
   size_t frame_ = 0;
   PageId page_ = kInvalidPage;
 };
 
 class BufferPool {
  public:
-  /// `capacity` is the number of kPageSize frames held in memory.
-  BufferPool(PageFile* file, size_t capacity);
+  /// `capacity` is the total number of kPageSize frames held in memory,
+  /// split across the shards. `shards` = 0 picks automatically: the largest
+  /// power of two <= min(kMaxShards, capacity / kMinFramesPerShard), so
+  /// small pools (tests) degenerate to one shard with exactly the classic
+  /// single-LRU semantics while production-sized pools stripe. An explicit
+  /// `shards` is rounded down to a power of two and clamped the same way.
+  BufferPool(PageFile* file, size_t capacity, size_t shards = 0);
 
   /// Debug builds verify pin balance at teardown: a live PageHandle
   /// outliving its pool is a use-after-free in waiting.
@@ -65,22 +91,39 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns a pinned handle on page `id`, reading it from disk on a miss.
+  /// Safe to call from any number of threads concurrently.
   [[nodiscard]] Result<PageHandle> Fetch(PageId id);
 
   /// Allocates a fresh page in the file and returns it pinned (zeroed).
+  /// Writer-exclusive.
   [[nodiscard]] Result<PageHandle> New();
 
-  /// Writes back every dirty frame.
+  /// Writes back every dirty frame. Writer-exclusive.
   [[nodiscard]] Status FlushAll();
 
-  // Counters (benchmarks read these).
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
-  void ResetCounters() { hits_ = misses_ = evictions_ = 0; }
+  // Counters (benchmarks read these). Relaxed atomics: safe to read while
+  // readers run, exact once they quiesce.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+  }
 
-  size_t capacity() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
   PageFile* file() { return file_; }
+
+  /// Largest shard count a pool will stripe into.
+  static constexpr size_t kMaxShards = 8;
+  /// Every shard keeps at least this many frames (the B+-tree pins a
+  /// handful of pages at once, and in the worst case they all hash to one
+  /// shard).
+  static constexpr size_t kMinFramesPerShard = 8;
 
  private:
   friend class PageHandle;
@@ -94,26 +137,47 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  void Unpin(size_t frame_idx);
-  void MarkDirty(size_t frame_idx) { frames_[frame_idx].dirty = true; }
-  // Frames hold the full kDiskPageSize block so page I/O verifies and
-  // stamps in place (PageFile::{Read,Write}PageBlock); handles only ever
-  // see the payload region.
-  char* FrameData(size_t frame_idx) {
-    return frames_[frame_idx].data.data() + kPageHeaderSize;
+  /// One lock stripe: a mutex plus the frames, LRU list, and page map it
+  /// guards. Heap-allocated so the pool stays movable-free but the shard
+  /// addresses stay stable.
+  struct Shard {
+    std::mutex mu;
+    std::vector<Frame> frames;
+    std::vector<size_t> free_frames;
+    std::list<size_t> lru;  // front = most recent
+    std::unordered_map<PageId, size_t> page_to_frame;
+  };
+
+  uint32_t ShardOf(PageId id) const {
+    return static_cast<uint32_t>(id & shard_mask_);
   }
 
-  /// Finds a frame to (re)use: a never-used frame or the LRU unpinned one.
-  [[nodiscard]] Result<size_t> GrabFrame();
+  void Unpin(uint32_t shard_idx, size_t frame_idx);
+  void MarkDirty(uint32_t shard_idx, size_t frame_idx);
+  // Frames hold the full kDiskPageSize block so page I/O verifies and
+  // stamps in place (PageFile::{Read,Write}PageBlock); handles only ever
+  // see the payload region. Safe without the shard lock: the caller holds a
+  // pin, so the frame cannot be evicted or reused underneath it.
+  char* FrameData(uint32_t shard_idx, size_t frame_idx) {
+    return shards_[shard_idx]->frames[frame_idx].data.data() +
+           kPageHeaderSize;
+  }
+
+  /// Finds a frame of `shard` to (re)use: a never-used frame or the LRU
+  /// unpinned one. Caller holds the shard mutex.
+  [[nodiscard]] Result<size_t> GrabFrame(Shard* shard);
+
+  /// Pins page `id` into `shard` (hit or miss+read). Caller holds the shard
+  /// mutex.
+  [[nodiscard]] Result<size_t> PinPageLocked(Shard* shard, PageId id);
 
   PageFile* file_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::list<size_t> lru_;  // front = most recent
-  std::unordered_map<PageId, size_t> page_to_frame_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  size_t capacity_ = 0;
+  size_t shard_mask_ = 0;  // num_shards - 1; shard count is a power of two
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace fix

@@ -32,7 +32,7 @@ Status PageFile::RetryTransient(Op&& op) {
     s = op();
     if (!s.IsUnavailable()) return s;
     if (attempt + 1 < kMaxIoAttempts) {
-      ++retries_;
+      retries_.fetch_add(1, std::memory_order_relaxed);
       // 50us, 100us, 200us, ... — bounded by kMaxIoAttempts.
       ::usleep(static_cast<useconds_t>((1u << attempt) * 50));
     }
@@ -221,10 +221,10 @@ Status PageFile::ReadPageBlock(PageId id, char* block) {
       [&] { return io_->Read(BlockOffset(id), block, kDiskPageSize); }));
   Status verified = VerifyBlock(id, block);
   if (!verified.ok()) {
-    ++checksum_failures_;
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
     return verified;
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -236,7 +236,7 @@ Status PageFile::WritePageBlock(PageId id, char* block) {
   StampHeader(id, block);
   FIX_RETURN_IF_ERROR(RetryTransient(
       [&] { return io_->Write(BlockOffset(id), block, kDiskPageSize); }));
-  ++writes_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -33,6 +33,7 @@
 #ifndef FIX_STORAGE_PAGE_FILE_H_
 #define FIX_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -111,15 +112,25 @@ class PageFile {
   PageId num_pages() const { return num_pages_; }
   const std::string& path() const { return path_; }
 
-  /// Physical I/O counters (for the benchmark harnesses).
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
-  void ResetCounters() { reads_ = writes_ = 0; }
+  /// Physical I/O counters (for the benchmark harnesses). Relaxed atomics:
+  /// ReadPage/ReadPageBlock are safe from many threads concurrently (the
+  /// backend uses positioned reads), and the bookkeeping must not race.
+  /// Writes and allocation remain writer-exclusive.
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  void ResetCounters() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
 
   /// Pages that failed header/CRC verification on read (never reset).
-  uint64_t checksum_failures() const { return checksum_failures_; }
+  uint64_t checksum_failures() const {
+    return checksum_failures_.load(std::memory_order_relaxed);
+  }
   /// Transient-fault retries performed (successful or not).
-  uint64_t retries() const { return retries_; }
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
   /// Reads the raw kDiskPageSize block of page `id` without any header or
   /// checksum verification. For the scrub tool and tests only.
@@ -143,11 +154,11 @@ class PageFile {
   std::unique_ptr<PageIo> io_;
   PageId num_pages_ = 0;
   std::string path_;
-  uint64_t write_counter_ = 0;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
-  uint64_t checksum_failures_ = 0;
-  uint64_t retries_ = 0;
+  uint64_t write_counter_ = 0;  // writer-exclusive; no atomics needed
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
+  std::atomic<uint64_t> retries_{0};
 };
 
 }  // namespace fix

@@ -37,7 +37,8 @@ RecordStore& RecordStore::operator=(RecordStore&& other) noexcept {
     path_ = std::move(other.path_);
     end_offset_ = other.end_offset_;
     num_records_ = other.num_records_;
-    reads_ = other.reads_;
+    reads_.store(other.reads_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
     other.fd_ = -1;
   }
   return *this;
@@ -101,7 +102,7 @@ Result<std::string> RecordStore::Read(RecordId id) const {
   std::string payload(len, '\0');
   FIX_RETURN_IF_ERROR(
       PReadFull(fd_, id.offset + 8, payload.data(), len, path_));
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return payload;
 }
 
@@ -113,7 +114,7 @@ Status RecordStore::Touch(RecordId id) const {
   if (DecodeFixed32(header) != kRecordMagic) {
     return Status::Corruption("bad record magic in " + path_);
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

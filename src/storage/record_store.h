@@ -8,10 +8,14 @@
 //     order at build time, so clustered refinement reads sequentially.
 //
 // Record framing: [magic u32][len u32][payload]. Offsets act as record ids.
+//
+// Thread-safety: Read/Touch are safe from any number of threads (positioned
+// pread, atomic read counter). Append/Sync/Open/Close are writer-exclusive.
 
 #ifndef FIX_STORAGE_RECORD_STORE_H_
 #define FIX_STORAGE_RECORD_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -56,16 +60,17 @@ class RecordStore {
   uint64_t size_bytes() const { return end_offset_; }
   uint64_t num_records() const { return num_records_; }
 
-  /// Read counter, the harnesses' refinement-I/O metric.
-  uint64_t reads() const { return reads_; }
-  void ResetCounters() { reads_ = 0; }
+  /// Read counter, the harnesses' refinement-I/O metric. Relaxed atomic so
+  /// concurrent Read/Touch calls don't race on the bookkeeping.
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  void ResetCounters() { reads_.store(0, std::memory_order_relaxed); }
 
  private:
   int fd_ = -1;
   std::string path_;
   uint64_t end_offset_ = 0;
   uint64_t num_records_ = 0;
-  mutable uint64_t reads_ = 0;
+  mutable std::atomic<uint64_t> reads_{0};
 };
 
 }  // namespace fix

@@ -1,0 +1,332 @@
+// Concurrent read-path tests: many threads querying one Database against
+// single-threaded baselines, ExecuteMany determinism on all four generated
+// datasets, sharded BufferPool fetches, and the PlanCache. These carry the
+// `concurrency` ctest label so CI runs them in both the Release and TSan
+// trees (tools/ci.sh).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "datagen/datasets.h"
+#include "query/plan_cache.h"
+#include "query/xpath_parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace fix {
+namespace {
+
+class ConcurrentQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_conc_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+void GenerateSmallXMark(Corpus* corpus) {
+  XMarkOptions o;
+  o.num_items = 80;
+  o.num_people = 90;
+  o.num_open_auctions = 90;
+  o.num_closed_auctions = 80;
+  o.num_categories = 40;
+  GenerateXMark(corpus, o);
+}
+
+// Eight threads replay a mixed workload — covered lookups through the
+// unclustered and clustered indexes plus an uncovered query that falls back
+// to the full scan — and every execution must reproduce the single-threaded
+// baseline exactly (same NodeRefs in the same order).
+TEST_F(ConcurrentQueryTest, StressMixedWorkloadMatchesBaseline) {
+  Database db(dir_);
+  GenerateSmallXMark(db.corpus());
+  ASSERT_TRUE(db.Finalize().ok());
+
+  IndexOptions unclustered;
+  unclustered.depth_limit = 6;
+  IndexOptions clustered = unclustered;
+  clustered.clustered = true;
+  IndexOptions shallow;
+  shallow.depth_limit = 2;  // anything deeper is uncovered -> full scan
+  ASSERT_TRUE(db.BuildIndex("u", unclustered, nullptr).ok());
+  ASSERT_TRUE(db.BuildIndex("c", clustered, nullptr).ok());
+  ASSERT_TRUE(db.BuildIndex("shallow", shallow, nullptr).ok());
+
+  const std::vector<std::pair<std::string, std::string>> workload = {
+      {"u", "//item/mailbox/mail"},
+      {"u", "//closed_auction/annotation/description"},
+      {"u", "//open_auction[seller]/annotation/description/text"},
+      {"c", "//person/name"},
+      {"c", "//item[name]/description"},
+      {"shallow", "//item/mailbox/mail/text/emph"},
+  };
+
+  std::vector<std::vector<NodeRef>> baseline(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto stats = db.Query(workload[i].first, workload[i].second,
+                          &baseline[i]);
+    ASSERT_TRUE(stats.ok()) << workload[i].second << ": " << stats.status();
+    if (workload[i].first == "shallow") {
+      EXPECT_FALSE(stats->covered);
+      EXPECT_FALSE(stats->used_index);
+    }
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 4;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Stagger starting offsets so threads hit different queries at once.
+      for (int it = 0; it < kIterations; ++it) {
+        for (size_t i = 0; i < workload.size(); ++i) {
+          size_t w = (i + t) % workload.size();
+          std::vector<NodeRef> results;
+          auto stats = db.Query(workload[w].first, workload[w].second,
+                                &results);
+          if (!stats.ok()) {
+            failures.fetch_add(1);
+          } else if (results != baseline[w]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(db.plan_cache_stats().hits, 0u);
+}
+
+struct DatasetCase {
+  const char* name;
+  void (*generate)(Corpus*);
+  int depth_limit;
+  std::vector<const char*> xpaths;
+};
+
+void GenSmallTcmd(Corpus* c) {
+  TcmdOptions o;
+  o.num_docs = 60;
+  GenerateTcmd(c, o);
+}
+void GenSmallDblp(Corpus* c) {
+  DblpOptions o;
+  o.num_publications = 400;
+  GenerateDblp(c, o);
+}
+void GenSmallTreebank(Corpus* c) {
+  TreebankOptions o;
+  o.num_sentences = 150;
+  GenerateTreebank(c, o);
+}
+
+// ExecuteMany with a thread pool must be byte-identical to both its own
+// threads=1 mode and the plain sequential Query path, on every dataset
+// family — this is the determinism contract in database.h.
+TEST_F(ConcurrentQueryTest, ExecuteManyDeterministicAcrossDatasets) {
+  const DatasetCase cases[] = {
+      {"tcmd", GenSmallTcmd, 0,
+       {"/article/prolog/authors/author/name", "//author/contact/email",
+        "/article/body/section/p"}},
+      {"dblp", GenSmallDblp, 6,
+       {"//inproceedings/title", "//article[number]/author",
+        "//dblp/inproceedings/author"}},
+      {"xmark", GenerateSmallXMark, 6,
+       {"//item/mailbox/mail", "//closed_auction/annotation/description",
+        "//person/name"}},
+      {"treebank", GenSmallTreebank, 6,
+       {"//EMPTY/S/VP", "//EMPTY/S[VP]/NP", "//S/NP/PP"}},
+  };
+
+  for (const DatasetCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::string subdir = dir_ + "/" + c.name;
+    std::filesystem::create_directories(subdir);
+    Database db(subdir);
+    c.generate(db.corpus());
+    ASSERT_TRUE(db.Finalize().ok());
+    IndexOptions options;
+    options.depth_limit = c.depth_limit;
+    ASSERT_TRUE(db.BuildIndex("main", options, nullptr).ok());
+
+    std::vector<std::string> xpaths(c.xpaths.begin(), c.xpaths.end());
+    std::vector<std::vector<NodeRef>> sequential(xpaths.size());
+    for (size_t i = 0; i < xpaths.size(); ++i) {
+      ASSERT_TRUE(db.Query("main", xpaths[i], &sequential[i]).ok());
+    }
+
+    auto one = db.ExecuteMany("main", xpaths, /*threads=*/1);
+    auto four = db.ExecuteMany("main", xpaths, /*threads=*/4);
+    ASSERT_TRUE(one.ok()) << one.status();
+    ASSERT_TRUE(four.ok()) << four.status();
+    ASSERT_EQ(one->size(), xpaths.size());
+    ASSERT_EQ(four->size(), xpaths.size());
+    for (size_t i = 0; i < xpaths.size(); ++i) {
+      SCOPED_TRACE(xpaths[i]);
+      ASSERT_TRUE((*one)[i].status.ok());
+      ASSERT_TRUE((*four)[i].status.ok());
+      EXPECT_EQ((*one)[i].results, sequential[i]);
+      EXPECT_EQ((*four)[i].results, sequential[i]);
+      EXPECT_EQ((*one)[i].stats.result_count, sequential[i].size());
+      EXPECT_EQ((*four)[i].stats.result_count, sequential[i].size());
+    }
+  }
+}
+
+// A parse failure in one batch entry must not fail its batchmates; an
+// unknown index name must fail the whole batch.
+TEST_F(ConcurrentQueryTest, ExecuteManyIsolatesPerQueryErrors) {
+  Database db(dir_);
+  ASSERT_TRUE(db.AddXml("<a><b><c/></b></a>").ok());
+  ASSERT_TRUE(db.Finalize().ok());
+  ASSERT_TRUE(db.BuildIndex("main", IndexOptions{}, nullptr).ok());
+
+  auto outcomes =
+      db.ExecuteMany("main", {"//a/b", "not an xpath", "//b/c"}, 2);
+  ASSERT_TRUE(outcomes.ok());
+  ASSERT_EQ(outcomes->size(), 3u);
+  EXPECT_TRUE((*outcomes)[0].status.ok());
+  EXPECT_EQ((*outcomes)[1].status.code(), StatusCode::kParseError);
+  EXPECT_TRUE((*outcomes)[2].status.ok());
+  EXPECT_EQ((*outcomes)[2].results.size(), 1u);
+
+  EXPECT_FALSE(db.ExecuteMany("nope", {"//a"}, 2).ok());
+}
+
+// The uncovered-query fallback must keep the lookup-phase stats it paid for
+// (lookup_ms, entries scanned) instead of reporting a free full scan.
+TEST_F(ConcurrentQueryTest, FullScanFallbackKeepsLookupStats) {
+  Database db(dir_);
+  GenerateSmallXMark(db.corpus());
+  ASSERT_TRUE(db.Finalize().ok());
+  IndexOptions shallow;
+  shallow.depth_limit = 2;
+  ASSERT_TRUE(db.BuildIndex("shallow", shallow, nullptr).ok());
+
+  std::vector<NodeRef> results;
+  auto stats = db.Query("shallow", "//item/mailbox/mail/text/emph", &results);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_FALSE(stats->covered);
+  EXPECT_FALSE(stats->used_index);
+  EXPECT_GT(stats->lookup_ms, 0.0);
+  EXPECT_GT(stats->result_count, 0u);
+}
+
+// Many threads fetching a disjoint-then-overlapping page set through a
+// multi-shard pool must always observe the bytes that were written, and the
+// atomic counters must balance.
+TEST_F(ConcurrentQueryTest, BufferPoolConcurrentFetchesSeeCorrectBytes) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(dir_ + "/pool.pages", true).ok());
+  BufferPool pool(&file, /*capacity=*/64);
+  EXPECT_GT(pool.num_shards(), 1u);
+
+  constexpr int kPages = 200;
+  std::vector<PageId> ids;
+  ids.reserve(kPages);
+  for (int i = 0; i < kPages; ++i) {
+    auto page = pool.New();
+    ASSERT_TRUE(page.ok());
+    std::memcpy(page->data(), &i, sizeof(i));
+    page->MarkDirty();
+    ids.push_back(page->page_id());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 5; ++round) {
+        for (int i = t; i < kPages; i += 2) {  // overlapping slices
+          auto page = pool.Fetch(ids[i]);
+          if (!page.ok()) {
+            bad.fetch_add(1);
+            continue;
+          }
+          int got = -1;
+          std::memcpy(&got, page->data(), sizeof(got));
+          if (got != i) bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(pool.hits(), 0u);
+}
+
+TEST_F(ConcurrentQueryTest, PlanCacheHitMissEviction) {
+  PlanCache cache(/*shard_capacity=*/2);
+  auto plan = ParseXPath("//a/b");
+  ASSERT_TRUE(plan.ok());
+
+  EXPECT_FALSE(cache.Lookup("//a/b").has_value());
+  cache.Insert("//a/b", *plan);
+  EXPECT_TRUE(cache.Lookup("//a/b").has_value());
+  cache.Insert("//a/b", *plan);  // duplicate insert is a no-op
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+
+  // Flood well past capacity: entries stay bounded, evictions happen.
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert("//q" + std::to_string(i), *plan);
+  }
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_LE(stats.entries, 2 * PlanCache::kNumShards);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST_F(ConcurrentQueryTest, PlanCacheConcurrentMixedUse) {
+  PlanCache cache;
+  auto plan = ParseXPath("//a/b");
+  ASSERT_TRUE(plan.ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        std::string key = "//k" + std::to_string((i + t) % 32);
+        if (auto hit = cache.Lookup(key)) {
+          if (hit->steps.size() != plan->steps.size()) bad.fetch_add(1);
+        } else {
+          cache.Insert(key, *plan);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LE(cache.GetStats().entries, 32u);
+}
+
+}  // namespace
+}  // namespace fix

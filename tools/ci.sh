@@ -11,10 +11,13 @@
 #   5. the `fault-injection` labeled suite as its own stage in both trees
 #      (injected I/O faults, torn writes, crash-recovery matrix).
 #   6. a TSan build running the `concurrency` labeled suite (thread pool,
-#      feature cache, parallel index construction).
-#   7. fixdb_scrub over every index page file persist_test produced
+#      feature cache, parallel index construction, concurrent queries).
+#   7. the concurrent-query stress test on its own, in both the Release and
+#      TSan trees: many threads against one Database, results checked
+#      against single-threaded baselines.
+#   8. fixdb_scrub over every index page file persist_test produced
 #      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step).
-#   8. docs-check: every relative markdown link in the repo's *.md files
+#   9. docs-check: every relative markdown link in the repo's *.md files
 #      must resolve, and the documented headers must keep their
 #      thread-safety contracts (plain grep/awk — no extra tooling).
 #
@@ -28,15 +31,15 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BASE_REF="${1:-origin/main}"
 
-echo "=== [1/8] Release build (FIX_WERROR=ON) ==="
+echo "=== [1/9] Release build (FIX_WERROR=ON) ==="
 cmake -B build -S . -DFIX_WERROR=ON
 cmake --build build -j "$JOBS"
 
-echo "=== [2/8] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
+echo "=== [2/9] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
 cmake -B build-asan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 
-echo "=== [3/8] clang-tidy on changed files ==="
+echo "=== [3/9] clang-tidy on changed files ==="
 if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
   BASE_REF="HEAD~1"
 fi
@@ -51,16 +54,16 @@ else
   tools/run_clang_tidy.sh build
 fi
 
-echo "=== [4/8] Tests ==="
+echo "=== [4/9] Tests ==="
 (cd build-asan && ctest -L sanitizer-clean --output-on-failure)
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "=== [5/8] Fault-injection suite (Release + ASan) ==="
+echo "=== [5/9] Fault-injection suite (Release + ASan) ==="
 (cd build && ctest -L fault-injection --output-on-failure -j "$JOBS")
 (cd build-asan && ctest -L fault-injection --output-on-failure -j "$JOBS")
 
-echo "=== [6/8] TSan build + concurrency/observability suites ==="
+echo "=== [6/9] TSan build + concurrency/observability suites ==="
 cmake -B build-tsan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest -L concurrency --output-on-failure -j "$JOBS")
@@ -68,7 +71,16 @@ cmake --build build-tsan -j "$JOBS"
 # the observability label also runs in the Release tree via stage 4.
 (cd build-tsan && ctest -L observability --output-on-failure -j "$JOBS")
 
-echo "=== [7/8] Scrub of persist_test databases ==="
+echo "=== [7/9] Concurrent-query stress (Release + TSan) ==="
+# The data-race canary for the whole read path: many threads through one
+# Database (lock-striped buffer pool, shared B+-tree, plan cache) with
+# results diffed against single-threaded baselines. TSan turns a silent
+# race into a hard failure.
+(cd build && ctest -R '^ConcurrentQueryTest' --output-on-failure -j "$JOBS")
+(cd build-tsan && ctest -R '^ConcurrentQueryTest' --output-on-failure \
+    -j "$JOBS")
+
+echo "=== [8/9] Scrub of persist_test databases ==="
 SCRUB_DIR="$(mktemp -d)"
 trap 'rm -rf "$SCRUB_DIR"' EXIT
 (cd build && FIX_PERSIST_TEST_DIR="$SCRUB_DIR" ctest -R '^PersistTest' \
@@ -80,7 +92,7 @@ if [ "${#INDEX_FILES[@]}" -eq 0 ]; then
 fi
 build/tools/fixdb_scrub "${INDEX_FILES[@]}"
 
-echo "=== [8/8] docs-check ==="
+echo "=== [9/9] docs-check ==="
 # Every relative link in tracked markdown must resolve. grep emits
 # `file:](target)`; the loop strips the wrapper, drops externals and pure
 # anchors, and resolves the rest against the linking file's directory.
