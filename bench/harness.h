@@ -33,7 +33,7 @@ int PaperDepthLimit(DataSet data);
 /// Builds a FIX index over `corpus` in a temp work dir. `build_threads`
 /// and `feature_cache_mb` mirror the IndexOptions fields of the same name
 /// (defaults match IndexOptions).
-Result<FixIndex> BuildFix(Corpus* corpus, DataSet data, bool clustered,
+[[nodiscard]] Result<FixIndex> BuildFix(Corpus* corpus, DataSet data, bool clustered,
                           uint32_t value_beta, BuildStats* stats,
                           const std::string& tag, bool use_lambda2 = false,
                           int depth_limit_override = -1,

@@ -39,14 +39,14 @@ struct FbBuildStats {
 class FbIndex {
  public:
   /// Builds the F&B graph over the whole corpus.
-  static Result<FbIndex> Build(const Corpus* corpus, FbBuildStats* stats);
+  [[nodiscard]] static Result<FbIndex> Build(const Corpus* corpus, FbBuildStats* stats);
 
   FbIndex(FbIndex&&) = default;
   FbIndex& operator=(FbIndex&&) = default;
 
   /// Evaluates a twig query (with / and // axes anywhere). Results are the
   /// bindings of the result step.
-  Result<FbExecStats> Execute(const TwigQuery& query,
+  [[nodiscard]] Result<FbExecStats> Execute(const TwigQuery& query,
                               std::vector<NodeRef>* results = nullptr);
 
   const FbGraph& graph() const { return graph_; }

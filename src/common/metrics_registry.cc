@@ -125,7 +125,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
                                                       std::string_view unit,
                                                       std::string_view help,
                                                       MetricType type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : entries_) {
     if (e->name == name) return e->type == type ? e.get() : nullptr;
   }
@@ -173,7 +173,7 @@ Histogram* MetricsRegistry::FindOrCreateHistogram(std::string_view name,
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
   std::vector<MetricSnapshot> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.reserve(entries_.size());
     for (const auto& e : entries_) {
       MetricSnapshot s;
@@ -286,7 +286,7 @@ std::string MetricsRegistry::HumanTable() const {
 }
 
 void MetricsRegistry::ResetAllForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : entries_) {
     switch (e->type) {
       case MetricType::kCounter:

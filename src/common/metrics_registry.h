@@ -29,10 +29,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fix {
 
@@ -138,16 +140,16 @@ class MetricsRegistry {
   /// returns the first registration's object of the *requested* type only
   /// if types match; otherwise nullptr (tests assert on this).
   Counter* FindOrCreateCounter(std::string_view name, std::string_view unit,
-                               std::string_view help);
+                               std::string_view help) FIX_EXCLUDES(mu_);
   Gauge* FindOrCreateGauge(std::string_view name, std::string_view unit,
-                           std::string_view help);
+                           std::string_view help) FIX_EXCLUDES(mu_);
   Histogram* FindOrCreateHistogram(std::string_view name,
                                    std::string_view unit,
-                                   std::string_view help);
+                                   std::string_view help) FIX_EXCLUDES(mu_);
 
   /// Relaxed-read snapshot of every registered metric, sorted by name.
   /// Safe while writers keep writing.
-  std::vector<MetricSnapshot> Snapshot() const;
+  std::vector<MetricSnapshot> Snapshot() const FIX_EXCLUDES(mu_);
 
   /// Prometheus text exposition (text/plain; version 0.0.4): counters and
   /// gauges as-is, histograms as summaries with p50/p95/p99 quantile
@@ -161,7 +163,7 @@ class MetricsRegistry {
   /// Zeroes every registered metric's value. Registrations (and cached
   /// pointers) survive. Tests and the bench harness use this to scope a
   /// snapshot to one run.
-  void ResetAllForTest();
+  void ResetAllForTest() FIX_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
@@ -179,10 +181,14 @@ class MetricsRegistry {
   };
 
   Entry* FindOrCreate(std::string_view name, std::string_view unit,
-                      std::string_view help, MetricType type);
+                      std::string_view help, MetricType type)
+      FIX_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;       // guards entries_ (registration + iteration)
-  std::vector<std::unique_ptr<Entry>> entries_;
+  // Registration can happen under any subsystem lock (e.g. a BufferPool
+  // shard registering its hit counter lazily), so mu_ ranks last.
+  // LOCK-ORDER: 6 MetricsRegistry::mu_
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ FIX_GUARDED_BY(mu_);
 };
 
 }  // namespace fix

@@ -1,0 +1,146 @@
+// Annotated mutex wrappers for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::shared_mutex carry no capability
+// attributes, so code locking them directly is invisible to clang's
+// -Wthread-safety. These zero-overhead wrappers re-export the std
+// primitives as annotated capabilities; under gcc every annotation macro
+// expands to nothing and the wrappers inline away.
+//
+// Usage pattern (see docs/STATIC_ANALYSIS.md):
+//
+//   Mutex mu_;
+//   int value_ FIX_GUARDED_BY(mu_);
+//
+//   void Bump() FIX_EXCLUDES(mu_) {
+//     MutexLock lock(mu_);
+//     ++value_;                       // ok: lock held
+//   }
+//
+// Condition waits must use explicit loops, not predicate lambdas — clang
+// analyzes lambda bodies without the enclosing REQUIRES context, so
+// `cv.Wait(mu, [&]{ return ready_; })` would warn on `ready_`:
+//
+//   while (!ready_) cv_.Wait(mu_);
+//
+// The raw lock()/unlock() members exist so CondVar can treat Mutex as
+// BasicLockable and so the RAII guards below can be implemented; direct
+// calls elsewhere are rejected by `fixlint` (rule: raw-lock).
+
+#ifndef FIX_COMMON_MUTEX_H_
+#define FIX_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace fix {
+
+/// Exclusive mutex, annotated as a clang thread-safety capability.
+class FIX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FIX_ACQUIRE() { mu_.lock(); }      // fixlint:ignore(raw-lock)
+  void unlock() FIX_RELEASE() { mu_.unlock(); }  // fixlint:ignore(raw-lock)
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex, annotated as a clang thread-safety capability.
+class FIX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() FIX_ACQUIRE() { mu_.lock(); }      // fixlint:ignore(raw-lock)
+  void unlock() FIX_RELEASE() { mu_.unlock(); }  // fixlint:ignore(raw-lock)
+  void lock_shared() FIX_ACQUIRE_SHARED() {
+    mu_.lock_shared();  // fixlint:ignore(raw-lock)
+  }
+  void unlock_shared() FIX_RELEASE_SHARED() {
+    mu_.unlock_shared();  // fixlint:ignore(raw-lock)
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (std::lock_guard equivalent).
+class FIX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FIX_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();  // fixlint:ignore(raw-lock)
+  }
+  ~MutexLock() FIX_RELEASE() {
+    mu_.unlock();  // fixlint:ignore(raw-lock)
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class FIX_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) FIX_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();  // fixlint:ignore(raw-lock)
+  }
+  ~ReaderMutexLock() FIX_RELEASE_GENERIC() {
+    mu_.unlock_shared();  // fixlint:ignore(raw-lock)
+  }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class FIX_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) FIX_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();  // fixlint:ignore(raw-lock)
+  }
+  ~WriterMutexLock() FIX_RELEASE() {
+    mu_.unlock();  // fixlint:ignore(raw-lock)
+  }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable that waits on fix::Mutex. Wait releases and
+/// re-acquires the mutex, which the FIX_REQUIRES annotation models as
+/// "held across the call" — exactly the contract explicit wait loops rely
+/// on. condition_variable_any accepts any BasicLockable, so no
+/// unique_lock adapter is needed.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold `mu`; spurious wakeups happen, so always wait in a
+  /// `while (!condition)` loop.
+  void Wait(Mutex& mu) FIX_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace fix
+
+#endif  // FIX_COMMON_MUTEX_H_

@@ -1,0 +1,76 @@
+// Clang thread-safety-analysis annotation shim.
+//
+// These macros expand to clang's [[clang::...]] capability attributes when
+// the compiler understands them and to nothing otherwise (gcc — including
+// this repo's pinned toolchain image — compiles them away). Annotated code
+// is therefore portable; the *analysis* runs only under
+//
+//   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++
+//         -DFIX_THREAD_SAFETY=ON
+//
+// which turns on -Wthread-safety -Wthread-safety-beta -Werror (see the
+// top-level CMakeLists.txt and docs/STATIC_ANALYSIS.md).
+//
+// The annotations only work on *annotated capability types*: libstdc++'s
+// std::mutex is invisible to the analysis, which is why the concurrency
+// surface uses the fix::Mutex / fix::SharedMutex wrappers from
+// common/mutex.h rather than the std primitives directly.
+//
+// Naming follows the clang documentation: a "capability" is a resource
+// (almost always a mutex) that must be held to touch the data it guards.
+//   FIX_GUARDED_BY(mu)      field access requires holding mu
+//   FIX_PT_GUARDED_BY(mu)   pointee access requires holding mu
+//   FIX_REQUIRES(mu)        caller must hold mu (function precondition)
+//   FIX_EXCLUDES(mu)        caller must NOT hold mu (anti-deadlock)
+//   FIX_ACQUIRE/RELEASE     function acquires / releases mu
+//   FIX_CAPABILITY(name)    class is a lockable capability
+//   FIX_SCOPED_CAPABILITY   class is an RAII lock guard
+//   FIX_ACQUIRED_AFTER/BEFORE  declared lock order (checked under
+//                              -Wthread-safety-beta)
+
+#ifndef FIX_COMMON_THREAD_ANNOTATIONS_H_
+#define FIX_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define FIX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FIX_THREAD_ANNOTATION(x)  // no-op under gcc and other compilers
+#endif
+
+#define FIX_CAPABILITY(x) FIX_THREAD_ANNOTATION(capability(x))
+#define FIX_SCOPED_CAPABILITY FIX_THREAD_ANNOTATION(scoped_lockable)
+
+#define FIX_GUARDED_BY(x) FIX_THREAD_ANNOTATION(guarded_by(x))
+#define FIX_PT_GUARDED_BY(x) FIX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define FIX_ACQUIRED_BEFORE(...) \
+  FIX_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FIX_ACQUIRED_AFTER(...) \
+  FIX_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define FIX_REQUIRES(...) \
+  FIX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FIX_REQUIRES_SHARED(...) \
+  FIX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define FIX_ACQUIRE(...) FIX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FIX_ACQUIRE_SHARED(...) \
+  FIX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define FIX_RELEASE(...) FIX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FIX_RELEASE_SHARED(...) \
+  FIX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define FIX_RELEASE_GENERIC(...) \
+  FIX_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define FIX_TRY_ACQUIRE(...) \
+  FIX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define FIX_EXCLUDES(...) FIX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define FIX_ASSERT_CAPABILITY(x) FIX_THREAD_ANNOTATION(assert_capability(x))
+#define FIX_RETURN_CAPABILITY(x) FIX_THREAD_ANNOTATION(lock_returned(x))
+
+#define FIX_NO_THREAD_SAFETY_ANALYSIS \
+  FIX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // FIX_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <memory>
 
 #include "common/logging.h"
 
@@ -16,10 +17,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) {
     t.join();
   }
@@ -27,23 +28,29 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  // Explicit loop, not a predicate lambda: clang's thread-safety analysis
+  // checks lambda bodies without the enclosing lock context.
+  while (!queue_.empty() || active_ != 0) {
+    idle_cv_.Wait(mu_);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) {
+        work_cv_.Wait(mu_);
+      }
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -51,10 +58,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
@@ -69,13 +76,16 @@ void ParallelFor(ThreadPool* pool, size_t n,
   // ParallelFor calls on one pool cannot observe each other's completion.
   auto next = std::make_shared<std::atomic<size_t>>(0);
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t pending;
+    Mutex mu;
+    CondVar cv;
+    size_t pending FIX_GUARDED_BY(mu);
   };
   const size_t helpers = std::min(pool->num_threads(), n);
   auto latch = std::make_shared<Latch>();
-  latch->pending = helpers;
+  {
+    MutexLock lock(latch->mu);
+    latch->pending = helpers;
+  }
   for (size_t w = 0; w < helpers; ++w) {
     pool->Submit([next, latch, &fn, n] {
       for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
@@ -83,10 +93,10 @@ void ParallelFor(ThreadPool* pool, size_t n,
         fn(i);
       }
       {
-        std::lock_guard<std::mutex> lock(latch->mu);
+        MutexLock lock(latch->mu);
         --latch->pending;
       }
-      latch->cv.notify_one();
+      latch->cv.NotifyOne();
     });
   }
   // The calling thread works the same claim loop instead of idling.
@@ -94,8 +104,10 @@ void ParallelFor(ThreadPool* pool, size_t n,
        i = next->fetch_add(1, std::memory_order_relaxed)) {
     fn(i);
   }
-  std::unique_lock<std::mutex> lock(latch->mu);
-  latch->cv.wait(lock, [&latch] { return latch->pending == 0; });
+  MutexLock lock(latch->mu);
+  while (latch->pending != 0) {
+    latch->cv.Wait(latch->mu);
+  }
 }
 
 }  // namespace fix

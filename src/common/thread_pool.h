@@ -16,13 +16,14 @@
 #ifndef FIX_COMMON_THREAD_POOL_H_
 #define FIX_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fix {
 
@@ -39,22 +40,23 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw; fallible work should record a
   /// Status in caller-owned storage.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) FIX_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running.
-  void Wait();
+  void Wait() FIX_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() FIX_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // queue became non-empty / shutdown
-  std::condition_variable idle_cv_;  // a task finished or was dequeued
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;  // tasks currently executing
-  bool stop_ = false;
+  // LOCK-ORDER: 4 ThreadPool::mu_
+  Mutex mu_;
+  CondVar work_cv_;  // queue became non-empty / shutdown
+  CondVar idle_cv_;  // a task finished or was dequeued
+  std::deque<std::function<void()>> queue_ FIX_GUARDED_BY(mu_);
+  size_t active_ FIX_GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stop_ FIX_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -8,7 +8,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #if defined(__linux__)
 #include <sys/syscall.h>
@@ -20,11 +22,14 @@ namespace {
 
 // Sink state. `g_enabled` is the hot-path flag: span construction reads it
 // with one relaxed load. The FILE* and the mutex serializing line appends
-// are only touched on the slow (enabled) path.
+// are only touched on the slow (enabled) path. Span destructors fire under
+// callers' locks (e.g. Database::compile_mu_ during plan compilation), so
+// g_sink_mu ranks last alongside MetricsRegistry::mu_.
 std::atomic<bool> g_enabled{false};
-std::mutex g_sink_mu;           // guards g_sink and line appends
-std::FILE* g_sink = nullptr;    // owned unless it aliases stderr
-bool g_sink_is_stderr = false;
+// LOCK-ORDER: 6 Trace::g_sink_mu
+Mutex g_sink_mu;  // guards g_sink and line appends
+std::FILE* g_sink FIX_GUARDED_BY(g_sink_mu) = nullptr;  // owned unless stderr
+bool g_sink_is_stderr FIX_GUARDED_BY(g_sink_mu) = false;
 
 std::atomic<uint64_t> g_next_span_id{1};
 
@@ -110,7 +115,7 @@ Status Trace::Enable(const TraceOptions& options) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(g_sink_mu);
+    MutexLock lock(g_sink_mu);
     if (g_sink != nullptr && !g_sink_is_stderr) std::fclose(g_sink);
     g_sink = f;
     g_sink_is_stderr = is_stderr;
@@ -121,7 +126,7 @@ Status Trace::Enable(const TraceOptions& options) {
 
 void Trace::Disable() {
   g_enabled.store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  MutexLock lock(g_sink_mu);
   if (g_sink != nullptr && !g_sink_is_stderr) std::fclose(g_sink);
   g_sink = nullptr;
   g_sink_is_stderr = false;
@@ -184,7 +189,7 @@ TraceSpan::~TraceSpan() {
   }
   line += "}\n";
 
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  MutexLock lock(g_sink_mu);
   // The sink may have been disabled between construction and destruction;
   // drop the line rather than write to a closed FILE.
   if (g_sink != nullptr) {

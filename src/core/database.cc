@@ -105,7 +105,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& workdir,
 
 void Database::QuarantineIndex(const std::string& name, const Status& why) {
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     if (degraded_.count(name) > 0) {
       // Another observer of the same damage already quarantined this name;
       // the files are renamed and the handle detached. Nothing to redo.
@@ -130,7 +130,7 @@ void Database::QuarantineIndex(const std::string& name, const Status& why) {
   QuarantineFile(path + ".meta");
   QuarantineFile(path + ".data");
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     ++health_.quarantined_indexes;
   }
   QuarantinedIndexes().Increment();
@@ -157,7 +157,7 @@ Status Database::AttachOrQuarantine(const std::string& name) {
       }
     }
     if (failure.ok()) {
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      WriterMutexLock lock(mu_);
       indexes_.emplace_back(name, std::move(idx));
       OpenIndexes().Add(1);
       return Status::OK();
@@ -166,7 +166,7 @@ Status Database::AttachOrQuarantine(const std::string& name) {
   }
   if (failure.IsCorruption() || failure.IsIOError() || failure.IsNotFound()) {
     {
-      std::lock_guard<std::mutex> lock(health_mu_);
+      MutexLock lock(health_mu_);
       ++health_.corruption_events;
     }
     CorruptionEvents().Increment();
@@ -190,12 +190,12 @@ Result<FixIndex*> Database::BuildIndex(const std::string& name,
   auto built = FixIndex::Build(&corpus_, options, effective);
   if (!built.ok()) return built.status();
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     health_.feature_cache_hits += effective->feature_cache_hits;
     health_.feature_cache_misses += effective->feature_cache_misses;
     health_.feature_cache_evictions += effective->feature_cache_evictions;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   indexes_.emplace_back(name,
                         std::make_shared<FixIndex>(std::move(built).value()));
   OpenIndexes().Add(1);
@@ -206,7 +206,7 @@ Result<FixIndex*> Database::AttachIndex(const std::string& name) {
   auto opened =
       FixIndex::Open(&corpus_, IndexPath(name), open_options_.page_io_factory);
   if (!opened.ok()) return opened.status();
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   indexes_.emplace_back(name,
                         std::make_shared<FixIndex>(std::move(opened).value()));
   OpenIndexes().Add(1);
@@ -217,7 +217,7 @@ Result<FixIndex*> Database::RebuildIndex(const std::string& name,
                                          IndexOptions options,
                                          BuildStats* stats) {
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
       if (it->first == name) {
         indexes_.erase(it);
@@ -236,7 +236,7 @@ Result<FixIndex*> Database::RebuildIndex(const std::string& name,
   auto rebuilt = BuildIndex(name, std::move(options), stats);
   if (rebuilt.ok()) {
     {
-      std::lock_guard<std::mutex> lock(health_mu_);
+      MutexLock lock(health_mu_);
       ++health_.rebuilds;
     }
     Rebuilds().Increment();
@@ -245,7 +245,7 @@ Result<FixIndex*> Database::RebuildIndex(const std::string& name,
 }
 
 FixIndex* Database::index(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   for (auto& [n, idx] : indexes_) {
     if (n == name) return idx.get();
   }
@@ -253,7 +253,7 @@ FixIndex* Database::index(const std::string& name) {
 }
 
 std::shared_ptr<FixIndex> Database::SharedIndex(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   for (const auto& [n, idx] : indexes_) {
     if (n == name) return idx;
   }
@@ -262,7 +262,7 @@ std::shared_ptr<FixIndex> Database::SharedIndex(const std::string& name) const {
 
 Result<TwigQuery> Database::Compile(const std::string& xpath) {
   if (auto cached = plan_cache_.Lookup(xpath)) return *cached;
-  std::lock_guard<std::mutex> lock(compile_mu_);
+  MutexLock lock(compile_mu_);
   // Double-checked: a racing compile of the same string may have landed
   // while we waited for the lock.
   if (auto cached = plan_cache_.Lookup(xpath)) return *cached;
@@ -275,7 +275,7 @@ Result<TwigQuery> Database::Compile(const std::string& xpath) {
 
 void Database::BumpDegradedQuery() {
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    MutexLock lock(health_mu_);
     ++health_.degraded_queries;
   }
   DegradedQueries().Increment();
@@ -288,7 +288,7 @@ Result<ExecStats> Database::QueryInternal(const std::string& index_name,
   bool is_degraded = false;
   std::shared_ptr<FixIndex> idx;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     is_degraded = degraded_.count(index_name) > 0;
     if (!is_degraded) {
       for (const auto& [n, p] : indexes_) {
@@ -321,7 +321,7 @@ Result<ExecStats> Database::QueryInternal(const std::string& index_name,
     // the same damage race benignly: QuarantineIndex is idempotent, and
     // every loser re-answers by full scan exactly like the winner.
     {
-      std::lock_guard<std::mutex> lock(health_mu_);
+      MutexLock lock(health_mu_);
       ++health_.corruption_events;
     }
     CorruptionEvents().Increment();

@@ -24,13 +24,13 @@
 #define FIX_CORE_DATABASE_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/corpus.h"
 #include "core/fix_index.h"
@@ -144,8 +144,8 @@ class Database {
 
   /// True when queries naming `name` are being answered by full scan
   /// because the index was quarantined as corrupt or stale.
-  bool IsDegraded(const std::string& name) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  bool IsDegraded(const std::string& name) const FIX_EXCLUDES(mu_) {
+    ReaderMutexLock lock(mu_);
     return degraded_.count(name) > 0;
   }
 
@@ -153,8 +153,8 @@ class Database {
   /// consistent under concurrent queries. Process-wide totals (across all
   /// databases) live in the MetricsRegistry as `fix.storage.*`; this is the
   /// per-database slice of the same events.
-  StorageHealth health() const {
-    std::lock_guard<std::mutex> lock(health_mu_);
+  StorageHealth health() const FIX_EXCLUDES(health_mu_) {
+    MutexLock lock(health_mu_);
     return health_;
   }
 
@@ -215,7 +215,8 @@ class Database {
   /// caller (e.g. two queries observing the same corruption concurrently)
   /// finds the name already degraded and returns without double-renaming.
   /// In-flight queries keep the index alive through their shared_ptr.
-  void QuarantineIndex(const std::string& name, const Status& why);
+  void QuarantineIndex(const std::string& name, const Status& why)
+      FIX_EXCLUDES(mu_, health_mu_);
 
   /// The shared execution path behind Query and ExecuteMany: `q` is already
   /// compiled; `pool` (may be null) parallelizes refinement.
@@ -226,28 +227,33 @@ class Database {
 
   /// Looks up the attached index `name` under the shared lock; null when
   /// unknown or degraded.
-  std::shared_ptr<FixIndex> SharedIndex(const std::string& name) const;
+  std::shared_ptr<FixIndex> SharedIndex(const std::string& name) const
+      FIX_EXCLUDES(mu_);
 
-  void BumpDegradedQuery();
+  void BumpDegradedQuery() FIX_EXCLUDES(health_mu_);
 
   std::string workdir_;
   Corpus corpus_;
   /// Guards indexes_ and degraded_. Readers (Query/ExecuteMany/IsDegraded)
   /// take it shared only long enough to copy a shared_ptr; quarantine and
   /// the writer-exclusive index mutations take it unique.
-  mutable std::shared_mutex mu_;
+  // LOCK-ORDER: 1 Database::mu_
+  mutable SharedMutex mu_;
   /// shared_ptr, not unique_ptr: a query holds its own reference while
   /// executing, so quarantine (which detaches the index) can never free it
   /// under a concurrent reader.
-  std::vector<std::pair<std::string, std::shared_ptr<FixIndex>>> indexes_;
+  std::vector<std::pair<std::string, std::shared_ptr<FixIndex>>> indexes_
+      FIX_GUARDED_BY(mu_);
   OpenOptions open_options_;
-  std::unordered_set<std::string> degraded_;
+  std::unordered_set<std::string> degraded_ FIX_GUARDED_BY(mu_);
   /// Guards health_ (kept a plain copyable struct; mutations are rare).
-  mutable std::mutex health_mu_;
-  StorageHealth health_;
+  // LOCK-ORDER: 2 Database::health_mu_
+  mutable Mutex health_mu_ FIX_ACQUIRED_AFTER(mu_);
+  StorageHealth health_ FIX_GUARDED_BY(health_mu_);
   /// Serializes compilation misses: ResolveLabels interns into the shared
   /// LabelTable, which is not itself thread-safe.
-  std::mutex compile_mu_;
+  // LOCK-ORDER: 2 Database::compile_mu_
+  Mutex compile_mu_ FIX_ACQUIRED_AFTER(mu_);
   mutable PlanCache plan_cache_;
 };
 

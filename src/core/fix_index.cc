@@ -598,7 +598,7 @@ Result<FeatureKey> FixIndex::QueryFeatures(const TwigQuery& subtwig) {
     // Query patterns may contain label pairs the corpus never produced;
     // weighting them interns into the shared encoder, which concurrent
     // lookups must serialize. The eigensolve below stays outside the lock.
-    std::lock_guard<std::mutex> lock(*encoder_mu_);
+    MutexLock lock(*encoder_mu_);
     m = BuildSkewMatrix(pattern, &encoder_);
   }
   if (!options_.sound_probe) {

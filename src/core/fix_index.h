@@ -17,11 +17,13 @@
 #define FIX_CORE_FIX_INDEX_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "common/result.h"
 #include "core/corpus.h"
@@ -275,10 +277,14 @@ class FixIndex {
   std::unique_ptr<BTree> btree_;
   RecordStore clustered_;
   std::unique_ptr<ValueHasher> value_hasher_;
+  // `encoder_` is deliberately NOT FIX_GUARDED_BY(*encoder_mu_): Build and
+  // InsertDocument touch it lock-free under the writer-exclusive contract;
+  // only concurrent query-time interning (QueryFeatures) must serialize.
   EdgeEncoder encoder_;
   /// Serializes query-time interning into encoder_ (see the class comment).
   /// Heap-allocated because FixIndex keeps its defaulted move operations.
-  std::unique_ptr<std::mutex> encoder_mu_ = std::make_unique<std::mutex>();
+  // LOCK-ORDER: 3 FixIndex::encoder_mu_
+  std::unique_ptr<Mutex> encoder_mu_ = std::make_unique<Mutex>();
   std::unique_ptr<FeatureHistogram> histogram_;  // lazy; see EstimateCandidates
   uint32_t next_seq_ = 0;
   uint32_t indexed_docs_ = 0;  // see indexed_docs()

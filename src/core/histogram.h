@@ -26,7 +26,7 @@ class FeatureHistogram {
   /// Builds per-label histograms with one ordered scan of the index
   /// B+-tree (entries arrive in (label, λ_max) order, so quantile
   /// boundaries fall out of the scan directly).
-  static Result<FeatureHistogram> FromBTree(BTree* btree,
+  [[nodiscard]] static Result<FeatureHistogram> FromBTree(BTree* btree,
                                             size_t buckets = 32);
 
   /// Estimated number of entries with the given root label whose λ_max is

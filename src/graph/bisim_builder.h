@@ -31,7 +31,7 @@ class BisimBuilder {
 
   /// Consumes `events` to completion and returns the bisimulation graph.
   /// The callback may be null.
-  Result<BisimGraph> Build(EventStream* events,
+  [[nodiscard]] Result<BisimGraph> Build(EventStream* events,
                            const CloseCallback& on_close = nullptr);
 
  private:
@@ -52,7 +52,7 @@ class BisimBuilder {
 
 /// Convenience: builds the purely structural bisimulation graph of a
 /// document subtree.
-Result<BisimGraph> BuildBisimGraph(const Document& doc, uint32_t doc_id = 0,
+[[nodiscard]] Result<BisimGraph> BuildBisimGraph(const Document& doc, uint32_t doc_id = 0,
                                    const ValueHasher* values = nullptr);
 
 }  // namespace fix

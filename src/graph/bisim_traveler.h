@@ -53,7 +53,7 @@ uint64_t ExpandedPatternSize(const BisimGraph& graph, BisimVertexId start,
 
 /// Builds the bisimulation graph of the depth-limited pattern rooted at
 /// `start` (traveler + builder round trip).
-Result<BisimGraph> BuildDepthLimitedPattern(const BisimGraph& graph,
+[[nodiscard]] Result<BisimGraph> BuildDepthLimitedPattern(const BisimGraph& graph,
                                             BisimVertexId start,
                                             int depth_limit);
 

@@ -37,7 +37,7 @@ class FbGraph {
  public:
   /// Builds the F&B graph of a set of documents (structural: element nodes
   /// only). Document indices in the span are used as NodeRef doc ids.
-  static Result<FbGraph> Build(const std::vector<const Document*>& docs);
+  [[nodiscard]] static Result<FbGraph> Build(const std::vector<const Document*>& docs);
 
   const FbClass& cls(FbClassId id) const { return classes_[id]; }
   size_t num_classes() const { return classes_.size(); }

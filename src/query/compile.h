@@ -28,7 +28,7 @@ std::vector<TwigQuery> DecomposeAtDescendantEdges(const TwigQuery& q);
 /// hasher is supplied; they are ignored otherwise (structural-only probes
 /// never produce false negatives, just weaker pruning). Fails on a query
 /// with interior // axes — decompose first.
-Result<BisimGraph> QueryToBisimGraph(const TwigQuery& q,
+[[nodiscard]] Result<BisimGraph> QueryToBisimGraph(const TwigQuery& q,
                                      const ValueHasher* values = nullptr);
 
 }  // namespace fix

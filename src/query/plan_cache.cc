@@ -30,7 +30,7 @@ Counter& CacheEvictions() {
 
 std::optional<TwigQuery> PlanCache::Lookup(const std::string& xpath) {
   Shard& shard = ShardFor(xpath);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.plans.find(xpath);
   if (it == shard.plans.end()) {
     ++shard.misses;
@@ -44,7 +44,7 @@ std::optional<TwigQuery> PlanCache::Lookup(const std::string& xpath) {
 
 void PlanCache::Insert(const std::string& xpath, const TwigQuery& plan) {
   Shard& shard = ShardFor(xpath);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (shard.plans.count(xpath) > 0) return;
   if (shard.plans.size() >= shard_capacity_) {
     shard.plans.erase(shard.fifo.front());
@@ -59,7 +59,7 @@ void PlanCache::Insert(const std::string& xpath, const TwigQuery& plan) {
 PlanCache::Stats PlanCache::GetStats() const {
   Stats stats;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.evictions += shard.evictions;
@@ -70,7 +70,7 @@ PlanCache::Stats PlanCache::GetStats() const {
 
 void PlanCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.plans.clear();
     shard.fifo.clear();
   }

@@ -20,11 +20,12 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "query/twig_query.h"
 
 namespace fix {
@@ -62,12 +63,13 @@ class PlanCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, TwigQuery> plans;
-    std::deque<std::string> fifo;  // insertion order; front = oldest
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    // LOCK-ORDER: 2 PlanCache::Shard::mu
+    mutable Mutex mu;
+    std::unordered_map<std::string, TwigQuery> plans FIX_GUARDED_BY(mu);
+    std::deque<std::string> fifo FIX_GUARDED_BY(mu);  // front = oldest
+    uint64_t hits FIX_GUARDED_BY(mu) = 0;
+    uint64_t misses FIX_GUARDED_BY(mu) = 0;
+    uint64_t evictions FIX_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& xpath) {

@@ -23,7 +23,7 @@ namespace fix {
 
 /// Parses `text` into a TwigQuery. Labels are left unresolved (call
 /// TwigQuery::ResolveLabels before evaluation).
-Result<TwigQuery> ParseXPath(std::string_view text);
+[[nodiscard]] Result<TwigQuery> ParseXPath(std::string_view text);
 
 }  // namespace fix
 

@@ -62,7 +62,7 @@ size_t FeatureCache::EntryBytes(std::string_view key) {
 
 bool FeatureCache::Lookup(std::string_view key, CachedFeature* out) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -79,7 +79,7 @@ void FeatureCache::Insert(std::string_view key, const CachedFeature& value) {
   const size_t cost = EntryBytes(key);
   if (cost > shard_budget_) return;  // would evict the whole shard for one key
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (shard.index.count(key) > 0) return;  // lost a benign insert race
   shard.entries.push_front(Entry{std::string(key), value});
   shard.index.emplace(std::string_view(shard.entries.front().key),
@@ -98,7 +98,7 @@ void FeatureCache::Insert(std::string_view key, const CachedFeature& value) {
 FeatureCacheStats FeatureCache::Stats() const {
   FeatureCacheStats out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.evictions += shard.evictions;

@@ -29,11 +29,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "graph/bisim_graph.h"
 
 namespace fix {
@@ -85,15 +86,17 @@ class FeatureCache {
     CachedFeature value;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> entries;  // front = newest, evict from the back
+    // LOCK-ORDER: 4 FeatureCache::Shard::mu
+    mutable Mutex mu;
+    // front = newest, evict from the back
+    std::list<Entry> entries FIX_GUARDED_BY(mu);
     // Keys view into the owning list entry, so each key is stored once.
-    std::unordered_map<std::string_view,
-                       std::list<Entry>::iterator> index;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index
+        FIX_GUARDED_BY(mu);
+    size_t bytes FIX_GUARDED_BY(mu) = 0;
+    uint64_t hits FIX_GUARDED_BY(mu) = 0;
+    uint64_t misses FIX_GUARDED_BY(mu) = 0;
+    uint64_t evictions FIX_GUARDED_BY(mu) = 0;
   };
 
   static constexpr size_t kNumShards = 16;

@@ -25,11 +25,11 @@ namespace fix {
 
 /// Magnitudes of the eigenvalues of iM (the singular values of M), sorted
 /// descending. `m` must be anti-symmetric.
-Result<std::vector<double>> SkewSpectrum(const DenseMatrix& m);
+[[nodiscard]] Result<std::vector<double>> SkewSpectrum(const DenseMatrix& m);
 
 /// (λ_max, λ_min) of iM. λ_min = -λ_max by anti-symmetry; returned as a pair
 /// to mirror the paper's key layout.
-Result<EigPair> SkewEigPair(const DenseMatrix& m);
+[[nodiscard]] Result<EigPair> SkewEigPair(const DenseMatrix& m);
 
 /// Derives the feature tuple from a sorted-descending magnitude spectrum.
 /// The eigenvalues of iM sorted as reals are [σ₁, σ₂, …, −σ₂, −σ₁], so the
@@ -41,7 +41,7 @@ EigPair EigPairFromSpectrum(const std::vector<double>& sigmas);
 /// Reference implementation via the real-symmetric embedding
 /// [[0, -M], [M, 0]] of the Hermitian iM (each eigenvalue of iM appears
 /// twice). O((2n)³); for tests only.
-Result<std::vector<double>> SkewSpectrumEmbedding(const DenseMatrix& m);
+[[nodiscard]] Result<std::vector<double>> SkewSpectrumEmbedding(const DenseMatrix& m);
 
 }  // namespace fix
 

@@ -16,7 +16,7 @@ namespace fix {
 /// Computes all eigenvalues of a symmetric matrix (only the lower triangle
 /// is read). Returns them unsorted. Fails only if the QL iteration does not
 /// converge (pathological input).
-Result<std::vector<double>> SymmetricEigenvalues(const DenseMatrix& m);
+[[nodiscard]] Result<std::vector<double>> SymmetricEigenvalues(const DenseMatrix& m);
 
 }  // namespace fix
 

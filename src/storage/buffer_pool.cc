@@ -155,7 +155,7 @@ Result<size_t> BufferPool::PinPageLocked(Shard* shard, PageId id) {
 Result<PageHandle> BufferPool::Fetch(PageId id) {
   uint32_t s = ShardOf(id);
   Shard* shard = shards_[s].get();
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(shard->mu);
   size_t idx;
   FIX_ASSIGN_OR_RETURN(idx, PinPageLocked(shard, id));
   return PageHandle(this, s, idx, id);
@@ -166,7 +166,7 @@ Result<PageHandle> BufferPool::New() {
   FIX_RETURN_IF_ERROR(file_->AllocatePage(&id));
   uint32_t s = ShardOf(id);
   Shard* shard = shards_[s].get();
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(shard->mu);
   size_t idx;
   FIX_ASSIGN_OR_RETURN(idx, GrabFrame(shard));
   Frame& f = shard->frames[idx];
@@ -211,7 +211,7 @@ Result<size_t> BufferPool::GrabFrame(Shard* shard) {
 
 void BufferPool::Unpin(uint32_t shard_idx, size_t frame_idx) {
   Shard* shard = shards_[shard_idx].get();
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(shard->mu);
   FIX_DCHECK_LT(frame_idx, shard->frames.size());
   Frame& f = shard->frames[frame_idx];
   FIX_CHECK(f.pins > 0);
@@ -225,13 +225,13 @@ void BufferPool::Unpin(uint32_t shard_idx, size_t frame_idx) {
 
 void BufferPool::MarkDirty(uint32_t shard_idx, size_t frame_idx) {
   Shard* shard = shards_[shard_idx].get();
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(shard->mu);
   shard->frames[frame_idx].dirty = true;
 }
 
 Status BufferPool::FlushAll() {
   for (std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (Frame& f : shard->frames) {
       if (f.page != kInvalidPage && f.dirty) {
         FIX_RETURN_IF_ERROR(file_->WritePageBlock(f.page, f.data.data()));

@@ -28,13 +28,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page_file.h"
 
 namespace fix {
@@ -141,11 +142,17 @@ class BufferPool {
   /// guards. Heap-allocated so the pool stays movable-free but the shard
   /// addresses stay stable.
   struct Shard {
-    std::mutex mu;
+    // LOCK-ORDER: 5 BufferPool::Shard::mu
+    Mutex mu;
+    // `frames` is deliberately NOT FIX_GUARDED_BY(mu): FrameData reads a
+    // frame's payload without the shard lock, protected by the pin protocol
+    // instead (a pinned frame is never evicted or reused, so the bytes
+    // cannot move underneath a live PageHandle). Mutating the vector itself
+    // or a frame's metadata still requires mu.
     std::vector<Frame> frames;
-    std::vector<size_t> free_frames;
-    std::list<size_t> lru;  // front = most recent
-    std::unordered_map<PageId, size_t> page_to_frame;
+    std::vector<size_t> free_frames FIX_GUARDED_BY(mu);
+    std::list<size_t> lru FIX_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<PageId, size_t> page_to_frame FIX_GUARDED_BY(mu);
   };
 
   uint32_t ShardOf(PageId id) const {
@@ -165,11 +172,13 @@ class BufferPool {
 
   /// Finds a frame of `shard` to (re)use: a never-used frame or the LRU
   /// unpinned one. Caller holds the shard mutex.
-  [[nodiscard]] Result<size_t> GrabFrame(Shard* shard);
+  [[nodiscard]] Result<size_t> GrabFrame(Shard* shard)
+      FIX_REQUIRES(shard->mu);
 
   /// Pins page `id` into `shard` (hit or miss+read). Caller holds the shard
   /// mutex.
-  [[nodiscard]] Result<size_t> PinPageLocked(Shard* shard, PageId id);
+  [[nodiscard]] Result<size_t> PinPageLocked(Shard* shard, PageId id)
+      FIX_REQUIRES(shard->mu);
 
   PageFile* file_;
   size_t capacity_ = 0;

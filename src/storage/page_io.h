@@ -153,7 +153,7 @@ class FaultInjectionPageIo : public PageIo {
   [[nodiscard]] Status Sync() override;
 
  private:
-  Status Crashed() const {
+  [[nodiscard]] Status Crashed() const {
     return Status::IOError("injected crash: device is gone");
   }
 

@@ -40,7 +40,7 @@ void EncodeDocument(const Document& doc, std::string* out,
 
 /// Decodes a buffer produced by EncodeDocument. The result is a standalone
 /// Document whose root element is the encoded subtree's root.
-Result<Document> DecodeDocument(const std::string& buf);
+[[nodiscard]] Result<Document> DecodeDocument(const std::string& buf);
 
 }  // namespace fix
 

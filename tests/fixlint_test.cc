@@ -1,0 +1,266 @@
+// Golden-suite coverage for the fixlint analyzer (tools/fixlint_lib.h,
+// rule catalog in docs/STATIC_ANALYSIS.md).
+//
+// Snippets live in tests/fixlint_golden/{bad,good}/*.snip — C++ fragments
+// with directive comments the harness turns into an Analyze() call:
+//
+//   // path: src/golden/foo.cc        pretend repo path for the snippet
+//   // expect: <rule>                 one line per expected finding (bad/)
+//   // doc-lock-order: <rank> <name>  adds an ARCHITECTURE.md lock entry
+//   // doc-metric: <name>             adds a documented metric name
+//
+// Every bad snippet must produce exactly its expected findings and no
+// others; every good snippet must come back clean. Rules whose findings
+// attach to the docs themselves (options-doc-drift and the doc-side halves
+// of metric-doc-drift / lock-order) are driven by in-code configs, and the
+// whole real source tree is re-analyzed at the end and must be clean.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/fixlint_lib.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path GoldenDir() {
+  return fs::path(FIX_SOURCE_ROOT) / "tests" / "fixlint_golden";
+}
+
+struct Snippet {
+  std::string file;          // snippet filename, for failure messages
+  std::string pretend_path;  // the repo path Analyze() sees
+  std::vector<std::string> expects;
+  fixlint::Config config;
+  std::string content;
+};
+
+bool Directive(const std::string& line, const std::string& prefix,
+               std::string* value) {
+  if (line.rfind(prefix, 0) != 0) return false;
+  *value = line.substr(prefix.size());
+  return true;
+}
+
+Snippet ParseSnippet(const fs::path& file) {
+  Snippet s;
+  s.file = file.filename().string();
+  std::ifstream in(file);
+  EXPECT_TRUE(in.is_open()) << file;
+  std::ostringstream content;
+  std::string line, value, lock_entries, metric_entries;
+  while (std::getline(in, line)) {
+    content << line << '\n';
+    if (Directive(line, "// path: ", &value)) {
+      s.pretend_path = value;
+    } else if (Directive(line, "// expect: ", &value)) {
+      s.expects.push_back(value);
+    } else if (Directive(line, "// doc-lock-order: ", &value)) {
+      lock_entries += value + "\n";
+    } else if (Directive(line, "// doc-metric: ", &value)) {
+      metric_entries += "`" + value + "`\n";
+    }
+  }
+  s.content = content.str();
+  if (!lock_entries.empty()) {
+    s.config.architecture_doc = "<!-- LOCK-ORDER:BEGIN -->\n" + lock_entries +
+                                "<!-- LOCK-ORDER:END -->\n";
+  }
+  if (!metric_entries.empty()) s.config.observability_doc = metric_entries;
+  return s;
+}
+
+std::vector<Snippet> LoadSnippets(const std::string& subdir) {
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(GoldenDir() / subdir)) {
+    if (entry.path().extension() == ".snip") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<Snippet> out;
+  for (const fs::path& p : paths) out.push_back(ParseSnippet(p));
+  return out;
+}
+
+std::vector<fixlint::Finding> AnalyzeSnippet(const Snippet& s) {
+  return fixlint::Analyze({{s.pretend_path, s.content}}, s.config);
+}
+
+std::string Dump(const std::vector<fixlint::Finding>& findings) {
+  std::string out;
+  for (const fixlint::Finding& f : findings) {
+    out += "\n  " + fixlint::FormatFinding(f);
+  }
+  return out.empty() ? std::string("\n  (no findings)") : out;
+}
+
+TEST(FixlintGolden, BadSnippetsTriggerExactlyTheirRules) {
+  const std::vector<Snippet> snippets = LoadSnippets("bad");
+  ASSERT_GE(snippets.size(), 8u);
+  for (const Snippet& s : snippets) {
+    ASSERT_FALSE(s.pretend_path.empty()) << s.file;
+    ASSERT_FALSE(s.expects.empty()) << s.file << ": bad snippet needs expects";
+    const std::vector<fixlint::Finding> findings = AnalyzeSnippet(s);
+    std::multiset<std::string> got, want(s.expects.begin(), s.expects.end());
+    for (const fixlint::Finding& f : findings) got.insert(f.rule);
+    EXPECT_EQ(want, got) << s.file << Dump(findings);
+  }
+}
+
+TEST(FixlintGolden, GoodSnippetsComeBackClean) {
+  const std::vector<Snippet> snippets = LoadSnippets("good");
+  ASSERT_GE(snippets.size(), 4u);
+  for (const Snippet& s : snippets) {
+    ASSERT_FALSE(s.pretend_path.empty()) << s.file;
+    EXPECT_TRUE(s.expects.empty()) << s.file << ": good snippets take no expects";
+    const std::vector<fixlint::Finding> findings = AnalyzeSnippet(s);
+    EXPECT_TRUE(findings.empty()) << s.file << Dump(findings);
+  }
+}
+
+TEST(FixlintGolden, EveryRuleIsExercisedByTheSuite) {
+  const std::vector<std::string> names = fixlint::RuleNames();
+  const std::set<std::string> rules(names.begin(), names.end());
+  EXPECT_EQ(7u, rules.size());
+  std::set<std::string> covered;
+  for (const Snippet& s : LoadSnippets("bad")) {
+    for (const std::string& e : s.expects) {
+      EXPECT_TRUE(rules.count(e)) << s.file << ": unknown rule " << e;
+      covered.insert(e);
+    }
+  }
+  // options-doc-drift findings attach to the header/doc paths, not to a
+  // snippet file; the in-code tests below carry that rule.
+  covered.insert("options-doc-drift");
+  EXPECT_EQ(rules, covered);
+}
+
+TEST(Fixlint, SuppressionCoversOnlyTheNamedRule) {
+  fixlint::SourceFile f;
+  f.path = "src/golden/s.cc";
+  f.content =
+      "void F() {\n"
+      "  int x = rand();  // fixlint:ignore(banned-function)\n"
+      "  (void)x;\n"
+      "}\n";
+  EXPECT_TRUE(fixlint::Analyze({f}, fixlint::Config{}).empty());
+
+  f.content =
+      "void F() {\n"
+      "  int x = rand();  // fixlint:ignore(raw-lock)\n"
+      "  (void)x;\n"
+      "}\n";
+  const std::vector<fixlint::Finding> findings =
+      fixlint::Analyze({f}, fixlint::Config{});
+  ASSERT_EQ(1u, findings.size()) << Dump(findings);
+  EXPECT_EQ("banned-function", findings[0].rule);
+  EXPECT_EQ(2, findings[0].line);
+}
+
+TEST(Fixlint, OptionsDriftIsReportedInBothDirections) {
+  fixlint::Config config;
+  config.index_options_header =
+      "struct IndexOptions {\n"
+      "  int documented = 1;\n"
+      "  int undocumented = 2;\n"
+      "};\n";
+  config.architecture_doc =
+      "<!-- OPTIONS-INVENTORY:BEGIN -->\n"
+      "| `documented` | 1 | yes | a field |\n"
+      "| `ghost` | 0 | no | removed long ago |\n"
+      "<!-- OPTIONS-INVENTORY:END -->\n";
+  const std::vector<fixlint::Finding> findings =
+      fixlint::Analyze({}, config);
+  ASSERT_EQ(2u, findings.size()) << Dump(findings);
+  std::map<std::string, std::string> by_path;
+  for (const fixlint::Finding& f : findings) {
+    EXPECT_EQ("options-doc-drift", f.rule);
+    by_path[f.path] = f.message;
+  }
+  EXPECT_NE(std::string::npos,
+            by_path["src/core/index_options.h"].find("undocumented"));
+  EXPECT_NE(std::string::npos,
+            by_path["docs/ARCHITECTURE.md"].find("ghost"));
+}
+
+TEST(Fixlint, DocumentedButUnregisteredMetricIsDrift) {
+  fixlint::Config config;
+  config.observability_doc = "| `fix.golden.ghost` | counter | never |\n";
+  const std::vector<fixlint::Finding> findings =
+      fixlint::Analyze({}, config);
+  ASSERT_EQ(1u, findings.size()) << Dump(findings);
+  EXPECT_EQ("metric-doc-drift", findings[0].rule);
+  EXPECT_EQ("docs/OBSERVABILITY.md", findings[0].path);
+}
+
+TEST(Fixlint, UntaggedDocLockEntryIsReported) {
+  fixlint::Config config;
+  config.architecture_doc =
+      "<!-- LOCK-ORDER:BEGIN -->\n"
+      "1 Golden::mu_\n"
+      "<!-- LOCK-ORDER:END -->\n";
+  const std::vector<fixlint::Finding> findings =
+      fixlint::Analyze({}, config);
+  ASSERT_EQ(1u, findings.size()) << Dump(findings);
+  EXPECT_EQ("lock-order", findings[0].rule);
+  EXPECT_EQ("docs/ARCHITECTURE.md", findings[0].path);
+}
+
+TEST(Fixlint, DuplicateDocLockEntryIsReported) {
+  fixlint::Config config;
+  config.architecture_doc =
+      "<!-- LOCK-ORDER:BEGIN -->\n"
+      "1 Golden::mu_\n"
+      "2 Golden::mu_\n"
+      "<!-- LOCK-ORDER:END -->\n";
+  fixlint::SourceFile f;
+  f.path = "src/golden/locks.cc";
+  f.content = "// LOCK-ORDER: 1 Golden::mu_\nint mu_;\n";
+  const std::vector<fixlint::Finding> findings =
+      fixlint::Analyze({f}, config);
+  ASSERT_EQ(1u, findings.size()) << Dump(findings);
+  EXPECT_EQ("lock-order", findings[0].rule);
+  EXPECT_NE(std::string::npos, findings[0].message.find("duplicate"));
+}
+
+TEST(Fixlint, FormatFindingOmitsLineZero) {
+  fixlint::Finding f{"docs/ARCHITECTURE.md", 0, "lock-order", "msg"};
+  EXPECT_EQ("docs/ARCHITECTURE.md: [lock-order] msg",
+            fixlint::FormatFinding(f));
+  f.line = 12;
+  EXPECT_EQ("docs/ARCHITECTURE.md:12: [lock-order] msg",
+            fixlint::FormatFinding(f));
+}
+
+TEST(Fixlint, LoadTreeRejectsNonRepoRoot) {
+  std::vector<fixlint::SourceFile> files;
+  fixlint::Config config;
+  std::string error;
+  EXPECT_FALSE(fixlint::LoadTree(GoldenDir().string(), &files, &config,
+                                 &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// The capstone: the real tree must stay lint-clean by construction. Same
+// check as the `fixlint_tree` ctest, but failing inside the golden suite
+// prints each finding as its own assertion.
+TEST(Fixlint, RealSourceTreeIsClean) {
+  std::vector<fixlint::SourceFile> files;
+  fixlint::Config config;
+  std::string error;
+  ASSERT_TRUE(fixlint::LoadTree(FIX_SOURCE_ROOT, &files, &config, &error))
+      << error;
+  EXPECT_GT(files.size(), 100u);
+  for (const fixlint::Finding& f : fixlint::Analyze(files, config)) {
+    ADD_FAILURE() << fixlint::FormatFinding(f);
+  }
+}
+
+}  // namespace

@@ -17,7 +17,11 @@
 #      against single-threaded baselines.
 #   8. fixdb_scrub over every index page file persist_test produced
 #      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step).
-#   9. docs-check: every relative markdown link in the repo's *.md files
+#   9. static-analysis: fixlint (the project-invariant analyzer, see
+#      docs/STATIC_ANALYSIS.md) over the whole tree plus the `lint` ctest
+#      label, and — when clang++ is installed — a FIX_THREAD_SAFETY=ON
+#      build that turns the thread-safety annotations into compile errors.
+#  10. docs-check: every relative markdown link in the repo's *.md files
 #      must resolve, and the documented headers must keep their
 #      thread-safety contracts (plain grep/awk — no extra tooling).
 #
@@ -31,15 +35,15 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BASE_REF="${1:-origin/main}"
 
-echo "=== [1/9] Release build (FIX_WERROR=ON) ==="
+echo "=== [1/10] Release build (FIX_WERROR=ON) ==="
 cmake -B build -S . -DFIX_WERROR=ON
 cmake --build build -j "$JOBS"
 
-echo "=== [2/9] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
+echo "=== [2/10] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
 cmake -B build-asan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 
-echo "=== [3/9] clang-tidy on changed files ==="
+echo "=== [3/10] clang-tidy on changed files ==="
 if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
   BASE_REF="HEAD~1"
 fi
@@ -54,16 +58,16 @@ else
   tools/run_clang_tidy.sh build
 fi
 
-echo "=== [4/9] Tests ==="
+echo "=== [4/10] Tests ==="
 (cd build-asan && ctest -L sanitizer-clean --output-on-failure)
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "=== [5/9] Fault-injection suite (Release + ASan) ==="
+echo "=== [5/10] Fault-injection suite (Release + ASan) ==="
 (cd build && ctest -L fault-injection --output-on-failure -j "$JOBS")
 (cd build-asan && ctest -L fault-injection --output-on-failure -j "$JOBS")
 
-echo "=== [6/9] TSan build + concurrency/observability suites ==="
+echo "=== [6/10] TSan build + concurrency/observability suites ==="
 cmake -B build-tsan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest -L concurrency --output-on-failure -j "$JOBS")
@@ -71,7 +75,7 @@ cmake --build build-tsan -j "$JOBS"
 # the observability label also runs in the Release tree via stage 4.
 (cd build-tsan && ctest -L observability --output-on-failure -j "$JOBS")
 
-echo "=== [7/9] Concurrent-query stress (Release + TSan) ==="
+echo "=== [7/10] Concurrent-query stress (Release + TSan) ==="
 # The data-race canary for the whole read path: many threads through one
 # Database (lock-striped buffer pool, shared B+-tree, plan cache) with
 # results diffed against single-threaded baselines. TSan turns a silent
@@ -80,7 +84,7 @@ echo "=== [7/9] Concurrent-query stress (Release + TSan) ==="
 (cd build-tsan && ctest -R '^ConcurrentQueryTest' --output-on-failure \
     -j "$JOBS")
 
-echo "=== [8/9] Scrub of persist_test databases ==="
+echo "=== [8/10] Scrub of persist_test databases ==="
 SCRUB_DIR="$(mktemp -d)"
 trap 'rm -rf "$SCRUB_DIR"' EXIT
 (cd build && FIX_PERSIST_TEST_DIR="$SCRUB_DIR" ctest -R '^PersistTest' \
@@ -92,7 +96,26 @@ if [ "${#INDEX_FILES[@]}" -eq 0 ]; then
 fi
 build/tools/fixdb_scrub "${INDEX_FILES[@]}"
 
-echo "=== [9/9] docs-check ==="
+echo "=== [9/10] static-analysis: fixlint + thread-safety annotations ==="
+# fixlint enforces the project invariants a generic linter cannot know
+# (lock order vs ARCHITECTURE.md, metric/options doc drift, RAII-only
+# locking, banned functions, include guards); one finding fails CI. See
+# docs/STATIC_ANALYSIS.md for the catalog and suppression syntax.
+cmake --build build -j "$JOBS" --target fixlint
+build/tools/fixlint --root .
+(cd build && ctest -L lint --output-on-failure)
+if command -v clang++ >/dev/null 2>&1; then
+  # Only clang's frontend implements -Wthread-safety; this build turns the
+  # FIX_GUARDED_BY/FIX_REQUIRES annotations into compile errors.
+  cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DFIX_THREAD_SAFETY=ON
+  cmake --build build-tsafety -j "$JOBS"
+else
+  echo "static-analysis: clang++ not found; skipping the FIX_THREAD_SAFETY" \
+      "build (the annotations are only verifiable under clang)."
+fi
+
+echo "=== [10/10] docs-check ==="
 # Every relative link in tracked markdown must resolve. grep emits
 # `file:](target)`; the loop strips the wrapper, drops externals and pure
 # anchors, and resolves the rest against the linking file's directory.

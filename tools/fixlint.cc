@@ -1,0 +1,53 @@
+// fixlint CLI: runs the project-invariant analyzer over the repo tree.
+//
+//   fixlint [--root DIR] [--list-rules]
+//
+// Exit codes: 0 = clean, 1 = findings reported, 2 = usage / I/O error.
+// Wired into ctest (label `lint`) and tools/ci.sh; see
+// docs/STATIC_ANALYSIS.md for the rule catalog.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/fixlint_lib.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const std::string& r : fixlint::RuleNames()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr, "usage: fixlint [--root DIR] [--list-rules]\n");
+    return 2;
+  }
+
+  std::vector<fixlint::SourceFile> files;
+  fixlint::Config config;
+  std::string error;
+  if (!fixlint::LoadTree(root, &files, &config, &error)) {
+    std::fprintf(stderr, "fixlint: %s\n", error.c_str());
+    return 2;
+  }
+
+  const std::vector<fixlint::Finding> findings =
+      fixlint::Analyze(files, config);
+  for (const fixlint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", fixlint::FormatFinding(f).c_str());
+  }
+  if (findings.empty()) {
+    std::printf("fixlint: %zu files clean.\n", files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "fixlint: %zu finding(s) in %zu files.\n",
+               findings.size(), files.size());
+  return 1;
+}

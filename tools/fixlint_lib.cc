@@ -1,0 +1,663 @@
+#include "tools/fixlint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace fixlint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+/// Replaces comment bodies and string/char-literal contents with spaces,
+/// preserving length and line structure, so the code-shape rules never
+/// trip on text inside comments or literals. Handles //, /* */, "...",
+/// '...', and R"delim(...)delim"; a ' preceded by an identifier char is
+/// treated as a C++14 digit separator, not a char literal.
+std::string StripCode(const std::string& in) {
+  std::string out = in;
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // for kRaw: the ")delim\"" closer
+  size_t i = 0;
+  const size_t n = in.size();
+  auto blank = [&](size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < n) {
+    const char c = in[i];
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+          st = St::kLine;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+          st = St::kBlock;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          size_t j = i + 2;
+          std::string delim;
+          while (j < n && in[j] != '(' && delim.size() < 16) {
+            delim += in[j];
+            ++j;
+          }
+          if (j < n && in[j] == '(') {
+            raw_delim = ")" + delim + "\"";
+            st = St::kRaw;
+            for (size_t k = i; k <= j; ++k) blank(k);
+            i = j + 1;
+          } else {
+            ++i;  // not a raw string after all
+          }
+        } else if (c == '"') {
+          st = St::kStr;
+          blank(i);
+          ++i;
+        } else if (c == '\'' && i > 0 &&
+                   (std::isalnum(static_cast<unsigned char>(in[i - 1])) ||
+                    in[i - 1] == '_')) {
+          ++i;  // digit separator (1'000'000) or suffix; not a literal
+        } else if (c == '\'') {
+          st = St::kChar;
+          blank(i);
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      case St::kBlock:
+        if (c == '*' && i + 1 < n && in[i + 1] == '/') {
+          blank(i);
+          blank(i + 1);
+          st = St::kCode;
+          i += 2;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '"') {
+          blank(i);
+          st = St::kCode;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '\'') {
+          blank(i);
+          st = St::kCode;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case St::kRaw:
+        if (c == ')' && in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k) blank(i + k);
+          st = St::kCode;
+          i += raw_delim.size();
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// `line` is 1-based. A finding is suppressed by `// fixlint:ignore(rule)`
+/// on its own line or the line directly above.
+bool Suppressed(const std::vector<std::string>& raw_lines, int line,
+                const std::string& rule) {
+  const std::string tag = "fixlint:ignore(" + rule + ")";
+  for (int l : {line, line - 1}) {
+    if (l >= 1 && l <= static_cast<int>(raw_lines.size()) &&
+        raw_lines[l - 1].find(tag) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Report(std::vector<Finding>* out,
+            const std::vector<std::string>& raw_lines,
+            const std::string& path, int line, const std::string& rule,
+            std::string message) {
+  if (Suppressed(raw_lines, line, rule)) return;
+  out->push_back(Finding{path, line, rule, std::move(message)});
+}
+
+int LineOfOffset(const std::string& content, size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(content.begin(), content.begin() + offset, '\n'));
+}
+
+// --- raw-lock ---------------------------------------------------------------
+
+void CheckRawLock(const SourceFile& f,
+                  const std::vector<std::string>& stripped_lines,
+                  const std::vector<std::string>& raw_lines,
+                  std::vector<Finding>* out) {
+  static const std::regex kCall(
+      R"((\.|->)\s*(lock|unlock|lock_shared|unlock_shared|try_lock|try_lock_shared)\s*\()");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(stripped_lines[i], m, kCall)) {
+      Report(out, raw_lines, f.path, static_cast<int>(i + 1), "raw-lock",
+             "naked ." + m[2].str() +
+                 "() call; use MutexLock / ReaderMutexLock / WriterMutexLock "
+                 "from common/mutex.h");
+    }
+  }
+}
+
+// --- banned-function --------------------------------------------------------
+
+void CheckBanned(const SourceFile& f,
+                 const std::vector<std::string>& stripped_lines,
+                 const std::vector<std::string>& raw_lines,
+                 std::vector<Finding>* out) {
+  static const std::regex kBanned(R"(\b(rand|strcpy|sprintf|gets)\s*\()");
+  static const std::regex kDetach(R"((\.|->)\s*detach\s*\()");
+  struct Why {
+    const char* name;
+    const char* fix;
+  };
+  static const Why kWhy[] = {
+      {"rand", "use common/rng.h (seedable, thread-safe)"},
+      {"strcpy", "use std::string or std::snprintf"},
+      {"sprintf", "use std::snprintf"},
+      {"gets", "never safe; use fgets or iostreams"},
+  };
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(stripped_lines[i], m, kBanned)) {
+      const char* fix = "";
+      for (const Why& w : kWhy) {
+        if (m[1].str() == w.name) fix = w.fix;
+      }
+      Report(out, raw_lines, f.path, static_cast<int>(i + 1),
+             "banned-function",
+             "call to banned function " + m[1].str() + "(); " + fix);
+    }
+    if (std::regex_search(stripped_lines[i], m, kDetach)) {
+      Report(out, raw_lines, f.path, static_cast<int>(i + 1),
+             "banned-function",
+             "std::thread::detach(): detached threads outlive their state; "
+             "join instead");
+    }
+  }
+}
+
+// --- nodiscard-status -------------------------------------------------------
+
+void CheckNodiscard(const SourceFile& f,
+                    const std::vector<std::string>& stripped_lines,
+                    const std::vector<std::string>& raw_lines,
+                    std::vector<Finding>* out) {
+  // A declaration line returning Status or Result<...>; specifier keywords
+  // may precede the return type. The decl name must be a plain identifier
+  // (operators are exempt).
+  static const std::regex kDecl(
+      R"(^\s*(?:(?:virtual|static|inline|constexpr|explicit|friend)\s+)*(?:Status|Result\s*<.*>)\s+([A-Za-z_]\w*)\s*\()");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string& line = stripped_lines[i];
+    std::smatch m;
+    if (!std::regex_search(line, m, kDecl)) continue;
+    if (line.find("using ") != std::string::npos ||
+        line.find("typedef") != std::string::npos) {
+      continue;
+    }
+    const bool annotated =
+        raw_lines[i].find("[[nodiscard]]") != std::string::npos ||
+        (i > 0 && raw_lines[i - 1].find("[[nodiscard]]") != std::string::npos);
+    if (!annotated) {
+      Report(out, raw_lines, f.path, static_cast<int>(i + 1),
+             "nodiscard-status",
+             m[1].str() +
+                 "() returns Status/Result but is not [[nodiscard]]; a "
+                 "dropped error is a silent failure");
+    }
+  }
+}
+
+// --- include-guard ----------------------------------------------------------
+
+std::string CanonicalGuard(const std::string& path) {
+  std::string p = path;
+  if (StartsWith(p, "src/")) p = p.substr(4);
+  std::string guard = "FIX_";
+  for (char c : p) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckIncludeGuard(const SourceFile& f,
+                       const std::vector<std::string>& stripped_lines,
+                       const std::vector<std::string>& raw_lines,
+                       std::vector<Finding>* out) {
+  static const std::regex kIfndef(R"(^\s*#\s*ifndef\s+(\w+))");
+  static const std::regex kDefine(R"(^\s*#\s*define\s+(\w+))");
+  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+  const std::string want = CanonicalGuard(f.path);
+  int guard_line = 0;
+  std::string got;
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(stripped_lines[i], m, kPragmaOnce)) {
+      Report(out, raw_lines, f.path, static_cast<int>(i + 1), "include-guard",
+             "#pragma once; this tree uses " + want + " guards");
+    }
+    if (guard_line == 0 && std::regex_search(stripped_lines[i], m, kIfndef)) {
+      guard_line = static_cast<int>(i + 1);
+      got = m[1].str();
+      // The matching #define must follow on the next directive line.
+      bool defined = false;
+      for (size_t j = i + 1; j < stripped_lines.size(); ++j) {
+        std::smatch d;
+        if (std::regex_search(stripped_lines[j], d, kDefine)) {
+          defined = d[1].str() == got;
+          break;
+        }
+        // Any non-blank, non-directive line between them breaks the idiom.
+        if (stripped_lines[j].find_first_not_of(" \t") != std::string::npos) {
+          break;
+        }
+      }
+      if (got != want) {
+        Report(out, raw_lines, f.path, guard_line, "include-guard",
+               "guard is " + got + ", canonical is " + want);
+      } else if (!defined) {
+        Report(out, raw_lines, f.path, guard_line, "include-guard",
+               "#ifndef " + got + " is not followed by #define " + got);
+      }
+    }
+  }
+  if (guard_line == 0) {
+    Report(out, raw_lines, f.path, 1, "include-guard",
+           "header has no include guard (want " + want + ")");
+  }
+}
+
+// --- lock-order -------------------------------------------------------------
+
+struct LockEntry {
+  int rank = 0;
+  std::string name;
+  std::string path;  // where seen
+  int line = 0;
+};
+
+std::vector<LockEntry> ParseDocLockOrder(const std::string& doc) {
+  std::vector<LockEntry> entries;
+  static const std::regex kEntry(
+      R"(^\s*(\d+)\s+([A-Za-z_][A-Za-z0-9_:]*)(\s.*)?$)");
+  bool in_block = false;
+  int line = 0;
+  std::istringstream in(doc);
+  std::string l;
+  while (std::getline(in, l)) {
+    ++line;
+    if (l.find("LOCK-ORDER:BEGIN") != std::string::npos) {
+      in_block = true;
+      continue;
+    }
+    if (l.find("LOCK-ORDER:END") != std::string::npos) in_block = false;
+    if (!in_block) continue;
+    std::smatch m;
+    if (std::regex_match(l, m, kEntry)) {
+      entries.push_back(LockEntry{std::stoi(m[1].str()), m[2].str(),
+                                  "docs/ARCHITECTURE.md", line});
+    }
+  }
+  return entries;
+}
+
+void CheckLockOrder(const std::vector<SourceFile>& files,
+                    const std::string& architecture_doc,
+                    std::vector<Finding>* out) {
+  if (architecture_doc.empty()) return;
+  const std::vector<LockEntry> doc = ParseDocLockOrder(architecture_doc);
+  std::map<std::string, LockEntry> doc_by_name;
+  for (const LockEntry& e : doc) {
+    auto [it, inserted] = doc_by_name.emplace(e.name, e);
+    if (!inserted) {
+      out->push_back(Finding{e.path, e.line, "lock-order",
+                             "duplicate LOCK-ORDER doc entry for " + e.name});
+    }
+  }
+  // Code tags live in comments of src/ files (test fixtures quote them
+  // inside string literals, so only src/ is scanned).
+  static const std::regex kTag(
+      R"(//\s*LOCK-ORDER:\s*(\d+)\s+([A-Za-z_][A-Za-z0-9_:]*))");
+  std::map<std::string, LockEntry> code_by_name;
+  for (const SourceFile& f : files) {
+    if (!StartsWith(f.path, "src/")) continue;
+    const std::vector<std::string> raw_lines = SplitLines(f.content);
+    for (size_t i = 0; i < raw_lines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(raw_lines[i], m, kTag)) continue;
+      LockEntry tag{std::stoi(m[1].str()), m[2].str(), f.path,
+                    static_cast<int>(i + 1)};
+      auto it = code_by_name.find(tag.name);
+      if (it != code_by_name.end() && it->second.rank != tag.rank) {
+        Report(out, raw_lines, f.path, tag.line, "lock-order",
+               tag.name + " tagged rank " + std::to_string(tag.rank) +
+                   " here but rank " + std::to_string(it->second.rank) +
+                   " at " + it->second.path + ":" +
+                   std::to_string(it->second.line));
+        continue;
+      }
+      code_by_name.emplace(tag.name, tag);
+      auto d = doc_by_name.find(tag.name);
+      if (d == doc_by_name.end()) {
+        Report(out, raw_lines, f.path, tag.line, "lock-order",
+               tag.name +
+                   " is not in docs/ARCHITECTURE.md's LOCK-ORDER block");
+      } else if (d->second.rank != tag.rank) {
+        Report(out, raw_lines, f.path, tag.line, "lock-order",
+               tag.name + " tagged rank " + std::to_string(tag.rank) +
+                   " but docs/ARCHITECTURE.md declares rank " +
+                   std::to_string(d->second.rank));
+      }
+    }
+  }
+  for (const LockEntry& e : doc) {
+    if (code_by_name.count(e.name) == 0) {
+      out->push_back(
+          Finding{e.path, e.line, "lock-order",
+                  e.name + " is declared in the LOCK-ORDER block but no "
+                           "src/ mutex carries its // LOCK-ORDER: tag"});
+    }
+  }
+}
+
+// --- metric-doc-drift -------------------------------------------------------
+
+void CheckMetricDrift(const std::vector<SourceFile>& files,
+                      const std::string& observability_doc,
+                      std::vector<Finding>* out) {
+  if (observability_doc.empty()) return;
+  // Doc side: exact backticked metric names. The character class has no
+  // '*', so prose globs like `fix.storage.*` are not inventory entries.
+  static const std::regex kDocName(R"(`(fix\.[a-z0-9_.]+)`)");
+  std::map<std::string, int> doc_names;  // name -> first line
+  for (auto it = std::sregex_iterator(observability_doc.begin(),
+                                      observability_doc.end(), kDocName);
+       it != std::sregex_iterator(); ++it) {
+    doc_names.emplace((*it)[1].str(),
+                      LineOfOffset(observability_doc,
+                                   static_cast<size_t>(it->position())));
+  }
+  // Code side: registration sites in src/ (the name string may start on
+  // the line after the call, so match the raw multi-line content).
+  static const std::regex kReg(
+      R"rx(FindOrCreate(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]+)")rx");
+  std::map<std::string, bool> code_names;
+  for (const SourceFile& f : files) {
+    if (!StartsWith(f.path, "src/")) continue;
+    const std::vector<std::string> raw_lines = SplitLines(f.content);
+    for (auto it = std::sregex_iterator(f.content.begin(), f.content.end(),
+                                        kReg);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (!StartsWith(name, "fix.")) continue;
+      code_names[name] = true;
+      if (doc_names.count(name) == 0) {
+        Report(out, raw_lines, f.path,
+               LineOfOffset(f.content, static_cast<size_t>(it->position())),
+               "metric-doc-drift",
+               "metric " + name +
+                   " is registered here but not documented in "
+                   "docs/OBSERVABILITY.md");
+      }
+    }
+  }
+  for (const auto& [name, line] : doc_names) {
+    if (code_names.count(name) == 0) {
+      out->push_back(Finding{
+          "docs/OBSERVABILITY.md", line, "metric-doc-drift",
+          "metric " + name + " is documented but never registered in src/"});
+    }
+  }
+}
+
+// --- options-doc-drift ------------------------------------------------------
+
+/// Field names of `struct IndexOptions` from the header's stripped lines.
+std::map<std::string, int> IndexOptionsFields(const std::string& header) {
+  std::map<std::string, int> fields;  // name -> line
+  const std::string stripped = StripCode(header);
+  const std::vector<std::string> lines = SplitLines(stripped);
+  static const std::regex kField(R"(([A-Za-z_]\w*)\s*(=[^;]*)?;\s*$)");
+  bool in_struct = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& l = lines[i];
+    if (!in_struct) {
+      if (l.find("struct IndexOptions") != std::string::npos &&
+          l.find('{') != std::string::npos) {
+        in_struct = true;
+      }
+      continue;
+    }
+    if (l.find("};") != std::string::npos) break;
+    std::smatch m;
+    if (std::regex_search(l, m, kField)) {
+      fields.emplace(m[1].str(), static_cast<int>(i + 1));
+    }
+  }
+  return fields;
+}
+
+void CheckOptionsDrift(const Config& config, std::vector<Finding>* out) {
+  if (config.architecture_doc.empty() || config.index_options_header.empty()) {
+    return;
+  }
+  const std::map<std::string, int> fields =
+      IndexOptionsFields(config.index_options_header);
+  // Doc side: the first backticked identifier of each table row between the
+  // OPTIONS-INVENTORY markers.
+  static const std::regex kRowName(R"(^\s*\|\s*`([A-Za-z_]\w*)`)");
+  std::map<std::string, int> doc_names;
+  bool in_block = false;
+  int line = 0;
+  std::istringstream in(config.architecture_doc);
+  std::string l;
+  while (std::getline(in, l)) {
+    ++line;
+    if (l.find("OPTIONS-INVENTORY:BEGIN") != std::string::npos) {
+      in_block = true;
+      continue;
+    }
+    if (l.find("OPTIONS-INVENTORY:END") != std::string::npos) in_block = false;
+    if (!in_block) continue;
+    std::smatch m;
+    if (std::regex_search(l, m, kRowName)) {
+      doc_names.emplace(m[1].str(), line);
+    }
+  }
+  for (const auto& [name, fline] : fields) {
+    if (doc_names.count(name) == 0) {
+      out->push_back(Finding{
+          "src/core/index_options.h", fline, "options-doc-drift",
+          "IndexOptions::" + name +
+              " is not in docs/ARCHITECTURE.md's options inventory"});
+    }
+  }
+  for (const auto& [name, dline] : doc_names) {
+    if (fields.count(name) == 0) {
+      out->push_back(
+          Finding{"docs/ARCHITECTURE.md", dline, "options-doc-drift",
+                  "options inventory documents `" + name +
+                      "` but IndexOptions has no such field"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RuleNames() {
+  return {"lock-order",       "raw-lock",          "nodiscard-status",
+          "metric-doc-drift", "options-doc-drift", "banned-function",
+          "include-guard"};
+}
+
+std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
+                             const Config& config) {
+  std::vector<Finding> out;
+  for (const SourceFile& f : files) {
+    const std::string stripped = StripCode(f.content);
+    const std::vector<std::string> raw_lines = SplitLines(f.content);
+    const std::vector<std::string> stripped_lines = SplitLines(stripped);
+    CheckRawLock(f, stripped_lines, raw_lines, &out);
+    CheckBanned(f, stripped_lines, raw_lines, &out);
+    if (EndsWith(f.path, ".h")) {
+      CheckNodiscard(f, stripped_lines, raw_lines, &out);
+      CheckIncludeGuard(f, stripped_lines, raw_lines, &out);
+    }
+  }
+  CheckLockOrder(files, config.architecture_doc, &out);
+  CheckMetricDrift(files, config.observability_doc, &out);
+  CheckOptionsDrift(config, &out);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+namespace {
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+bool LoadTree(const std::string& root, std::vector<SourceFile>* files,
+              Config* config, std::string* error) {
+  const fs::path base(root);
+  if (!ReadFile(base / "docs/ARCHITECTURE.md", &config->architecture_doc)) {
+    *error = root + " does not look like the repo root "
+                    "(docs/ARCHITECTURE.md missing)";
+    return false;
+  }
+  if (!ReadFile(base / "docs/OBSERVABILITY.md", &config->observability_doc)) {
+    *error = "docs/OBSERVABILITY.md missing under " + root;
+    return false;
+  }
+  if (!ReadFile(base / "src/core/index_options.h",
+                &config->index_options_header)) {
+    *error = "src/core/index_options.h missing under " + root;
+    return false;
+  }
+  for (const char* dir : {"src", "tools", "examples", "bench", "tests"}) {
+    const fs::path d = base / dir;
+    if (!fs::exists(d)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(d)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel =
+          fs::relative(entry.path(), base).generic_string();
+      if (rel.find("fixlint_golden") != std::string::npos) continue;
+      if (!EndsWith(rel, ".h") && !EndsWith(rel, ".cc") &&
+          !EndsWith(rel, ".cpp")) {
+        continue;
+      }
+      SourceFile f;
+      f.path = rel;
+      if (!ReadFile(entry.path(), &f.content)) {
+        *error = "cannot read " + rel;
+        return false;
+      }
+      files->push_back(std::move(f));
+    }
+  }
+  std::sort(files->begin(), files->end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return true;
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::string out = f.path;
+  if (f.line > 0) out += ":" + std::to_string(f.line);
+  out += ": [" + f.rule + "] " + f.message;
+  return out;
+}
+
+}  // namespace fixlint

@@ -1,0 +1,80 @@
+// fixlint: the repo's project-invariant analyzer.
+//
+// A deliberately small token/line-based checker — no libclang, no compile
+// database — so it builds and runs on the pinned gcc-only toolchain image
+// and finishes in milliseconds over the whole tree. It enforces invariants
+// a generic linter cannot know about (see docs/STATIC_ANALYSIS.md for the
+// user-facing catalog):
+//
+//   lock-order         // LOCK-ORDER: tags on mutex declarations must match
+//                      the machine-readable block in docs/ARCHITECTURE.md
+//   raw-lock           no naked .lock()/.unlock() outside common/mutex.h's
+//                      RAII wrappers
+//   nodiscard-status   fallible public APIs returning Status/Result<T> in
+//                      headers carry [[nodiscard]]
+//   metric-doc-drift   metric names registered in code appear in
+//                      docs/OBSERVABILITY.md and vice versa
+//   options-doc-drift  IndexOptions fields match ARCHITECTURE.md's options
+//                      inventory, both directions
+//   banned-function    rand/strcpy/sprintf/gets and std::thread detach
+//   include-guard      canonical FIX_<PATH>_H_ guards; no #pragma once
+//
+// Any finding is suppressible at its line (or the line above) with
+//   // fixlint:ignore(<rule>)
+//
+// The analysis is exposed as a library so the golden-suite test
+// (tests/fixlint_test.cc) can feed it in-memory snippets with pretend
+// paths; tools/fixlint.cc is a thin CLI over LoadTree + Analyze.
+
+#ifndef FIX_TOOLS_FIXLINT_LIB_H_
+#define FIX_TOOLS_FIXLINT_LIB_H_
+
+#include <string>
+#include <vector>
+
+namespace fixlint {
+
+/// One reported violation.
+struct Finding {
+  std::string path;
+  int line = 0;  // 1-based; 0 = whole-file / cross-file finding
+  std::string rule;
+  std::string message;
+};
+
+/// One input file, already read into memory.
+struct SourceFile {
+  std::string path;     // repo-relative, '/' separators
+  std::string content;  // raw bytes
+};
+
+/// Cross-file inputs: the docs the drift rules reconcile code against.
+/// Empty content disables the corresponding rule (the golden tests use
+/// this to isolate rules; the CLI always passes all three).
+struct Config {
+  std::string architecture_doc;   // docs/ARCHITECTURE.md content
+  std::string observability_doc;  // docs/OBSERVABILITY.md content
+  std::string index_options_header;  // src/core/index_options.h content
+};
+
+/// Every rule name, in report order (for --list-rules and the tests).
+std::vector<std::string> RuleNames();
+
+/// Runs every rule over `files` and returns the findings, sorted by
+/// (path, line, rule). Suppression comments have already been honored.
+std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
+                             const Config& config);
+
+/// Reads the lintable tree under `root` (src/ tools/ examples/ bench/
+/// tests/, extensions .h/.cc/.cpp, skipping any path containing
+/// "fixlint_golden") plus the Config docs. Returns false when `root` does
+/// not look like the repo (missing docs/ARCHITECTURE.md).
+bool LoadTree(const std::string& root, std::vector<SourceFile>* files,
+              Config* config, std::string* error);
+
+/// "path:line: [rule] message" (line omitted when 0).
+std::string FormatFinding(const Finding& f);
+
+}  // namespace fixlint
+
+#endif  // FIX_TOOLS_FIXLINT_LIB_H_

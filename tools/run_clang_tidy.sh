@@ -9,7 +9,8 @@
 #               in the top-level CMakeLists.txt.
 #   file...     specific sources to check (default: every .cc under src/).
 #
-# Exits 0 iff clang-tidy reports zero findings. If clang-tidy is not
+# Exits 0 iff clang-tidy reports zero findings. Probes clang-tidy, then
+# clang-tidy-18/-17/-16 (set CLANG_TIDY to pin a binary); when none is
 # installed (the pinned toolchain image ships gcc only), prints a notice and
 # exits 0 so CI keeps working; install clang-tidy locally to get findings.
 
@@ -17,9 +18,24 @@ set -u
 
 cd "$(dirname "$0")/.."
 
-TIDY="${CLANG_TIDY:-clang-tidy}"
-if ! command -v "$TIDY" >/dev/null 2>&1; then
-  echo "run_clang_tidy: '$TIDY' not found on PATH; skipping (0 findings)." >&2
+# CLANG_TIDY pins an exact binary; otherwise probe the unversioned name
+# first, then the versioned binaries distro packages install without an
+# alias (newest first).
+if [ -n "${CLANG_TIDY:-}" ]; then
+  CANDIDATES=("$CLANG_TIDY")
+else
+  CANDIDATES=(clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16)
+fi
+TIDY=""
+for cand in "${CANDIDATES[@]}"; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    TIDY="$cand"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: none of '${CANDIDATES[*]}' found on PATH;" \
+       "skipping (0 findings)." >&2
   echo "run_clang_tidy: install clang-tidy or set CLANG_TIDY to enable." >&2
   exit 0
 fi
