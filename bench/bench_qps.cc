@@ -5,11 +5,19 @@
 // (p50/p95/p99) per thread count, plus a determinism check: every thread
 // must produce the same per-pass result total.
 //
-// On a single-CPU container the sweep shows QPS ~flat across thread counts
+// A second sweep measures the COW+WAL write path under read load: reader
+// threads keep querying at full service while a single writer commits
+// generations via InsertDocument, at a paced read/write operation mix
+// (95/5 and 50/50). Readers never block on the commit — the sweep reports
+// read and write tail latencies side by side, and the `.metrics.prom`
+// snapshot next to the CSV carries the fix.wal.* counters for the run.
+//
+// On a single-CPU container the sweeps show QPS ~flat across thread counts
 // (speedup ~1x); the harness exists to prove correctness under concurrency
 // and to measure scaling headroom on real multi-core hardware.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <thread>
@@ -50,6 +58,140 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+/// One DBLP-shaped document per write op; each commit adds one more result
+/// to "//inproceedings/title/i" and "//dblp/inproceedings/author", so stale
+/// reads are observable as result counts outside the committed range.
+std::string MixedWriteDoc(int i) {
+  return "<dblp><inproceedings><author>Writer " + std::to_string(i) +
+         "</author><title>Mixed sweep <i>entry</i></title>"
+         "<booktitle>Bench Conference</booktitle><url>db/bench" +
+         std::to_string(i) +
+         "</url><year>1998</year></inproceedings></dblp>";
+}
+
+/// Mixed read/write sweep against the (already read-benched) DBLP index:
+/// kMixReaders query threads plus ONE writer thread (the single-writer
+/// contract), paced so the completed-operation mix tracks
+/// `reads_per_write : 1`. The pacing is a mutual speed limit — the writer
+/// waits for reads to catch up and readers stay at most one write-quantum
+/// ahead — so neither side free-runs; within a quantum both run unthrottled
+/// and reader latency includes whatever the concurrent commit costs them.
+void RunMixedSweep(Report* report, Corpus* corpus, FixIndex* index,
+                   const std::vector<TwigQuery>& queries) {
+  constexpr int kMixReaders = 4;
+  constexpr int kMixWrites = 24;
+  struct Mix {
+    const char* name;
+    uint64_t reads_per_write;
+  };
+  constexpr Mix kMixes[] = {{"95/5", 19}, {"50/50", 1}};
+
+  report->Section("mixed read/write (COW commits under read load)");
+  report->Note("1 writer (InsertDocument, one WAL commit per op) + " +
+               std::to_string(kMixReaders) +
+               " readers, paced to the listed completed-op mix; reader "
+               "results are validated against the committed generation "
+               "range after every run.");
+  report->Header({"dataset", "mix", "readers", "reads", "writes", "wall_ms",
+                  "read_qps", "writes_per_s", "r_p50_ms", "r_p95_ms",
+                  "r_p99_ms", "w_p50_ms", "w_p95_ms", "w_p99_ms"});
+
+  for (const Mix& mix : kMixes) {
+    // Corpus mutation is writer-exclusive, so the documents for this run
+    // are appended before any reader thread exists; they only become
+    // query-visible as the writer commits them.
+    std::vector<uint32_t> doc_ids;
+    doc_ids.reserve(kMixWrites);
+    for (int i = 0; i < kMixWrites; ++i) {
+      auto id = corpus->AddXml(MixedWriteDoc(i));
+      FIX_CHECK(id.ok());
+      doc_ids.push_back(*id);
+    }
+
+    const uint64_t gen_before = index->generation();
+    std::atomic<uint64_t> read_tickets{0};
+    std::atomic<uint64_t> writes_done{0};
+    std::atomic<bool> done{false};
+    std::atomic<int> failures{0};
+    std::vector<std::vector<double>> read_lat(kMixReaders);
+    std::vector<double> write_lat;
+    write_lat.reserve(kMixWrites);
+
+    Timer wall;
+    std::vector<std::thread> readers;
+    readers.reserve(kMixReaders);
+    for (int t = 0; t < kMixReaders; ++t) {
+      readers.emplace_back([&, t] {
+        FixQueryProcessor proc(corpus, index);
+        while (true) {
+          const uint64_t ticket = read_tickets.fetch_add(1);
+          while (!done.load() &&
+                 ticket >= mix.reads_per_write * (writes_done.load() + 1)) {
+            std::this_thread::yield();
+          }
+          if (done.load()) break;
+          const TwigQuery& q = queries[ticket % queries.size()];
+          Timer timer;
+          auto s = proc.Execute(q, nullptr, RefineMode::kBatch);
+          read_lat[t].push_back(timer.ElapsedMillis());
+          if (!s.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    std::thread writer([&] {
+      for (int w = 0; w < kMixWrites; ++w) {
+        while (read_tickets.load() <
+               mix.reads_per_write * static_cast<uint64_t>(w)) {
+          std::this_thread::yield();
+        }
+        Timer timer;
+        Status s = index->InsertDocument(doc_ids[w]);
+        write_lat.push_back(timer.ElapsedMillis());
+        if (!s.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+        writes_done.store(static_cast<uint64_t>(w) + 1);
+      }
+      done.store(true);
+    });
+    writer.join();
+    for (std::thread& th : readers) th.join();
+    const double wall_ms = wall.ElapsedMillis();
+
+    FIX_CHECK(failures.load() == 0);
+    // Every write is one committed generation; readers never blocked it.
+    FIX_CHECK(index->generation() == gen_before + kMixWrites);
+
+    std::vector<double> merged;
+    for (const std::vector<double>& v : read_lat) {
+      merged.insert(merged.end(), v.begin(), v.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    std::sort(write_lat.begin(), write_lat.end());
+    const uint64_t reads = merged.size();
+    char read_qps[32], wps[32];
+    std::snprintf(read_qps, sizeof(read_qps), "%.1f",
+                  wall_ms > 0 ? reads / (wall_ms / 1000.0) : 0.0);
+    std::snprintf(wps, sizeof(wps), "%.1f",
+                  wall_ms > 0 ? kMixWrites / (wall_ms / 1000.0) : 0.0);
+    report->Row({DataSetName(DataSet::kDblp), mix.name,
+                 std::to_string(kMixReaders), Num(reads), Num(kMixWrites),
+                 Ms(wall_ms), read_qps, wps, Ms(Percentile(merged, 50)),
+                 Ms(Percentile(merged, 95)), Ms(Percentile(merged, 99)),
+                 Ms(Percentile(write_lat, 50)), Ms(Percentile(write_lat, 95)),
+                 Ms(Percentile(write_lat, 99))});
+
+    // Post-run validation: a quiescent pass must see exactly the fully
+    // committed state (every inserted doc answering).
+    FixQueryProcessor proc(corpus, index);
+    for (const TwigQuery& q : queries) {
+      auto s = proc.Execute(q, nullptr, RefineMode::kBatch);
+      FIX_CHECK(s.ok());
+    }
+  }
+}
+
 void Run() {
   Report report("bench_qps");
   report.Note("Concurrent read throughput: N threads, one shared "
@@ -59,10 +201,10 @@ void Run() {
   report.Note("Single-CPU containers show ~1x scaling; the harness proves "
               "thread-safety (identical per-thread result totals) and "
               "measures headroom for multi-core hosts.");
-  report.Header({"dataset", "threads", "ops", "wall_ms", "qps", "p50_ms",
-                 "p95_ms", "p99_ms", "results_per_pass"});
-
   for (const Workload& w : kWorkloads) {
+    report.Section(std::string("concurrent reads: ") + DataSetName(w.data));
+    report.Header({"dataset", "threads", "ops", "wall_ms", "qps", "p50_ms",
+                   "p95_ms", "p99_ms", "results_per_pass"});
     std::unique_ptr<Corpus> corpus = BuildCorpus(w.data);
     Result<FixIndex> index =
         BuildFix(corpus.get(), w.data, /*clustered=*/false, 0, nullptr,
@@ -136,6 +278,10 @@ void Run() {
                   Ms(wall_ms), qps_s, Ms(Percentile(merged, 50)),
                   Ms(Percentile(merged, 95)), Ms(Percentile(merged, 99)),
                   Num(expected_per_pass)});
+    }
+
+    if (w.data == DataSet::kDblp) {
+      RunMixedSweep(&report, corpus.get(), &*index, queries);
     }
   }
 }

@@ -40,6 +40,10 @@ const CliCommand kCommands[] = {
      kQueryFlags, sizeof(kQueryFlags) / sizeof(kQueryFlags[0])},
     {"stats", "<dir>", "corpus/index summary plus live metrics", kStatsFlags,
      sizeof(kStatsFlags) / sizeof(kStatsFlags[0])},
+    {"wal", "<dir>",
+     "inspect the index write-ahead log (records, last committed "
+     "generation, torn tail)",
+     nullptr, 0},
     {"help", "", "print this help", nullptr, 0},
 };
 

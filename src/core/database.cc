@@ -129,6 +129,7 @@ void Database::QuarantineIndex(const std::string& name, const Status& why) {
   QuarantineFile(path);
   QuarantineFile(path + ".meta");
   QuarantineFile(path + ".data");
+  QuarantineFile(path + ".wal");
   {
     MutexLock lock(health_mu_);
     ++health_.quarantined_indexes;
@@ -138,7 +139,8 @@ void Database::QuarantineIndex(const std::string& name, const Status& why) {
 
 Status Database::AttachOrQuarantine(const std::string& name) {
   auto opened =
-      FixIndex::Open(&corpus_, IndexPath(name), open_options_.page_io_factory);
+      FixIndex::Open(&corpus_, IndexPath(name), open_options_.page_io_factory,
+                     open_options_.wal_io_factory);
   Status failure = opened.status();
   if (opened.ok()) {
     auto idx = std::make_shared<FixIndex>(std::move(opened).value());
@@ -183,6 +185,9 @@ Result<FixIndex*> Database::BuildIndex(const std::string& name,
   if (options.page_io_factory == nullptr) {
     options.page_io_factory = open_options_.page_io_factory;
   }
+  if (options.wal_io_factory == nullptr) {
+    options.wal_io_factory = open_options_.wal_io_factory;
+  }
   // Route through a local BuildStats when the caller passed none, so the
   // feature-cache counters still reach health().
   BuildStats local;
@@ -204,7 +209,8 @@ Result<FixIndex*> Database::BuildIndex(const std::string& name,
 
 Result<FixIndex*> Database::AttachIndex(const std::string& name) {
   auto opened =
-      FixIndex::Open(&corpus_, IndexPath(name), open_options_.page_io_factory);
+      FixIndex::Open(&corpus_, IndexPath(name), open_options_.page_io_factory,
+                     open_options_.wal_io_factory);
   if (!opened.ok()) return opened.status();
   WriterMutexLock lock(mu_);
   indexes_.emplace_back(name,
@@ -216,32 +222,82 @@ Result<FixIndex*> Database::AttachIndex(const std::string& name) {
 Result<FixIndex*> Database::RebuildIndex(const std::string& name,
                                          IndexOptions options,
                                          BuildStats* stats) {
+  static constexpr const char* kParts[] = {"", ".meta", ".data", ".wal"};
+  const std::string path = IndexPath(name);
+  const std::string side = path + ".rebuild";
+  // Build the replacement at a side path while the old index (if any) keeps
+  // answering queries — an online rebuild with zero degraded window. A
+  // build failure leaves the old index exactly as it was.
+  for (const char* part : kParts) RemoveIfExists(side + part);
+  options.path = side;
+  if (options.page_io_factory == nullptr) {
+    options.page_io_factory = open_options_.page_io_factory;
+  }
+  if (options.wal_io_factory == nullptr) {
+    options.wal_io_factory = open_options_.wal_io_factory;
+  }
+  BuildStats local;
+  BuildStats* effective = stats != nullptr ? stats : &local;
+  {
+    auto built = FixIndex::Build(&corpus_, options, effective);
+    if (!built.ok()) {
+      for (const char* part : kParts) RemoveIfExists(side + part);
+      return built.status();
+    }
+    // The fresh handle closes its files here; the swap below renames them
+    // into place and reopens.
+  }
+  {
+    MutexLock lock(health_mu_);
+    health_.feature_cache_hits += effective->feature_cache_hits;
+    health_.feature_cache_misses += effective->feature_cache_misses;
+    health_.feature_cache_evictions += effective->feature_cache_evictions;
+  }
+  // Swing the files into place. The old index's open descriptors — and any
+  // in-flight query holding its shared_ptr — keep the old inodes alive
+  // until the last reference dies.
+  for (const char* part : kParts) {
+    const std::string from = side + part;
+    const std::string to = path + part;
+    std::error_code ec;
+    if (std::filesystem::exists(from, ec)) {
+      std::filesystem::rename(from, to, ec);
+      if (ec) {
+        return Status::IOError("rebuild swap failed for " + to + ": " +
+                               ec.message());
+      }
+    } else {
+      RemoveIfExists(to);  // layout change, e.g. clustered -> unclustered
+    }
+    RemoveIfExists(to + ".quarantined");
+  }
+  auto reopened = FixIndex::Open(&corpus_, path, options.page_io_factory,
+                                 options.wal_io_factory);
+  if (!reopened.ok()) return reopened.status();
+  auto fresh = std::make_shared<FixIndex>(std::move(reopened).value());
+  FixIndex* handle = fresh.get();
   {
     WriterMutexLock lock(mu_);
-    for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
-      if (it->first == name) {
-        indexes_.erase(it);
-        OpenIndexes().Add(-1);
+    bool replaced = false;
+    for (auto& [n, idx] : indexes_) {
+      if (n == name) {
+        idx = std::move(fresh);  // old handle freed once readers drain
+        replaced = true;
         break;
       }
     }
+    if (!replaced) {
+      indexes_.emplace_back(name, std::move(fresh));
+      OpenIndexes().Add(1);
+    }
     degraded_.erase(name);
   }
-  const std::string path = IndexPath(name);
-  for (const std::string& p :
-       {path, path + ".meta", path + ".data", path + ".quarantined",
-        path + ".meta.quarantined", path + ".data.quarantined"}) {
-    RemoveIfExists(p);
+  {
+    MutexLock lock(health_mu_);
+    ++health_.rebuilds;
   }
-  auto rebuilt = BuildIndex(name, std::move(options), stats);
-  if (rebuilt.ok()) {
-    {
-      MutexLock lock(health_mu_);
-      ++health_.rebuilds;
-    }
-    Rebuilds().Increment();
-  }
-  return rebuilt;
+  Rebuilds().Increment();
+  return handle;
 }
 
 FixIndex* Database::index(const std::string& name) {

@@ -51,6 +51,9 @@ class Database {
     /// Backend override for index page files (see
     /// IndexOptions::page_io_factory). Tests only.
     std::function<std::unique_ptr<PageIo>()> page_io_factory;
+    /// Backend override for index write-ahead logs (see
+    /// IndexOptions::wal_io_factory). Tests only.
+    std::function<std::unique_ptr<PageIo>()> wal_io_factory;
   };
 
   /// @pre `workdir` (the directory holding the primary store and index
@@ -130,14 +133,18 @@ class Database {
   ///         the on-disk files (no quarantine happens on this path).
   [[nodiscard]] Result<FixIndex*> AttachIndex(const std::string& name);
 
-  /// Drops any trace of index `name` (attached handle, quarantined files,
-  /// degraded marker) and builds it afresh from the in-memory corpus —
-  /// the recovery path out of degraded mode.
+  /// Builds index `name` afresh from the in-memory corpus and swaps it into
+  /// place — the recovery path out of degraded mode, and an online rebuild
+  /// when the index is healthy: the build happens at a side path
+  /// (`<name>.fix.rebuild*`) while the old index, if attached, keeps
+  /// answering queries; the swap is a rename + handle replacement with zero
+  /// degraded window. In-flight queries holding the old handle finish
+  /// against the old (unlinked) files.
   /// @post On success IsDegraded(name) is false and health().rebuilds has
   ///       been incremented.
   /// @return The fresh Database-owned handle, or the build failure (in
-  ///         which case the old files are already gone and the name stays
-  ///         unregistered).
+  ///         which case the old index — attached, degraded, or absent —
+  ///         is left exactly as it was).
   [[nodiscard]] Result<FixIndex*> RebuildIndex(const std::string& name,
                                                IndexOptions options,
                                                BuildStats* stats = nullptr);

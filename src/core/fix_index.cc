@@ -95,7 +95,14 @@ Result<EigPair> FixIndex::GraphFeatures(const BisimGraph& graph,
     if (stats != nullptr) ++stats->oversized_patterns;
     return OversizedPair();
   }
-  DenseMatrix m = BuildSkewMatrix(graph, &encoder_);
+  DenseMatrix m(0);
+  {
+    // Readers may be interning query-pattern pairs concurrently with the
+    // single writer (this path feeds InsertDocument, which no longer
+    // excludes reads); both sides serialize on the encoder mutex.
+    MutexLock lock(*encoder_mu_);
+    m = BuildSkewMatrix(graph, &encoder_);
+  }
   auto sigmas = SkewSpectrum(m);
   if (!sigmas.ok()) {
     // Eigensolver failure (pathological spectrum): degrade to the
@@ -131,16 +138,6 @@ Result<EigPair> FixIndex::PatternFeatures(BisimGraph* graph,
   return eigs;
 }
 
-Status FixIndex::AddEntry(const FeatureKey& key, NodeRef ref) {
-  // Only incremental insertion lands here: Build routes every entry
-  // through BuildPipeline's sorted bulk load, and InsertDocument rejects
-  // clustered indexes before reaching this point.
-  FeatureKey numbered = key;
-  numbered.seq = next_seq_++;
-  return btree_->Insert(EncodeFeatureKey(numbered),
-                        EncodeIndexValue({ref, 0}));
-}
-
 Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
                                  BuildStats* stats) {
   if (options.path.empty()) {
@@ -172,6 +169,15 @@ Result<FixIndex> FixIndex::Build(Corpus* corpus, const IndexOptions& options,
   if (options.value_beta > 0) {
     index.value_hasher_ =
         std::make_unique<ValueHasher>(corpus->labels(), options.value_beta);
+  }
+
+  {
+    // A fresh (empty) log rides along from the start so the first
+    // incremental update has somewhere to commit.
+    auto wal = Wal::Create(options.path + ".wal", kFeatureKeySize,
+                           kIndexValueSize, options.wal_io_factory);
+    if (!wal.ok()) return wal.status();
+    index.wal_ = std::move(wal).value();
   }
 
   // CONSTRUCT-INDEX over the collection: the batched fan-out / intern /
@@ -400,7 +406,9 @@ Status FixIndex::BuildPipeline(BuildStats* stats) {
   return Status::OK();
 }
 
-Status FixIndex::IndexDocument(uint32_t doc_id, BuildStats* stats) {
+Status FixIndex::CollectEntries(
+    uint32_t doc_id, BuildStats* stats,
+    std::vector<std::pair<std::string, std::string>>* kv) {
   const Document& doc = corpus_->doc(doc_id);
   NodeId root_elem = doc.root_element();
   if (root_elem == kInvalidNode) return Status::OK();
@@ -421,6 +429,11 @@ Status FixIndex::IndexDocument(uint32_t doc_id, BuildStats* stats) {
 
   DocumentEventStream stream(&doc, doc_id, value_hasher_.get());
   BisimBuilder builder;
+  auto emit = [&](const FeatureKey& key, NodeRef ref) {
+    FeatureKey numbered = key;
+    numbered.seq = next_seq_++;
+    kv->emplace_back(EncodeFeatureKey(numbered), EncodeIndexValue({ref, 0}));
+  };
   BisimBuilder::CloseCallback on_close =
       [&](BisimGraph* graph, BisimVertexId vertex, NodeRef ref,
           bool is_root) -> Status {
@@ -429,11 +442,13 @@ Status FixIndex::IndexDocument(uint32_t doc_id, BuildStats* stats) {
       EigPair eigs;
       FIX_ASSIGN_OR_RETURN(eigs, GraphFeatures(*graph, stats));
       if (stats != nullptr) ++stats->distinct_patterns;
-      return AddEntry(MakeKey(graph->vertex(vertex).label, eigs), ref);
+      emit(MakeKey(graph->vertex(vertex).label, eigs), ref);
+      return Status::OK();
     }
     EigPair eigs;
     FIX_ASSIGN_OR_RETURN(eigs, PatternFeatures(graph, vertex, limit, stats));
-    return AddEntry(MakeKey(graph->vertex(vertex).label, eigs), ref);
+    emit(MakeKey(graph->vertex(vertex).label, eigs), ref);
+    return Status::OK();
   };
   BisimGraph graph;
   FIX_ASSIGN_OR_RETURN(graph, builder.Build(&stream, on_close));
@@ -442,6 +457,61 @@ Status FixIndex::IndexDocument(uint32_t doc_id, BuildStats* stats) {
     stats->bisim_edges += graph.num_edges();
   }
   return Status::OK();
+}
+
+Status FixIndex::CommitBatch(
+    const std::vector<std::pair<std::string, std::string>>& inserts,
+    const std::vector<std::pair<std::string, std::string>>& deletes,
+    uint32_t new_indexed_docs) {
+  if (wal_.failed()) {
+    // Fail-stop: a previous commit's append or fsync failed, and its record
+    // may or may not be durable. Until a reopen replays the log, no new
+    // batch may run — PrepareCommit would flush fresh pages over pages an
+    // ambiguously-durable commit record still references.
+    return Status::IOError(
+        "write-ahead log is dead after a failed commit flush; reopen the "
+        "index to recover");
+  }
+  FIX_RETURN_IF_ERROR(btree_->BeginBatch());
+  // Everything up to the WAL fsync can fail without consequence: the batch
+  // is invisible to readers and AbortBatch reclaims its pages.
+  Status staged = [&]() -> Status {
+    for (const auto& [key, value] : inserts) {
+      FIX_RETURN_IF_ERROR(btree_->Insert(key, value));
+    }
+    for (const auto& [key, value] : deletes) {
+      FIX_RETURN_IF_ERROR(btree_->Delete(key, value));
+    }
+    WalCommit commit;
+    FIX_ASSIGN_OR_RETURN(commit, btree_->PrepareCommit());
+    commit.indexed_docs = new_indexed_docs;
+    commit.next_seq = next_seq_;
+    // The point of no return. Once this fsync succeeds the generation is
+    // durable; until then it does not exist. A failure here (including a
+    // failed fsync — never ack an unsynced commit) fail-stops the log and
+    // surfaces as IOError, which Database turns into a quarantine.
+    return wal_.AppendCommit(commit);
+  }();
+  if (!staged.ok()) {
+    // If the failure happened inside the WAL append itself, the record's
+    // durability is ambiguous — it may be fully on disk with only the
+    // fsync's acknowledgment lost. The fresh pages it references must then
+    // survive untouched for a possible replay, so the abort neither blanks
+    // nor recycles them. Any earlier failure provably never reached the
+    // log, and the pages are reclaimed normally.
+    btree_->AbortBatch(/*blank_pages=*/!wal_.failed());
+    return staged;
+  }
+  btree_->FinalizeCommit();
+  indexed_docs_ = new_indexed_docs;
+  // Checkpoint the committed generation into the data file's meta page and
+  // the sidecar, then retire the log. Failures past this point cannot undo
+  // the commit — the WAL carries it and reopening replays it — but they do
+  // mean durability is now resting on the log alone, so they still
+  // propagate (fail-stop) rather than being papered over.
+  FIX_RETURN_IF_ERROR(btree_->Checkpoint());
+  FIX_RETURN_IF_ERROR(WriteMeta());
+  return wal_.Reset();
 }
 
 Status FixIndex::InsertDocument(uint32_t doc_id, BuildStats* stats) {
@@ -454,22 +524,35 @@ Status FixIndex::InsertDocument(uint32_t doc_id, BuildStats* stats) {
     return Status::InvalidArgument("doc_id not in corpus");
   }
   histogram_.reset();  // estimates must see the new entries
-  FIX_RETURN_IF_ERROR(IndexDocument(doc_id, stats));
-  FIX_RETURN_IF_ERROR(btree_->Flush());
-  FIX_RETURN_IF_ERROR(file_->Sync());
-  // Extend coverage only after the pages are durable: a crash mid-update
-  // leaves the old sidecar claiming fewer docs than the corpus holds, which
-  // Database::Open detects as staleness.
-  if (indexed_docs_ != kIndexedDocsUnknown) {
-    indexed_docs_ = std::max(indexed_docs_, doc_id + 1);
+  const uint32_t saved_seq = next_seq_;
+  const uint64_t saved_gen = btree_->generation();
+  std::vector<std::pair<std::string, std::string>> kv;
+  Status status = CollectEntries(doc_id, stats, &kv);
+  if (status.ok()) {
+    // Coverage extends atomically with the entries: the WAL commit carries
+    // the new count, so recovery can never adopt the entries without it
+    // (or vice versa).
+    uint32_t new_docs = indexed_docs_;
+    if (new_docs != kIndexedDocsUnknown) {
+      new_docs = std::max(new_docs, doc_id + 1);
+    }
+    status = CommitBatch(kv, {}, new_docs);
   }
-  return WriteMeta();  // encoder may have interned new pairs
+  if (!status.ok()) {
+    // Roll the sequence allocator back only if the batch really aborted. A
+    // failure after the WAL commit (e.g. the post-commit checkpoint) leaves
+    // the generation published with these numbers spent — reusing them
+    // would mint duplicates against the durable commit record.
+    if (btree_->generation() == saved_gen) next_seq_ = saved_seq;
+    return status;
+  }
+  return Status::OK();
 }
 
 Status FixIndex::RemoveDocument(uint32_t doc_id) {
-  // Collect the victim entries with one ordered scan, then delete them.
-  // Lazy B+-tree deletion never merges pages, which matches the paper's
-  // read-heavy usage profile.
+  // Collect the victim entries with one ordered scan, then delete them in
+  // one COW batch. Lazy B+-tree deletion never merges pages, which matches
+  // the paper's read-heavy usage profile.
   std::vector<std::pair<std::string, std::string>> victims;
   {
     BTree::Iterator it;
@@ -482,11 +565,9 @@ Status FixIndex::RemoveDocument(uint32_t doc_id) {
       FIX_RETURN_IF_ERROR(it.Next());
     }
   }
-  for (const auto& [key, value] : victims) {
-    FIX_RETURN_IF_ERROR(btree_->Delete(key, value));
-  }
   histogram_.reset();
-  return btree_->Flush();
+  if (victims.empty()) return Status::OK();
+  return CommitBatch({}, victims, indexed_docs_);
 }
 
 Result<uint64_t> FixIndex::EstimateCandidates(const TwigQuery& query) {
@@ -545,21 +626,30 @@ Status FixIndex::WriteMeta() const {
   meta.options = options_;
   meta.options.path.clear();  // path is where the caller found the file
   meta.next_seq = next_seq_;
-  meta.edge_weights = encoder_.Export();
+  {
+    // Readers may be interning query pairs concurrently with the writer's
+    // sidecar rewrite; the export must see a consistent table.
+    MutexLock lock(*encoder_mu_);
+    meta.edge_weights = encoder_.Export();
+  }
   meta.storage_format = kPageFormatVersion;
   meta.indexed_docs = indexed_docs_;
+  meta.generation = btree_->generation();
+  meta.wal_bytes = wal_.state().valid_bytes;
   return WriteFile(options_.path + ".meta", EncodeIndexMeta(meta));
 }
 
 Result<FixIndex> FixIndex::Open(
     Corpus* corpus, const std::string& path,
-    const std::function<std::unique_ptr<PageIo>()>& page_io_factory) {
+    const std::function<std::unique_ptr<PageIo>()>& page_io_factory,
+    const std::function<std::unique_ptr<PageIo>()>& wal_io_factory) {
   std::string meta_buf;
   FIX_ASSIGN_OR_RETURN(meta_buf, ReadFile(path + ".meta"));
   IndexMeta meta;
   FIX_ASSIGN_OR_RETURN(meta, DecodeIndexMeta(meta_buf));
   meta.options.path = path;
   meta.options.page_io_factory = page_io_factory;
+  meta.options.wal_io_factory = wal_io_factory;
 
   FixIndex index(corpus, meta.options);
   index.next_seq_ = meta.next_seq;
@@ -572,9 +662,51 @@ Result<FixIndex> FixIndex::Open(
   index.pool_ = std::make_unique<BufferPool>(index.file_.get(),
                                              meta.options.buffer_pool_pages);
   {
+    // The log is scanned before the tree so a torn data-file meta page can
+    // be rolled forward from it. A missing log (an index persisted before
+    // the WAL existed) is recreated empty.
+    auto wal = Wal::Open(path + ".wal", kFeatureKeySize, kIndexValueSize,
+                         wal_io_factory);
+    if (!wal.ok()) return wal.status();
+    index.wal_ = std::move(wal).value();
+  }
+  const WalScanResult& ws = index.wal_.state();
+  bool recovered = false;
+  {
     auto tree = BTree::Open(index.pool_.get());
+    if (!tree.ok() && tree.status().IsCorruption() && ws.has_commit) {
+      // The data file's meta page is torn but the log carries a durable
+      // commit: rebuild the tree handle from the log's geometry + record.
+      tree = BTree::OpenRecovered(index.pool_.get(), ws.key_size,
+                                  ws.value_size, ws.last_commit);
+      recovered = tree.ok();
+    }
     if (!tree.ok()) return tree.status();
     index.btree_ = std::make_unique<BTree>(std::move(tree).value());
+  }
+  if (ws.has_commit) {
+    if (ws.last_commit.generation > index.btree_->generation()) {
+      // Roll forward: the crash hit after the commit fsync but before the
+      // checkpoint reached the data file's meta page.
+      FIX_RETURN_IF_ERROR(index.btree_->AdoptCommit(ws.last_commit));
+      recovered = true;
+    }
+    if (ws.last_commit.generation >= index.btree_->generation()) {
+      // The log's commit is the latest durable state; its application
+      // fields supersede a sidecar the crash may have left stale.
+      index.next_seq_ = static_cast<uint32_t>(ws.last_commit.next_seq);
+      index.indexed_docs_ =
+          static_cast<uint32_t>(ws.last_commit.indexed_docs);
+    }
+  }
+  if (recovered || ws.records > 0 || ws.torn_tail) {
+    // Something was in flight when the last process died. Reclaim whatever
+    // the uncommitted generation left behind, checkpoint the adopted state,
+    // and retire the log.
+    FIX_RETURN_IF_ERROR(index.ReclaimUnreachable());
+    FIX_RETURN_IF_ERROR(index.btree_->Checkpoint());
+    FIX_RETURN_IF_ERROR(index.WriteMeta());
+    FIX_RETURN_IF_ERROR(index.wal_.Reset());
   }
   if (meta.options.clustered) {
     FIX_RETURN_IF_ERROR(
@@ -587,6 +719,31 @@ Result<FixIndex> FixIndex::Open(
         corpus->labels(), meta.options.value_beta);
   }
   return index;
+}
+
+Status FixIndex::ReclaimUnreachable() {
+  std::unordered_set<PageId> reachable;
+  FIX_RETURN_IF_ERROR(btree_->VerifyAndCollect(&reachable));
+  const PageId num_pages = file_->num_pages();
+  std::vector<PageId> spare;
+  std::vector<char> scratch(kPageSize);
+  const std::vector<char> blank(kPageSize, 0);
+  for (PageId p = 1; p < num_pages; ++p) {
+    if (reachable.count(p) > 0) continue;
+    // Unreachable pages are either intact relics of superseded generations
+    // or torn/never-written allocations of the generation the crash killed.
+    // The latter would trip a later offline scrub, so restamp them as blank
+    // (validly framed, empty) pages before recycling either kind.
+    Status valid = file_->ReadPage(p, scratch.data());
+    if (valid.IsCorruption()) {
+      FIX_RETURN_IF_ERROR(file_->WritePage(p, blank.data()));
+    } else if (!valid.ok()) {
+      return valid;
+    }
+    spare.push_back(p);
+  }
+  btree_->AddReusablePages(spare);
+  return Status::OK();
 }
 
 Result<FeatureKey> FixIndex::QueryFeatures(const TwigQuery& subtwig) {

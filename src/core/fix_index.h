@@ -46,18 +46,21 @@ namespace fix {
 ///
 /// Thread-safety: the read path — Lookup, Probe, QueryFeatures, and the
 /// const accessors — is safe from any number of threads once the index is
-/// built or opened and no writer is active. Reads go through the
-/// lock-striped BufferPool and the concurrent-read B+-tree contract
-/// (btree.h); the one mutable piece on that path, interning unseen query
-/// label pairs into the edge-weight encoder, is serialized by an internal
-/// mutex (an unseen pair can never match indexed data, so interleaved
-/// interning cannot change any result set). Everything that restructures
-/// the index stays writer-exclusive: Build, InsertDocument, RemoveDocument,
-/// and EstimateCandidates (which lazily builds the costing histogram) must
-/// not overlap with each other or with reads. Build() parallelizes
+/// built or opened. Reads go through the lock-striped BufferPool and the
+/// B+-tree's snapshot contract (btree.h): every lookup pins the published
+/// generation and scans only its immutable pages, so a SINGLE writer
+/// (InsertDocument or RemoveDocument, never two at once) may run
+/// concurrently with any number of readers — commits are built
+/// copy-on-write and become visible atomically, and readers never stall on
+/// the writer. The one mutable piece shared by both sides, the edge-weight
+/// encoder, is serialized by an internal mutex (an unseen pair can never
+/// match indexed data, so interleaved interning cannot change any result
+/// set). Build and EstimateCandidates (which lazily builds the costing
+/// histogram) remain writer-exclusive: they must not overlap with each
+/// other, with the single writer, or with reads. Build() parallelizes
 /// internally (per IndexOptions::build_threads) but returns a fully
 /// quiesced object; no worker threads outlive it. See docs/ARCHITECTURE.md,
-/// "Concurrent reads".
+/// "Concurrent reads" and "Write path: COW generations + WAL".
 ///
 /// Observability: construction records fix.build.* and lookup records
 /// fix.index.probe* in the process-wide MetricsRegistry, and both emit
@@ -98,9 +101,18 @@ class FixIndex {
   /// Reopens an index previously built at `path` over the same corpus
   /// (typically one restored with Corpus::Load). The persisted options and
   /// edge-weight encoding are restored exactly; queries probe the on-disk
-  /// B+-tree without any rebuild. `page_io_factory` (optional) overrides
-  /// the page-file backend, mirroring IndexOptions::page_io_factory — it is
-  /// a parameter here because the factory is never persisted in the meta.
+  /// B+-tree without any rebuild. `page_io_factory` / `wal_io_factory`
+  /// (optional) override the page-file and WAL backends, mirroring the
+  /// IndexOptions fields of the same names — they are parameters here
+  /// because factories are never persisted in the meta.
+  ///
+  /// Crash recovery happens here: the WAL at path + ".wal" is scanned, a
+  /// committed generation newer than the data file's meta page is rolled
+  /// forward (adopting the committed root, entry count, document coverage,
+  /// and sequence counter), torn tails are discarded, pages unreachable
+  /// from the adopted root are recycled (restamped as blank pages if the
+  /// crash left them torn), and the log is reset once the recovered state
+  /// has been checkpointed into the data file and sidecar.
   ///
   /// @pre `corpus` is non-null and is the corpus the index was built over.
   /// @return the reopened index, or NotFound (missing file), Corruption
@@ -108,6 +120,8 @@ class FixIndex {
   [[nodiscard]] static Result<FixIndex> Open(
       Corpus* corpus, const std::string& path,
       const std::function<std::unique_ptr<PageIo>()>& page_io_factory =
+          nullptr,
+      const std::function<std::unique_ptr<PageIo>()>& wal_io_factory =
           nullptr);
 
   FixIndex(FixIndex&&) = default;
@@ -159,19 +173,33 @@ class FixIndex {
   /// key-ordered copy store to be rebuilt, the update cost the paper's
   /// introduction charges against clustering indexes).
   ///
+  /// Crash-safe and atomic: the new entries are built copy-on-write as
+  /// B+-tree generation N+1, made durable by a single fsync'd WAL commit
+  /// record, and only then published. A crash at any point leaves the index
+  /// recoverable to exactly generation N (no commit record) or exactly
+  /// generation N+1 (commit record replayed by Open) — never a torn state.
+  /// Concurrent readers keep serving generation N until the publish.
+  ///
   /// @pre doc_id is a valid corpus document not yet indexed.
-  /// @post on success the meta sidecar is rewritten (indexed_docs advances).
+  /// @post on success the commit is checkpointed: the data file's meta page
+  ///       and the sidecar carry the new generation (indexed_docs advances)
+  ///       and the WAL is reset.
   /// @return OK, NotSupported for clustered indexes, InvalidArgument for a
   ///         doc_id outside the corpus, or the first storage/solver error.
+  ///         A WAL append/fsync failure aborts the whole batch (fail-stop:
+  ///         an unsynced commit is never acked) and surfaces as IOError so
+  ///         Database routes the index into quarantine.
   [[nodiscard]] Status InsertDocument(uint32_t doc_id, BuildStats* stats = nullptr);
 
   /// Deletes every index entry pointing into `doc_id` (linear scan of the
   /// tree + lazy B+-tree deletes). The document itself stays in the
-  /// corpus; callers track liveness.
+  /// corpus; callers track liveness. Runs through the same COW batch + WAL
+  /// commit protocol as InsertDocument (same atomicity and concurrency
+  /// contract).
   ///
   /// @post the candidate-estimate histogram is invalidated.
   /// @return OK (removing an unindexed document is a no-op), or the first
-  ///         scan/delete/flush error.
+  ///         scan/delete/commit error.
   [[nodiscard]] Status RemoveDocument(uint32_t doc_id);
 
   /// Integrity audit of the on-disk index: full B+-tree structural walk
@@ -190,6 +218,10 @@ class FixIndex {
   /// Documents covered at the last successful meta write
   /// (kIndexedDocsUnknown for indexes persisted by pre-v2 metas).
   uint32_t indexed_docs() const { return indexed_docs_; }
+  /// The B+-tree generation currently published to readers.
+  uint64_t generation() const { return btree_->generation(); }
+  /// The write-ahead log (diagnostics: fixctl, tests).
+  const Wal& wal() const { return wal_; }
 
   /// On-disk footprint: B+-tree bytes (+ clustered copy store bytes).
   uint64_t BTreeBytes() const { return btree_->SizeBytes(); }
@@ -264,17 +296,37 @@ class FixIndex {
   /// Features of a whole (already depth-bounded) pattern graph.
   [[nodiscard]] Result<EigPair> GraphFeatures(const BisimGraph& graph, BuildStats* stats);
 
-  [[nodiscard]] Status AddEntry(const FeatureKey& key, NodeRef ref);
+  /// Runs Algorithm 1's per-document pass (bisimulation build + feature
+  /// solve) for one document, appending the encoded (key, value) entries —
+  /// with sequence numbers assigned — to `kv`. Nothing touches the tree;
+  /// the caller feeds the batch to CommitBatch.
+  [[nodiscard]] Status CollectEntries(
+      uint32_t doc_id, BuildStats* stats,
+      std::vector<std::pair<std::string, std::string>>* kv);
 
-  /// Runs Algorithm 1's per-document pass (bisimulation build + entry
-  /// insertion) for one document. Shared by Build and InsertDocument.
-  [[nodiscard]] Status IndexDocument(uint32_t doc_id, BuildStats* stats);
+  /// The single write path: applies `inserts` then `deletes` inside one COW
+  /// batch and drives the commit protocol — PrepareCommit (flush + data
+  /// fsync), WAL append (fsync'd; failure aborts the batch), publish,
+  /// checkpoint, sidecar rewrite, WAL reset. On success indexed_docs_ is
+  /// `new_indexed_docs`.
+  [[nodiscard]] Status CommitBatch(
+      const std::vector<std::pair<std::string, std::string>>& inserts,
+      const std::vector<std::pair<std::string, std::string>>& deletes,
+      uint32_t new_indexed_docs);
+
+  /// Recovery sweep: walks the tree from the (possibly just-adopted) root,
+  /// restamps unreachable pages whose blocks fail verification (torn relics
+  /// of an uncommitted generation) as blank pages, and hands every
+  /// unreachable page to the B+-tree's reuse list.
+  [[nodiscard]] Status ReclaimUnreachable();
 
   Corpus* corpus_;
   IndexOptions options_;
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BTree> btree_;
+  /// Write-ahead log at path + ".wal"; owned exclusively by the writer.
+  Wal wal_;
   RecordStore clustered_;
   std::unique_ptr<ValueHasher> value_hasher_;
   // `encoder_` is deliberately NOT FIX_GUARDED_BY(*encoder_mu_): Build and

@@ -87,6 +87,13 @@ struct IndexOptions {
   /// FaultInjectionPageIo, placing injected faults underneath the page
   /// checksums. Not persisted in the index meta sidecar.
   std::function<std::unique_ptr<PageIo>()> page_io_factory;
+
+  /// Backend factory for the write-ahead log (path + ".wal"), separate from
+  /// page_io_factory so tests can inject faults into the log and the data
+  /// file independently (a shared factory would also hand one test fault
+  /// budget to two files). Unset => a plain file. Not persisted in the
+  /// index meta sidecar.
+  std::function<std::unique_ptr<PageIo>()> wal_io_factory;
 };
 
 /// Construction-time statistics (Table 1 columns and diagnostics).

@@ -11,10 +11,10 @@ constexpr uint32_t kLabelMagic = 0x4649584c;  // "FIXL"
 constexpr uint32_t kManifestMagic = 0x4649584d;  // "FIXM"
 constexpr uint32_t kMetaMagic = 0x46495849;  // "FIXI"
 constexpr uint32_t kVersion = 1;
-// Index-meta format: v2 appends storage_format + indexed_docs (see
-// IndexMeta). v1 sidecars remain readable; the new fields decode to their
-// "unknown" defaults.
-constexpr uint32_t kMetaVersion = 2;
+// Index-meta format: v2 appends storage_format + indexed_docs, v3 appends
+// generation + wal_bytes (see IndexMeta). Older sidecars remain readable;
+// fields they predate decode to their "unknown" defaults.
+constexpr uint32_t kMetaVersion = 3;
 
 void PutHeader(std::string* out, uint32_t magic, uint32_t version = kVersion) {
   PutFixed32(out, magic);
@@ -166,6 +166,9 @@ std::string EncodeIndexMeta(const IndexMeta& meta) {
   // v2 fields.
   PutVarint32(&out, meta.storage_format);
   PutVarint32(&out, meta.indexed_docs);
+  // v3 fields.
+  PutVarint64(&out, meta.generation);
+  PutVarint64(&out, meta.wal_bytes);
   return out;
 }
 
@@ -219,6 +222,12 @@ Result<IndexMeta> DecodeIndexMeta(const std::string& buf) {
   } else {
     meta.storage_format = 0;  // pre-checksum page format
     meta.indexed_docs = kIndexedDocsUnknown;
+  }
+  if (version >= 3) {
+    if (!GetVarint64(buf, &pos, &meta.generation) ||
+        !GetVarint64(buf, &pos, &meta.wal_bytes)) {
+      return Status::Corruption("index meta: truncated generation fields");
+    }
   }
   if (pos != buf.size()) {
     return Status::Corruption("index meta: trailing bytes");

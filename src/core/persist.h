@@ -56,6 +56,13 @@ struct IndexMeta {
   /// stale index — one that survived a crash internally consistent but
   /// missing updates (wrong answers that no checksum can catch).
   uint32_t indexed_docs = kIndexedDocsUnknown;
+  /// v3: the B+-tree generation the sidecar was written against, and the
+  /// WAL's intact length (bytes) at that moment. Diagnostic cross-checks
+  /// for fixdb_scrub --wal / fixctl wal; recovery itself trusts only the
+  /// data file's meta page and the log (the sidecar may be a crash behind,
+  /// which is exactly why the WAL commit record carries the app state).
+  uint64_t generation = 0;
+  uint64_t wal_bytes = 0;
 };
 
 std::string EncodeIndexMeta(const IndexMeta& meta);

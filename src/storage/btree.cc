@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
+#include <map>
 
 #include "common/bytes.h"
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fix {
 
@@ -12,6 +16,85 @@ namespace {
 constexpr uint8_t kLeaf = 0;
 constexpr uint8_t kInner = 1;
 }  // namespace
+
+/// A page superseded by a COW batch: freed while building `freed_gen`, so
+/// it belongs to generations strictly below that.
+struct RetiredPage {
+  PageId page = kInvalidPage;
+  uint64_t freed_gen = 0;
+};
+
+/// Shared writer/reader state, heap-allocated so the tree stays movable
+/// while snapshots hold stable pointers. Reader-visible fields (`live`,
+/// `published`) are guarded by `mu`; everything else is writer-owned and
+/// only ever touched by the single write thread.
+struct BTreeState {
+  // LOCK-ORDER: 4 BTreeState::mu
+  Mutex mu;
+  /// Pinned generations: generation -> live Snapshot objects carrying it.
+  /// Ordered so the minimum pinned generation is begin().
+  std::map<uint64_t, uint64_t> live FIX_GUARDED_BY(mu);
+
+  // Writer-owned bookkeeping (single write thread; no lock needed).
+  uint64_t generation = 0;    ///< last published generation
+  uint64_t working_gen = 0;   ///< generation under construction (in batch)
+  uint64_t durable_gen = 0;   ///< last generation durable on disk (meta/WAL)
+  bool in_batch = false;
+  std::unordered_set<PageId> fresh;      ///< pages allocated by this batch
+  std::deque<RetiredPage> retired;       ///< superseded, awaiting reclaim
+  std::vector<PageId> reusable;          ///< reclaimed, ready for NewAt
+
+  // Declared last: destroyed first, while `mu`/`live` are still alive (the
+  // snapshot destructor locks `mu` to unpin its generation).
+  std::shared_ptr<const BTree::Snapshot> published FIX_GUARDED_BY(mu);
+};
+
+BTree::Snapshot::~Snapshot() {
+  if (state_ == nullptr) return;
+  MutexLock lock(state_->mu);
+  auto it = state_->live.find(generation);
+  FIX_DCHECK(it != state_->live.end());
+  if (it != state_->live.end() && --it->second == 0) {
+    state_->live.erase(it);
+  }
+}
+
+BTree::BTree(BufferPool* pool)
+    : pool_(pool), state_(std::make_unique<BTreeState>()) {}
+
+BTree::~BTree() = default;
+BTree::BTree(BTree&&) noexcept = default;
+BTree& BTree::operator=(BTree&&) noexcept = default;
+
+uint64_t BTree::generation() const {
+  MutexLock lock(state_->mu);
+  return state_->published ? state_->published->generation : 0;
+}
+
+uint64_t BTree::num_entries() const {
+  MutexLock lock(state_->mu);
+  return state_->published ? state_->published->num_entries : num_entries_;
+}
+
+bool BTree::in_batch() const { return state_->in_batch; }
+
+void BTree::Publish(uint64_t gen) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->root = root_;
+  snap->height = height_;
+  snap->num_entries = num_entries_;
+  snap->generation = gen;
+  snap->state_ = state_.get();
+  std::shared_ptr<const Snapshot> old;
+  {
+    MutexLock lock(state_->mu);
+    ++state_->live[gen];
+    old = std::move(state_->published);
+    state_->published = std::move(snap);
+    state_->generation = gen;
+  }
+  // `old` dies here, outside the lock: its destructor re-acquires mu.
+}
 
 // --- node accessors ---------------------------------------------------------
 
@@ -43,6 +126,14 @@ uint32_t BTree::InnerChild(const char* page, uint16_t i) const {
   // Child 0 lives in the link slot; child i+1 follows separator i.
   if (i == 0) return NodeLink(page);
   return DecodeFixed32(InnerEntry(page, i - 1) + key_size_);
+}
+
+void BTree::SetInnerChild(char* page, uint16_t i, PageId child) const {
+  if (i == 0) {
+    SetNodeLink(page, child);
+  } else {
+    EncodeFixed32(InnerEntry(page, i - 1) + key_size_, child);
+  }
 }
 
 int BTree::CompareKey(const char* a, std::string_view b) const {
@@ -123,6 +214,10 @@ Status BTree::WriteMeta() {
   EncodeFixed32(p + 12, root_);
   EncodeFixed32(p + 16, height_);
   EncodeFixed64(p + 20, num_entries_);
+  // Offset 28: generation of the checkpointed root. Pre-generation files
+  // carry zero here (pages are zeroed at allocation), which decodes as
+  // generation 0 — exactly right for a tree that has never batch-committed.
+  EncodeFixed64(p + 28, state_->generation);
   meta.MarkDirty();
   return Status::OK();
 }
@@ -139,6 +234,7 @@ Status BTree::ReadMeta() {
   root_ = DecodeFixed32(p + 12);
   height_ = DecodeFixed32(p + 16);
   num_entries_ = DecodeFixed64(p + 20);
+  state_->generation = DecodeFixed64(p + 28);
   if (key_size_ == 0 || key_size_ > 512 || value_size_ > 1024) {
     return Status::Corruption("implausible B+-tree geometry");
   }
@@ -170,16 +266,57 @@ Result<BTree> BTree::Create(BufferPool* pool, uint32_t key_size,
   tree.root_ = root.page_id();
   root.Release();
   FIX_RETURN_IF_ERROR(tree.WriteMeta());
+  tree.Publish(0);
   return tree;
 }
 
 Result<BTree> BTree::Open(BufferPool* pool) {
   BTree tree(pool);
   FIX_RETURN_IF_ERROR(tree.ReadMeta());
+  tree.Publish(tree.state_->generation);
+  tree.state_->durable_gen = tree.state_->generation;
   return tree;
 }
 
-// --- insert -----------------------------------------------------------------
+Result<BTree> BTree::OpenRecovered(BufferPool* pool, uint32_t key_size,
+                                   uint32_t value_size,
+                                   const WalCommit& commit) {
+  if (key_size == 0 || key_size > 512 || value_size > 1024) {
+    return Status::Corruption("implausible B+-tree geometry in WAL header");
+  }
+  BTree tree(pool);
+  tree.key_size_ = key_size;
+  tree.value_size_ = value_size;
+  FIX_RETURN_IF_ERROR(tree.AdoptCommit(commit));
+  return tree;
+}
+
+Status BTree::AdoptCommit(const WalCommit& commit) {
+  const PageId num_pages = pool_->file()->num_pages();
+  if (commit.root == 0 || commit.root == kInvalidPage ||
+      commit.root >= num_pages) {
+    return Status::Corruption("WAL commit root out of range: " +
+                              std::to_string(commit.root));
+  }
+  if (commit.height == 0) {
+    return Status::Corruption("WAL commit height is zero");
+  }
+  root_ = commit.root;
+  height_ = commit.height;
+  num_entries_ = commit.num_entries;
+  Publish(commit.generation);
+  state_->durable_gen = commit.generation;
+  return Status::OK();
+}
+
+void BTree::AddReusablePages(const std::vector<PageId>& pages) {
+  for (PageId p : pages) {
+    if (p == 0 || p == kInvalidPage) continue;
+    state_->reusable.push_back(p);
+  }
+}
+
+// --- insert (legacy in-place path) ------------------------------------------
 
 Status BTree::InsertRec(PageId node_id, std::string_view key,
                         std::string_view value, SplitResult* out) {
@@ -316,6 +453,7 @@ Status BTree::Insert(std::string_view key, std::string_view value) {
   if (key.size() != key_size_ || value.size() != value_size_) {
     return Status::InvalidArgument("key/value size mismatch");
   }
+  if (state_->in_batch) return InsertCow(key, value);
   SplitResult split;
   FIX_RETURN_IF_ERROR(InsertRec(root_, key, value, &split));
   if (split.split) {
@@ -335,7 +473,10 @@ Status BTree::Insert(std::string_view key, std::string_view value) {
     ++height_;
   }
   ++num_entries_;
-  return WriteMeta();
+  FIX_RETURN_IF_ERROR(WriteMeta());
+  // Same generation, new shape: re-publish so later reads see this write.
+  Publish(state_->generation);
+  return Status::OK();
 }
 
 // --- bulk load --------------------------------------------------------------
@@ -446,13 +587,15 @@ Status BTree::BulkLoad(
   }
   root_ = level[0].page;
   num_entries_ = entries.size();
-  return WriteMeta();
+  FIX_RETURN_IF_ERROR(WriteMeta());
+  Publish(state_->generation);
+  return Status::OK();
 }
 
 // --- lookup / iteration -----------------------------------------------------
 
-Result<PageHandle> BTree::FindLeaf(std::string_view key) {
-  PageId current = root_;
+Result<PageHandle> BTree::FindLeafFrom(PageId root, std::string_view key) {
+  PageId current = root;
   for (;;) {
     PageHandle node;
     FIX_ASSIGN_OR_RETURN(node, pool_->Fetch(current));
@@ -477,6 +620,7 @@ Status BTree::Delete(std::string_view key, std::string_view value) {
   if (key.size() != key_size_ || value.size() != value_size_) {
     return Status::InvalidArgument("key/value size mismatch");
   }
+  if (state_->in_batch) return DeleteCow(key, value);
   Iterator it;
   FIX_ASSIGN_OR_RETURN(it, Seek(key));
   while (it.Valid() && it.key() == key) {
@@ -491,7 +635,9 @@ Status BTree::Delete(std::string_view key, std::string_view value) {
       it.leaf_.MarkDirty();
       DcheckNodeInvariants(page);
       --num_entries_;
-      return WriteMeta();
+      FIX_RETURN_IF_ERROR(WriteMeta());
+      Publish(state_->generation);
+      return Status::OK();
     }
     FIX_RETURN_IF_ERROR(it.Next());
   }
@@ -504,7 +650,15 @@ Result<BTree::Iterator> BTree::Seek(std::string_view key) {
   }
   Iterator it;
   it.tree_ = this;
-  FIX_ASSIGN_OR_RETURN(it.leaf_, FindLeaf(key));
+  // Pin the published generation: the descent below (and every later
+  // Next()) touches only that generation's immutable pages, so a writer
+  // committing newer generations cannot perturb this iterator.
+  {
+    MutexLock lock(state_->mu);
+    it.snap_ = state_->published;
+  }
+  FIX_CHECK(it.snap_ != nullptr);
+  FIX_ASSIGN_OR_RETURN(it.leaf_, FindLeafFrom(it.snap_->root, key));
   it.index_ = LeafLowerBound(it.leaf_.data(), key);
   it.valid_ = true;
   // The lower bound may be past this leaf's last entry; hop forward.
@@ -556,6 +710,483 @@ Status BTree::Iterator::Next() {
 Status BTree::Flush() {
   FIX_RETURN_IF_ERROR(WriteMeta());
   return pool_->FlushAll();
+}
+
+Status BTree::Checkpoint() {
+  FIX_RETURN_IF_ERROR(WriteMeta());
+  FIX_RETURN_IF_ERROR(pool_->FlushAll());
+  FIX_RETURN_IF_ERROR(pool_->file()->Sync());
+  state_->durable_gen = state_->generation;
+  return Status::OK();
+}
+
+// --- COW batch (generation N -> N+1) ----------------------------------------
+
+Status BTree::BeginBatch() {
+  if (state_->in_batch) {
+    return Status::InvalidArgument("a COW batch is already open");
+  }
+  state_->working_gen = state_->generation + 1;
+  state_->in_batch = true;
+  FIX_DCHECK(state_->fresh.empty());
+  return Status::OK();
+}
+
+Result<WalCommit> BTree::PrepareCommit() {
+  if (!state_->in_batch) {
+    return Status::InvalidArgument("no COW batch open");
+  }
+  // Every page of the pending generation must be durable BEFORE the commit
+  // record: replay repoints the tree at these pages sight unseen.
+  FIX_RETURN_IF_ERROR(pool_->FlushAll());
+  FIX_RETURN_IF_ERROR(pool_->file()->Sync());
+  WalCommit commit;
+  commit.generation = state_->working_gen;
+  commit.root = root_;
+  commit.height = height_;
+  commit.num_entries = num_entries_;
+  return commit;
+}
+
+void BTree::FinalizeCommit() {
+  FIX_CHECK(state_->in_batch);
+  Publish(state_->working_gen);
+  // The caller's WAL commit record is fsync'd, so the new generation is
+  // durable even though the meta page still names the old root.
+  state_->durable_gen = state_->working_gen;
+  state_->fresh.clear();
+  state_->in_batch = false;
+}
+
+void BTree::AbortBatch(bool blank_pages) {
+  FIX_CHECK(state_->in_batch);
+  {
+    MutexLock lock(state_->mu);
+    const Snapshot& s = *state_->published;
+    root_ = s.root;
+    height_ = s.height;
+    num_entries_ = s.num_entries;
+  }
+  // Drop everything the batch wrote. The pages stay allocated in the file;
+  // stamp them as empty blocks so a later scrub of the file stays clean
+  // (a discarded-but-never-flushed page would otherwise read back as an
+  // unwritten zero block with no valid header). When the caller cannot
+  // prove its commit record is absent from the log (blank_pages == false),
+  // the pages are left exactly as PrepareCommit flushed them — a replay
+  // that adopts the record must find them intact — and are not recycled.
+  std::string zero(kPageSize, '\0');
+  for (PageId p : state_->fresh) {
+    pool_->Discard(p);
+    if (!blank_pages) continue;
+    Status stamped = pool_->file()->WritePage(p, zero.data());
+    if (!stamped.ok()) {
+      FIX_LOG(Warning) << "BTree::AbortBatch: could not blank page " << p
+                       << ": " << stamped.ToString();
+    }
+    state_->reusable.push_back(p);
+  }
+  state_->fresh.clear();
+  // Un-retire: pages superseded by the aborted batch are still live in the
+  // published generation. They sit at the tail (retirements are in batch
+  // order).
+  while (!state_->retired.empty() &&
+         state_->retired.back().freed_gen == state_->working_gen) {
+    state_->retired.pop_back();
+  }
+  state_->in_batch = false;
+}
+
+void BTree::PromoteRetired() {
+  uint64_t min_live;
+  {
+    MutexLock lock(state_->mu);
+    min_live =
+        state_->live.empty() ? UINT64_MAX : state_->live.begin()->first;
+  }
+  // `retired` is ordered by freed_gen (batches commit in generation order),
+  // so reclaimable entries form a prefix. A page freed while building
+  // generation F belongs to generations < F only; it is recyclable once no
+  // reader pins a generation below F (min_live >= F) and the durable root
+  // is at or past F (overwriting it cannot damage crash recovery).
+  while (!state_->retired.empty()) {
+    const RetiredPage& front = state_->retired.front();
+    if (front.freed_gen > min_live || front.freed_gen > state_->durable_gen) {
+      break;
+    }
+    state_->reusable.push_back(front.page);
+    state_->retired.pop_front();
+  }
+}
+
+Result<PageHandle> BTree::AllocNodePage() {
+  if (state_->reusable.empty()) PromoteRetired();
+  PageHandle handle;
+  if (!state_->reusable.empty()) {
+    PageId id = state_->reusable.back();
+    state_->reusable.pop_back();
+    FIX_ASSIGN_OR_RETURN(handle, pool_->NewAt(id));
+  } else {
+    FIX_ASSIGN_OR_RETURN(handle, pool_->New());
+  }
+  state_->fresh.insert(handle.page_id());
+  return handle;
+}
+
+bool BTree::IsFresh(PageId id) const {
+  return state_->fresh.count(id) != 0;
+}
+
+void BTree::Retire(PageId id) {
+  state_->retired.push_back(RetiredPage{id, state_->working_gen});
+}
+
+Result<PageHandle> BTree::CowPage(PageId old_id) {
+  PageHandle old;
+  FIX_ASSIGN_OR_RETURN(old, pool_->Fetch(old_id));
+  PageHandle copy;
+  FIX_ASSIGN_OR_RETURN(copy, AllocNodePage());
+  std::memcpy(copy.data(), old.data(), kPageSize);
+  copy.MarkDirty();
+  old.Release();
+  Retire(old_id);
+  return copy;
+}
+
+Status BTree::DescendPath(std::string_view key, std::vector<PathFrame>* path,
+                          PageId* leaf) {
+  path->clear();
+  PageId cur = root_;
+  for (;;) {
+    PageHandle node;
+    FIX_ASSIGN_OR_RETURN(node, pool_->Fetch(cur));
+    if (NodeType(node.data()) == kLeaf) {
+      *leaf = cur;
+      return Status::OK();
+    }
+    uint16_t idx = InnerChildIndex(node.data(), key);
+    path->push_back(PathFrame{cur, idx});
+    cur = InnerChild(node.data(), idx);
+  }
+}
+
+Status BTree::CowPath(std::vector<PathFrame>* path, PageId* leaf) {
+  for (size_t i = 0; i < path->size(); ++i) {
+    PathFrame& frame = (*path)[i];
+    if (IsFresh(frame.id)) continue;
+    PageHandle copy;
+    FIX_ASSIGN_OR_RETURN(copy, CowPage(frame.id));
+    const PageId new_id = copy.page_id();
+    copy.Release();
+    if (i == 0) {
+      root_ = new_id;
+    } else {
+      // The parent is fresh (processed on an earlier iteration).
+      PageHandle parent;
+      FIX_ASSIGN_OR_RETURN(parent, pool_->Fetch((*path)[i - 1].id));
+      SetInnerChild(parent.data(), (*path)[i - 1].slot, new_id);
+      parent.MarkDirty();
+    }
+    frame.id = new_id;
+  }
+  if (!IsFresh(*leaf)) {
+    PageHandle copy;
+    FIX_ASSIGN_OR_RETURN(copy, CowPage(*leaf));
+    const PageId new_id = copy.page_id();
+    copy.Release();
+    if (path->empty()) {
+      root_ = new_id;
+    } else {
+      PageHandle parent;
+      FIX_ASSIGN_OR_RETURN(parent, pool_->Fetch(path->back().id));
+      SetInnerChild(parent.data(), path->back().slot, new_id);
+      parent.MarkDirty();
+    }
+    // The copy has a new page id, so the previous leaf's sibling link (which
+    // names the original) must be repointed in the new generation.
+    FIX_RETURN_IF_ERROR(CowPatchPredecessor(*path, new_id));
+    *leaf = new_id;
+  }
+  return Status::OK();
+}
+
+Status BTree::CowPatchPredecessor(const std::vector<PathFrame>& path,
+                                  PageId new_leaf) {
+  // Walk left along the leaf chain, copying as we go: the predecessor of
+  // the copied leaf must point at the copy, and if that predecessor is not
+  // itself part of the new generation it must be copied too — which renames
+  // it and cascades the same obligation one leaf further left. The cascade
+  // terminates at a fresh leaf or the chain head. `stack` mirrors the
+  // root-to-parent descent of the leaf whose predecessor we currently need.
+  std::vector<PathFrame> stack = path;
+  PageId target = new_leaf;  // link value the predecessor must carry
+  for (;;) {
+    // Step left: the predecessor lives under the deepest ancestor where we
+    // did not take child 0.
+    while (!stack.empty() && stack.back().slot == 0) stack.pop_back();
+    if (stack.empty()) return Status::OK();  // chain head: no predecessor
+    --stack.back().slot;
+    PageId cur;
+    {
+      PageHandle parent;
+      FIX_ASSIGN_OR_RETURN(parent, pool_->Fetch(stack.back().id));
+      cur = InnerChild(parent.data(), stack.back().slot);
+    }
+    // Rightmost descent to the predecessor leaf, copying inner nodes on the
+    // way down (their child pointers get patched beneath them).
+    for (;;) {
+      PageHandle node;
+      FIX_ASSIGN_OR_RETURN(node, pool_->Fetch(cur));
+      if (NodeType(node.data()) == kLeaf) {
+        if (IsFresh(cur)) {
+          SetNodeLink(node.data(), target);
+          node.MarkDirty();
+          return Status::OK();
+        }
+        node.Release();
+        PageHandle copy;
+        FIX_ASSIGN_OR_RETURN(copy, CowPage(cur));
+        SetNodeLink(copy.data(), target);
+        copy.MarkDirty();
+        const PageId new_id = copy.page_id();
+        copy.Release();
+        PageHandle parent;
+        FIX_ASSIGN_OR_RETURN(parent, pool_->Fetch(stack.back().id));
+        SetInnerChild(parent.data(), stack.back().slot, new_id);
+        parent.MarkDirty();
+        // This leaf was renamed too: its own predecessor must be patched.
+        target = new_id;
+        break;
+      }
+      if (!IsFresh(cur)) {
+        node.Release();
+        PageHandle copy;
+        FIX_ASSIGN_OR_RETURN(copy, CowPage(cur));
+        const PageId new_id = copy.page_id();
+        copy.Release();
+        PageHandle parent;
+        FIX_ASSIGN_OR_RETURN(parent, pool_->Fetch(stack.back().id));
+        SetInnerChild(parent.data(), stack.back().slot, new_id);
+        parent.MarkDirty();
+        cur = new_id;
+        FIX_ASSIGN_OR_RETURN(node, pool_->Fetch(cur));
+      }
+      const uint16_t count = NodeCount(node.data());
+      stack.push_back(PathFrame{cur, count});
+      cur = InnerChild(node.data(), count);
+    }
+  }
+}
+
+Status BTree::InsertCow(std::string_view key, std::string_view value) {
+  std::vector<PathFrame> path;
+  PageId leaf_id = kInvalidPage;
+  FIX_RETURN_IF_ERROR(DescendPath(key, &path, &leaf_id));
+  FIX_RETURN_IF_ERROR(CowPath(&path, &leaf_id));
+
+  // Every node on the path is now fresh: mutate in place, splitting upward
+  // iteratively along the recorded path.
+  bool pending = false;
+  std::string sep;
+  PageId right_id = kInvalidPage;
+  {
+    PageHandle leaf;
+    FIX_ASSIGN_OR_RETURN(leaf, pool_->Fetch(leaf_id));
+    char* page = leaf.data();
+    uint16_t count = NodeCount(page);
+    uint16_t pos = LeafLowerBound(page, key);
+    if (count < LeafCapacity()) {
+      char* slot = LeafEntry(page, pos);
+      std::memmove(slot + LeafEntrySize(), slot,
+                   (count - pos) * LeafEntrySize());
+      std::memcpy(slot, key.data(), key_size_);
+      std::memcpy(slot + key_size_, value.data(), value_size_);
+      SetNodeCount(page, count + 1);
+      leaf.MarkDirty();
+      DcheckNodeInvariants(page);
+    } else {
+      // Split: same shape as the legacy path, but the right sibling is a
+      // fresh page and the left (this leaf) is already fresh, so the new
+      // right leaf's predecessor needs no chain patch.
+      PageHandle right;
+      FIX_ASSIGN_OR_RETURN(right, AllocNodePage());
+      char* rpage = right.data();
+      SetNodeType(rpage, kLeaf);
+      uint16_t mid = count / 2;
+      uint16_t right_count = count - mid;
+      std::memcpy(LeafEntry(rpage, 0), LeafEntry(page, mid),
+                  right_count * LeafEntrySize());
+      SetNodeCount(rpage, right_count);
+      SetNodeLink(rpage, NodeLink(page));
+      SetNodeCount(page, mid);
+      SetNodeLink(page, right.page_id());
+      char* target;
+      if (pos <= mid) {
+        uint16_t c = NodeCount(page);
+        target = LeafEntry(page, pos);
+        std::memmove(target + LeafEntrySize(), target,
+                     (c - pos) * LeafEntrySize());
+        SetNodeCount(page, c + 1);
+      } else {
+        uint16_t rpos = pos - mid;
+        uint16_t c = NodeCount(rpage);
+        target = LeafEntry(rpage, rpos);
+        std::memmove(target + LeafEntrySize(), target,
+                     (c - rpos) * LeafEntrySize());
+        SetNodeCount(rpage, c + 1);
+      }
+      std::memcpy(target, key.data(), key_size_);
+      std::memcpy(target + key_size_, value.data(), value_size_);
+      leaf.MarkDirty();
+      right.MarkDirty();
+      DcheckNodeInvariants(page);
+      DcheckNodeInvariants(rpage);
+      pending = true;
+      sep.assign(LeafEntry(rpage, 0), key_size_);
+      right_id = right.page_id();
+    }
+  }
+
+  for (size_t i = path.size(); pending && i-- > 0;) {
+    PageHandle node;
+    FIX_ASSIGN_OR_RETURN(node, pool_->Fetch(path[i].id));
+    char* page = node.data();
+    uint16_t count = NodeCount(page);
+    uint16_t pos = path[i].slot;
+    if (count < InnerCapacity()) {
+      char* slot = InnerEntry(page, pos);
+      std::memmove(slot + InnerEntrySize(), slot,
+                   (count - pos) * InnerEntrySize());
+      std::memcpy(slot, sep.data(), key_size_);
+      EncodeFixed32(slot + key_size_, right_id);
+      SetNodeCount(page, count + 1);
+      node.MarkDirty();
+      DcheckNodeInvariants(page);
+      pending = false;
+      break;
+    }
+    // Split the inner node (scratch assembly, middle separator moves up).
+    size_t entry = InnerEntrySize();
+    std::string scratch;
+    scratch.resize(static_cast<size_t>(count + 1) * entry);
+    std::memcpy(scratch.data(), InnerEntry(page, 0), pos * entry);
+    std::memcpy(scratch.data() + pos * entry, sep.data(), key_size_);
+    EncodeFixed32(scratch.data() + pos * entry + key_size_, right_id);
+    std::memcpy(scratch.data() + (pos + 1) * entry, InnerEntry(page, pos),
+                (count - pos) * entry);
+    uint16_t total = count + 1;
+    uint16_t left_count = total / 2;
+    const char* up = scratch.data() + left_count * entry;
+
+    PageHandle right;
+    FIX_ASSIGN_OR_RETURN(right, AllocNodePage());
+    char* rpage = right.data();
+    SetNodeType(rpage, kInner);
+    uint16_t right_count = total - left_count - 1;
+    SetNodeLink(rpage, DecodeFixed32(up + key_size_));
+    std::memcpy(InnerEntry(rpage, 0), up + entry, right_count * entry);
+    SetNodeCount(rpage, right_count);
+
+    std::memcpy(InnerEntry(page, 0), scratch.data(), left_count * entry);
+    SetNodeCount(page, left_count);
+
+    node.MarkDirty();
+    right.MarkDirty();
+    DcheckNodeInvariants(page);
+    DcheckNodeInvariants(rpage);
+    sep.assign(up, key_size_);
+    right_id = right.page_id();
+  }
+
+  if (pending) {
+    PageHandle new_root;
+    FIX_ASSIGN_OR_RETURN(new_root, AllocNodePage());
+    char* page = new_root.data();
+    SetNodeType(page, kInner);
+    SetNodeCount(page, 1);
+    SetNodeLink(page, root_);
+    char* slot = InnerEntry(page, 0);
+    std::memcpy(slot, sep.data(), key_size_);
+    EncodeFixed32(slot + key_size_, right_id);
+    new_root.MarkDirty();
+    DcheckNodeInvariants(page);
+    root_ = new_root.page_id();
+    ++height_;
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+Status BTree::DeleteCow(std::string_view key, std::string_view value) {
+  // Locate lazily (no copying) and only COW the path once the entry to
+  // remove is found; a miss leaves the working generation untouched.
+  std::vector<PathFrame> path;
+  PageId leaf_id = kInvalidPage;
+  FIX_RETURN_IF_ERROR(DescendPath(key, &path, &leaf_id));
+  for (;;) {
+    int found = -1;
+    bool past = false;
+    {
+      PageHandle leaf;
+      FIX_ASSIGN_OR_RETURN(leaf, pool_->Fetch(leaf_id));
+      const char* page = leaf.data();
+      const uint16_t count = NodeCount(page);
+      for (uint16_t i = LeafLowerBound(page, key); i < count; ++i) {
+        if (CompareKey(LeafEntry(page, i), key) > 0) {
+          past = true;
+          break;
+        }
+        if (std::memcmp(LeafEntry(page, i) + key_size_, value.data(),
+                        value_size_) == 0) {
+          found = i;
+          break;
+        }
+      }
+    }
+    if (found >= 0) {
+      FIX_RETURN_IF_ERROR(CowPath(&path, &leaf_id));
+      PageHandle leaf;
+      FIX_ASSIGN_OR_RETURN(leaf, pool_->Fetch(leaf_id));
+      char* page = leaf.data();
+      uint16_t count = NodeCount(page);
+      char* slot = LeafEntry(page, static_cast<uint16_t>(found));
+      std::memmove(slot, slot + LeafEntrySize(),
+                   (count - found - 1) * LeafEntrySize());
+      SetNodeCount(page, count - 1);
+      leaf.MarkDirty();
+      DcheckNodeInvariants(page);
+      --num_entries_;
+      return Status::OK();
+    }
+    if (past) return Status::NotFound("entry not in B+-tree");
+    // Duplicate run continues in the next leaf: advance via the path (not
+    // the sibling link) so the frames stay aligned for the eventual COW.
+    bool advanced = false;
+    while (!path.empty()) {
+      PathFrame& frame = path.back();
+      PageHandle node;
+      FIX_ASSIGN_OR_RETURN(node, pool_->Fetch(frame.id));
+      if (frame.slot < NodeCount(node.data())) {
+        ++frame.slot;
+        PageId cur = InnerChild(node.data(), frame.slot);
+        node.Release();
+        for (;;) {
+          PageHandle down;
+          FIX_ASSIGN_OR_RETURN(down, pool_->Fetch(cur));
+          if (NodeType(down.data()) == kLeaf) {
+            leaf_id = cur;
+            break;
+          }
+          path.push_back(PathFrame{cur, 0});
+          cur = InnerChild(down.data(), 0);
+        }
+        advanced = true;
+        break;
+      }
+      node.Release();
+      path.pop_back();
+    }
+    if (!advanced) return Status::NotFound("entry not in B+-tree");
+  }
 }
 
 // --- structural verification ------------------------------------------------
@@ -635,8 +1266,13 @@ Status BTree::VerifyNode(PageId id, uint32_t depth,
 
 Status BTree::VerifyStructure() {
   std::unordered_set<PageId> visited;
+  return VerifyAndCollect(&visited);
+}
+
+Status BTree::VerifyAndCollect(std::unordered_set<PageId>* reachable) {
+  reachable->clear();
   std::vector<PageId> leaves;
-  FIX_RETURN_IF_ERROR(VerifyNode(root_, 1, &visited, &leaves));
+  FIX_RETURN_IF_ERROR(VerifyNode(root_, 1, reachable, &leaves));
 
   // The sibling chain must thread the leaves exactly in discovery (key)
   // order and terminate, keys must be globally non-descending across it,

@@ -7,7 +7,8 @@
 // (see core/key_codec.h). Duplicate keys are permitted and stored adjacent.
 //
 // On-disk layout:
-//   page 0          meta: magic, key/value size, root, height, entry count
+//   page 0          meta: magic, key/value size, root, height, entry count,
+//                   generation
 //   other pages     nodes:
 //     [0]  type (0 = leaf, 1 = inner)
 //     [2]  count u16
@@ -19,11 +20,41 @@
 //
 // Deletion removes the leaf entry without rebalancing (lazy deletion), which
 // is sufficient for this workload: FIX indexes are bulk-built and read-heavy.
+//
+// Write paths — there are two, with different contracts:
+//
+//   * Legacy in-place (Insert/Delete outside a batch): mutates pages
+//     directly, exactly the classic single-writer B+-tree. Cheap, not
+//     crash-atomic, and must not overlap with any read.
+//   * COW batch (BeginBatch .. Insert/Delete .. PrepareCommit /
+//     FinalizeCommit, or AbortBatch): the writer builds generation N+1
+//     out-of-place in freshly allocated pages — every page reachable from a
+//     published snapshot is copied before modification, including the
+//     leaf-chain predecessor of any copied leaf (its sibling link must point
+//     at the copy, and patching it in place would corrupt both older
+//     snapshots and the crash-recovery story, so the copy cascades left
+//     until it meets a page that is already part of the new generation).
+//     Readers keep serving from the pinned generation-N snapshot
+//     throughout; pages superseded by N+1 are retired and reused only after
+//     the last reader of every older generation unpins AND the page is not
+//     referenced by the durable on-disk root.
+//
+// Thread-safety — snapshot contract: Get/Seek/SeekFirst and iterator Next
+// may be called from any number of threads concurrently, and remain safe
+// while a single COW-batch writer is active: each read pins the published
+// generation snapshot (a shared_ptr handle) and only ever touches that
+// generation's immutable pages plus the lock-striped BufferPool. Each
+// thread must use its own Iterator. The legacy in-place mutators
+// (Insert/Delete outside a batch), BulkLoad, and Flush remain fully
+// writer-exclusive: they must not overlap with each other or with any
+// read. At most one batch writer may exist at a time. See
+// docs/ARCHITECTURE.md, "Write path: COW generations + WAL".
 
 #ifndef FIX_STORAGE_BTREE_H_
 #define FIX_STORAGE_BTREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -33,6 +64,7 @@
 #include "common/check.h"
 #include "common/result.h"
 #include "storage/buffer_pool.h"
+#include "storage/wal.h"
 
 namespace fix {
 
@@ -40,18 +72,24 @@ namespace fix {
 /// scrub tool can identify B+-tree files without opening a full BTree.
 inline constexpr uint32_t kBTreeMagic = 0x46495842;
 
-/// Thread-safety — concurrent-read contract: once a tree is built (or
-/// opened) and no writer is active, Get/Seek/SeekFirst and iterator Next may
-/// be called from any number of threads concurrently. Reads touch only the
-/// lock-striped BufferPool (itself safe for concurrent Fetch/Release) and
-/// the const meta fields root_/height_/key_size_/value_size_; nothing on the
-/// read path mutates the tree. Each thread must use its own Iterator —
-/// iterators themselves are not shared. Writers remain exclusive:
-/// Insert/Delete/BulkLoad/Flush must not overlap with each other or with any
-/// read (the parallel build pipeline funnels all inserts through one
-/// thread). See docs/ARCHITECTURE.md, "Concurrent reads".
 class BTree {
  public:
+  /// One published generation: the immutable root every reader of that
+  /// generation descends from. Held by shared_ptr; the last release
+  /// (reader or tree) unpins the generation, which is what allows its
+  /// superseded pages to be recycled.
+  struct Snapshot {
+    PageId root = kInvalidPage;
+    uint32_t height = 1;
+    uint64_t num_entries = 0;
+    uint64_t generation = 0;
+    ~Snapshot();
+
+   private:
+    friend class BTree;
+    struct BTreeState* state_ = nullptr;
+  };
+
   /// Creates a new tree in `pool`'s file with the given fixed key/value
   /// sizes.
   ///
@@ -69,10 +107,22 @@ class BTree {
   ///         (magic, sizes, root id), or IOError.
   [[nodiscard]] static Result<BTree> Open(BufferPool* pool);
 
-  BTree(BTree&&) = default;
-  BTree& operator=(BTree&&) = default;
+  /// Opens a tree whose meta page is unreadable (torn by a crash) from a
+  /// WAL commit record instead: the geometry comes from the WAL header and
+  /// the root from the commit. The caller must verify the result
+  /// (VerifyStructure) and re-checkpoint the meta page.
+  [[nodiscard]] static Result<BTree> OpenRecovered(BufferPool* pool,
+                                                   uint32_t key_size,
+                                                   uint32_t value_size,
+                                                   const WalCommit& commit);
 
-  /// Inserts one entry.
+  ~BTree();
+  BTree(BTree&&) noexcept;
+  BTree& operator=(BTree&&) noexcept;
+
+  /// Inserts one entry. Outside a batch this is the legacy in-place,
+  /// writer-exclusive path; inside a batch it copies-on-write every page it
+  /// touches, leaving all published generations intact.
   ///
   /// @pre key/value sizes match the tree's configuration.
   /// @post num_entries() grows by one; splits may add pages but never move
@@ -102,12 +152,53 @@ class BTree {
   [[nodiscard]] Result<std::string> Get(std::string_view key);
 
   /// Removes the first entry equal to (key, value). Lazy: pages are never
-  /// merged or freed.
+  /// merged. Outside a batch the removal is in place; inside a batch it is
+  /// copy-on-write like Insert.
   ///
   /// @return OK, NotFound if no such pair exists, or a page I/O error.
   [[nodiscard]] Status Delete(std::string_view key, std::string_view value);
 
-  /// Forward iterator over (key, value) pairs in key order.
+  // --- COW batch (generation N -> N+1) --------------------------------------
+
+  /// Starts building generation N+1. All Insert/Delete calls until
+  /// PrepareCommit/AbortBatch go copy-on-write; readers keep serving
+  /// generation N.
+  [[nodiscard]] Status BeginBatch();
+
+  /// Flushes every page of the pending generation and fsyncs the data file,
+  /// then returns the commit record describing it (generation, root,
+  /// height, entry count — the caller stamps its own fields and appends it
+  /// to the WAL). The generation is NOT visible yet; call FinalizeCommit
+  /// once the WAL append succeeded, or AbortBatch if it failed.
+  [[nodiscard]] Result<WalCommit> PrepareCommit();
+
+  /// Atomically publishes the prepared generation: readers arriving after
+  /// this call see N+1; readers still pinning N keep their exact view.
+  /// Marks the generation durable (the caller's WAL commit is fsync'd).
+  void FinalizeCommit();
+
+  /// Discards the pending generation: frees its fresh pages, restores the
+  /// writer view to the published snapshot, and un-retires everything the
+  /// batch superseded. Published generations are untouched (COW never
+  /// mutates them), so this is exact. Pass `blank_pages = false` when the
+  /// batch's WAL commit record may already be durable (an append or fsync
+  /// failure after PrepareCommit): the fresh pages are then neither blanked
+  /// on disk nor recycled, so a recovery that adopts the record finds them
+  /// exactly as flushed.
+  void AbortBatch(bool blank_pages = true);
+
+  /// Adopts a WAL commit record on top of an opened tree (roll-forward):
+  /// repoints the writer view and published snapshot at the committed
+  /// generation. Validates the record against the file bounds.
+  [[nodiscard]] Status AdoptCommit(const WalCommit& commit);
+
+  /// Registers pages (e.g. found unreachable by recovery) as reusable by
+  /// future allocations.
+  void AddReusablePages(const std::vector<PageId>& pages);
+
+  /// Forward iterator over (key, value) pairs in key order. Holds a pin on
+  /// the generation it was created from: the writer may commit newer
+  /// generations while it runs, and it will keep seeing its own.
   class Iterator {
    public:
     bool Valid() const { return valid_; }
@@ -120,6 +211,7 @@ class BTree {
    private:
     friend class BTree;
     BTree* tree_ = nullptr;
+    std::shared_ptr<const Snapshot> snap_;
     PageHandle leaf_;
     uint16_t index_ = 0;
     bool valid_ = false;
@@ -128,8 +220,8 @@ class BTree {
   /// Positions an iterator at the first entry with key >= `key`.
   ///
   /// @return the iterator (Valid() false when every key is smaller), or a
-  ///         page read error. The iterator pins its leaf; it must not
-  ///         outlive the tree.
+  ///         page read error. The iterator pins its leaf and its
+  ///         generation; it must not outlive the tree.
   [[nodiscard]] Result<Iterator> Seek(std::string_view key);
 
   /// Positions an iterator at the smallest key.
@@ -145,6 +237,12 @@ class BTree {
   /// @return OK or the first page write error.
   [[nodiscard]] Status Flush();
 
+  /// Durable checkpoint: Flush + data-file fsync. After it returns OK the
+  /// meta page carries the current root and generation, so the tree is
+  /// self-contained (the WAL, if any, can be reset) and every page retired
+  /// at or before this generation is safe to recycle on disk.
+  [[nodiscard]] Status Checkpoint();
+
   /// Full structural audit, independent of page checksums: walks every node
   /// from the root checking node types, depths (all leaves at height_),
   /// fanout bounds, separator/key ordering, child-id ranges, cycles, the
@@ -158,10 +256,22 @@ class BTree {
   /// @return OK, Corruption with the first violation, or a page I/O error.
   [[nodiscard]] Status VerifyStructure();
 
-  uint64_t num_entries() const { return num_entries_; }
+  /// VerifyStructure that additionally reports every page reachable from
+  /// the current root (the generation-reachability set: meta page 0 is not
+  /// included). Recovery uses the complement to rebuild free-page tracking
+  /// and to quarantine torn never-referenced pages.
+  [[nodiscard]] Status VerifyAndCollect(std::unordered_set<PageId>* reachable);
+
+  /// Entry count of the last published snapshot — safe to call from reader
+  /// threads while a batch writer is mid-commit (the writer's in-flight
+  /// count becomes visible only at FinalizeCommit).
+  uint64_t num_entries() const;
   uint32_t height() const { return height_; }
   uint32_t key_size() const { return key_size_; }
   uint32_t value_size() const { return value_size_; }
+  /// Generation of the last published (committed or opened) snapshot.
+  uint64_t generation() const;
+  bool in_batch() const;
 
   /// Total on-disk size in bytes (page count * page size).
   uint64_t SizeBytes() const {
@@ -169,7 +279,7 @@ class BTree {
   }
 
  private:
-  explicit BTree(BufferPool* pool) : pool_(pool) {}
+  explicit BTree(BufferPool* pool);
 
   // Node accessors (operate on raw page bytes).
   static uint8_t NodeType(const char* page);
@@ -201,6 +311,7 @@ class BTree {
     return page + 8 + i * InnerEntrySize();
   }
   uint32_t InnerChild(const char* page, uint16_t i) const;
+  void SetInnerChild(char* page, uint16_t i, PageId child) const;
 
   int CompareKey(const char* a, std::string_view b) const;
 
@@ -238,15 +349,71 @@ class BTree {
                                   std::unordered_set<PageId>* visited,
                                   std::vector<PageId>* leaves);
 
-  /// Descends to the leaf that would contain `key`.
-  [[nodiscard]] Result<PageHandle> FindLeaf(std::string_view key);
+  /// Descends to the leaf that would contain `key`, starting from `root`.
+  [[nodiscard]] Result<PageHandle> FindLeafFrom(PageId root,
+                                                std::string_view key);
+
+  // --- COW machinery (batch path; see btree.cc) -----------------------------
+
+  /// One inner level of a root-to-leaf descent: the node and the child slot
+  /// taken. Fresh after CowPath.
+  struct PathFrame {
+    PageId id = kInvalidPage;
+    uint16_t slot = 0;
+  };
+
+  [[nodiscard]] Result<PageHandle> AllocNodePage();
+  bool IsFresh(PageId id) const;
+  void Retire(PageId id);
+
+  /// Copies node `old_id` into a fresh page; retires the original. Returns
+  /// the pinned copy.
+  [[nodiscard]] Result<PageHandle> CowPage(PageId old_id);
+
+  /// Descends from the working root by `key` recording the inner path (no
+  /// copying). `*leaf` receives the leaf id.
+  [[nodiscard]] Status DescendPath(std::string_view key,
+                                   std::vector<PathFrame>* path, PageId* leaf);
+
+  /// Makes every node on `path` plus the leaf fresh (copy-on-write),
+  /// patching parent child slots and — when the leaf itself is copied —
+  /// the leaf-chain predecessor (CowPatchPredecessor). Updates path ids and
+  /// `*leaf` in place.
+  [[nodiscard]] Status CowPath(std::vector<PathFrame>* path, PageId* leaf);
+
+  /// Repoints the sibling link of the leaf preceding `path`'s leaf at
+  /// `new_leaf`. Copies the predecessor (and its ancestors) if it is not
+  /// fresh, cascading left until it meets a fresh leaf or the chain head.
+  [[nodiscard]] Status CowPatchPredecessor(const std::vector<PathFrame>& path,
+                                           PageId new_leaf);
+
+  /// Batch-mode insert: COW descent + in-leaf insert + iterative splits up
+  /// the recorded path.
+  [[nodiscard]] Status InsertCow(std::string_view key, std::string_view value);
+
+  /// Batch-mode delete of the first (key, value) match: walks the duplicate
+  /// run leaf by leaf (path successor walk), copying only the path that
+  /// actually gets mutated.
+  [[nodiscard]] Status DeleteCow(std::string_view key, std::string_view value);
+
+  /// Publishes the current writer view as generation `gen`.
+  void Publish(uint64_t gen);
+
+  /// Moves retired pages whose generation constraints are satisfied onto
+  /// the reusable list.
+  void PromoteRetired();
 
   BufferPool* pool_;
   uint32_t key_size_ = 0;
   uint32_t value_size_ = 0;
+  // Writer view: the generation under construction during a batch, the
+  // published generation otherwise.
   PageId root_ = kInvalidPage;
   uint32_t height_ = 1;  // 1 = root is a leaf
   uint64_t num_entries_ = 0;
+  // Heap-allocated shared state (snapshot handoff, generation pins, free
+  // pages) so the tree stays movable while iterators hold stable pointers.
+  std::unique_ptr<struct BTreeState> state_;
 };
 
 }  // namespace fix

@@ -179,6 +179,52 @@ Result<PageHandle> BufferPool::New() {
   return PageHandle(this, s, idx, id);
 }
 
+Result<PageHandle> BufferPool::NewAt(PageId id) {
+  uint32_t s = ShardOf(id);
+  Shard* shard = shards_[s].get();
+  MutexLock lock(shard->mu);
+  size_t idx;
+  auto it = shard->page_to_frame.find(id);
+  if (it != shard->page_to_frame.end()) {
+    // Stale resident copy of the retired page: recycle its frame in place.
+    idx = it->second;
+    Frame& f = shard->frames[idx];
+    FIX_DCHECK_EQ(f.pins, 0);  // no snapshot references a reclaimed page
+    if (f.in_lru) {
+      shard->lru.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+  } else {
+    FIX_ASSIGN_OR_RETURN(idx, GrabFrame(shard));
+    shard->page_to_frame[id] = idx;
+  }
+  Frame& f = shard->frames[idx];
+  std::memset(f.data.data(), 0, kDiskPageSize);
+  f.page = id;
+  f.pins = 1;
+  f.dirty = true;
+  f.in_lru = false;
+  return PageHandle(this, s, idx, id);
+}
+
+void BufferPool::Discard(PageId id) {
+  uint32_t s = ShardOf(id);
+  Shard* shard = shards_[s].get();
+  MutexLock lock(shard->mu);
+  auto it = shard->page_to_frame.find(id);
+  if (it == shard->page_to_frame.end()) return;
+  Frame& f = shard->frames[it->second];
+  FIX_DCHECK_EQ(f.pins, 0);
+  if (f.in_lru) {
+    shard->lru.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  f.dirty = false;
+  f.page = kInvalidPage;
+  shard->free_frames.push_back(it->second);
+  shard->page_to_frame.erase(it);
+}
+
 Result<size_t> BufferPool::GrabFrame(Shard* shard) {
   if (!shard->free_frames.empty()) {
     size_t idx = shard->free_frames.back();

@@ -99,6 +99,18 @@ class BufferPool {
   /// Writer-exclusive.
   [[nodiscard]] Result<PageHandle> New();
 
+  /// Re-issues an already-allocated page id as a fresh zeroed page, pinned
+  /// and dirty, without reading its stale on-disk content. Used by the COW
+  /// write path to recycle retired pages (id < num_pages, no live snapshot
+  /// references it). Writer-exclusive.
+  [[nodiscard]] Result<PageHandle> NewAt(PageId id);
+
+  /// Drops page `id` from the cache without writing it back, discarding any
+  /// dirty content (abort path for pages that will never be referenced).
+  /// No-op when the page is not resident; the page must not be pinned.
+  /// Writer-exclusive.
+  void Discard(PageId id);
+
   /// Writes back every dirty frame. Writer-exclusive.
   [[nodiscard]] Status FlushAll();
 

@@ -161,7 +161,8 @@ Status PageFile::Close() {
 
 Status PageFile::AllocatePage(PageId* id) {
   if (!is_open()) return Status::InvalidArgument("PageFile not open");
-  *id = num_pages_;
+  const PageId next = num_pages_.load(std::memory_order_relaxed);
+  *id = next;
   // Metadata-only extension; the block stays all-zero until its first real
   // write. A zero block has no valid header, so reading a page that was
   // allocated but never written reports corruption — the same
@@ -169,10 +170,9 @@ Status PageFile::AllocatePage(PageId* id) {
   // zero page here, doubling the data written per page for bytes that the
   // first eviction always overwrote.)
   FIX_RETURN_IF_ERROR(RetryTransient([&] {
-    return io_->Truncate(static_cast<uint64_t>(num_pages_ + 1) *
-                         kDiskPageSize);
+    return io_->Truncate(static_cast<uint64_t>(next + 1) * kDiskPageSize);
   }));
-  ++num_pages_;
+  num_pages_.store(next + 1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -180,7 +180,8 @@ void PageFile::StampHeader(PageId id, char* block) {
   EncodeFixed32(block + 0, kPageMagic);
   EncodeFixed32(block + 4, kPageFormatVersion);
   EncodeFixed32(block + 8, id);
-  EncodeFixed64(block + 16, ++write_counter_);
+  EncodeFixed64(block + 16,
+                write_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
   uint32_t crc = Crc32c(block, 12);
   crc = Crc32c(block + 16, kDiskPageSize - 16, crc);
   EncodeFixed32(block + 12, crc);

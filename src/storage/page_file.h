@@ -109,7 +109,9 @@ class PageFile {
 
   [[nodiscard]] Status Sync();
 
-  PageId num_pages() const { return num_pages_; }
+  PageId num_pages() const {
+    return num_pages_.load(std::memory_order_relaxed);
+  }
   const std::string& path() const { return path_; }
 
   /// Physical I/O counters (for the benchmark harnesses). Relaxed atomics:
@@ -152,9 +154,12 @@ class PageFile {
   [[nodiscard]] Status RetryTransient(Op&& op);
 
   std::unique_ptr<PageIo> io_;
-  PageId num_pages_ = 0;
+  // Relaxed atomics: AllocatePage (writer) extends the file while reader
+  // threads bounds-check concurrently, and a reader-side eviction may flush
+  // a dirty frame (stamping a write counter) while the writer also writes.
+  std::atomic<PageId> num_pages_{0};
   std::string path_;
-  uint64_t write_counter_ = 0;  // writer-exclusive; no atomics needed
+  std::atomic<uint64_t> write_counter_{0};
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> checksum_failures_{0};

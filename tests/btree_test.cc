@@ -385,5 +385,178 @@ TEST_F(BTreeBulkLoadTest, PersistsAcrossReopen) {
   EXPECT_EQ(*got, V(4321 * 3 + 1));
 }
 
+// --- COW batches / generations ----------------------------------------------
+
+class BTreeBatchTest : public BTreeTest {
+ protected:
+  /// Commits keys [lo, hi) as one COW batch and returns the commit record.
+  WalCommit CommitRange(uint64_t lo, uint64_t hi) {
+    EXPECT_TRUE(tree_->BeginBatch().ok());
+    for (uint64_t i = lo; i < hi; ++i) {
+      EXPECT_TRUE(tree_->Insert(K(i), V(i)).ok());
+    }
+    auto commit = tree_->PrepareCommit();
+    EXPECT_TRUE(commit.ok()) << commit.status();
+    tree_->FinalizeCommit();
+    return *commit;
+  }
+};
+
+// Publication is FinalizeCommit alone: neither the COW inserts nor the
+// durable flush in PrepareCommit may leak into what readers see.
+TEST_F(BTreeBatchTest, CommitPublishesAtFinalizeNotBefore) {
+  const WalCommit first = CommitRange(0, 100);
+  EXPECT_EQ(tree_->num_entries(), 100u);
+  const uint64_t gen1 = tree_->generation();
+  EXPECT_EQ(first.generation, gen1);
+
+  ASSERT_TRUE(tree_->BeginBatch().ok());
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(tree_->Insert(K(i), V(i)).ok());
+  }
+  EXPECT_EQ(tree_->num_entries(), 100u);
+  EXPECT_EQ(tree_->generation(), gen1);
+  auto commit = tree_->PrepareCommit();
+  ASSERT_TRUE(commit.ok()) << commit.status();
+  EXPECT_EQ(tree_->num_entries(), 100u);  // flushed, still unpublished
+  EXPECT_EQ(tree_->generation(), gen1);
+  EXPECT_EQ(commit->generation, gen1 + 1);
+  EXPECT_EQ(commit->num_entries, 200u);
+
+  tree_->FinalizeCommit();
+  EXPECT_EQ(tree_->num_entries(), 200u);
+  EXPECT_EQ(tree_->generation(), gen1 + 1);
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+  for (int i = 0; i < 200; i += 13) {
+    EXPECT_TRUE(tree_->Get(K(i)).ok()) << i;
+  }
+}
+
+// AbortBatch (default: the commit record provably never reached the log)
+// restores the published generation exactly and recycles the batch's fresh
+// pages, so an aborted batch costs no file growth when retried.
+TEST_F(BTreeBatchTest, AbortRestoresPublishedStateAndRecyclesPages) {
+  CommitRange(0, 100);
+  const uint64_t gen1 = tree_->generation();
+
+  // Abort before PrepareCommit: nothing was ever flushed.
+  ASSERT_TRUE(tree_->BeginBatch().ok());
+  ASSERT_TRUE(tree_->Insert(K(500), V(500)).ok());
+  tree_->AbortBatch();
+  EXPECT_EQ(tree_->generation(), gen1);
+  EXPECT_EQ(tree_->num_entries(), 100u);
+  EXPECT_FALSE(tree_->Get(K(500)).ok());
+
+  // Abort after PrepareCommit: pages hit the disk, then the (hypothetical)
+  // WAL append failed cleanly — state must roll back all the same.
+  ASSERT_TRUE(tree_->BeginBatch().ok());
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(tree_->Insert(K(i), V(i)).ok());
+  }
+  auto staged = tree_->PrepareCommit();
+  ASSERT_TRUE(staged.ok()) << staged.status();
+  tree_->AbortBatch();
+  EXPECT_EQ(tree_->generation(), gen1);
+  EXPECT_EQ(tree_->num_entries(), 100u);
+  EXPECT_FALSE(tree_->Get(K(150)).ok());
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+
+  // Retrying the same batch reuses the aborted batch's recycled pages
+  // instead of growing the file.
+  const PageId before = file_.num_pages();
+  CommitRange(100, 200);
+  EXPECT_LE(file_.num_pages(), before + 2);
+  EXPECT_EQ(tree_->num_entries(), 200u);
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+}
+
+// The ambiguous-commit abort: PrepareCommit flushed, the WAL append FAILED
+// but its record may still be durable (e.g. the write landed and only the
+// fsync errored). AbortBatch(blank_pages=false) must leave the prepared
+// generation's pages intact and unrecycled so a replay that finds the
+// commit record can adopt it — this is the exact scenario behind the
+// fail-stop latch in FixIndex::CommitBatch.
+TEST_F(BTreeBatchTest, AbortPreservingPagesKeepsPreparedGenerationAdoptable) {
+  CommitRange(0, 100);
+  const uint64_t gen1 = tree_->generation();
+
+  ASSERT_TRUE(tree_->BeginBatch().ok());
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(tree_->Insert(K(i), V(i)).ok());
+  }
+  auto commit = tree_->PrepareCommit();
+  ASSERT_TRUE(commit.ok()) << commit.status();
+  tree_->AbortBatch(/*blank_pages=*/false);
+
+  // The tree itself serves generation N, as if the batch never happened.
+  EXPECT_EQ(tree_->generation(), gen1);
+  EXPECT_EQ(tree_->num_entries(), 100u);
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+
+  // Replay's view: the commit record surfaced from the log after all, and
+  // the pages it references must still be exactly what PrepareCommit wrote.
+  ASSERT_TRUE(tree_->AdoptCommit(*commit).ok());
+  EXPECT_EQ(tree_->generation(), commit->generation);
+  EXPECT_EQ(tree_->num_entries(), 200u);
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+  for (int i = 0; i < 200; i += 7) {
+    auto got = tree_->Get(K(i));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, V(i));
+  }
+}
+
+TEST_F(BTreeBatchTest, AdoptCommitRejectsOutOfRangeRecords) {
+  CommitRange(0, 10);
+  WalCommit bogus;
+  bogus.generation = 99;
+  bogus.root = file_.num_pages() + 100;  // beyond the file
+  bogus.height = 1;
+  bogus.num_entries = 10;
+  EXPECT_FALSE(tree_->AdoptCommit(bogus).ok());
+  bogus.root = 0;  // the meta page can never be a root
+  EXPECT_FALSE(tree_->AdoptCommit(bogus).ok());
+}
+
+// Generation numbering survives Checkpoint + reopen: the meta page carries
+// it, so a recovered tree keeps counting where the crashed one stopped
+// (WAL records compare against it to decide roll-forward vs. no-op).
+TEST_F(BTreeBatchTest, GenerationPersistsAcrossCheckpointAndReopen) {
+  CommitRange(0, 100);
+  CommitRange(100, 200);
+  const uint64_t gen = tree_->generation();
+  EXPECT_GE(gen, 2u);
+  ASSERT_TRUE(tree_->Checkpoint().ok());
+  tree_.reset();
+  pool_.reset();
+  ASSERT_TRUE(file_.Close().ok());
+
+  ASSERT_TRUE(file_.Open(dir_ + "/tree", false).ok());
+  pool_ = std::make_unique<BufferPool>(&file_, 64);
+  auto reopened = BTree::Open(pool_.get());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  tree_ = std::make_unique<BTree>(std::move(reopened).value());
+  EXPECT_EQ(tree_->generation(), gen);
+  EXPECT_EQ(tree_->num_entries(), 200u);
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+}
+
+// Superseded pages are recycled once their generation is durable and
+// unpinned: a long run of tiny commits must not grow the file linearly in
+// the number of commits.
+TEST_F(BTreeBatchTest, RetiredPagesAreRecycledAcrossCommits) {
+  CommitRange(0, 100);
+  const PageId before = file_.num_pages();
+  constexpr int kCommits = 60;
+  for (int i = 0; i < kCommits; ++i) {
+    CommitRange(100 + i, 101 + i);  // one entry per commit
+  }
+  EXPECT_EQ(tree_->num_entries(), uint64_t{100 + kCommits});
+  ASSERT_TRUE(tree_->VerifyStructure().ok());
+  // 160 8+8-byte entries fit in a page or two; without recycling each
+  // commit would leak its COW'd path (≥ height pages per commit).
+  EXPECT_LT(file_.num_pages(), before + kCommits / 2);
+}
+
 }  // namespace
 }  // namespace fix

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -16,9 +18,11 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/fix_index.h"
 #include "datagen/datasets.h"
 #include "query/plan_cache.h"
 #include "query/xpath_parser.h"
+#include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 
@@ -326,6 +330,220 @@ TEST_F(ConcurrentQueryTest, PlanCacheConcurrentMixedUse) {
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(bad.load(), 0);
   EXPECT_LE(cache.GetStats().entries, 32u);
+}
+
+std::string Key8(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08d", i);
+  return std::string(buf, 8);
+}
+
+// Snapshot isolation at the B+-tree layer, deterministically: an iterator
+// pinned on generation N must keep yielding exactly generation N's entries
+// — byte-identical, in order — while the writer prepares, commits, and
+// publishes generation N+1 underneath it. The second batch interleaves odd
+// keys between the first batch's even keys so nearly every gen-N leaf is
+// superseded by COW; the pinned snapshot is what keeps those retired pages
+// from being recycled under the iterator.
+TEST_F(ConcurrentQueryTest, BTreeIteratorPinsGenerationAcrossCommit) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(dir_ + "/snap.pages", true).ok());
+  BufferPool pool(&file, /*capacity=*/64);
+  auto tree = BTree::Create(&pool, /*key_size=*/8, /*value_size=*/8);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+
+  constexpr int kPerBatch = 100;
+  ASSERT_TRUE(tree->BeginBatch().ok());
+  for (int i = 0; i < kPerBatch; ++i) {  // generation 1: even keys
+    ASSERT_TRUE(tree->Insert(Key8(2 * i), Key8(2 * i)).ok());
+  }
+  auto c1 = tree->PrepareCommit();
+  ASSERT_TRUE(c1.ok()) << c1.status();
+  tree->FinalizeCommit();
+  const uint64_t gen1 = tree->generation();
+
+  // Pin generation 1 and consume a prefix before the writer moves on.
+  auto pinned = tree->SeekFirst();
+  ASSERT_TRUE(pinned.ok()) << pinned.status();
+  std::vector<std::string> seen;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pinned->Valid());
+    seen.emplace_back(pinned->key());
+    ASSERT_TRUE(pinned->Next().ok());
+  }
+
+  ASSERT_TRUE(tree->BeginBatch().ok());
+  for (int i = 0; i < kPerBatch; ++i) {  // generation 2: odd keys between
+    ASSERT_TRUE(tree->Insert(Key8(2 * i + 1), Key8(2 * i + 1)).ok());
+  }
+  auto c2 = tree->PrepareCommit();
+  ASSERT_TRUE(c2.ok()) << c2.status();
+  tree->FinalizeCommit();
+  EXPECT_EQ(tree->generation(), gen1 + 1);
+  EXPECT_EQ(tree->num_entries(), uint64_t{2 * kPerBatch});
+
+  // The pinned iterator finishes its scan against generation 1: all even
+  // keys, none of generation 2's odd keys, values intact.
+  while (pinned->Valid()) {
+    seen.emplace_back(pinned->key());
+    EXPECT_EQ(pinned->value(), pinned->key());
+    ASSERT_TRUE(pinned->Next().ok());
+  }
+  ASSERT_EQ(seen.size(), size_t{kPerBatch});
+  for (int i = 0; i < kPerBatch; ++i) EXPECT_EQ(seen[i], Key8(2 * i));
+
+  // A fresh iterator sees generation 2: both batches, interleaved.
+  auto fresh = tree->SeekFirst();
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  int count = 0;
+  while (fresh->Valid()) {
+    EXPECT_EQ(fresh->key(), Key8(count));
+    ++count;
+    ASSERT_TRUE(fresh->Next().ok());
+  }
+  EXPECT_EQ(count, 2 * kPerBatch);
+}
+
+std::string SectionDoc(int i) {
+  std::string doc = "<article><prolog><title>conc" + std::to_string(i) +
+                    "</title><authors><author><name>writer</name>"
+                    "<contact><email>w" + std::to_string(i) +
+                    "@x</email></contact></author></authors></prolog><body>";
+  for (int s = 0; s <= i; ++s) {
+    doc += "<section><title>s</title><p>snapshot body text</p></section>";
+  }
+  doc += "</body><epilog><references><a_id>r</a_id></references>"
+         "</epilog></article>";
+  return doc;
+}
+
+// Snapshot isolation end to end: reader threads query at full index service
+// while a single writer commits generations N+1..N+5 (one InsertDocument
+// per new document). Every result a reader observes must be byte-identical
+// to one of the six sequential index states — captured up front from a
+// deterministic twin database — and the state a thread observes for a given
+// query may only move forward, because published generations are monotonic.
+// No fault injection here: this file runs under TSan (`concurrency` label),
+// which is exactly the point — readers during commit must be race-free.
+TEST_F(ConcurrentQueryTest, ReadersSeeOnlyCommittedGenerationsDuringInserts) {
+  constexpr int kExtraDocs = 5;
+  const std::vector<std::string> xpaths = {
+      "/article/body/section/p", "/article/prolog/authors/author/name",
+      "//author/contact/email"};
+  const size_t kQ = xpaths.size();
+
+  // Both databases are built identically: generated corpus, index over it,
+  // then the extra documents appended to the corpus (before any reader
+  // thread exists — corpus mutation is writer-exclusive) but not yet
+  // indexed. Identical construction order means identical NodeRefs.
+  std::vector<uint32_t> twin_ids, main_ids;
+  auto setup = [&](const std::string& sub, std::vector<uint32_t>* ids) {
+    std::string d = dir_ + "/" + sub;
+    std::filesystem::create_directories(d);
+    auto db = std::make_unique<Database>(d);
+    TcmdOptions o;
+    o.num_docs = 40;
+    GenerateTcmd(db->corpus(), o);
+    EXPECT_TRUE(db->Finalize().ok());
+    auto built = db->BuildIndex("main", IndexOptions{}, nullptr);
+    EXPECT_TRUE(built.ok()) << built.status();
+    for (int i = 0; i < kExtraDocs; ++i) {
+      auto id = db->AddXml(SectionDoc(i));
+      EXPECT_TRUE(id.ok());
+      ids->push_back(*id);
+    }
+    return db;
+  };
+
+  // Twin: insert sequentially, capturing the answer set of every state k
+  // (= after k inserts). states[k][q] is the only thing a reader running
+  // against the main database is ever allowed to see for query q.
+  auto twin = setup("twin", &twin_ids);
+  std::vector<std::vector<std::vector<NodeRef>>> states(
+      kExtraDocs + 1, std::vector<std::vector<NodeRef>>(kQ));
+  for (int k = 0; k <= kExtraDocs; ++k) {
+    for (size_t q = 0; q < kQ; ++q) {
+      auto stats = twin->Query("main", xpaths[q], &states[k][q]);
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      ASSERT_FALSE(stats->degraded);
+    }
+    if (k < kExtraDocs) {
+      ASSERT_TRUE(
+          twin->index("main")->InsertDocument(twin_ids[k]).ok());
+    }
+  }
+  // The new documents must actually change the answers, or the isolation
+  // check below would be vacuous.
+  ASSERT_NE(states[0][0], states[kExtraDocs][0]);
+
+  auto db = setup("main", &main_ids);
+  ASSERT_EQ(main_ids, twin_ids);
+  FixIndex* index = db->index("main");
+  ASSERT_NE(index, nullptr);
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};   // query errors or degraded answers
+  std::atomic<int> unmatched{0};  // result equal to no committed state
+  std::atomic<int> regressed{0};  // observed state or generation went back
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      std::vector<int> last_state(kQ, 0);
+      uint64_t last_gen = 0;
+      // Keep reading until the writer is done, then one more full pass so
+      // the final state is observed too.
+      for (bool final_pass = false; !final_pass;) {
+        final_pass = done.load();
+        // generation()/num_entries() are the reader-safe stat surface; they
+        // must be callable mid-commit (TSan guards this claim).
+        uint64_t gen = index->generation();
+        (void)index->num_entries();
+        if (gen < last_gen) regressed.fetch_add(1);
+        last_gen = gen;
+        for (size_t q = 0; q < kQ; ++q) {
+          std::vector<NodeRef> results;
+          auto stats = db->Query("main", xpaths[q], &results);
+          if (!stats.ok() || stats->degraded) {
+            failures.fetch_add(1);
+            continue;
+          }
+          int match = -1;
+          for (int k = 0; k <= kExtraDocs; ++k) {
+            if (results == states[k][q]) {
+              match = k;
+              break;
+            }
+          }
+          if (match < 0) {
+            unmatched.fetch_add(1);
+          } else if (match < last_state[q]) {
+            regressed.fetch_add(1);
+          } else {
+            last_state[q] = match;
+          }
+        }
+      }
+    });
+  }
+
+  for (int k = 0; k < kExtraDocs; ++k) {
+    ASSERT_TRUE(index->InsertDocument(main_ids[k]).ok());
+    std::this_thread::yield();
+  }
+  done.store(true);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(unmatched.load(), 0);
+  EXPECT_EQ(regressed.load(), 0);
+  EXPECT_EQ(index->generation(), twin->index("main")->generation());
+  for (size_t q = 0; q < kQ; ++q) {
+    std::vector<NodeRef> results;
+    ASSERT_TRUE(db->Query("main", xpaths[q], &results).ok());
+    EXPECT_EQ(results, states[kExtraDocs][q]) << xpaths[q];
+  }
 }
 
 }  // namespace

@@ -37,6 +37,7 @@
 #include "storage/page_io.h"
 #include "storage/record_store.h"
 #include "storage/scrub.h"
+#include "storage/wal.h"
 
 namespace fix {
 namespace {
@@ -800,6 +801,38 @@ class RecoveryTest : public ::testing::Test {
     return options;
   }
 
+  /// Like CrashyOptions, but arms the write-ahead-log backend instead of
+  /// the page files: the data file stays healthy and only the log crashes.
+  static Database::OpenOptions WalCrashyOptions(
+      uint64_t budget, std::shared_ptr<FaultInjectionPageIo>* out) {
+    Database::OpenOptions options;
+    options.wal_io_factory = [budget, out]() {
+      auto io = std::make_shared<FaultInjectionPageIo>(
+          std::make_unique<FilePageIo>());
+      io->CrashAfterWrites(budget);
+      *out = io;
+      return std::unique_ptr<PageIo>(new SharedPageIo(io));
+    };
+    return options;
+  }
+
+  /// Sorted query answers for every kQueries entry against `workdir` as it
+  /// is on disk right now (opened fresh, no fault injection).
+  std::vector<std::vector<std::pair<uint32_t, NodeId>>> QueryAnswers(
+      const std::string& workdir) {
+    std::vector<std::vector<std::pair<uint32_t, NodeId>>> out;
+    auto db = Database::Open(workdir);
+    EXPECT_TRUE(db.ok()) << db.status();
+    if (!db.ok()) return out;
+    for (const char* xpath : kQueries) {
+      std::vector<NodeRef> got;
+      auto stats = (*db)->Query("main", xpath, &got);
+      EXPECT_TRUE(stats.ok()) << xpath << ": " << stats.status();
+      out.push_back(Sorted(got));
+    }
+    return out;
+  }
+
   static constexpr const char* kQueries[3] = {
       "/article[epilog]/prolog",
       "/article/prolog/authors",
@@ -1042,6 +1075,358 @@ TEST_F(RecoveryTest, CrashRecoveryMatrix) {
   EXPECT_GE(triggered_build + triggered_update, 20);
   EXPECT_GE(triggered_build, 1);
   EXPECT_GE(triggered_update, 1);
+}
+
+// --- WAL crash-recovery matrix ----------------------------------------------
+
+constexpr const char* kWalNewDoc =
+    "<article><prolog><title>t</title><authors><author><name>n</name>"
+    "</author></authors></prolog><body><section><heading>h</heading>"
+    "<p>p</p></section></body><epilog><references><a_id>r</a_id>"
+    "</references></epilog></article>";
+
+// The COW+WAL acceptance matrix: crash the data file at every write index
+// of an InsertDocument commit, and crash the log itself at every one of its
+// write indexes. After each crash the database is reopened and must hold
+// the atomicity contract: if the WAL commit record reached the disk, replay
+// adopts the post-write index with ZERO quarantines and full index service;
+// if it did not, the pre-write index is quarantined as stale and the
+// degraded full scan answers from the post-write corpus. Either way every
+// answer is byte-identical to the never-crashed twin.
+TEST_F(RecoveryTest, WalCrashRecoveryMatrix) {
+  const std::string full_template = dir_ + "/tmpl_full";
+  MakeDatabase(full_template, /*num_docs=*/24, /*build_index=*/true);
+
+  // Never-crashed twin: the post-insert ground truth.
+  const std::string twin = dir_ + "/twin";
+  std::filesystem::copy(full_template, twin,
+                        std::filesystem::copy_options::recursive);
+  {
+    auto db = Database::Open(twin);
+    ASSERT_TRUE(db.ok()) << db.status();
+    auto doc_id = (*db)->AddXml(kWalNewDoc);
+    ASSERT_TRUE(doc_id.ok());
+    ASSERT_TRUE((*db)->index("main")->InsertDocument(*doc_id).ok());
+    ASSERT_TRUE((*db)->Save().ok());
+  }
+  const auto post = QueryAnswers(twin);
+  ASSERT_EQ(post.size(), 3u);
+
+  // Measure the insert's write schedule on both files.
+  uint64_t data_writes = 0, wal_writes = 0;
+  {
+    const std::string wd = dir_ + "/measure";
+    std::filesystem::copy(full_template, wd,
+                          std::filesystem::copy_options::recursive);
+    std::shared_ptr<FaultInjectionPageIo> data_io, wal_io;
+    auto options = CrashyOptions(UINT64_MAX / 2, &data_io);
+    options.wal_io_factory =
+        WalCrashyOptions(UINT64_MAX / 2, &wal_io).wal_io_factory;
+    auto db = Database::Open(wd, options);
+    ASSERT_TRUE(db.ok());
+    auto doc_id = (*db)->AddXml(kWalNewDoc);
+    ASSERT_TRUE(doc_id.ok());
+    const uint64_t d0 = data_io->writes(), w0 = wal_io->writes();
+    ASSERT_TRUE((*db)->index("main")->InsertDocument(*doc_id).ok());
+    data_writes = data_io->writes() - d0;
+    wal_writes = wal_io->writes() - w0;
+  }
+  ASSERT_GE(data_writes, 2u);
+  ASSERT_GE(wal_writes, 1u);
+
+  // Crash points: every log write index exhaustively; the data-file
+  // schedule either exhaustively (small) or spread, always including the
+  // last two indexes — those land on the post-commit checkpoint and
+  // exercise the zero-quarantine roll-forward side. A budget equal to the
+  // whole schedule (the crash never trips) is the success boundary case.
+  std::set<uint64_t> data_points, wal_points;
+  for (uint64_t k = 0; k <= wal_writes; ++k) wal_points.insert(k);
+  if (data_writes <= 14) {
+    for (uint64_t k = 0; k <= data_writes; ++k) data_points.insert(k);
+  } else {
+    for (uint64_t i = 0; i < 10; ++i) {
+      data_points.insert(i * data_writes / 10);
+    }
+    for (uint64_t k = data_writes - 2; k <= data_writes; ++k) {
+      data_points.insert(k);
+    }
+  }
+
+  int committed_runs = 0, aborted_runs = 0;
+  auto run_point = [&](const std::string& wd, bool crash_wal, uint64_t k) {
+    std::filesystem::copy(full_template, wd,
+                          std::filesystem::copy_options::recursive);
+    {
+      std::shared_ptr<FaultInjectionPageIo> io;
+      auto options = crash_wal ? WalCrashyOptions(UINT64_MAX / 2, &io)
+                               : CrashyOptions(UINT64_MAX / 2, &io);
+      auto db = Database::Open(wd, options);
+      ASSERT_TRUE(db.ok()) << db.status();
+      ASSERT_FALSE((*db)->IsDegraded("main"));
+      auto doc_id = (*db)->AddXml(kWalNewDoc);
+      ASSERT_TRUE(doc_id.ok());
+      io->CrashAfterWrites(k);  // re-arm: scope the budget to the insert
+      Status inserted = (*db)->index("main")->InsertDocument(*doc_id);
+      (void)inserted;  // success or failure — both are valid crash outcomes
+      ASSERT_TRUE((*db)->Save().ok());  // the corpus append itself survives
+    }
+    // Decide the expected side from the disk state alone, the way recovery
+    // will: a durable commit record covering the new document, or (when
+    // the whole insert ran to completion and reset the log) a sidecar meta
+    // already carrying the new coverage.
+    bool committed = false;
+    {
+      auto scan = Wal::Inspect(wd + "/main.fix.wal");
+      ASSERT_TRUE(scan.ok()) << scan.status();
+      committed = scan->has_commit && scan->last_commit.indexed_docs == 25;
+      if (!committed) {
+        auto meta_buf = ReadFile(wd + "/main.fix.meta");
+        ASSERT_TRUE(meta_buf.ok());
+        auto meta = DecodeIndexMeta(*meta_buf);
+        ASSERT_TRUE(meta.ok()) << meta.status();
+        committed = meta->indexed_docs == 25;
+      }
+    }
+    (committed ? committed_runs : aborted_runs) += 1;
+
+    auto db = Database::Open(wd);
+    ASSERT_TRUE(db.ok()) << db.status();
+    if (committed) {
+      // Committed side: replay must land the post-write index with zero
+      // quarantines — no degraded window for an acknowledged-on-disk
+      // commit.
+      EXPECT_FALSE((*db)->IsDegraded("main"));
+      EXPECT_EQ((*db)->health().quarantined_indexes, 0u);
+    } else {
+      // Aborted side: the index is pre-write but the corpus moved on, so
+      // staleness quarantine + degraded full scan is the contract.
+      EXPECT_TRUE((*db)->IsDegraded("main"));
+      EXPECT_EQ((*db)->health().quarantined_indexes, 1u);
+    }
+    for (size_t i = 0; i < 3; ++i) {
+      std::vector<NodeRef> got;
+      auto stats = (*db)->Query("main", kQueries[i], &got);
+      ASSERT_TRUE(stats.ok()) << kQueries[i] << ": " << stats.status();
+      EXPECT_EQ(Sorted(got), post[i]) << kQueries[i];
+      EXPECT_EQ(stats->degraded, !committed) << kQueries[i];
+    }
+    if (committed) {
+      // The recovered index is structurally sound and the log was
+      // checkpointed back to empty.
+      auto report = ScrubPageFile(wd + "/main.fix");
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_TRUE(report->clean()) << report->violations[0];
+      auto after = Wal::Inspect(wd + "/main.fix.wal");
+      ASSERT_TRUE(after.ok()) << after.status();
+      EXPECT_EQ(after->records, 0u);
+      EXPECT_FALSE(after->torn_tail);
+    }
+  };
+
+  for (uint64_t k : data_points) {
+    SCOPED_TRACE("data-file crash after " + std::to_string(k) + " writes");
+    run_point(dir_ + "/data_k" + std::to_string(k), /*crash_wal=*/false, k);
+  }
+  for (uint64_t k : wal_points) {
+    SCOPED_TRACE("log crash after " + std::to_string(k) + " writes");
+    run_point(dir_ + "/wal_k" + std::to_string(k), /*crash_wal=*/true, k);
+  }
+  EXPECT_GE(committed_runs, 2);
+  EXPECT_GE(aborted_runs, 2);
+}
+
+// Crashing an online rebuild must leave the old index serving at full
+// fidelity — the zero-degraded-window contract: the side-path build dies,
+// its files are removed, and neither the live handle nor a later reopen
+// sees any damage or quarantine.
+TEST_F(RecoveryTest, RebuildCrashKeepsOldIndexServing) {
+  const std::string tmpl = dir_ + "/tmpl";
+  MakeDatabase(tmpl, /*num_docs=*/24, /*build_index=*/true);
+  const auto baseline = QueryAnswers(tmpl);
+  ASSERT_EQ(baseline.size(), 3u);
+
+  // Every rebuild page file (old index attach, side build, reopen) gets its
+  // own injector with the same budget; collecting them lets the test sum
+  // the whole write schedule and later detect which one crashed.
+  auto multi_options =
+      [](uint64_t budget,
+         std::vector<std::shared_ptr<FaultInjectionPageIo>>* all) {
+        Database::OpenOptions options;
+        options.page_io_factory = [budget, all]() {
+          auto io = std::make_shared<FaultInjectionPageIo>(
+              std::make_unique<FilePageIo>());
+          io->CrashAfterWrites(budget);
+          all->push_back(io);
+          return std::unique_ptr<PageIo>(new SharedPageIo(io));
+        };
+        return options;
+      };
+
+  uint64_t rebuild_writes = 0;
+  {
+    const std::string wd = dir_ + "/measure";
+    std::filesystem::copy(tmpl, wd,
+                          std::filesystem::copy_options::recursive);
+    std::vector<std::shared_ptr<FaultInjectionPageIo>> ios;
+    auto db = Database::Open(wd, multi_options(UINT64_MAX / 2, &ios));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->RebuildIndex("main", TestIndexOptions()).ok());
+    for (const auto& io : ios) rebuild_writes += io->writes();
+  }
+  ASSERT_GE(rebuild_writes, 2u);
+
+  std::set<uint64_t> points;
+  for (uint64_t i = 0; i < 8; ++i) {
+    points.insert(i * rebuild_writes / 8);
+  }
+  points.insert(rebuild_writes);  // success boundary: the crash never trips
+
+  int crashed_runs = 0;
+  for (uint64_t k : points) {
+    SCOPED_TRACE("rebuild crash after " + std::to_string(k) + " writes");
+    const std::string wd = dir_ + "/rebuild_k" + std::to_string(k);
+    std::filesystem::copy(tmpl, wd,
+                          std::filesystem::copy_options::recursive);
+    {
+      std::vector<std::shared_ptr<FaultInjectionPageIo>> ios;
+      auto db = Database::Open(wd, multi_options(k, &ios));
+      ASSERT_TRUE(db.ok()) << db.status();
+      ASSERT_FALSE((*db)->IsDegraded("main"));
+      auto rebuilt = (*db)->RebuildIndex("main", TestIndexOptions());
+      if (!rebuilt.ok()) {
+        ++crashed_runs;
+        // Old index untouched and still serving — no degraded window, no
+        // quarantine, answers identical to before the attempt.
+        EXPECT_FALSE((*db)->IsDegraded("main"));
+        EXPECT_EQ((*db)->health().quarantined_indexes, 0u);
+        EXPECT_EQ((*db)->health().rebuilds, 0u);
+        ASSERT_NE((*db)->index("main"), nullptr);
+      } else {
+        EXPECT_EQ((*db)->health().rebuilds, 1u);
+      }
+      for (size_t i = 0; i < 3; ++i) {
+        std::vector<NodeRef> got;
+        auto stats = (*db)->Query("main", kQueries[i], &got);
+        ASSERT_TRUE(stats.ok()) << kQueries[i] << ": " << stats.status();
+        EXPECT_FALSE(stats->degraded);
+        EXPECT_EQ(Sorted(got), baseline[i]) << kQueries[i];
+      }
+      // The failed side build cleans up after itself.
+      if (!rebuilt.ok()) {
+        EXPECT_FALSE(std::filesystem::exists(wd + "/main.fix.rebuild"));
+      }
+    }
+    CheckRecoveredDatabase(wd);
+  }
+  EXPECT_GE(crashed_runs, 2);
+}
+
+// An fsync failure on the log is fail-stop: the insert reports failure (an
+// unsynced commit is never acked), no later commit can sneak past the dead
+// log, and after a crash the reopened database is consistent — the
+// never-acked commit either fully applies (its bytes did reach the disk
+// before the failed flush) or is discarded with the index quarantined as
+// stale; it is never half-applied.
+TEST_F(RecoveryTest, WalFsyncFailureIsFailStop) {
+  const std::string wd = dir_ + "/db";
+  MakeDatabase(wd, /*num_docs=*/24, /*build_index=*/true);
+
+  std::shared_ptr<FaultInjectionPageIo> wal_io;
+  auto options = WalCrashyOptions(UINT64_MAX / 2, &wal_io);
+  {
+    auto db = Database::Open(wd, options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    FixIndex* index = (*db)->index("main");
+    ASSERT_NE(index, nullptr);
+    const uint64_t gen_before = index->generation();
+    const uint64_t entries_before = index->num_entries();
+    auto doc_id = (*db)->AddXml(kWalNewDoc);
+    ASSERT_TRUE(doc_id.ok());
+
+    wal_io->FailNextSyncs(1);
+    Status inserted = index->InsertDocument(*doc_id);
+    EXPECT_TRUE(inserted.IsIOError()) << inserted.ToString();
+    EXPECT_TRUE(index->wal().failed());
+    EXPECT_EQ(index->generation(), gen_before);      // never published
+    EXPECT_EQ(index->num_entries(), entries_before); // readers see nothing
+
+    // Fail-stop latch: the next commit cannot be acked either, even though
+    // no new fault is armed — a log that lost one flush cannot promise
+    // ordering for the next.
+    Status again = index->InsertDocument(*doc_id);
+    EXPECT_FALSE(again.ok());
+    EXPECT_EQ(index->generation(), gen_before);
+
+    ASSERT_TRUE((*db)->Save().ok());
+  }  // crash
+
+  // The record's bytes may or may not have reached the disk before the
+  // failed flush; both outcomes must reopen consistent. Classify from the
+  // log like recovery does.
+  auto scan = Wal::Inspect(wd + "/main.fix.wal");
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  const bool landed = scan->has_commit && scan->last_commit.indexed_docs == 25;
+
+  auto db = Database::Open(wd);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->IsDegraded("main"), !landed);
+  EXPECT_EQ((*db)->health().quarantined_indexes, landed ? 0u : 1u);
+  for (const char* xpath : kQueries) {
+    std::vector<NodeRef> got, want;
+    auto stats = (*db)->Query("main", xpath, &got);
+    ASSERT_TRUE(stats.ok()) << xpath << ": " << stats.status();
+    auto compiled = (*db)->Compile(xpath);
+    ASSERT_TRUE(compiled.ok());
+    ASSERT_TRUE(FullScanExecute((*db)->corpus(), *compiled, &want, 0).ok());
+    EXPECT_EQ(Sorted(got), Sorted(want)) << xpath;
+  }
+}
+
+// A torn tail in the log (a commit record half-written by power loss) must
+// be detected and discarded on reopen, without disturbing the committed
+// prefix: the index stays at its last durable state, no quarantine, and
+// the reopened log is clean again.
+TEST_F(RecoveryTest, WalTornTailDiscardedOnReopen) {
+  const std::string wd = dir_ + "/db";
+  MakeDatabase(wd, /*num_docs=*/24, /*build_index=*/true);
+  {
+    auto db = Database::Open(wd);
+    ASSERT_TRUE(db.ok()) << db.status();
+    auto doc_id = (*db)->AddXml(kWalNewDoc);
+    ASSERT_TRUE(doc_id.ok());
+    ASSERT_TRUE((*db)->index("main")->InsertDocument(*doc_id).ok());
+    ASSERT_TRUE((*db)->Save().ok());
+  }
+  const auto post = QueryAnswers(wd);
+  ASSERT_EQ(post.size(), 3u);
+
+  // Half a record frame: a length field promising more bytes than exist.
+  const std::string wal_path = wd + "/main.fix.wal";
+  auto contents = ReadFile(wal_path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(WriteFile(wal_path, *contents + std::string(13, '\xab')).ok());
+  {
+    auto scan = Wal::Inspect(wal_path);
+    ASSERT_TRUE(scan.ok()) << scan.status();
+    EXPECT_TRUE(scan->torn_tail);
+    EXPECT_EQ(scan->records, 0u);  // the tail is garbage, the prefix empty
+  }
+
+  auto db = Database::Open(wd);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_FALSE((*db)->IsDegraded("main"));
+  EXPECT_EQ((*db)->health().quarantined_indexes, 0u);
+  for (size_t i = 0; i < 3; ++i) {
+    std::vector<NodeRef> got;
+    auto stats = (*db)->Query("main", kQueries[i], &got);
+    ASSERT_TRUE(stats.ok()) << kQueries[i] << ": " << stats.status();
+    EXPECT_FALSE(stats->degraded);
+    EXPECT_EQ(Sorted(got), post[i]) << kQueries[i];
+  }
+  auto after = Wal::Inspect(wal_path);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->torn_tail);
+  EXPECT_EQ(after->records, 0u);
 }
 
 }  // namespace

@@ -12,10 +12,22 @@
 namespace {
 
 TEST(FixctlCliTest, EveryCommandPresent) {
-  for (const char* name : {"gen", "load", "build", "query", "stats", "help"}) {
+  for (const char* name :
+       {"gen", "load", "build", "query", "stats", "wal", "help"}) {
     EXPECT_NE(fixctl::FindCommand(name), nullptr) << name;
   }
   EXPECT_EQ(fixctl::FindCommand("nope"), nullptr);
+}
+
+TEST(FixctlCliTest, WalCommandShape) {
+  // `fixctl wal <dir>` takes no flags; its help must name the things it
+  // reports (generation, torn tail) so the synopsis stays honest.
+  const fixctl::CliCommand* wal = fixctl::FindCommand("wal");
+  ASSERT_NE(wal, nullptr);
+  EXPECT_EQ(wal->num_flags, 0u);
+  EXPECT_EQ(std::string(wal->operands), "<dir>");
+  EXPECT_NE(std::string(wal->help).find("generation"), std::string::npos);
+  EXPECT_NE(std::string(wal->help).find("torn"), std::string::npos);
 }
 
 TEST(FixctlCliTest, BuildFlagsMatchIndexOptions) {

@@ -10,18 +10,23 @@
 #      labeled smoke subset first for fast failure.
 #   5. the `fault-injection` labeled suite as its own stage in both trees
 #      (injected I/O faults, torn writes, crash-recovery matrix).
-#   6. a TSan build running the `concurrency` labeled suite (thread pool,
+#   6. the WAL crash-recovery loop on its own in both trees (every injected
+#      crash point of the data file and of the log, fsync fail-stop,
+#      torn-tail discard), plus the bench_qps mixed read/write sweep (95/5
+#      and 50/50 commit mixes with p50/p95/p99 and a `.metrics.prom`
+#      snapshot carrying the fix.wal.* counters).
+#   7. a TSan build running the `concurrency` labeled suite (thread pool,
 #      feature cache, parallel index construction, concurrent queries).
-#   7. the concurrent-query stress test on its own, in both the Release and
+#   8. the concurrent-query stress test on its own, in both the Release and
 #      TSan trees: many threads against one Database, results checked
 #      against single-threaded baselines.
-#   8. fixdb_scrub over every index page file persist_test produced
+#   9. fixdb_scrub over every index page file persist_test produced
 #      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step).
-#   9. static-analysis: fixlint (the project-invariant analyzer, see
+#  10. static-analysis: fixlint (the project-invariant analyzer, see
 #      docs/STATIC_ANALYSIS.md) over the whole tree plus the `lint` ctest
 #      label, and — when clang++ is installed — a FIX_THREAD_SAFETY=ON
 #      build that turns the thread-safety annotations into compile errors.
-#  10. docs-check: every relative markdown link in the repo's *.md files
+#  11. docs-check: every relative markdown link in the repo's *.md files
 #      must resolve, and the documented headers must keep their
 #      thread-safety contracts (plain grep/awk — no extra tooling).
 #
@@ -35,15 +40,15 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BASE_REF="${1:-origin/main}"
 
-echo "=== [1/10] Release build (FIX_WERROR=ON) ==="
+echo "=== [1/11] Release build (FIX_WERROR=ON) ==="
 cmake -B build -S . -DFIX_WERROR=ON
 cmake --build build -j "$JOBS"
 
-echo "=== [2/10] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
+echo "=== [2/11] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
 cmake -B build-asan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 
-echo "=== [3/10] clang-tidy on changed files ==="
+echo "=== [3/11] clang-tidy on changed files ==="
 if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
   BASE_REF="HEAD~1"
 fi
@@ -58,16 +63,33 @@ else
   tools/run_clang_tidy.sh build
 fi
 
-echo "=== [4/10] Tests ==="
+echo "=== [4/11] Tests ==="
 (cd build-asan && ctest -L sanitizer-clean --output-on-failure)
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "=== [5/10] Fault-injection suite (Release + ASan) ==="
+echo "=== [5/11] Fault-injection suite (Release + ASan) ==="
 (cd build && ctest -L fault-injection --output-on-failure -j "$JOBS")
 (cd build-asan && ctest -L fault-injection --output-on-failure -j "$JOBS")
 
-echo "=== [6/10] TSan build + concurrency/observability suites ==="
+echo "=== [6/11] WAL crash loop + mixed read/write bench ==="
+# The COW+WAL acceptance loop on its own: FaultInjectionPageIo crashes the
+# data file and the log at every write index of an InsertDocument commit,
+# plus the fsync fail-stop latch, the torn-tail discard, and the online
+# rebuild swap. ASan re-runs it to catch lifetime bugs in the replay path.
+(cd build && ctest -R '^RecoveryTest\.(Wal|Rebuild)' --output-on-failure)
+(cd build-asan && ctest -R '^RecoveryTest\.(Wal|Rebuild)' --output-on-failure)
+# Readers at full service while a single writer commits generations: the
+# bench_qps mixed sweep (95/5 and 50/50 op mixes) FIX_CHECKs reader
+# failures and per-commit generation accounting, and writes p50/p95/p99
+# plus a .metrics.prom snapshot next to its CSV. The grep pins the
+# snapshot's WAL counters: a sweep that commits nothing through the log is
+# a broken sweep.
+cmake --build build -j "$JOBS" --target bench_qps
+(cd build/bench && ./bench_qps)
+grep -q '^fix_wal_appends [1-9]' build/bench/bench_qps.csv.metrics.prom
+
+echo "=== [7/11] TSan build + concurrency/observability suites ==="
 cmake -B build-tsan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest -L concurrency --output-on-failure -j "$JOBS")
@@ -75,7 +97,7 @@ cmake --build build-tsan -j "$JOBS"
 # the observability label also runs in the Release tree via stage 4.
 (cd build-tsan && ctest -L observability --output-on-failure -j "$JOBS")
 
-echo "=== [7/10] Concurrent-query stress (Release + TSan) ==="
+echo "=== [8/11] Concurrent-query stress (Release + TSan) ==="
 # The data-race canary for the whole read path: many threads through one
 # Database (lock-striped buffer pool, shared B+-tree, plan cache) with
 # results diffed against single-threaded baselines. TSan turns a silent
@@ -84,7 +106,7 @@ echo "=== [7/10] Concurrent-query stress (Release + TSan) ==="
 (cd build-tsan && ctest -R '^ConcurrentQueryTest' --output-on-failure \
     -j "$JOBS")
 
-echo "=== [8/10] Scrub of persist_test databases ==="
+echo "=== [9/11] Scrub of persist_test databases ==="
 SCRUB_DIR="$(mktemp -d)"
 trap 'rm -rf "$SCRUB_DIR"' EXIT
 (cd build && FIX_PERSIST_TEST_DIR="$SCRUB_DIR" ctest -R '^PersistTest' \
@@ -96,7 +118,7 @@ if [ "${#INDEX_FILES[@]}" -eq 0 ]; then
 fi
 build/tools/fixdb_scrub "${INDEX_FILES[@]}"
 
-echo "=== [9/10] static-analysis: fixlint + thread-safety annotations ==="
+echo "=== [10/11] static-analysis: fixlint + thread-safety annotations ==="
 # fixlint enforces the project invariants a generic linter cannot know
 # (lock order vs ARCHITECTURE.md, metric/options doc drift, RAII-only
 # locking, banned functions, include guards); one finding fails CI. See
@@ -115,7 +137,7 @@ else
       "build (the annotations are only verifiable under clang)."
 fi
 
-echo "=== [10/10] docs-check ==="
+echo "=== [11/11] docs-check ==="
 # Every relative link in tracked markdown must resolve. grep emits
 # `file:](target)`; the loop strips the wrapper, drops externals and pure
 # anchors, and resolves the rest against the linking file's directory.

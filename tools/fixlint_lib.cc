@@ -654,9 +654,17 @@ bool LoadTree(const std::string& root, std::vector<SourceFile>* files,
 }
 
 std::string FormatFinding(const Finding& f) {
+  // Appended piecewise: gcc 12's -Wrestrict misfires (under -O3 -Werror) on
+  // the chained `const char* + std::string` temporaries this used to build.
   std::string out = f.path;
-  if (f.line > 0) out += ":" + std::to_string(f.line);
-  out += ": [" + f.rule + "] " + f.message;
+  if (f.line > 0) {
+    out += ':';
+    out += std::to_string(f.line);
+  }
+  out += ": [";
+  out += f.rule;
+  out += "] ";
+  out += f.message;
   return out;
 }
 
