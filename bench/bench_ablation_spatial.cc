@@ -1,13 +1,19 @@
-// Ablation D: the Section 8 future-work extension — probing through
-// per-label kd-trees over (λ_max, λ₂) instead of the B+-tree range scan.
+// Ablation D, promoted: the per-label kd-tree over (λ_max, λ₂) is now the
+// production probe engine (IndexOptions::probe_engine), so this harness
+// A/Bs the two engines through the same FixIndex::ProbeWithEngine entry
+// point the query processor uses — no side-built structure.
 //
 // The B+-tree exploits only its (label, λ_max) sort order and then filters
-// λ₂ row by row; the kd-tree prunes subtrees on both dimensions. This
-// harness measures, per random query, the entries touched by each probe
-// (identical candidate sets, different work).
+// λ₂ row by row; the kd-tree prunes subtrees on both dimensions. Per random
+// query the harness FIX_CHECKs that both engines return byte-identical
+// candidate sets (this binary doubles as the CI engine-parity smoke) and
+// reports the work each did: B+-tree entries scanned vs kd-tree nodes
+// visited.
 
+#include <cstring>
 #include <string>
 
+#include "core/feature.h"
 #include "core/spatial_probe.h"
 #include "query/compile.h"
 #include "datagen/query_gen.h"
@@ -16,21 +22,40 @@
 namespace fix::bench {
 namespace {
 
+// Byte-exact fingerprint of a candidate list: encoded 32-byte keys (the
+// on-disk memcmp order) plus the value payload, in result order.
+std::string Fingerprint(const std::vector<FixIndex::Candidate>& candidates) {
+  std::string out;
+  out.reserve(candidates.size() * (kFeatureKeySize + 16));
+  for (const FixIndex::Candidate& c : candidates) {
+    out += EncodeFeatureKey(c.key);
+    char buf[16];
+    std::memcpy(buf, &c.ref.doc_id, 4);
+    std::memcpy(buf + 4, &c.ref.node_id, 4);
+    std::memcpy(buf + 8, &c.clustered_offset, 8);
+    out.append(buf, sizeof(buf));
+  }
+  return out;
+}
+
 void Run() {
   Report report("bench_ablation_spatial");
-  report.Note("Ablation D: B+-tree range scan vs kd-tree dominance probe "
-              "(lambda2 feature enabled; 300 random queries per set).");
+  report.Note("Ablation D (production): ProbeWithEngine(kBTree) vs "
+              "ProbeWithEngine(kSpatial) — same entry point as the query "
+              "processor (lambda2 feature enabled; 300 random queries per "
+              "set; candidate sets FIX_CHECKed byte-identical).");
   report.Header({"dataset", "btree_entries_scanned", "kdtree_nodes_visited",
                  "probe_work_ratio", "candidates_equal", "kd_bytes"});
 
-  for (DataSet data : {DataSet::kXMark, DataSet::kTreebank}) {
+  for (DataSet data : {DataSet::kTcmd, DataSet::kDblp, DataSet::kXMark,
+                       DataSet::kTreebank}) {
     auto corpus = BuildCorpus(data);
     auto index = BuildFix(corpus.get(), data, false, 0, nullptr,
                           std::string("ablD_") + DataSetName(data),
                           /*use_lambda2=*/true);
     FIX_CHECK(index.ok());
-    auto spatial = SpatialProbe::FromBTree(index->btree());
-    FIX_CHECK(spatial.ok());
+    auto spatial = index->spatial_probe();
+    FIX_CHECK(spatial != nullptr);  // Build attaches the kd-tree snapshot
 
     QueryGenOptions qopts;
     qopts.seed = 909;
@@ -38,31 +63,30 @@ void Run() {
     auto queries = GenerateRandomQueries(*corpus, 300, qopts);
 
     uint64_t btree_work = 0, kd_work = 0;
-    bool all_equal = true;
-    const double eps = index->options().epsilon;
     for (const auto& q : queries) {
       auto parts = DecomposeAtDescendantEdges(q);
-      auto probe_key = index->QueryFeatures(parts[0]);
-      if (!probe_key.ok()) continue;
-      auto lookup = index->Probe(parts[0]);
-      FIX_CHECK(lookup.ok());
-      btree_work += lookup->entries_scanned;
-
-      uint64_t visited = 0;
-      auto hits = spatial->Query(probe_key->root_label,
-                                 probe_key->lambda_max - eps,
-                                 probe_key->lambda2 - eps, &visited);
-      kd_work += visited;
-      if (hits.size() != lookup->candidates.size()) all_equal = false;
+      auto by_btree =
+          index->ProbeWithEngine(parts[0], /*use_root_label=*/true,
+                                 ProbeEngine::kBTree);
+      auto by_kd =
+          index->ProbeWithEngine(parts[0], /*use_root_label=*/true,
+                                 ProbeEngine::kSpatial);
+      FIX_CHECK(by_btree.ok());
+      FIX_CHECK(by_kd.ok());
+      btree_work += by_btree->entries_scanned;
+      kd_work += by_kd->entries_scanned;
+      // The parity contract: same candidates, same order, byte for byte.
+      FIX_CHECK(Fingerprint(by_btree->candidates) ==
+                Fingerprint(by_kd->candidates));
     }
     char ratio[16];
     std::snprintf(ratio, sizeof(ratio), "%.2fx",
                   kd_work > 0 ? double(btree_work) / kd_work : 0.0);
     report.Row({DataSetName(data), Num(btree_work), Num(kd_work), ratio,
-                all_equal ? "yes" : "NO", Mb(spatial->ApproxBytes())});
+                "yes", Mb(spatial->ApproxBytes())});
   }
   report.Note("probe_work_ratio > 1 means the kd-tree touches fewer "
-              "entries; candidate sets must be identical.");
+              "entries; a parity failure aborts the binary (FIX_CHECK).");
 }
 
 }  // namespace

@@ -15,6 +15,8 @@ const CliFlag kBuildFlags[] = {
                          "negatives under quotienting)"},
     {"--threads", "N", "build worker threads (0 = hardware concurrency)"},
     {"--cache-mb", "M", "spectral feature cache budget in MiB (0 = off)"},
+    {"--probe-engine", "btree|spatial|auto",
+     "containment probe engine (auto = spatial when resident, persisted)"},
 };
 
 const CliFlag kQueryFlags[] = {

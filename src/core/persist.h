@@ -63,6 +63,7 @@ struct IndexMeta {
   /// which is exactly why the WAL commit record carries the app state).
   uint64_t generation = 0;
   uint64_t wal_bytes = 0;
+  // v4 appends options.probe_engine (pre-v4 metas decode to kAuto).
 };
 
 std::string EncodeIndexMeta(const IndexMeta& meta);

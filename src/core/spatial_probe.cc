@@ -1,96 +1,232 @@
 #include "core/spatial_probe.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
 
 namespace fix {
 
+namespace {
+
+constexpr uint32_t kSidecarMagic = 0x46585350;  // "FXSP"
+constexpr uint32_t kSidecarVersion = 1;
+/// magic(4) | version(4) | payload_len(8) | payload_crc32c(4)
+constexpr size_t kSidecarHeaderSize = 20;
+/// ord λ_max/λ_min/λ₂ (8 each) | seq, doc, node (4 each) | clustered
+/// offset (8) | left, right (4 each) | dim (1)
+constexpr size_t kSidecarNodeSize = 53;
+constexpr uint32_t kNoChild = UINT32_MAX;
+
+std::unique_ptr<PageIo> MakeIo(
+    const std::function<std::unique_ptr<PageIo>()>& factory) {
+  return factory != nullptr ? factory() : std::make_unique<FilePageIo>();
+}
+
+}  // namespace
+
+SpatialProbe::LabelTree SpatialProbe::BuildTree(std::vector<Entry>& entries) {
+  LabelTree tree;
+  tree.nodes.reserve(entries.size());
+  BuildRec(entries, 0, entries.size(), 0, &tree);
+  return tree;
+}
+
 Result<SpatialProbe> SpatialProbe::FromBTree(BTree* btree) {
   SpatialProbe probe;
-  // Bucket entries per label (contiguous in key order).
-  std::map<LabelId, std::vector<Hit>> buckets;
+  probe.generation_ = btree->generation();
+  // The ordered scan delivers entries grouped by label (the key's leading
+  // field), labels ascending.
+  std::map<LabelId, std::vector<Entry>> buckets;
   BTree::Iterator it;
   FIX_ASSIGN_OR_RETURN(it, btree->SeekFirst());
   while (it.Valid()) {
-    Hit hit;
-    hit.key = DecodeFeatureKey(it.key());
-    hit.value = DecodeIndexValue(it.value());
-    buckets[hit.key.root_label].push_back(hit);
+    std::string_view key = it.key();
+    Entry e;
+    e.lmax = DecodeBigEndian64(key.data() + 4);
+    e.lmin = DecodeBigEndian64(key.data() + 12);
+    e.l2 = DecodeBigEndian64(key.data() + 20);
+    e.seq = DecodeBigEndian32(key.data() + 28);
+    e.value = DecodeIndexValue(it.value());
+    buckets[DecodeBigEndian32(key.data())].push_back(e);
     ++probe.total_;
     FIX_RETURN_IF_ERROR(it.Next());
   }
-  for (auto& [label, hits] : buckets) {
-    LabelTree tree;
-    tree.nodes.reserve(hits.size());
-    tree.root = BuildRec(hits, 0, hits.size(), 0, &tree);
-    probe.per_label_.emplace(label, std::move(tree));
+  for (auto& [label, entries] : buckets) {
+    probe.per_label_.emplace(label, BuildTree(entries));
   }
   return probe;
 }
 
-int32_t SpatialProbe::BuildRec(std::vector<Hit>& hits, size_t lo, size_t hi,
-                               int depth, LabelTree* tree) {
+SpatialProbe SpatialProbe::FromSortedEntries(
+    const std::vector<std::pair<std::string, std::string>>& kv,
+    uint64_t generation) {
+  SpatialProbe probe;
+  probe.generation_ = generation;
+  probe.total_ = kv.size();
+  // Keys are sorted, so each label's entries form one contiguous run.
+  size_t i = 0;
+  while (i < kv.size()) {
+    const LabelId label = DecodeBigEndian32(kv[i].first.data());
+    std::vector<Entry> entries;
+    while (i < kv.size() && DecodeBigEndian32(kv[i].first.data()) == label) {
+      const char* key = kv[i].first.data();
+      Entry e;
+      e.lmax = DecodeBigEndian64(key + 4);
+      e.lmin = DecodeBigEndian64(key + 12);
+      e.l2 = DecodeBigEndian64(key + 20);
+      e.seq = DecodeBigEndian32(key + 28);
+      e.value = DecodeIndexValue(kv[i].second);
+      entries.push_back(e);
+      ++i;
+    }
+    probe.per_label_.emplace(label, BuildTree(entries));
+  }
+  return probe;
+}
+
+int32_t SpatialProbe::BuildRec(std::vector<Entry>& entries, size_t lo,
+                               size_t hi, int depth, LabelTree* tree) {
   if (lo >= hi) return -1;
   uint8_t dim = static_cast<uint8_t>(depth % 2);
   size_t mid = lo + (hi - lo) / 2;
-  auto key_of = [dim](const Hit& h) {
-    return dim == 0 ? h.key.lambda_max : h.key.lambda2;
-  };
-  std::nth_element(hits.begin() + lo, hits.begin() + mid, hits.begin() + hi,
-                   [&](const Hit& a, const Hit& b) {
-                     return key_of(a) < key_of(b);
-                   });
+  auto key_of = [dim](const Entry& e) { return dim == 0 ? e.lmax : e.l2; };
+  std::nth_element(
+      entries.begin() + lo, entries.begin() + mid, entries.begin() + hi,
+      [&](const Entry& a, const Entry& b) { return key_of(a) < key_of(b); });
+  // The node is appended before its subtrees recurse, so child ids are
+  // always strictly greater than the parent's and the root is node 0 — the
+  // invariants the sidecar loader validates and RecomputeBounds leans on.
   int32_t id = static_cast<int32_t>(tree->nodes.size());
   tree->nodes.emplace_back();
-  tree->nodes[id].hit = hits[mid];
+  tree->nodes[id].entry = entries[mid];
   tree->nodes[id].dim = dim;
-  int32_t left = BuildRec(hits, lo, mid, depth + 1, tree);
-  int32_t right = BuildRec(hits, mid + 1, hi, depth + 1, tree);
+  int32_t left = BuildRec(entries, lo, mid, depth + 1, tree);
+  int32_t right = BuildRec(entries, mid + 1, hi, depth + 1, tree);
   Node& node = tree->nodes[id];
   node.left = left;
   node.right = right;
-  node.max_lambda_max = node.hit.key.lambda_max;
-  node.max_lambda2 = node.hit.key.lambda2;
+  node.max_lmax = node.entry.lmax;
+  node.max_l2 = node.entry.l2;
+  node.min_lmin = node.entry.lmin;
   for (int32_t child : {left, right}) {
     if (child < 0) continue;
-    node.max_lambda_max =
-        std::max(node.max_lambda_max, tree->nodes[child].max_lambda_max);
-    node.max_lambda2 =
-        std::max(node.max_lambda2, tree->nodes[child].max_lambda2);
+    node.max_lmax = std::max(node.max_lmax, tree->nodes[child].max_lmax);
+    node.max_l2 = std::max(node.max_l2, tree->nodes[child].max_l2);
+    node.min_lmin = std::min(node.min_lmin, tree->nodes[child].min_lmin);
   }
   return id;
 }
 
-void SpatialProbe::QueryRec(const LabelTree& tree, int32_t node_id, double a,
-                            double b, std::vector<Hit>* out,
+void SpatialProbe::RecomputeBounds(LabelTree* tree) {
+  // Children have strictly larger ids, so one reverse pass folds bottom-up.
+  for (size_t i = tree->nodes.size(); i-- > 0;) {
+    Node& node = tree->nodes[i];
+    node.max_lmax = node.entry.lmax;
+    node.max_l2 = node.entry.l2;
+    node.min_lmin = node.entry.lmin;
+    for (int32_t child : {node.left, node.right}) {
+      if (child < 0) continue;
+      const Node& c = tree->nodes[child];
+      node.max_lmax = std::max(node.max_lmax, c.max_lmax);
+      node.max_l2 = std::max(node.max_l2, c.max_l2);
+      node.min_lmin = std::min(node.min_lmin, c.min_lmin);
+    }
+  }
+}
+
+void SpatialProbe::ProbeRec(const LabelTree& tree, int32_t node_id,
+                            const Filter& f, std::vector<Entry>* out,
                             uint64_t* visited) {
   if (node_id < 0) return;
   const Node& node = tree.nodes[node_id];
   if (visited != nullptr) ++(*visited);
-  // Prune: no entry below can dominate (a, b) if the subtree maxima don't.
-  if (node.max_lambda_max < a || node.max_lambda2 < b) return;
-  if (node.hit.key.lambda_max >= a && node.hit.key.lambda2 >= b) {
-    out->push_back(node.hit);
+  // Prune: nothing below can pass if the subtree's bounds already fail a
+  // clause. min_l2 = 0 / max_lmin = ~0 (disabled clauses) never prune.
+  if (node.max_lmax < f.min_lmax || node.max_l2 < f.min_l2 ||
+      node.min_lmin > f.max_lmin) {
+    return;
   }
-  // On the split dimension, the left child holds values <= the node's; if
-  // the node's split value is already below the bound, only the right side
-  // can qualify on that dimension.
-  double split = node.dim == 0 ? node.hit.key.lambda_max : node.hit.key.lambda2;
-  double bound = node.dim == 0 ? a : b;
+  const Entry& e = node.entry;
+  if (e.lmax >= f.min_lmax && e.lmin <= f.max_lmin && e.l2 >= f.min_l2) {
+    out->push_back(e);
+  }
+  // On the split dimension the left child holds values <= the node's; if
+  // the node's split value is already below that dimension's lower bound,
+  // only the right side can qualify. λ_min is not a split dimension, so it
+  // only prunes via the subtree bounds above.
+  const uint64_t split = node.dim == 0 ? e.lmax : e.l2;
+  const uint64_t bound = node.dim == 0 ? f.min_lmax : f.min_l2;
   if (split >= bound) {
-    QueryRec(tree, node.left, a, b, out, visited);
+    ProbeRec(tree, node.left, f, out, visited);
   }
-  QueryRec(tree, node.right, a, b, out, visited);
+  ProbeRec(tree, node.right, f, out, visited);
+}
+
+void SpatialProbe::EmitHits(LabelId label, std::vector<Entry>* matches,
+                            std::vector<Hit>* out) const {
+  // Encoded-key order within one label: (ord λ_max, ord λ_min, ord λ₂,
+  // seq). This is what makes spatial output byte-identical to the B+-tree
+  // range scan's.
+  std::sort(matches->begin(), matches->end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.lmax != b.lmax) return a.lmax < b.lmax;
+              if (a.lmin != b.lmin) return a.lmin < b.lmin;
+              if (a.l2 != b.l2) return a.l2 < b.l2;
+              return a.seq < b.seq;
+            });
+  out->reserve(out->size() + matches->size());
+  for (const Entry& e : *matches) {
+    Hit hit;
+    hit.key.root_label = label;
+    hit.key.lambda_max = OrderPreservingToDouble(e.lmax);
+    hit.key.lambda_min = OrderPreservingToDouble(e.lmin);
+    hit.key.lambda2 = OrderPreservingToDouble(e.l2);
+    hit.key.seq = e.seq;
+    hit.value = e.value;
+    out->push_back(hit);
+  }
+}
+
+void SpatialProbe::Probe(LabelId label, const Filter& filter,
+                         std::vector<Hit>* out, uint64_t* visited) const {
+  auto it = per_label_.find(label);
+  if (it == per_label_.end()) return;
+  std::vector<Entry> matches;
+  if (!it->second.nodes.empty()) {
+    ProbeRec(it->second, 0, filter, &matches, visited);
+  }
+  EmitHits(label, &matches, out);
+}
+
+void SpatialProbe::ProbeAll(const Filter& filter, std::vector<Hit>* out,
+                            uint64_t* visited) const {
+  // std::map iterates labels ascending — the B+-tree whole-scan order.
+  for (const auto& [label, tree] : per_label_) {
+    std::vector<Entry> matches;
+    if (!tree.nodes.empty()) {
+      ProbeRec(tree, 0, filter, &matches, visited);
+    }
+    EmitHits(label, &matches, out);
+  }
 }
 
 std::vector<SpatialProbe::Hit> SpatialProbe::Query(LabelId label,
                                                    double lambda_max_min,
                                                    double lambda2_min,
                                                    uint64_t* visited) const {
+  // ord(−0) < ord(+0) but −0 == +0 for doubles; normalizing a ±0 bound to
+  // −0 keeps this dominance query equivalent to double comparisons.
+  if (lambda_max_min == 0.0) lambda_max_min = -0.0;
+  if (lambda2_min == 0.0) lambda2_min = -0.0;
+  Filter f;
+  f.min_lmax = OrderPreservingDouble(lambda_max_min);
+  f.min_l2 = OrderPreservingDouble(lambda2_min);
   std::vector<Hit> out;
-  auto it = per_label_.find(label);
-  if (it == per_label_.end()) return out;
-  QueryRec(it->second, it->second.root, lambda_max_min, lambda2_min, &out,
-           visited);
+  Probe(label, f, &out, visited);
   return out;
 }
 
@@ -101,6 +237,181 @@ uint64_t SpatialProbe::ApproxBytes() const {
     bytes += tree.nodes.size() * sizeof(Node);
   }
   return bytes;
+}
+
+// --- sidecar persistence -----------------------------------------------------
+
+Status SpatialProbe::WriteSidecar(
+    const std::string& path,
+    const std::function<std::unique_ptr<PageIo>()>& io_factory) const {
+  std::string payload;
+  PutVarint64(&payload, generation_);
+  PutVarint64(&payload, total_);
+  PutVarint32(&payload, static_cast<uint32_t>(per_label_.size()));
+  for (const auto& [label, tree] : per_label_) {
+    PutVarint32(&payload, label);
+    PutVarint32(&payload, static_cast<uint32_t>(tree.nodes.size()));
+    for (const Node& node : tree.nodes) {
+      // Subtree bounds are deliberately not persisted: the loader recomputes
+      // them, so corrupted bounds can never silently drop candidates.
+      PutFixed64(&payload, node.entry.lmax);
+      PutFixed64(&payload, node.entry.lmin);
+      PutFixed64(&payload, node.entry.l2);
+      PutFixed32(&payload, node.entry.seq);
+      PutFixed32(&payload, node.entry.value.ref.doc_id);
+      PutFixed32(&payload, node.entry.value.ref.node_id);
+      PutFixed64(&payload, node.entry.value.clustered_offset);
+      PutFixed32(&payload,
+                 node.left < 0 ? kNoChild : static_cast<uint32_t>(node.left));
+      PutFixed32(&payload, node.right < 0 ? kNoChild
+                                          : static_cast<uint32_t>(node.right));
+      payload.push_back(static_cast<char>(node.dim));
+    }
+  }
+
+  std::string buf;
+  buf.reserve(kSidecarHeaderSize + payload.size());
+  PutFixed32(&buf, kSidecarMagic);
+  PutFixed32(&buf, kSidecarVersion);
+  PutFixed64(&buf, payload.size());
+  PutFixed32(&buf, Crc32c(payload.data(), payload.size()));
+  buf += payload;
+
+  std::unique_ptr<PageIo> io = MakeIo(io_factory);
+  FIX_RETURN_IF_ERROR(io->Open(path, /*create=*/true));
+  Status status = [&]() -> Status {
+    FIX_RETURN_IF_ERROR(io->Truncate(buf.size()));
+    FIX_RETURN_IF_ERROR(io->Write(0, buf.data(), buf.size()));
+    return io->Sync();
+  }();
+  Status closed = io->Close();
+  if (!status.ok()) return status;
+  return closed;
+}
+
+Result<SpatialProbe> SpatialProbe::LoadSidecar(
+    const std::string& path,
+    const std::function<std::unique_ptr<PageIo>()>& io_factory) {
+  if (::access(path.c_str(), F_OK) != 0) {
+    return Status::NotFound("no spatial sidecar at " + path);
+  }
+  std::unique_ptr<PageIo> io = MakeIo(io_factory);
+  FIX_RETURN_IF_ERROR(io->Open(path, /*create=*/false));
+  std::string buf;
+  Status status = [&]() -> Status {
+    uint64_t size = 0;
+    FIX_ASSIGN_OR_RETURN(size, io->Size());
+    if (size < kSidecarHeaderSize) {
+      return Status::Corruption("spatial sidecar: truncated header");
+    }
+    buf.resize(size);
+    return io->Read(0, buf.data(), size);
+  }();
+  Status closed = io->Close();
+  FIX_RETURN_IF_ERROR(status);
+  FIX_RETURN_IF_ERROR(closed);
+
+  if (DecodeFixed32(buf.data()) != kSidecarMagic) {
+    return Status::Corruption("spatial sidecar: bad magic");
+  }
+  if (DecodeFixed32(buf.data() + 4) != kSidecarVersion) {
+    return Status::Corruption("spatial sidecar: unsupported version");
+  }
+  const uint64_t payload_len = DecodeFixed64(buf.data() + 8);
+  if (payload_len != buf.size() - kSidecarHeaderSize) {
+    return Status::Corruption("spatial sidecar: payload length mismatch");
+  }
+  const char* payload = buf.data() + kSidecarHeaderSize;
+  if (DecodeFixed32(buf.data() + 16) != Crc32c(payload, payload_len)) {
+    return Status::Corruption("spatial sidecar: checksum mismatch");
+  }
+
+  SpatialProbe probe;
+  size_t pos = kSidecarHeaderSize;
+  uint32_t label_count = 0;
+  if (!GetVarint64(buf, &pos, &probe.generation_) ||
+      !GetVarint64(buf, &pos, &probe.total_) ||
+      !GetVarint32(buf, &pos, &label_count)) {
+    return Status::Corruption("spatial sidecar: truncated counts");
+  }
+  uint64_t entries_seen = 0;
+  LabelId prev_label = 0;
+  for (uint32_t l = 0; l < label_count; ++l) {
+    uint32_t label = 0, node_count = 0;
+    if (!GetVarint32(buf, &pos, &label) ||
+        !GetVarint32(buf, &pos, &node_count)) {
+      return Status::Corruption("spatial sidecar: truncated label header");
+    }
+    if (l > 0 && label <= prev_label) {
+      return Status::Corruption("spatial sidecar: labels out of order");
+    }
+    prev_label = label;
+    if (node_count == 0 ||
+        pos + static_cast<uint64_t>(node_count) * kSidecarNodeSize >
+            buf.size()) {
+      return Status::Corruption("spatial sidecar: truncated nodes");
+    }
+    LabelTree tree;
+    tree.nodes.resize(node_count);
+    std::vector<uint8_t> referenced(node_count, 0);
+    for (uint32_t i = 0; i < node_count; ++i) {
+      const char* p = buf.data() + pos;
+      Node& node = tree.nodes[i];
+      node.entry.lmax = DecodeFixed64(p);
+      node.entry.lmin = DecodeFixed64(p + 8);
+      node.entry.l2 = DecodeFixed64(p + 16);
+      node.entry.seq = DecodeFixed32(p + 24);
+      node.entry.value.ref.doc_id = DecodeFixed32(p + 28);
+      node.entry.value.ref.node_id = DecodeFixed32(p + 32);
+      node.entry.value.clustered_offset = DecodeFixed64(p + 36);
+      const uint32_t left = DecodeFixed32(p + 44);
+      const uint32_t right = DecodeFixed32(p + 48);
+      node.dim = static_cast<uint8_t>(p[52]);
+      pos += kSidecarNodeSize;
+      if (node.dim > 1) {
+        return Status::Corruption("spatial sidecar: bad split dimension");
+      }
+      // Topology: children strictly above their parent and inside the
+      // array (rules out cycles), each referenced at most once.
+      for (uint32_t child : {left, right}) {
+        if (child == kNoChild) continue;
+        if (child <= i || child >= node_count || referenced[child] != 0) {
+          return Status::Corruption("spatial sidecar: bad tree topology");
+        }
+        referenced[child] = 1;
+      }
+      node.left = left == kNoChild ? -1 : static_cast<int32_t>(left);
+      node.right = right == kNoChild ? -1 : static_cast<int32_t>(right);
+    }
+    // Every node except the root (id 0) must be referenced exactly once.
+    for (uint32_t i = 1; i < node_count; ++i) {
+      if (referenced[i] == 0) {
+        return Status::Corruption("spatial sidecar: orphaned node");
+      }
+    }
+    RecomputeBounds(&tree);
+    entries_seen += node_count;
+    probe.per_label_.emplace(label, std::move(tree));
+  }
+  if (pos != buf.size()) {
+    return Status::Corruption("spatial sidecar: trailing bytes");
+  }
+  if (entries_seen != probe.total_) {
+    return Status::Corruption("spatial sidecar: entry count mismatch");
+  }
+  return probe;
+}
+
+Result<SpatialProbe::SidecarInfo> SpatialProbe::InspectSidecar(
+    const std::string& path) {
+  SpatialProbe probe;
+  FIX_ASSIGN_OR_RETURN(probe, LoadSidecar(path, nullptr));
+  SidecarInfo info;
+  info.generation = probe.generation_;
+  info.total = probe.total_;
+  info.labels = static_cast<uint32_t>(probe.per_label_.size());
+  info.bytes = probe.ApproxBytes();
+  return info;
 }
 
 }  // namespace fix

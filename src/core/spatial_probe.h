@@ -1,27 +1,44 @@
 // SpatialProbe: the paper's Section 8 future-work direction — "we also plan
 // to move the index to R-tree or other high-dimensional indexing trees to
 // gain further pruning power" — realized as per-label kd-trees over the
-// feature plane (λ_max, λ₂).
+// feature plane (λ_max, λ₂), promoted to a first-class probe engine
+// (IndexOptions::probe_engine) on the production query path.
 //
-// The containment probe is a dominance query: candidates are entries with
-// λ_max >= a AND λ₂ >= b (a quarter-plane). The B+-tree can only exploit
-// the λ_max half (its sort order) and then filters λ₂ row by row; a kd-tree
-// prunes whole subtrees whose bounding boxes fall outside the quarter-plane,
-// touching far fewer entries for λ₂-selective probes.
+// The containment probe needs entries with λ_max >= a AND λ_min <= c AND
+// (optionally) λ₂ >= b. The B+-tree can only exploit the λ_max half (its
+// sort order) and then filters the rest row by row; a kd-tree prunes whole
+// subtrees whose bounding boxes fall outside the query region, touching far
+// fewer entries for λ₂-selective probes.
 //
-// The structure is built once from an ordered scan of a FIX B+-tree and is
-// immutable (static balanced kd-tree); rebuild after index updates.
+// Ordering contract: all probe output is sorted in encoded-FeatureKey order
+// (label, ord(λ_max), ord(λ_min), ord(λ₂), seq) — byte-identical to what
+// the B+-tree range scan produces, so the two engines are interchangeable
+// under ExecuteMany's deterministic merge. To make that exact, the filter
+// bounds and comparisons live in ord-u64 space (the order-preserving
+// IEEE-754→u64 map of common/bytes.h), the same domain the B+-tree's
+// memcmp filters operate in.
+//
+// The structure is immutable once built (a static balanced kd-tree per
+// label) and is stamped with the B+-tree generation it was built against:
+// FixIndex publishes a fresh shared_ptr per committed generation and pinned
+// readers keep probing their snapshot across COW commits. Persisted as a
+// CRC32C-framed sidecar at <index>.spatial (through the PageIo seam) so
+// reopening an index does not pay the O(n) rebuild.
 
 #ifndef FIX_CORE_SPATIAL_PROBE_H_
 #define FIX_CORE_SPATIAL_PROBE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/feature.h"
 #include "storage/btree.h"
+#include "storage/page_io.h"
 #include "xml/label_table.h"
 
 namespace fix {
@@ -33,43 +50,127 @@ class SpatialProbe {
     IndexValue value;
   };
 
-  /// Builds per-label kd-trees with one scan of the index B+-tree.
+  /// The containment filter in ord-u64 space (`OrderPreservingDouble`).
+  /// Defaults disable each clause: every ord value is >= 0 and <= ~0, so an
+  /// untouched field never rejects an entry. Callers that mirror the
+  /// B+-tree probe must convert bounds with the *same expressions* the
+  /// B+-tree path encodes (e.g. ord(λ_max − ε)) for byte-identical sets.
+  struct Filter {
+    uint64_t min_lmax = 0;                    ///< ord lower bound on λ_max
+    uint64_t max_lmin = ~uint64_t{0};         ///< ord upper bound on λ_min
+    uint64_t min_l2 = 0;                      ///< ord lower bound on λ₂
+  };
+
+  /// Builds per-label kd-trees with one ordered scan of the index B+-tree;
+  /// the result is stamped with the tree's current generation.
   [[nodiscard]] static Result<SpatialProbe> FromBTree(BTree* btree);
 
-  /// All entries with the given root label dominating (a, b):
-  /// λ_max >= a and λ₂ >= b. `visited` (optional) counts kd-tree nodes
-  /// touched — the probe-cost metric the ablation bench reports.
+  /// Builds from an already key-sorted (encoded key, encoded value) stream —
+  /// the exact vector BulkLoad consumes — so a bulk build attaches the
+  /// spatial structure without a second B+-tree scan.
+  [[nodiscard]] static SpatialProbe FromSortedEntries(
+      const std::vector<std::pair<std::string, std::string>>& kv,
+      uint64_t generation);
+
+  /// Appends every entry carrying `label` that passes `filter` to `out`,
+  /// sorted in encoded-key order. `visited` (optional) accumulates kd-tree
+  /// nodes touched — the probe-cost metric (entries_scanned equivalent).
+  void Probe(LabelId label, const Filter& filter, std::vector<Hit>* out,
+             uint64_t* visited = nullptr) const;
+
+  /// Probe over every label, labels ascending (the B+-tree whole-scan
+  /// order for probes that cannot prune on the root label).
+  void ProbeAll(const Filter& filter, std::vector<Hit>* out,
+                uint64_t* visited = nullptr) const;
+
+  /// Legacy dominance query (λ_max >= a AND λ₂ >= b), bounds in double
+  /// space. Kept for the ablation bench and tests that compare against a
+  /// double-compare brute force: ±0 bounds are normalized to −0 before the
+  /// ord conversion so 0.0 == −0.0 holds like it does for doubles.
   std::vector<Hit> Query(LabelId label, double lambda_max_min,
                          double lambda2_min, uint64_t* visited = nullptr) const;
 
   /// Entries stored across all labels.
   uint64_t total() const { return total_; }
 
+  /// The B+-tree generation this structure reflects.
+  uint64_t generation() const { return generation_; }
+
   /// Approximate memory footprint in bytes.
   uint64_t ApproxBytes() const;
 
+  // --- sidecar persistence (<index>.spatial) -------------------------------
+
+  /// What InspectSidecar reports without materializing the trees.
+  struct SidecarInfo {
+    uint64_t generation = 0;
+    uint64_t total = 0;
+    uint32_t labels = 0;
+    uint64_t bytes = 0;
+  };
+
+  /// Writes the structure as a CRC32C-framed sidecar at `path` through the
+  /// PageIo seam (`io_factory` unset => a plain file), truncate-then-write
+  /// plus fsync.
+  [[nodiscard]] Status WriteSidecar(
+      const std::string& path,
+      const std::function<std::unique_ptr<PageIo>()>& io_factory) const;
+
+  /// Reads a sidecar back, validating magic, version, CRC, and tree
+  /// topology (child ids strictly above their parent, each node referenced
+  /// exactly once). Subtree bounds are recomputed, never trusted from disk.
+  /// @return the probe, NotFound if no sidecar exists, or Corruption.
+  [[nodiscard]] static Result<SpatialProbe> LoadSidecar(
+      const std::string& path,
+      const std::function<std::unique_ptr<PageIo>()>& io_factory);
+
+  /// Read-only verification scan for fixdb_scrub: full LoadSidecar
+  /// validation, returning only the header facts.
+  [[nodiscard]] static Result<SidecarInfo> InspectSidecar(
+      const std::string& path);
+
  private:
+  /// One index entry in ord-u64 feature space. u64 comparisons here are
+  /// exactly memcmp on the big-endian encoded key slices.
+  struct Entry {
+    uint64_t lmax = 0;
+    uint64_t lmin = 0;
+    uint64_t l2 = 0;
+    uint32_t seq = 0;
+    IndexValue value;
+  };
+
   struct Node {
-    Hit hit;                 // the splitting entry
-    double max_lambda_max;   // subtree upper bounds (for pruning)
-    double max_lambda2;
+    Entry entry;            // the splitting entry
+    uint64_t max_lmax = 0;  // subtree bounds (for pruning); recomputed on
+    uint64_t max_l2 = 0;    // load, never persisted
+    uint64_t min_lmin = 0;
     int32_t left = -1;
     int32_t right = -1;
-    uint8_t dim = 0;         // 0: split on lambda_max, 1: on lambda2
+    uint8_t dim = 0;  // 0: split on ord(λ_max), 1: on ord(λ₂)
   };
 
+  /// Nodes are laid out so every child id is strictly greater than its
+  /// parent's (the node is appended before its subtrees recurse), and the
+  /// root — when the tree is non-empty — is always node 0. The sidecar
+  /// format leans on both invariants.
   struct LabelTree {
     std::vector<Node> nodes;
-    int32_t root = -1;
   };
 
-  static int32_t BuildRec(std::vector<Hit>& hits, size_t lo, size_t hi,
+  static int32_t BuildRec(std::vector<Entry>& entries, size_t lo, size_t hi,
                           int depth, LabelTree* tree);
-  static void QueryRec(const LabelTree& tree, int32_t node, double a,
-                       double b, std::vector<Hit>* out, uint64_t* visited);
+  static void ProbeRec(const LabelTree& tree, int32_t node, const Filter& f,
+                       std::vector<Entry>* out, uint64_t* visited);
+  static LabelTree BuildTree(std::vector<Entry>& entries);
+  /// Folds subtree bounds bottom-up (children have larger ids).
+  static void RecomputeBounds(LabelTree* tree);
+  void EmitHits(LabelId label, std::vector<Entry>* matches,
+                std::vector<Hit>* out) const;
 
   std::map<LabelId, LabelTree> per_label_;
   uint64_t total_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace fix

@@ -1,0 +1,296 @@
+// Engine-parity property tests for IndexOptions::probe_engine: the kd-tree
+// spatial probe must return candidate sets byte-identical to the B+-tree
+// range scan — same entries, same order — for random twig probes under both
+// sound_probe settings, including exact ε-boundary equality. Plus the
+// snapshot contract: a reader's pinned spatial snapshot stays consistent
+// (same generation, same answers) while COW commits publish new ones.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/corpus.h"
+#include "core/feature.h"
+#include "core/fix_index.h"
+#include "core/spatial_probe.h"
+#include "datagen/datasets.h"
+#include "datagen/query_gen.h"
+#include "query/compile.h"
+#include "query/xpath_parser.h"
+
+namespace fix {
+namespace {
+
+enum class Gen { kTcmd, kDblp, kXMark, kTreebank };
+
+const char* GenName(Gen g) {
+  switch (g) {
+    case Gen::kTcmd: return "tcmd";
+    case Gen::kDblp: return "dblp";
+    case Gen::kXMark: return "xmark";
+    case Gen::kTreebank: return "treebank";
+  }
+  return "?";
+}
+
+// Small deterministic corpora — the generators are seeded, so these double
+// as the "seeded random corpora" of the parity property.
+void MakeCorpus(Gen g, Corpus* corpus) {
+  switch (g) {
+    case Gen::kTcmd: {
+      TcmdOptions o;
+      o.num_docs = 60;
+      GenerateTcmd(corpus, o);
+      break;
+    }
+    case Gen::kDblp: {
+      DblpOptions o;
+      o.num_publications = 120;
+      GenerateDblp(corpus, o);
+      break;
+    }
+    case Gen::kXMark: {
+      XMarkOptions o;
+      o.num_items = 24;
+      o.num_people = 24;
+      o.num_open_auctions = 24;
+      o.num_closed_auctions = 24;
+      o.num_categories = 12;
+      GenerateXMark(corpus, o);
+      break;
+    }
+    case Gen::kTreebank: {
+      TreebankOptions o;
+      o.num_sentences = 60;
+      GenerateTreebank(corpus, o);
+      break;
+    }
+  }
+}
+
+// Byte-exact fingerprint of a candidate list, in result order.
+std::string Fingerprint(const std::vector<FixIndex::Candidate>& candidates) {
+  std::string out;
+  for (const FixIndex::Candidate& c : candidates) {
+    out += EncodeFeatureKey(c.key);
+    char buf[16];
+    std::memcpy(buf, &c.ref.doc_id, 4);
+    std::memcpy(buf + 4, &c.ref.node_id, 4);
+    std::memcpy(buf + 8, &c.clustered_offset, 8);
+    out.append(buf, sizeof(buf));
+  }
+  return out;
+}
+
+std::string TempDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "/fix_probe_engine_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// The parity property: over every dataset generator, with λ₂ filtering on,
+// under both sound_probe settings, and with both root-label modes, the two
+// engines return byte-identical candidates for seeded random twig probes.
+TEST(ProbeEngineParityTest, RandomProbesByteIdenticalAcrossEngines) {
+  for (Gen g : {Gen::kTcmd, Gen::kDblp, Gen::kXMark, Gen::kTreebank}) {
+    for (bool sound : {false, true}) {
+      Corpus corpus;
+      MakeCorpus(g, &corpus);
+      std::string dir = TempDir(std::string(GenName(g)) +
+                                (sound ? "_sound" : "_paper"));
+      IndexOptions options;
+      options.depth_limit = g == Gen::kTcmd ? 0 : 4;
+      options.use_lambda2 = true;
+      options.sound_probe = sound;
+      options.path = dir + "/p.fix";
+      auto index = FixIndex::Build(&corpus, options, nullptr);
+      ASSERT_TRUE(index.ok()) << index.status().ToString();
+      ASSERT_NE(index->spatial_probe(), nullptr);
+
+      QueryGenOptions qopts;
+      qopts.seed = 4242 + static_cast<uint64_t>(g);
+      qopts.max_depth = options.depth_limit > 0 ? options.depth_limit : 5;
+      qopts.rooted = g == Gen::kTcmd;
+      auto queries = GenerateRandomQueries(corpus, 120, qopts);
+      ASSERT_FALSE(queries.empty());
+
+      uint64_t nonempty = 0;
+      for (const TwigQuery& q : queries) {
+        auto parts = DecomposeAtDescendantEdges(q);
+        for (bool use_root_label : {true, false}) {
+          auto by_btree = index->ProbeWithEngine(parts[0], use_root_label,
+                                                 ProbeEngine::kBTree);
+          auto by_kd = index->ProbeWithEngine(parts[0], use_root_label,
+                                              ProbeEngine::kSpatial);
+          ASSERT_TRUE(by_btree.ok());
+          ASSERT_TRUE(by_kd.ok());
+          EXPECT_EQ(by_btree->covered, by_kd->covered);
+          ASSERT_EQ(Fingerprint(by_btree->candidates),
+                    Fingerprint(by_kd->candidates))
+              << GenName(g) << " sound=" << sound
+              << " root_label=" << use_root_label
+              << " query=" << q.ToString();
+          if (use_root_label) nonempty += !by_btree->candidates.empty();
+        }
+      }
+      // The property is vacuous if every probe came back empty.
+      EXPECT_GT(nonempty, 0u) << GenName(g);
+    }
+  }
+}
+
+// ε-boundary equality: filter bounds placed EXACTLY on indexed eigenvalues
+// (the ord-u64 comparisons are inclusive on both engines, so entries sitting
+// on the boundary must appear in both candidate sets).
+TEST(ProbeEngineParityTest, ExactBoundaryMatchesBruteForce) {
+  Corpus corpus;
+  MakeCorpus(Gen::kXMark, &corpus);
+  std::string dir = TempDir("boundary");
+  IndexOptions options;
+  options.depth_limit = 4;
+  options.use_lambda2 = true;
+  options.path = dir + "/b.fix";
+  auto index = FixIndex::Build(&corpus, options, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto spatial = index->spatial_probe();
+  ASSERT_NE(spatial, nullptr);
+
+  // Collect every indexed key once, by scanning the tree.
+  struct Row {
+    FeatureKey key;
+    uint64_t lmax, lmin, l2;
+  };
+  std::vector<Row> rows;
+  auto it = index->btree()->SeekFirst();
+  ASSERT_TRUE(it.ok());
+  while (it->Valid()) {
+    FeatureKey key = DecodeFeatureKey(it->key());
+    rows.push_back({key, OrderPreservingDouble(key.lambda_max),
+                    OrderPreservingDouble(key.lambda_min),
+                    OrderPreservingDouble(key.lambda2)});
+    ASSERT_TRUE(it->Next().ok());
+  }
+  ASSERT_GT(rows.size(), 100u);
+
+  // Use every 37th entry's own eigenvalues as the filter bounds: each clause
+  // sits exactly on that entry's boundary, so inclusivity bugs (>= vs >)
+  // show up as the probe losing the entry itself.
+  for (size_t i = 0; i < rows.size(); i += 37) {
+    const Row& r = rows[i];
+    SpatialProbe::Filter filter;
+    filter.min_lmax = r.lmax;
+    filter.max_lmin = r.lmin;
+    filter.min_l2 = r.l2;
+    std::vector<SpatialProbe::Hit> hits;
+    spatial->Probe(r.key.root_label, filter, &hits);
+
+    std::vector<uint32_t> want;
+    for (const Row& cand : rows) {
+      if (cand.key.root_label != r.key.root_label) continue;
+      if (OrderPreservingDouble(cand.key.lambda_max) < filter.min_lmax ||
+          OrderPreservingDouble(cand.key.lambda_min) > filter.max_lmin ||
+          OrderPreservingDouble(cand.key.lambda2) < filter.min_l2) {
+        continue;
+      }
+      want.push_back(cand.key.seq);
+    }
+    std::vector<uint32_t> got;
+    got.reserve(hits.size());
+    bool found_self = false;
+    for (const SpatialProbe::Hit& h : hits) {
+      got.push_back(h.key.seq);
+      found_self |= h.key.seq == r.key.seq;
+    }
+    // The B+-tree scan above and EmitHits both order by (λ_max, λ_min, λ₂,
+    // seq) within a label, so the sequences must line up exactly.
+    EXPECT_EQ(got, want) << "entry " << i;
+    EXPECT_TRUE(found_self) << "boundary entry " << i << " lost";
+  }
+}
+
+// Snapshot discipline under COW commits: a reader that pinned the spatial
+// snapshot keeps getting answers from the generation it pinned, while the
+// index publishes fresh snapshots as the writer commits.
+TEST(ProbeEngineSnapshotTest, PinnedSnapshotStableAcrossCommits) {
+  Corpus corpus;
+  MakeCorpus(Gen::kDblp, &corpus);
+  std::string dir = TempDir("snapshot");
+  IndexOptions options;
+  options.depth_limit = 4;
+  options.path = dir + "/s.fix";
+  auto built = FixIndex::Build(&corpus, options, nullptr);
+  ASSERT_TRUE(built.ok());
+  FixIndex index = std::move(built).value();
+
+  auto pinned = index.spatial_probe();
+  ASSERT_NE(pinned, nullptr);
+  const uint64_t pinned_gen = pinned->generation();
+  const uint64_t pinned_total = pinned->total();
+  EXPECT_EQ(pinned_gen, index.generation());
+
+  LabelId label = corpus.labels()->Find("inproceedings");
+  ASSERT_NE(label, kInvalidLabel);
+  std::vector<SpatialProbe::Hit> before;
+  pinned->Probe(label, SpatialProbe::Filter{}, &before);
+
+  // Readers hammer their pinned snapshot while the writer commits.
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        std::vector<SpatialProbe::Hit> hits;
+        pinned->Probe(label, SpatialProbe::Filter{}, &hits);
+        if (hits.size() != before.size() ||
+            pinned->generation() != pinned_gen) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  constexpr int kCommits = 6;
+  for (int i = 0; i < kCommits; ++i) {
+    auto id = corpus.AddXml(
+        "<dblp><inproceedings><author>Snap " + std::to_string(i) +
+        "</author><title>T</title></inproceedings></dblp>");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(index.InsertDocument(*id).ok());
+  }
+  stop.store(true);
+  for (std::thread& th : readers) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The pinned snapshot never moved; the published one tracked the commits.
+  EXPECT_EQ(pinned->generation(), pinned_gen);
+  EXPECT_EQ(pinned->total(), pinned_total);
+  auto fresh = index.spatial_probe();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->generation(), index.generation());
+  EXPECT_GT(fresh->total(), pinned_total);
+
+  // And the engines still agree after the commits.
+  auto parsed = ParseXPath("//inproceedings/author");
+  ASSERT_TRUE(parsed.ok());
+  TwigQuery q = std::move(parsed).value();
+  q.ResolveLabels(corpus.labels());
+  auto by_btree =
+      index.ProbeWithEngine(q, true, ProbeEngine::kBTree);
+  auto by_kd =
+      index.ProbeWithEngine(q, true, ProbeEngine::kSpatial);
+  ASSERT_TRUE(by_btree.ok());
+  ASSERT_TRUE(by_kd.ok());
+  EXPECT_EQ(Fingerprint(by_btree->candidates),
+            Fingerprint(by_kd->candidates));
+  EXPECT_FALSE(by_btree->candidates.empty());
+}
+
+}  // namespace
+}  // namespace fix

@@ -1,0 +1,205 @@
+// Fault-injection tests for the spatial-probe sidecar (`<index>.spatial`):
+// a damaged or missing sidecar must never produce wrong answers — opening
+// falls back to the B+-tree probe engine, queries return exactly the
+// baseline results, and the damage is visible to the offline scrub
+// (SpatialProbe::InspectSidecar, the check fixdb_scrub runs). A later COW
+// commit rebuilds and re-persists the sidecar, healing the degradation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/spatial_probe.h"
+
+namespace fix {
+namespace {
+
+class SpatialSidecarTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fix_spatial_sidecar_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+
+    Database db(dir_);
+    for (int i = 0; i < 40; ++i) {
+      auto id = db.AddXml(
+          "<dblp><inproceedings><author>A" + std::to_string(i) +
+          "</author><title>T<i>x</i></title><url>u" + std::to_string(i) +
+          "</url></inproceedings></dblp>");
+      ASSERT_TRUE(id.ok());
+    }
+    ASSERT_TRUE(db.Save().ok());
+    IndexOptions options;
+    options.depth_limit = 4;
+    auto index = db.BuildIndex("main", options);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(std::filesystem::exists(SidecarPath()));
+
+    // Ground truth from the freshly built (spatial-resident) index.
+    baseline_ = RunQuery(&db);
+    ASSERT_FALSE(baseline_.empty());
+  }
+
+  std::string SidecarPath() const { return dir_ + "/main.fix.spatial"; }
+
+  std::vector<NodeRef> RunQuery(Database* db) {
+    std::vector<NodeRef> results;
+    auto stats = db->Query("main", "//inproceedings/title/i", &results);
+    EXPECT_TRUE(stats.ok());
+    return results;
+  }
+
+  /// Reopens the database and checks the invariant this whole test file is
+  /// about: the index attaches healthy (never quarantined for sidecar
+  /// damage), answers match the baseline exactly, and the spatial probe is
+  /// resident iff the sidecar was adoptable.
+  void ExpectFallback(bool expect_spatial) {
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_FALSE((*db)->IsDegraded("main"));
+    FixIndex* index = (*db)->index("main");
+    ASSERT_NE(index, nullptr);
+    if (expect_spatial) {
+      EXPECT_NE(index->spatial_probe(), nullptr);
+    } else {
+      EXPECT_EQ(index->spatial_probe(), nullptr);
+    }
+    auto results = RunQuery(db->get());
+    ASSERT_EQ(results.size(), baseline_.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].doc_id, baseline_[i].doc_id);
+      EXPECT_EQ(results[i].node_id, baseline_[i].node_id);
+    }
+  }
+
+  void CorruptByte(uint64_t offset) {
+    std::fstream f(SidecarPath(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+
+  std::string dir_;
+  std::vector<NodeRef> baseline_;
+};
+
+TEST_F(SpatialSidecarTest, CleanSidecarAdoptedOnOpen) {
+  auto info = SpatialProbe::InspectSidecar(SidecarPath());
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_GT(info->total, 0u);
+  ExpectFallback(/*expect_spatial=*/true);
+}
+
+TEST_F(SpatialSidecarTest, BitFlipInPayloadFallsBackToBTree) {
+  const uint64_t size = std::filesystem::file_size(SidecarPath());
+  CorruptByte(size / 2);  // payload byte → CRC mismatch
+  auto info = SpatialProbe::InspectSidecar(SidecarPath());
+  EXPECT_FALSE(info.ok());
+  EXPECT_FALSE(info.status().IsNotFound());  // scrub reports CORRUPT
+  ExpectFallback(/*expect_spatial=*/false);
+}
+
+TEST_F(SpatialSidecarTest, BitFlipInHeaderFallsBackToBTree) {
+  CorruptByte(1);  // magic byte
+  auto info = SpatialProbe::InspectSidecar(SidecarPath());
+  EXPECT_FALSE(info.ok());
+  EXPECT_FALSE(info.status().IsNotFound());
+  ExpectFallback(/*expect_spatial=*/false);
+}
+
+TEST_F(SpatialSidecarTest, TruncatedPayloadFallsBackToBTree) {
+  const uint64_t size = std::filesystem::file_size(SidecarPath());
+  std::filesystem::resize_file(SidecarPath(), size / 2);
+  auto info = SpatialProbe::InspectSidecar(SidecarPath());
+  EXPECT_FALSE(info.ok());
+  EXPECT_FALSE(info.status().IsNotFound());
+  ExpectFallback(/*expect_spatial=*/false);
+}
+
+TEST_F(SpatialSidecarTest, TruncatedBelowHeaderFallsBackToBTree) {
+  std::filesystem::resize_file(SidecarPath(), 7);
+  auto info = SpatialProbe::InspectSidecar(SidecarPath());
+  EXPECT_FALSE(info.ok());
+  EXPECT_FALSE(info.status().IsNotFound());
+  ExpectFallback(/*expect_spatial=*/false);
+}
+
+TEST_F(SpatialSidecarTest, MissingSidecarIsCleanFallback) {
+  std::filesystem::remove(SidecarPath());
+  auto info = SpatialProbe::InspectSidecar(SidecarPath());
+  EXPECT_FALSE(info.ok());
+  EXPECT_TRUE(info.status().IsNotFound());  // absent is fine, not damage
+  ExpectFallback(/*expect_spatial=*/false);
+}
+
+TEST_F(SpatialSidecarTest, CommitHealsCorruptSidecar) {
+  const uint64_t size = std::filesystem::file_size(SidecarPath());
+  CorruptByte(size / 2);
+  {
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    FixIndex* index = (*db)->index("main");
+    ASSERT_NE(index, nullptr);
+    EXPECT_EQ(index->spatial_probe(), nullptr);  // fell back
+    // One COW commit rebuilds the kd-tree snapshot and re-persists it.
+    auto id = (*db)->AddXml(
+        "<dblp><inproceedings><author>Healer</author>"
+        "<title>H<i>y</i></title></inproceedings></dblp>");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(index->InsertDocument(*id).ok());
+    EXPECT_NE(index->spatial_probe(), nullptr);
+    ASSERT_TRUE((*db)->Save().ok());  // keep corpus and index coverage in step
+  }
+  auto info = SpatialProbe::InspectSidecar(SidecarPath());
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  // Fresh process adopts the healed sidecar again.
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  FixIndex* index = (*db)->index("main");
+  ASSERT_NE(index, nullptr);
+  EXPECT_NE(index->spatial_probe(), nullptr);
+  EXPECT_EQ(index->spatial_probe()->generation(), index->generation());
+}
+
+TEST_F(SpatialSidecarTest, StaleGenerationSidecarIgnored) {
+  // Make the sidecar stale by committing while a copy of the old sidecar
+  // is kept, then restoring it: generation mismatch → B+-tree fallback.
+  const std::string stale_copy = dir_ + "/stale.spatial";
+  std::filesystem::copy_file(SidecarPath(), stale_copy);
+  {
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    FixIndex* index = (*db)->index("main");
+    ASSERT_NE(index, nullptr);
+    auto id = (*db)->AddXml(
+        "<dblp><inproceedings><author>Mover</author>"
+        "<title>M<i>z</i></title></inproceedings></dblp>");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(index->InsertDocument(*id).ok());
+    ASSERT_TRUE((*db)->Save().ok());
+    baseline_.clear();
+    baseline_ = RunQuery(db->get());  // new ground truth post-commit
+  }
+  std::filesystem::copy_file(stale_copy, SidecarPath(),
+                             std::filesystem::copy_options::overwrite_existing);
+  // The stale sidecar parses cleanly (its CRC is intact) but its generation
+  // is behind the B+-tree's — the open must refuse to adopt it.
+  auto info = SpatialProbe::InspectSidecar(SidecarPath());
+  ASSERT_TRUE(info.ok());
+  ExpectFallback(/*expect_spatial=*/false);
+}
+
+}  // namespace
+}  // namespace fix

@@ -15,18 +15,23 @@
 #      torn-tail discard), plus the bench_qps mixed read/write sweep (95/5
 #      and 50/50 commit mixes with p50/p95/p99 and a `.metrics.prom`
 #      snapshot carrying the fix.wal.* counters).
-#   7. a TSan build running the `concurrency` labeled suite (thread pool,
+#   7. the probe-engine parity smoke: the ProbeEngine test suite plus
+#      bench_ablation_spatial, whose FIX_CHECKs abort unless the kd-tree
+#      and B+-tree engines return byte-identical candidate sets on all
+#      four datasets (and whose CSV carries the probe-work A/B numbers).
+#   8. a TSan build running the `concurrency` labeled suite (thread pool,
 #      feature cache, parallel index construction, concurrent queries).
-#   8. the concurrent-query stress test on its own, in both the Release and
+#   9. the concurrent-query stress test on its own, in both the Release and
 #      TSan trees: many threads against one Database, results checked
 #      against single-threaded baselines.
-#   9. fixdb_scrub over every index page file persist_test produced
-#      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step).
-#  10. static-analysis: fixlint (the project-invariant analyzer, see
+#  10. fixdb_scrub over every index page file persist_test produced
+#      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step); the
+#      scrub also checks each index's `.spatial` sidecar.
+#  11. static-analysis: fixlint (the project-invariant analyzer, see
 #      docs/STATIC_ANALYSIS.md) over the whole tree plus the `lint` ctest
 #      label, and — when clang++ is installed — a FIX_THREAD_SAFETY=ON
 #      build that turns the thread-safety annotations into compile errors.
-#  11. docs-check: every relative markdown link in the repo's *.md files
+#  12. docs-check: every relative markdown link in the repo's *.md files
 #      must resolve, and the documented headers must keep their
 #      thread-safety contracts (plain grep/awk — no extra tooling).
 #
@@ -40,15 +45,15 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BASE_REF="${1:-origin/main}"
 
-echo "=== [1/11] Release build (FIX_WERROR=ON) ==="
+echo "=== [1/12] Release build (FIX_WERROR=ON) ==="
 cmake -B build -S . -DFIX_WERROR=ON
 cmake --build build -j "$JOBS"
 
-echo "=== [2/11] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
+echo "=== [2/12] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
 cmake -B build-asan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 
-echo "=== [3/11] clang-tidy on changed files ==="
+echo "=== [3/12] clang-tidy on changed files ==="
 if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
   BASE_REF="HEAD~1"
 fi
@@ -63,16 +68,16 @@ else
   tools/run_clang_tidy.sh build
 fi
 
-echo "=== [4/11] Tests ==="
+echo "=== [4/12] Tests ==="
 (cd build-asan && ctest -L sanitizer-clean --output-on-failure)
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "=== [5/11] Fault-injection suite (Release + ASan) ==="
+echo "=== [5/12] Fault-injection suite (Release + ASan) ==="
 (cd build && ctest -L fault-injection --output-on-failure -j "$JOBS")
 (cd build-asan && ctest -L fault-injection --output-on-failure -j "$JOBS")
 
-echo "=== [6/11] WAL crash loop + mixed read/write bench ==="
+echo "=== [6/12] WAL crash loop + mixed read/write bench ==="
 # The COW+WAL acceptance loop on its own: FaultInjectionPageIo crashes the
 # data file and the log at every write index of an InsertDocument commit,
 # plus the fsync fail-stop latch, the torn-tail discard, and the online
@@ -89,7 +94,17 @@ cmake --build build -j "$JOBS" --target bench_qps
 (cd build/bench && ./bench_qps)
 grep -q '^fix_wal_appends [1-9]' build/bench/bench_qps.csv.metrics.prom
 
-echo "=== [7/11] TSan build + concurrency/observability suites ==="
+echo "=== [7/12] Probe-engine parity smoke ==="
+# Both probe engines must return byte-identical candidate sets through the
+# production ProbeWithEngine entry point. The property test covers seeded
+# random corpora under both sound_probe settings including ε boundary
+# cases; the ablation bench then FIX_CHECKs candidate parity on all four
+# datasets at benchmark scale while measuring the probe-work ratio.
+(cd build && ctest -R '^ProbeEngine' --output-on-failure -j "$JOBS")
+cmake --build build -j "$JOBS" --target bench_ablation_spatial
+(cd build/bench && ./bench_ablation_spatial)
+
+echo "=== [8/12] TSan build + concurrency/observability suites ==="
 cmake -B build-tsan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest -L concurrency --output-on-failure -j "$JOBS")
@@ -97,7 +112,7 @@ cmake --build build-tsan -j "$JOBS"
 # the observability label also runs in the Release tree via stage 4.
 (cd build-tsan && ctest -L observability --output-on-failure -j "$JOBS")
 
-echo "=== [8/11] Concurrent-query stress (Release + TSan) ==="
+echo "=== [9/12] Concurrent-query stress (Release + TSan) ==="
 # The data-race canary for the whole read path: many threads through one
 # Database (lock-striped buffer pool, shared B+-tree, plan cache) with
 # results diffed against single-threaded baselines. TSan turns a silent
@@ -106,7 +121,7 @@ echo "=== [8/11] Concurrent-query stress (Release + TSan) ==="
 (cd build-tsan && ctest -R '^ConcurrentQueryTest' --output-on-failure \
     -j "$JOBS")
 
-echo "=== [9/11] Scrub of persist_test databases ==="
+echo "=== [10/12] Scrub of persist_test databases ==="
 SCRUB_DIR="$(mktemp -d)"
 trap 'rm -rf "$SCRUB_DIR"' EXIT
 (cd build && FIX_PERSIST_TEST_DIR="$SCRUB_DIR" ctest -R '^PersistTest' \
@@ -118,7 +133,7 @@ if [ "${#INDEX_FILES[@]}" -eq 0 ]; then
 fi
 build/tools/fixdb_scrub "${INDEX_FILES[@]}"
 
-echo "=== [10/11] static-analysis: fixlint + thread-safety annotations ==="
+echo "=== [11/12] static-analysis: fixlint + thread-safety annotations ==="
 # fixlint enforces the project invariants a generic linter cannot know
 # (lock order vs ARCHITECTURE.md, metric/options doc drift, RAII-only
 # locking, banned functions, include guards); one finding fails CI. See
@@ -137,7 +152,7 @@ else
       "build (the annotations are only verifiable under clang)."
 fi
 
-echo "=== [11/11] docs-check ==="
+echo "=== [12/12] docs-check ==="
 # Every relative link in tracked markdown must resolve. grep emits
 # `file:](target)`; the loop strips the wrapper, drops externals and pure
 # anchors, and resolves the rest against the linking file's directory.
