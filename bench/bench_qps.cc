@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "harness.h"
+#include "server/client.h"
 
 namespace fix::bench {
 namespace {
@@ -304,10 +306,164 @@ void Run() {
   }
 }
 
+/// Remote sweep against a running fixd server (`--remote host:port`). The
+/// server must serve the default-scale DBLP corpus with the paper's depth
+/// limit (`fixctl gen DIR dblp` + `fixctl build DIR --depth 6` — the
+/// generators are deterministic, so that corpus is identical to
+/// BuildCorpus(kDblp) here, and depth 6 matches BuildFix's ground-truth
+/// index: result bytes include ordering, which follows candidate order). The sweep first proves the
+/// wire path is lossless — every QUERY and QUERY_BATCH result vector must
+/// be byte-identical to an in-process execution over the same corpus —
+/// then measures end-to-end QPS and tail latency across 1/2/4/8 client
+/// connections, each thread owning one FixdClient (one request in flight
+/// per connection, matching the server's model).
+void RunRemote(const std::string& address) {
+  const Workload& w = kWorkloads[0];
+  FIX_CHECK(w.data == DataSet::kDblp);
+
+  Report report("bench_qps_remote");
+  report.Note("Network sweep against fixd at " + address +
+              "; per-op latency includes wire framing, one TCP round "
+              "trip, and server-side dispatch.");
+  report.Note("Every response is checked byte-identical to an in-process "
+              "execution over the same deterministic DBLP corpus.");
+
+  // In-process ground truth: same corpus, same workload, local execution.
+  std::unique_ptr<Corpus> corpus = BuildCorpus(w.data);
+  Result<FixIndex> index = BuildFix(corpus.get(), w.data,
+                                    /*clustered=*/false, 0, nullptr,
+                                    "qps_remote");
+  FIX_CHECK(index.ok());
+  std::vector<std::string> xpaths(w.xpaths.begin(), w.xpaths.end());
+  std::vector<std::vector<NodeRef>> expected(xpaths.size());
+  {
+    FixQueryProcessor proc(corpus.get(), &*index);
+    for (size_t i = 0; i < xpaths.size(); ++i) {
+      TwigQuery q = Compile(corpus.get(), xpaths[i]);
+      // kPerCandidate is what Database::Query runs server-side (and what
+      // ExecuteMany's deterministic merge reproduces), so the comparison
+      // below is order-sensitive byte equality, not just set equality.
+      auto s = proc.Execute(q, &expected[i], RefineMode::kPerCandidate);
+      FIX_CHECK(s.ok());
+    }
+  }
+
+  auto same = [](const std::vector<wire::WireNodeRef>& got,
+                 const std::vector<NodeRef>& want) {
+    if (got.size() != want.size()) return false;
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (got[i].doc_id != want[i].doc_id ||
+          got[i].node_id != want[i].node_id) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Parity phase: single QUERYs plus one QUERY_BATCH with server-side
+  // fan-out; a mismatch is a wire-protocol or server-dispatch bug, so it
+  // aborts the benchmark rather than producing numbers for a broken path.
+  {
+    auto client = server::FixdClient::Connect(address);
+    FIX_CHECK(client.ok());
+    for (size_t i = 0; i < xpaths.size(); ++i) {
+      auto outcome = (*client)->Query("main", xpaths[i]);
+      FIX_CHECK(outcome.ok());
+      FIX_CHECK(same(outcome->results, expected[i]));
+    }
+    auto batch = (*client)->QueryBatch("main", xpaths, /*threads=*/2);
+    FIX_CHECK(batch.ok());
+    FIX_CHECK(batch->size() == xpaths.size());
+    for (size_t i = 0; i < xpaths.size(); ++i) {
+      FIX_CHECK((*batch)[i].code == wire::Code::kOk);
+      FIX_CHECK(same((*batch)[i].results, expected[i]));
+    }
+    report.Note("parity: " + std::to_string(xpaths.size()) +
+                " QUERY + 1 QUERY_BATCH byte-identical to in-process");
+  }
+
+  report.Section("remote concurrent reads: " +
+                 std::string(DataSetName(w.data)));
+  report.Header({"dataset", "transport", "threads", "ops", "wall_ms", "qps",
+                 "p50_ms", "p95_ms", "p99_ms", "results_per_pass"});
+  uint64_t expected_per_pass = 0;
+  for (const std::vector<NodeRef>& v : expected) expected_per_pass += v.size();
+
+  for (int n : kThreadCounts) {
+    const int ops_per_thread =
+        kRoundsPerThread * static_cast<int>(xpaths.size());
+    std::vector<std::vector<double>> lat_ms(n);
+    std::atomic<int> failures{0};
+
+    Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (int t = 0; t < n; ++t) {
+      threads.emplace_back([&, t] {
+        auto client = server::FixdClient::Connect(address);
+        if (!client.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        lat_ms[t].reserve(ops_per_thread);
+        for (int round = 0; round < kRoundsPerThread; ++round) {
+          for (size_t i = 0; i < xpaths.size(); ++i) {
+            Timer timer;
+            auto outcome = (*client)->Query("main", xpaths[i]);
+            lat_ms[t].push_back(timer.ElapsedMillis());
+            if (!outcome.ok() || !same(outcome->results, expected[i])) {
+              failures.fetch_add(1);
+              return;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    const double wall_ms = wall.ElapsedMillis();
+    FIX_CHECK(failures.load() == 0);
+
+    std::vector<double> merged;
+    merged.reserve(static_cast<size_t>(n) * ops_per_thread);
+    for (const std::vector<double>& v : lat_ms) {
+      merged.insert(merged.end(), v.begin(), v.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    const uint64_t ops = merged.size();
+    char qps_s[32];
+    std::snprintf(qps_s, sizeof(qps_s), "%.1f",
+                  wall_ms > 0 ? ops / (wall_ms / 1000.0) : 0.0);
+    report.Row({DataSetName(w.data), "fixd", std::to_string(n), Num(ops),
+                Ms(wall_ms), qps_s, Ms(Percentile(merged, 50)),
+                Ms(Percentile(merged, 95)), Ms(Percentile(merged, 99)),
+                Num(expected_per_pass)});
+  }
+}
+
 }  // namespace
 }  // namespace fix::bench
 
-int main() {
-  fix::bench::Run();
+int main(int argc, char** argv) {
+  std::string remote;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--remote=", 0) == 0) {
+      remote = arg.substr(std::strlen("--remote="));
+    } else if (arg == "--remote" && i + 1 < argc) {
+      remote = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--remote host:port]\n"
+                   "  (no flags: in-process sweeps; --remote: network sweep "
+                   "against a fixd serving the default DBLP corpus)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (remote.empty()) {
+    fix::bench::Run();
+  } else {
+    fix::bench::RunRemote(remote);
+  }
   return 0;
 }

@@ -27,8 +27,10 @@
 #include "core/metrics.h"
 #include "core/persist.h"
 #include "datagen/datasets.h"
+#include "common/timer.h"
 #include "fixctl_cli.h"
 #include "query/xpath_parser.h"
+#include "server/client.h"
 #include "storage/wal.h"
 #include "xml/doc_stats.h"
 
@@ -147,6 +149,50 @@ int CmdBuild(const std::string& dir, int argc, char** argv) {
   }
   std::printf("); %llu oversized pattern(s)\n",
               static_cast<unsigned long long>(stats.oversized_patterns));
+  return 0;
+}
+
+int CmdPing(const std::string& address) {
+  fix::Timer timer;
+  auto client = fix::server::FixdClient::Connect(address);
+  if (!client.ok()) return Fail(client.status());
+  if (auto s = (*client)->Ping(); !s.ok()) return Fail(s);
+  std::printf("PONG from %s (%.2f ms)\n", address.c_str(),
+              timer.ElapsedMillis());
+  return 0;
+}
+
+/// Remote query: ships the XPath to a fixd server and prints the wire
+/// outcome. The server owns parsing and execution, so --explain/--metrics
+/// (local index introspection) do not apply here; results are printed as
+/// (doc, node) pairs — label names live in the server's corpus.
+int CmdQueryRemote(const std::string& address, const std::string& xpath) {
+  auto client = fix::server::FixdClient::Connect(address);
+  if (!client.ok()) return Fail(client.status());
+  auto outcome = (*client)->Query("main", xpath);
+  if (!outcome.ok()) return Fail(outcome.status());
+  std::printf("%llu result(s); candidates %llu%s%s\n",
+              static_cast<unsigned long long>(outcome->result_count),
+              static_cast<unsigned long long>(outcome->candidates),
+              outcome->used_index ? "" : " [full-scan fallback]",
+              outcome->degraded ? " [index degraded]" : "");
+  size_t shown = 0;
+  for (const fix::wire::WireNodeRef& ref : outcome->results) {
+    if (shown++ == 10) {
+      std::printf("  ... (%zu more)\n", outcome->results.size() - 10);
+      break;
+    }
+    std::printf("  doc %u node %u\n", ref.doc_id, ref.node_id);
+  }
+  return 0;
+}
+
+int CmdStatsRemote(const std::string& address) {
+  auto client = fix::server::FixdClient::Connect(address);
+  if (!client.ok()) return Fail(client.status());
+  auto text = (*client)->Stats();
+  if (!text.ok()) return Fail(text.status());
+  std::printf("%s", text->c_str());
   return 0;
 }
 
@@ -320,7 +366,24 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string cmd = argv[1];
   std::string dir = argv[2];
-  std::filesystem::create_directories(dir);
+  if (cmd == "ping") {
+    // The operand is host:port, not a directory — no filesystem touch.
+    if (argc != 3) return Usage();
+    return CmdPing(dir);
+  }
+  // Remote query/stats never open <dir>; creating it would be a
+  // surprising side effect, so scan for --remote before touching disk.
+  std::string remote;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--remote=";
+    if (arg.rfind(prefix, 0) == 0) {
+      remote = arg.substr(prefix.size());
+    } else if (arg == "--remote" && i + 1 < argc) {
+      remote = argv[i + 1];
+    }
+  }
+  if (remote.empty()) std::filesystem::create_directories(dir);
   if (cmd == "gen" && argc >= 4) {
     return CmdGen(dir, argv[3], argc >= 5 ? std::atof(argv[4]) : 1.0);
   }
@@ -342,6 +405,7 @@ int main(int argc, char** argv) {
         threads = std::atoi(arg.c_str() + tprefix.size());
         continue;
       }
+      if (arg.rfind("--remote=", 0) == 0) continue;  // consumed above
       if (fixctl::FindFlag(*spec, argv[i]) == nullptr) return Usage();
       if (arg == "--explain") explain = true;
       if (arg == "--metrics") metrics = true;
@@ -349,6 +413,16 @@ int main(int argc, char** argv) {
         if (i + 1 >= argc) return Usage();
         threads = std::atoi(argv[++i]);
       }
+      if (arg == "--remote") ++i;  // value consumed above
+    }
+    if (!remote.empty()) {
+      if (explain || metrics || threads != 1) {
+        std::fprintf(stderr,
+                     "fixctl query: --explain/--metrics/--threads are local "
+                     "index options; not valid with --remote\n");
+        return Usage();
+      }
+      return CmdQueryRemote(remote, argv[3]);
     }
     return CmdQuery(dir, argv[3], explain, metrics, threads);
   }
@@ -360,12 +434,17 @@ int main(int argc, char** argv) {
       const std::string prefix = "--format=";
       if (arg.rfind(prefix, 0) == 0) {
         format = arg.substr(prefix.size());
+      } else if (arg.rfind("--remote=", 0) == 0) {
+        continue;  // consumed by the pre-scan above
       } else if (fixctl::FindFlag(*spec, arg) != nullptr && i + 1 < argc) {
-        format = argv[++i];
+        const char* value = argv[++i];
+        if (arg == "--format") format = value;
+        // --remote's value was consumed by the pre-scan above.
       } else {
         return Usage();
       }
     }
+    if (!remote.empty()) return CmdStatsRemote(remote);
     return CmdStats(dir, format);
   }
   if (cmd == "wal") {

@@ -24,11 +24,15 @@ const CliFlag kQueryFlags[] = {
     {"--metrics", nullptr, "dump the metrics registry after the query"},
     {"--threads", "N",
      "parallelize candidate refinement over N threads (0 = all cores)"},
+    {"--remote", "host:port",
+     "execute on a running fixd server instead of opening <dir>"},
 };
 
 const CliFlag kStatsFlags[] = {
     {"--format", "human|prom",
      "output format: fixed-width table (default) or Prometheus text"},
+    {"--remote", "host:port",
+     "scrape a running fixd server's live metrics (Prometheus text)"},
 };
 
 const CliCommand kCommands[] = {
@@ -45,6 +49,8 @@ const CliCommand kCommands[] = {
     {"wal", "<dir>",
      "inspect the index write-ahead log (records, last committed "
      "generation, torn tail)",
+     nullptr, 0},
+    {"ping", "<host:port>", "round-trip a PING against a fixd server",
      nullptr, 0},
     {"help", "", "print this help", nullptr, 0},
 };

@@ -1,0 +1,216 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fix {
+namespace net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Resolves the narrow address vocabulary this module supports: dotted
+/// IPv4 literals plus "localhost". No DNS — fixd is a loopback/numeric
+/// deployment and a resolver dependency would drag blocking lookups into
+/// the event loop.
+Status ResolveIpv4(const std::string& host, struct in_addr* out) {
+  std::string h = host.empty() ? "0.0.0.0" : host;
+  if (h == "localhost") h = "127.0.0.1";
+  if (inet_pton(AF_INET, h.c_str(), out) != 1) {
+    return Status::InvalidArgument("net: not a numeric IPv4 address: '" +
+                                   host + "'");
+  }
+  return Status::OK();
+}
+
+/// Waits for readiness. `events` is POLLIN or POLLOUT; timeout_ms <= 0
+/// blocks forever. Returns OK when ready, Unavailable on timeout.
+Status PollFor(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::Unavailable("net: socket timeout");
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("poll"));
+  }
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ParseHostPort(std::string_view address, std::string* host,
+                     uint16_t* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return Status::InvalidArgument("net: expected host:port, got '" +
+                                   std::string(address) + "'");
+  }
+  std::string_view port_part = address.substr(colon + 1);
+  uint32_t value = 0;
+  for (char c : port_part) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("net: bad port in '" +
+                                     std::string(address) + "'");
+    }
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+    if (value > 65535) {
+      return Status::InvalidArgument("net: port out of range in '" +
+                                     std::string(address) + "'");
+    }
+  }
+  if (value == 0) {
+    return Status::InvalidArgument("net: port 0 is not connectable in '" +
+                                   std::string(address) + "'");
+  }
+  *host = std::string(address.substr(0, colon));
+  *port = static_cast<uint16_t>(value);
+  return Status::OK();
+}
+
+Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  FIX_RETURN_IF_ERROR(ResolveIpv4(host, &addr.sin_addr));
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Status::IOError(Errno("setsockopt(SO_REUSEADDR)"));
+  }
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError(Errno("bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IOError(Errno("listen"));
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(const Fd& fd) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return Status::IOError(Errno("getsockname"));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port,
+                      int timeout_ms) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  FIX_RETURN_IF_ERROR(ResolveIpv4(host, &addr.sin_addr));
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+
+  // Connect non-blocking so the handshake honors the deadline, then flip
+  // back: the request/response helpers below use per-call poll deadlines
+  // on a blocking socket.
+  FIX_RETURN_IF_ERROR(SetNonBlocking(fd.get(), true));
+  int rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    return Status::IOError(Errno("connect"));
+  }
+  if (rc != 0) {
+    FIX_RETURN_IF_ERROR(PollFor(fd.get(), POLLOUT, timeout_ms));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Status::IOError(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      return Status::IOError(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  FIX_RETURN_IF_ERROR(SetNonBlocking(fd.get(), false));
+  int one = 1;
+  if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) !=
+      0) {
+    return Status::IOError(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return fd;
+}
+
+Status SetNonBlocking(int fd, bool enable) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::IOError(Errno("fcntl(F_GETFL)"));
+  int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) != 0) {
+    return Status::IOError(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::OK();
+}
+
+Status SendAll(int fd, std::string_view data, int timeout_ms) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      FIX_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(Errno("send"));
+  }
+  return Status::OK();
+}
+
+Status RecvExact(int fd, void* buf, size_t len, int timeout_ms) {
+  char* out = static_cast<char*>(buf);
+  size_t off = 0;
+  while (off < len) {
+    // Wait for readability first: on a blocking socket a bare recv() would
+    // ignore the deadline entirely.
+    FIX_RETURN_IF_ERROR(PollFor(fd, POLLIN, timeout_ms));
+    ssize_t n = ::recv(fd, out + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::IOError("net: connection closed by peer");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::IOError(Errno("recv"));
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace fix

@@ -1,0 +1,107 @@
+// Minimal POSIX TCP utilities for the fixd network service and its
+// clients: an RAII file descriptor, listen/connect helpers, and blocking
+// send/receive with poll-based deadlines.
+//
+// Scope is deliberately narrow — numeric IPv4 addresses (plus the literal
+// "localhost") over TCP, which is everything the loopback-oriented fixd
+// deployment model needs (see docs/FIXD.md). Every call loops on EINTR;
+// the timed I/O helpers never busy-wait (they poll for readiness) and
+// treat a peer close as an error rather than a short count, so callers
+// only ever see whole reads and whole writes.
+//
+// Thread-safety: free functions are thread-safe; an Fd (like the raw
+// descriptor it owns) must not be operated on concurrently from two
+// threads except where the caller provides ordering. The fixd server
+// confines each descriptor to its event loop; FixdClient confines its
+// socket to one caller at a time (see client.h).
+
+#ifndef FIX_COMMON_NET_H_
+#define FIX_COMMON_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fix {
+namespace net {
+
+/// Owning wrapper for a file descriptor: closes on destruction, move-only.
+/// An Fd can be empty (valid() == false); releasing or moving from one
+/// leaves it empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Transfers ownership to the caller.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes now (idempotent; EINTR is not retried per POSIX close rules).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Splits "host:port". The host part may be empty ("":8080 is rejected);
+/// port must parse as 1..65535.
+[[nodiscard]] Status ParseHostPort(std::string_view address,
+                                   std::string* host, uint16_t* port);
+
+/// Opens a TCP listener bound to `host:port` (port 0 = kernel-assigned;
+/// read it back with LocalPort). SO_REUSEADDR is set so restarts do not
+/// trip over TIME_WAIT. The socket is returned in blocking mode.
+[[nodiscard]] Result<Fd> ListenTcp(const std::string& host, uint16_t port,
+                                   int backlog);
+
+/// The port a bound socket actually listens on.
+[[nodiscard]] Result<uint16_t> LocalPort(const Fd& fd);
+
+/// Connects to `host:port`, waiting at most `timeout_ms` for the handshake
+/// (<= 0 means block indefinitely). The socket is returned in blocking
+/// mode with TCP_NODELAY set (the wire protocol is request/response).
+[[nodiscard]] Result<Fd> ConnectTcp(const std::string& host, uint16_t port,
+                                    int timeout_ms);
+
+/// Switches O_NONBLOCK on or off.
+[[nodiscard]] Status SetNonBlocking(int fd, bool enable);
+
+/// Writes all of `data`, polling for writability between partial sends.
+/// `timeout_ms` bounds the time spent waiting for the socket to accept
+/// more bytes (per poll, not cumulative; <= 0 waits forever).
+[[nodiscard]] Status SendAll(int fd, std::string_view data, int timeout_ms);
+
+/// Reads exactly `len` bytes into `buf` under the same deadline rules.
+/// A peer close before `len` bytes arrive returns IOError("connection
+/// closed").
+[[nodiscard]] Status RecvExact(int fd, void* buf, size_t len,
+                               int timeout_ms);
+
+}  // namespace net
+}  // namespace fix
+
+#endif  // FIX_COMMON_NET_H_

@@ -1,0 +1,377 @@
+#include "common/wire.h"
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+
+namespace fix {
+namespace wire {
+
+namespace {
+
+// Decode helpers. Each validates against the remaining payload before
+// consuming, so truncated or hostile frames fail cleanly instead of
+// over-reading or over-allocating.
+
+bool GetU8(std::string_view buf, size_t* pos, uint8_t* out) {
+  if (*pos + 1 > buf.size()) return false;
+  *out = static_cast<uint8_t>(buf[*pos]);
+  *pos += 1;
+  return true;
+}
+
+bool GetU32(std::string_view buf, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > buf.size()) return false;
+  *out = DecodeFixed32(buf.data() + *pos);
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(std::string_view buf, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > buf.size()) return false;
+  *out = DecodeFixed64(buf.data() + *pos);
+  *pos += 8;
+  return true;
+}
+
+void PutString(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s);
+}
+
+bool GetString(std::string_view buf, size_t* pos, std::string* out) {
+  uint32_t len = 0;
+  if (!GetU32(buf, pos, &len)) return false;
+  if (len > buf.size() - *pos) return false;  // length check, no overflow
+  out->assign(buf.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+Status Truncated(const char* what) {
+  return Status::ParseError(std::string("wire: truncated ") + what);
+}
+
+Status Trailing(const char* what) {
+  return Status::ParseError(std::string("wire: trailing bytes after ") +
+                            what);
+}
+
+void EncodeOutcomeBody(const QueryOutcome& o, std::string* payload) {
+  uint8_t flags = (o.used_index ? 0x01 : 0) | (o.degraded ? 0x02 : 0);
+  payload->push_back(static_cast<char>(flags));
+  PutFixed64(payload, o.candidates);
+  PutFixed64(payload, o.result_count);
+  PutFixed32(payload, static_cast<uint32_t>(o.results.size()));
+  for (const WireNodeRef& r : o.results) {
+    PutFixed32(payload, r.doc_id);
+    PutFixed32(payload, r.node_id);
+  }
+}
+
+Status DecodeOutcomeBody(std::string_view payload, size_t* pos,
+                         QueryOutcome* o) {
+  uint8_t flags = 0;
+  uint32_t count = 0;
+  if (!GetU8(payload, pos, &flags) || !GetU64(payload, pos, &o->candidates) ||
+      !GetU64(payload, pos, &o->result_count) ||
+      !GetU32(payload, pos, &count)) {
+    return Truncated("query outcome");
+  }
+  o->used_index = (flags & 0x01) != 0;
+  o->degraded = (flags & 0x02) != 0;
+  if (count > (payload.size() - *pos) / 8) {
+    return Truncated("query result rows");
+  }
+  o->results.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t doc = 0, node = 0;
+    if (!GetU32(payload, pos, &doc) || !GetU32(payload, pos, &node)) {
+      return Truncated("query result row");
+    }
+    o->results[i] = WireNodeRef{doc, node};
+  }
+  return Status::OK();
+}
+
+/// One QueryOutcome, its own leading code byte (batch element form).
+void EncodeOutcome(const QueryOutcome& o, std::string* payload) {
+  payload->push_back(static_cast<char>(o.code));
+  if (o.code != Code::kOk) {
+    PutString(payload, o.error);
+    return;
+  }
+  EncodeOutcomeBody(o, payload);
+}
+
+Status DecodeOutcome(std::string_view payload, size_t* pos,
+                     QueryOutcome* o) {
+  uint8_t code = 0;
+  if (!GetU8(payload, pos, &code)) return Truncated("outcome code");
+  o->code = static_cast<Code>(code);
+  if (o->code != Code::kOk) {
+    if (!GetString(payload, pos, &o->error)) {
+      return Truncated("outcome error message");
+    }
+    return Status::OK();
+  }
+  return DecodeOutcomeBody(payload, pos, o);
+}
+
+}  // namespace
+
+bool IsKnownOp(uint8_t type) {
+  switch (static_cast<Op>(type & ~kResponseBit)) {
+    case Op::kPing:
+    case Op::kQuery:
+    case Op::kQueryBatch:
+    case Op::kInsert:
+    case Op::kStats:
+      return true;
+  }
+  return false;
+}
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "Ok";
+    case Code::kBadFrame: return "BadFrame";
+    case Code::kBadRequest: return "BadRequest";
+    case Code::kNotFound: return "NotFound";
+    case Code::kParseError: return "ParseError";
+    case Code::kOverloaded: return "Overloaded";
+    case Code::kShuttingDown: return "ShuttingDown";
+    case Code::kInternal: return "Internal";
+    case Code::kIOError: return "IOError";
+  }
+  return "Unknown";
+}
+
+Code CodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return Code::kOk;
+    case StatusCode::kNotFound: return Code::kNotFound;
+    case StatusCode::kParseError: return Code::kParseError;
+    case StatusCode::kUnavailable: return Code::kOverloaded;
+    case StatusCode::kIOError:
+    case StatusCode::kCorruption: return Code::kIOError;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange: return Code::kBadRequest;
+    case StatusCode::kNotSupported:
+    case StatusCode::kInternal: return Code::kInternal;
+  }
+  return Code::kInternal;
+}
+
+void AppendFrame(uint8_t type, std::string_view payload, std::string* out) {
+  out->push_back(kMagic0);
+  out->push_back(kMagic1);
+  out->push_back(static_cast<char>(kProtocolVersion));
+  out->push_back(static_cast<char>(type));
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(out, Crc32c(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+FrameReader::Outcome FrameReader::Next(Frame* frame, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = "wire: stream already lost sync";
+    return Outcome::kBad;
+  }
+  if (buf_.size() < kHeaderSize) return Outcome::kNeedMore;
+  auto bad = [&](const std::string& why) {
+    poisoned_ = true;
+    if (error != nullptr) *error = why;
+    return Outcome::kBad;
+  };
+  if (buf_[0] != kMagic0 || buf_[1] != kMagic1) {
+    return bad("wire: bad magic");
+  }
+  uint8_t version = static_cast<uint8_t>(buf_[2]);
+  if (version != kProtocolVersion) {
+    return bad("wire: unsupported protocol version " +
+               std::to_string(version));
+  }
+  uint32_t payload_len = DecodeFixed32(buf_.data() + 4);
+  if (payload_len > kMaxPayload) {
+    return bad("wire: payload length " + std::to_string(payload_len) +
+               " exceeds limit");
+  }
+  if (buf_.size() < kHeaderSize + payload_len) return Outcome::kNeedMore;
+  uint32_t want_crc = DecodeFixed32(buf_.data() + 8);
+  uint32_t got_crc = Crc32c(buf_.data() + kHeaderSize, payload_len);
+  if (want_crc != got_crc) {
+    return bad("wire: payload CRC mismatch");
+  }
+  frame->type = static_cast<uint8_t>(buf_[3]);
+  frame->payload.assign(buf_, kHeaderSize, payload_len);
+  buf_.erase(0, kHeaderSize + payload_len);
+  return Outcome::kFrame;
+}
+
+void EncodeQueryRequest(const QueryRequest& req, std::string* payload) {
+  PutString(payload, req.index);
+  PutString(payload, req.xpath);
+}
+
+Status DecodeQueryRequest(std::string_view payload, QueryRequest* req) {
+  size_t pos = 0;
+  if (!GetString(payload, &pos, &req->index) ||
+      !GetString(payload, &pos, &req->xpath)) {
+    return Truncated("QUERY request");
+  }
+  if (pos != payload.size()) return Trailing("QUERY request");
+  return Status::OK();
+}
+
+void EncodeQueryBatchRequest(const QueryBatchRequest& req,
+                             std::string* payload) {
+  PutString(payload, req.index);
+  PutFixed32(payload, req.threads);
+  PutFixed32(payload, static_cast<uint32_t>(req.xpaths.size()));
+  for (const std::string& xpath : req.xpaths) PutString(payload, xpath);
+}
+
+Status DecodeQueryBatchRequest(std::string_view payload,
+                               QueryBatchRequest* req) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!GetString(payload, &pos, &req->index) ||
+      !GetU32(payload, &pos, &req->threads) ||
+      !GetU32(payload, &pos, &count)) {
+    return Truncated("QUERY_BATCH request");
+  }
+  // Each xpath costs at least its 4-byte length prefix.
+  if (count > (payload.size() - pos) / 4) {
+    return Truncated("QUERY_BATCH xpath list");
+  }
+  req->xpaths.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!GetString(payload, &pos, &req->xpaths[i])) {
+      return Truncated("QUERY_BATCH xpath");
+    }
+  }
+  if (pos != payload.size()) return Trailing("QUERY_BATCH request");
+  return Status::OK();
+}
+
+void EncodeInsertRequest(const InsertRequest& req, std::string* payload) {
+  PutString(payload, req.index);
+  PutString(payload, req.xml);
+}
+
+Status DecodeInsertRequest(std::string_view payload, InsertRequest* req) {
+  size_t pos = 0;
+  if (!GetString(payload, &pos, &req->index) ||
+      !GetString(payload, &pos, &req->xml)) {
+    return Truncated("INSERT request");
+  }
+  if (pos != payload.size()) return Trailing("INSERT request");
+  return Status::OK();
+}
+
+void EncodeErrorResponse(Code code, std::string_view message,
+                         std::string* payload) {
+  payload->push_back(static_cast<char>(code));
+  PutString(payload, message);
+}
+
+Status DecodeResponseHead(std::string_view payload, Code* code,
+                          std::string* error, size_t* body_offset) {
+  size_t pos = 0;
+  uint8_t raw = 0;
+  if (!GetU8(payload, &pos, &raw)) return Truncated("response code");
+  *code = static_cast<Code>(raw);
+  error->clear();
+  if (*code != Code::kOk) {
+    if (!GetString(payload, &pos, error)) {
+      return Truncated("response error message");
+    }
+  }
+  *body_offset = pos;
+  return Status::OK();
+}
+
+void EncodeQueryResponse(const QueryOutcome& outcome, std::string* payload) {
+  payload->push_back(static_cast<char>(Code::kOk));
+  EncodeOutcomeBody(outcome, payload);
+}
+
+Status DecodeQueryResponse(std::string_view payload, QueryOutcome* outcome) {
+  size_t pos = 0;
+  FIX_RETURN_IF_ERROR(DecodeOutcome(payload, &pos, outcome));
+  if (pos != payload.size()) return Trailing("QUERY response");
+  return Status::OK();
+}
+
+void EncodeQueryBatchResponse(const std::vector<QueryOutcome>& outcomes,
+                              std::string* payload) {
+  payload->push_back(static_cast<char>(Code::kOk));
+  PutFixed32(payload, static_cast<uint32_t>(outcomes.size()));
+  for (const QueryOutcome& o : outcomes) EncodeOutcome(o, payload);
+}
+
+Status DecodeQueryBatchResponse(std::string_view payload,
+                                std::vector<QueryOutcome>* outcomes) {
+  size_t pos = 0;
+  uint8_t code = 0;
+  uint32_t count = 0;
+  if (!GetU8(payload, &pos, &code)) return Truncated("batch response code");
+  if (static_cast<Code>(code) != Code::kOk) {
+    return Status::ParseError(
+        "wire: batch body decode called on an error response");
+  }
+  if (!GetU32(payload, &pos, &count)) return Truncated("batch count");
+  // Each outcome costs at least its code byte.
+  if (count > payload.size() - pos) return Truncated("batch outcomes");
+  outcomes->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FIX_RETURN_IF_ERROR(DecodeOutcome(payload, &pos, &(*outcomes)[i]));
+  }
+  if (pos != payload.size()) return Trailing("QUERY_BATCH response");
+  return Status::OK();
+}
+
+void EncodeInsertResponse(const InsertResponse& resp, std::string* payload) {
+  payload->push_back(static_cast<char>(Code::kOk));
+  PutFixed32(payload, resp.doc_id);
+  PutFixed64(payload, resp.generation);
+}
+
+Status DecodeInsertResponse(std::string_view payload, InsertResponse* resp) {
+  size_t pos = 0;
+  uint8_t code = 0;
+  if (!GetU8(payload, &pos, &code)) return Truncated("insert response");
+  if (static_cast<Code>(code) != Code::kOk) {
+    return Status::ParseError(
+        "wire: insert body decode called on an error response");
+  }
+  if (!GetU32(payload, &pos, &resp->doc_id) ||
+      !GetU64(payload, &pos, &resp->generation)) {
+    return Truncated("INSERT response");
+  }
+  if (pos != payload.size()) return Trailing("INSERT response");
+  return Status::OK();
+}
+
+void EncodeStatsResponse(const StatsResponse& resp, std::string* payload) {
+  payload->push_back(static_cast<char>(Code::kOk));
+  PutString(payload, resp.prometheus_text);
+}
+
+Status DecodeStatsResponse(std::string_view payload, StatsResponse* resp) {
+  size_t pos = 0;
+  uint8_t code = 0;
+  if (!GetU8(payload, &pos, &code)) return Truncated("stats response");
+  if (static_cast<Code>(code) != Code::kOk) {
+    return Status::ParseError(
+        "wire: stats body decode called on an error response");
+  }
+  if (!GetString(payload, &pos, &resp->prometheus_text)) {
+    return Truncated("STATS response");
+  }
+  if (pos != payload.size()) return Trailing("STATS response");
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace fix

@@ -244,7 +244,7 @@ class Database {
   /// Guards indexes_ and degraded_. Readers (Query/ExecuteMany/IsDegraded)
   /// take it shared only long enough to copy a shared_ptr; quarantine and
   /// the writer-exclusive index mutations take it unique.
-  // LOCK-ORDER: 1 Database::mu_
+  // LOCK-ORDER: 3 Database::mu_
   mutable SharedMutex mu_;
   /// shared_ptr, not unique_ptr: a query holds its own reference while
   /// executing, so quarantine (which detaches the index) can never free it
@@ -254,12 +254,12 @@ class Database {
   OpenOptions open_options_;
   std::unordered_set<std::string> degraded_ FIX_GUARDED_BY(mu_);
   /// Guards health_ (kept a plain copyable struct; mutations are rare).
-  // LOCK-ORDER: 2 Database::health_mu_
+  // LOCK-ORDER: 4 Database::health_mu_
   mutable Mutex health_mu_ FIX_ACQUIRED_AFTER(mu_);
   StorageHealth health_ FIX_GUARDED_BY(health_mu_);
   /// Serializes compilation misses: ResolveLabels interns into the shared
   /// LabelTable, which is not itself thread-safe.
-  // LOCK-ORDER: 2 Database::compile_mu_
+  // LOCK-ORDER: 4 Database::compile_mu_
   Mutex compile_mu_ FIX_ACQUIRED_AFTER(mu_);
   mutable PlanCache plan_cache_;
 };

@@ -1,0 +1,156 @@
+#include "server/client.h"
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+
+namespace fix {
+namespace server {
+
+namespace {
+
+/// Maps a typed wire error onto the Status vocabulary, preserving the
+/// server's message. The inverse of wire::CodeFromStatus, up to the codes
+/// only the transport can produce.
+Status StatusFromCode(wire::Code code, const std::string& message) {
+  const std::string msg =
+      std::string(wire::CodeName(code)) + " from server: " + message;
+  switch (code) {
+    case wire::Code::kOk:
+      return Status::OK();
+    case wire::Code::kNotFound:
+      return Status::NotFound(msg);
+    case wire::Code::kParseError:
+      return Status::ParseError(msg);
+    case wire::Code::kBadRequest:
+    case wire::Code::kBadFrame:
+      return Status::InvalidArgument(msg);
+    case wire::Code::kOverloaded:
+    case wire::Code::kShuttingDown:
+      return Status::Unavailable(msg);
+    case wire::Code::kIOError:
+      return Status::IOError(msg);
+    case wire::Code::kInternal:
+      return Status::Internal(msg);
+  }
+  return Status::Internal(msg);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FixdClient>> FixdClient::Connect(
+    const std::string& host, uint16_t port, int timeout_ms) {
+  FIX_ASSIGN_OR_RETURN(net::Fd fd, net::ConnectTcp(host, port, timeout_ms));
+  return std::unique_ptr<FixdClient>(
+      new FixdClient(std::move(fd), timeout_ms));
+}
+
+Result<std::unique_ptr<FixdClient>> FixdClient::Connect(
+    const std::string& address, int timeout_ms) {
+  std::string host;
+  uint16_t port = 0;
+  FIX_RETURN_IF_ERROR(net::ParseHostPort(address, &host, &port));
+  return Connect(host, port, timeout_ms);
+}
+
+Status FixdClient::RoundTrip(wire::Op op, std::string_view request,
+                             std::string* response) {
+  std::string framed;
+  framed.reserve(wire::kHeaderSize + request.size());
+  wire::AppendFrame(static_cast<uint8_t>(op), request, &framed);
+  FIX_RETURN_IF_ERROR(net::SendAll(fd_.get(), framed, timeout_ms_));
+
+  char header[wire::kHeaderSize];
+  FIX_RETURN_IF_ERROR(
+      net::RecvExact(fd_.get(), header, sizeof(header), timeout_ms_));
+  if (header[0] != wire::kMagic0 || header[1] != wire::kMagic1) {
+    return Status::IOError("wire: bad magic in response header");
+  }
+  if (static_cast<uint8_t>(header[2]) != wire::kProtocolVersion) {
+    return Status::IOError("wire: server speaks protocol version " +
+                           std::to_string(static_cast<uint8_t>(header[2])));
+  }
+  const uint8_t type = static_cast<uint8_t>(header[3]);
+  const uint32_t payload_len = DecodeFixed32(header + 4);
+  const uint32_t want_crc = DecodeFixed32(header + 8);
+  if (payload_len > wire::kMaxPayload) {
+    return Status::IOError("wire: oversized response payload");
+  }
+  response->resize(payload_len);
+  if (payload_len > 0) {
+    FIX_RETURN_IF_ERROR(
+        net::RecvExact(fd_.get(), response->data(), payload_len,
+                       timeout_ms_));
+  }
+  if (Crc32c(response->data(), response->size()) != want_crc) {
+    return Status::IOError("wire: response payload CRC mismatch");
+  }
+  // A bare kResponseBit type is the server's frame-level failure channel
+  // (it could not attribute the error to an opcode).
+  if (type != (static_cast<uint8_t>(op) | wire::kResponseBit) &&
+      type != wire::kResponseBit) {
+    return Status::IOError("wire: response opcode mismatch");
+  }
+  wire::Code code = wire::Code::kOk;
+  std::string error;
+  size_t body_offset = 0;
+  FIX_RETURN_IF_ERROR(
+      wire::DecodeResponseHead(*response, &code, &error, &body_offset));
+  if (code != wire::Code::kOk) return StatusFromCode(code, error);
+  return Status::OK();
+}
+
+Status FixdClient::Ping() {
+  std::string response;
+  return RoundTrip(wire::Op::kPing, "", &response);
+}
+
+Result<wire::QueryOutcome> FixdClient::Query(const std::string& index,
+                                             const std::string& xpath) {
+  wire::QueryRequest req{index, xpath};
+  std::string payload;
+  wire::EncodeQueryRequest(req, &payload);
+  std::string response;
+  FIX_RETURN_IF_ERROR(RoundTrip(wire::Op::kQuery, payload, &response));
+  wire::QueryOutcome outcome;
+  FIX_RETURN_IF_ERROR(wire::DecodeQueryResponse(response, &outcome));
+  return outcome;
+}
+
+Result<std::vector<wire::QueryOutcome>> FixdClient::QueryBatch(
+    const std::string& index, const std::vector<std::string>& xpaths,
+    uint32_t threads) {
+  wire::QueryBatchRequest req;
+  req.index = index;
+  req.threads = threads;
+  req.xpaths = xpaths;
+  std::string payload;
+  wire::EncodeQueryBatchRequest(req, &payload);
+  std::string response;
+  FIX_RETURN_IF_ERROR(RoundTrip(wire::Op::kQueryBatch, payload, &response));
+  std::vector<wire::QueryOutcome> outcomes;
+  FIX_RETURN_IF_ERROR(wire::DecodeQueryBatchResponse(response, &outcomes));
+  return outcomes;
+}
+
+Result<wire::InsertResponse> FixdClient::Insert(const std::string& index,
+                                                const std::string& xml) {
+  wire::InsertRequest req{index, xml};
+  std::string payload;
+  wire::EncodeInsertRequest(req, &payload);
+  std::string response;
+  FIX_RETURN_IF_ERROR(RoundTrip(wire::Op::kInsert, payload, &response));
+  wire::InsertResponse resp;
+  FIX_RETURN_IF_ERROR(wire::DecodeInsertResponse(response, &resp));
+  return resp;
+}
+
+Result<std::string> FixdClient::Stats() {
+  std::string response;
+  FIX_RETURN_IF_ERROR(RoundTrip(wire::Op::kStats, "", &response));
+  wire::StatsResponse resp;
+  FIX_RETURN_IF_ERROR(wire::DecodeStatsResponse(response, &resp));
+  return resp.prometheus_text;
+}
+
+}  // namespace server
+}  // namespace fix

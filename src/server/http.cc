@@ -1,0 +1,57 @@
+#include "server/http.h"
+
+namespace fix {
+namespace server {
+namespace http {
+
+bool LooksLikeHttp(std::string_view prefix) {
+  if (prefix.size() < 4) return false;
+  return prefix.substr(0, 4) == "GET " || prefix.substr(0, 4) == "HEAD" ||
+         prefix.substr(0, 4) == "POST" || prefix.substr(0, 4) == "PUT " ||
+         prefix.substr(0, 4) == "DELE" || prefix.substr(0, 4) == "OPTI";
+}
+
+bool HasFullRequest(std::string_view buf) {
+  return buf.find("\r\n\r\n") != std::string_view::npos;
+}
+
+Status ParseRequest(std::string_view head, Request* request) {
+  size_t eol = head.find("\r\n");
+  if (eol == std::string_view::npos) {
+    return Status::ParseError("http: no request line");
+  }
+  std::string_view line = head.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) {
+    return Status::ParseError("http: malformed request line");
+  }
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    return Status::ParseError("http: malformed request line");
+  }
+  request->method = std::string(line.substr(0, sp1));
+  request->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  return Status::OK();
+}
+
+std::string MakeResponse(int status_code, std::string_view reason,
+                         std::string_view content_type,
+                         std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status_code);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace http
+}  // namespace server
+}  // namespace fix

@@ -1,0 +1,52 @@
+// Minimal HTTP/1.1 support for fixd's observability endpoints: just
+// enough to answer `GET /stats` (Prometheus text) and `GET /healthz`
+// from a scrape loop or a shell one-liner. This is deliberately not a
+// general HTTP server — one request per connection, no keep-alive, no
+// chunked bodies, request heads capped at kMaxRequestBytes.
+//
+// Thread-safety: free pure functions.
+
+#ifndef FIX_SERVER_HTTP_H_
+#define FIX_SERVER_HTTP_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace fix {
+namespace server {
+namespace http {
+
+/// Request heads larger than this are answered 431 and closed (a scrape
+/// request line is tens of bytes; anything bigger is not a scraper).
+inline constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+/// True when the first bytes of a connection look like an HTTP request
+/// rather than a wire-protocol frame ("GET ", "HEAD", "POST", ...). Needs
+/// at least 4 buffered bytes to decide; shorter prefixes return false.
+bool LooksLikeHttp(std::string_view prefix);
+
+/// True once `buf` holds a complete request head (terminating CRLFCRLF).
+bool HasFullRequest(std::string_view buf);
+
+struct Request {
+  std::string method;  ///< "GET", "HEAD", ...
+  std::string target;  ///< "/stats", "/healthz", ...
+};
+
+/// Parses the request line out of a complete head. Headers are skipped:
+/// the endpoints served here depend on none of them.
+[[nodiscard]] Status ParseRequest(std::string_view head, Request* request);
+
+/// Serializes a complete response (status line, minimal headers,
+/// Connection: close, body). `reason` must match `status_code`.
+std::string MakeResponse(int status_code, std::string_view reason,
+                         std::string_view content_type,
+                         std::string_view body);
+
+}  // namespace http
+}  // namespace server
+}  // namespace fix
+
+#endif  // FIX_SERVER_HTTP_H_

@@ -1,0 +1,173 @@
+#include "server/poller.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define FIX_HAVE_EPOLL 1
+#endif
+
+namespace fix {
+namespace server {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// poll(2) backend: a flat interest map rebuilt into a pollfd array per
+/// Wait. O(n) per wait, which is fine at fixd's connection counts; the
+/// epoll backend exists for the long tail.
+class PollPoller final : public Poller {
+ public:
+  Status Add(int fd, bool want_read, bool want_write) override {
+    if (interest_.count(fd) != 0) {
+      return Status::Internal("poller: fd already registered");
+    }
+    interest_[fd] = Events(want_read, want_write);
+    return Status::OK();
+  }
+
+  Status Update(int fd, bool want_read, bool want_write) override {
+    auto it = interest_.find(fd);
+    if (it == interest_.end()) {
+      return Status::Internal("poller: update of unregistered fd");
+    }
+    it->second = Events(want_read, want_write);
+    return Status::OK();
+  }
+
+  Status Remove(int fd) override {
+    if (interest_.erase(fd) == 0) {
+      return Status::Internal("poller: remove of unregistered fd");
+    }
+    return Status::OK();
+  }
+
+  Status Wait(int timeout_ms, std::vector<PollEvent>* events) override {
+    events->clear();
+    pfds_.clear();
+    pfds_.reserve(interest_.size());
+    for (const auto& [fd, ev] : interest_) {
+      pfds_.push_back(pollfd{fd, ev, 0});
+    }
+    int rc;
+    do {
+      rc = ::poll(pfds_.data(), pfds_.size(),
+                  timeout_ms <= 0 ? -1 : timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return Status::IOError(Errno("poll"));
+    for (const pollfd& p : pfds_) {
+      if (p.revents == 0) continue;
+      PollEvent out;
+      out.fd = p.fd;
+      out.readable = (p.revents & POLLIN) != 0;
+      out.writable = (p.revents & POLLOUT) != 0;
+      out.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events->push_back(out);
+    }
+    return Status::OK();
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  static short Events(bool want_read, bool want_write) {
+    short e = 0;
+    if (want_read) e |= POLLIN;
+    if (want_write) e |= POLLOUT;
+    return e;
+  }
+
+  std::map<int, short> interest_;
+  std::vector<pollfd> pfds_;  // scratch, reused across Waits
+};
+
+#if FIX_HAVE_EPOLL
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(0)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool ok() const { return epfd_ >= 0; }
+
+  Status Add(int fd, bool want_read, bool want_write) override {
+    return Ctl(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+
+  Status Update(int fd, bool want_read, bool want_write) override {
+    return Ctl(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+
+  Status Remove(int fd) override {
+    struct epoll_event ev = {};
+    if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev) != 0) {
+      return Status::IOError(Errno("epoll_ctl(DEL)"));
+    }
+    return Status::OK();
+  }
+
+  Status Wait(int timeout_ms, std::vector<PollEvent>* events) override {
+    events->clear();
+    struct epoll_event evs[64];
+    int rc;
+    do {
+      rc = ::epoll_wait(epfd_, evs, 64, timeout_ms <= 0 ? -1 : timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return Status::IOError(Errno("epoll_wait"));
+    for (int i = 0; i < rc; ++i) {
+      PollEvent out;
+      out.fd = static_cast<int>(evs[i].data.fd);
+      out.readable = (evs[i].events & EPOLLIN) != 0;
+      out.writable = (evs[i].events & EPOLLOUT) != 0;
+      out.error = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(out);
+    }
+    return Status::OK();
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  Status Ctl(int op, int fd, bool want_read, bool want_write) {
+    struct epoll_event ev = {};
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_, op, fd, &ev) != 0) {
+      return Status::IOError(Errno("epoll_ctl"));
+    }
+    return Status::OK();
+  }
+
+  int epfd_ = -1;
+};
+#endif  // FIX_HAVE_EPOLL
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Create(bool force_poll) {
+#if FIX_HAVE_EPOLL
+  if (!force_poll) {
+    auto ep = std::make_unique<EpollPoller>();
+    if (ep->ok()) return ep;
+    // epoll_create1 failing (fd exhaustion, exotic kernels) falls through
+    // to the portable backend rather than failing startup.
+  }
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace server
+}  // namespace fix

@@ -1,0 +1,63 @@
+// Readiness-notification abstraction for the fixd event loop: epoll on
+// Linux, poll(2) everywhere (and on demand for tests, so both backends
+// stay covered on any machine).
+//
+// Thread-safety: a Poller is confined to the event-loop thread; nothing
+// here is synchronized. Cross-thread wakeups go through a self-pipe
+// registered like any other fd (see fixd_server.cc).
+
+#ifndef FIX_SERVER_POLLER_H_
+#define FIX_SERVER_POLLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fix {
+namespace server {
+
+/// One readiness report. `error` covers hangups and socket errors; the
+/// owner reacts by closing the connection.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Registers `fd` with the given interest set.
+  /// @pre `fd` is not registered.
+  [[nodiscard]] virtual Status Add(int fd, bool want_read,
+                                   bool want_write) = 0;
+
+  /// Replaces `fd`'s interest set.
+  /// @pre `fd` is registered.
+  [[nodiscard]] virtual Status Update(int fd, bool want_read,
+                                      bool want_write) = 0;
+
+  /// Deregisters `fd`.
+  [[nodiscard]] virtual Status Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (<= 0: indefinitely) and appends every
+  /// ready fd to `*events` (cleared first). An empty result is a timeout.
+  [[nodiscard]] virtual Status Wait(int timeout_ms,
+                                    std::vector<PollEvent>* events) = 0;
+
+  /// Backend name for the startup log line ("epoll" / "poll").
+  virtual const char* name() const = 0;
+
+  /// Builds the best available backend; `force_poll` selects the poll(2)
+  /// fallback even where epoll exists (tests exercise both).
+  static std::unique_ptr<Poller> Create(bool force_poll);
+};
+
+}  // namespace server
+}  // namespace fix
+
+#endif  // FIX_SERVER_POLLER_H_

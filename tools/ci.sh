@@ -20,20 +20,26 @@
 #      and B+-tree engines return byte-identical candidate sets on all
 #      four datasets (and whose CSV carries the probe-work A/B numbers).
 #   8. a TSan build running the `concurrency` labeled suite (thread pool,
-#      feature cache, parallel index construction, concurrent queries).
-#   9. the concurrent-query stress test on its own, in both the Release and
+#      feature cache, parallel index construction, concurrent queries, the
+#      wire codec and the loopback fixd service tests).
+#   9. the fixd server smoke: boot the real binary on a loopback port over
+#      the deterministic DBLP corpus, prove the wire path lossless with the
+#      bench_qps --remote parity sweep, probe /stats over real HTTP, then
+#      SIGTERM and require the clean-drain exit code (docs/FIXD.md).
+#  10. the concurrent-query stress test on its own, in both the Release and
 #      TSan trees: many threads against one Database, results checked
 #      against single-threaded baselines.
-#  10. fixdb_scrub over every index page file persist_test produced
+#  11. fixdb_scrub over every index page file persist_test produced
 #      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step); the
 #      scrub also checks each index's `.spatial` sidecar.
-#  11. static-analysis: fixlint (the project-invariant analyzer, see
+#  12. static-analysis: fixlint (the project-invariant analyzer, see
 #      docs/STATIC_ANALYSIS.md) over the whole tree plus the `lint` ctest
 #      label, and — when clang++ is installed — a FIX_THREAD_SAFETY=ON
 #      build that turns the thread-safety annotations into compile errors.
-#  12. docs-check: every relative markdown link in the repo's *.md files
-#      must resolve, and the documented headers must keep their
-#      thread-safety contracts (plain grep/awk — no extra tooling).
+#  13. docs-check: every relative markdown link in the repo's *.md files
+#      must resolve, the documented headers must keep their thread-safety
+#      contracts, and docs/FIXD.md must name every wire opcode and result
+#      code the codec defines (plain grep/awk — no extra tooling).
 #
 # Usage: tools/ci.sh [base-ref]     (base-ref defaults to origin/main, falls
 #                                    back to HEAD~1, for the changed-file set)
@@ -45,15 +51,29 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BASE_REF="${1:-origin/main}"
 
-echo "=== [1/12] Release build (FIX_WERROR=ON) ==="
+# One EXIT trap for everything the stages leave behind: the fixd server
+# process (stage 9) and the temp dirs (stages 9 and 11).
+SRV_DIR=""
+SRV_PID=""
+SCRUB_DIR=""
+cleanup() {
+  if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill -9 "$SRV_PID" 2>/dev/null || true
+  fi
+  if [ -n "$SRV_DIR" ]; then rm -rf "$SRV_DIR"; fi
+  if [ -n "$SCRUB_DIR" ]; then rm -rf "$SCRUB_DIR"; fi
+}
+trap cleanup EXIT
+
+echo "=== [1/13] Release build (FIX_WERROR=ON) ==="
 cmake -B build -S . -DFIX_WERROR=ON
 cmake --build build -j "$JOBS"
 
-echo "=== [2/12] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
+echo "=== [2/13] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
 cmake -B build-asan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 
-echo "=== [3/12] clang-tidy on changed files ==="
+echo "=== [3/13] clang-tidy on changed files ==="
 if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
   BASE_REF="HEAD~1"
 fi
@@ -68,16 +88,16 @@ else
   tools/run_clang_tidy.sh build
 fi
 
-echo "=== [4/12] Tests ==="
+echo "=== [4/13] Tests ==="
 (cd build-asan && ctest -L sanitizer-clean --output-on-failure)
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "=== [5/12] Fault-injection suite (Release + ASan) ==="
+echo "=== [5/13] Fault-injection suite (Release + ASan) ==="
 (cd build && ctest -L fault-injection --output-on-failure -j "$JOBS")
 (cd build-asan && ctest -L fault-injection --output-on-failure -j "$JOBS")
 
-echo "=== [6/12] WAL crash loop + mixed read/write bench ==="
+echo "=== [6/13] WAL crash loop + mixed read/write bench ==="
 # The COW+WAL acceptance loop on its own: FaultInjectionPageIo crashes the
 # data file and the log at every write index of an InsertDocument commit,
 # plus the fsync fail-stop latch, the torn-tail discard, and the online
@@ -94,7 +114,7 @@ cmake --build build -j "$JOBS" --target bench_qps
 (cd build/bench && ./bench_qps)
 grep -q '^fix_wal_appends [1-9]' build/bench/bench_qps.csv.metrics.prom
 
-echo "=== [7/12] Probe-engine parity smoke ==="
+echo "=== [7/13] Probe-engine parity smoke ==="
 # Both probe engines must return byte-identical candidate sets through the
 # production ProbeWithEngine entry point. The property test covers seeded
 # random corpora under both sound_probe settings including ε boundary
@@ -104,7 +124,7 @@ echo "=== [7/12] Probe-engine parity smoke ==="
 cmake --build build -j "$JOBS" --target bench_ablation_spatial
 (cd build/bench && ./bench_ablation_spatial)
 
-echo "=== [8/12] TSan build + concurrency/observability suites ==="
+echo "=== [8/13] TSan build + concurrency/observability suites ==="
 cmake -B build-tsan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest -L concurrency --output-on-failure -j "$JOBS")
@@ -112,7 +132,59 @@ cmake --build build-tsan -j "$JOBS"
 # the observability label also runs in the Release tree via stage 4.
 (cd build-tsan && ctest -L observability --output-on-failure -j "$JOBS")
 
-echo "=== [9/12] Concurrent-query stress (Release + TSan) ==="
+echo "=== [9/13] fixd server smoke (loopback) ==="
+# The real binary end to end (docs/FIXD.md): serve the deterministic DBLP
+# corpus, prove the wire path lossless with the bench_qps --remote parity
+# sweep (every result byte-identical to in-process execution), probe the
+# HTTP sidecar, then SIGTERM and require the clean-drain exit code.
+cmake --build build -j "$JOBS" --target fixd fixctl bench_qps
+SRV_DIR="$(mktemp -d)"
+build/examples/fixctl gen "$SRV_DIR/db" dblp
+# Depth 6 is the paper's DBLP depth limit and what bench_qps builds for
+# its in-process ground truth; byte-identical ordering requires the same
+# index shape on both sides.
+build/examples/fixctl build "$SRV_DIR/db" --depth 6
+build/src/server/fixd --dir "$SRV_DIR/db" --port 0 \
+    >"$SRV_DIR/fixd.out" 2>"$SRV_DIR/fixd.err" &
+SRV_PID=$!
+# --port 0 binds a kernel-assigned port; parse it from the startup line.
+SRV_PORT=""
+for _ in $(seq 1 100); do
+  SRV_PORT="$(sed -n 's/^fixd: listening on .*:\([0-9]*\)$/\1/p' \
+      "$SRV_DIR/fixd.out")"
+  if [ -n "$SRV_PORT" ]; then break; fi
+  sleep 0.1
+done
+if [ -z "$SRV_PORT" ]; then
+  echo "error: fixd never printed its listen line" >&2
+  cat "$SRV_DIR/fixd.err" >&2
+  exit 1
+fi
+build/examples/fixctl ping "127.0.0.1:$SRV_PORT"
+(cd build/bench && ./bench_qps --remote "127.0.0.1:$SRV_PORT")
+# curl-equivalent /stats probe over real HTTP (bash /dev/tcp, so the stage
+# needs no curl): the sidecar must expose the server's own live counters.
+exec 3<>"/dev/tcp/127.0.0.1/$SRV_PORT"
+printf 'GET /stats HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+HTTP_STATS="$(cat <&3)"
+exec 3<&- 3>&-
+grep -q '^fixd_requests_total [1-9]' <<<"$HTTP_STATS"
+grep -q 'fixd_request_latency_us' <<<"$HTTP_STATS"
+# Graceful drain: SIGTERM must finish in-flight work, exit 0, and say so.
+kill -TERM "$SRV_PID"
+SRV_STATUS=0
+wait "$SRV_PID" || SRV_STATUS=$?
+SRV_PID=""
+if [ "$SRV_STATUS" -ne 0 ]; then
+  echo "error: fixd drain exited with status $SRV_STATUS" >&2
+  cat "$SRV_DIR/fixd.err" >&2
+  exit 1
+fi
+grep -q '^fixd: drained cleanly$' "$SRV_DIR/fixd.out"
+rm -rf "$SRV_DIR"
+SRV_DIR=""
+
+echo "=== [10/13] Concurrent-query stress (Release + TSan) ==="
 # The data-race canary for the whole read path: many threads through one
 # Database (lock-striped buffer pool, shared B+-tree, plan cache) with
 # results diffed against single-threaded baselines. TSan turns a silent
@@ -121,9 +193,8 @@ echo "=== [9/12] Concurrent-query stress (Release + TSan) ==="
 (cd build-tsan && ctest -R '^ConcurrentQueryTest' --output-on-failure \
     -j "$JOBS")
 
-echo "=== [10/12] Scrub of persist_test databases ==="
+echo "=== [11/13] Scrub of persist_test databases ==="
 SCRUB_DIR="$(mktemp -d)"
-trap 'rm -rf "$SCRUB_DIR"' EXIT
 (cd build && FIX_PERSIST_TEST_DIR="$SCRUB_DIR" ctest -R '^PersistTest' \
     --output-on-failure -j "$JOBS")
 mapfile -t INDEX_FILES < <(find "$SCRUB_DIR" -name '*.fix' | sort)
@@ -133,7 +204,7 @@ if [ "${#INDEX_FILES[@]}" -eq 0 ]; then
 fi
 build/tools/fixdb_scrub "${INDEX_FILES[@]}"
 
-echo "=== [11/12] static-analysis: fixlint + thread-safety annotations ==="
+echo "=== [12/13] static-analysis: fixlint + thread-safety annotations ==="
 # fixlint enforces the project invariants a generic linter cannot know
 # (lock order vs ARCHITECTURE.md, metric/options doc drift, RAII-only
 # locking, banned functions, include guards); one finding fails CI. See
@@ -152,7 +223,7 @@ else
       "build (the annotations are only verifiable under clang)."
 fi
 
-echo "=== [12/12] docs-check ==="
+echo "=== [13/13] docs-check ==="
 # Every relative link in tracked markdown must resolve. grep emits
 # `file:](target)`; the loop strips the wrapper, drops externals and pure
 # anchors, and resolves the rest against the linking file's directory.
@@ -173,12 +244,36 @@ done < <(git ls-files '*.md' | xargs grep -oHE '\]\([^)]+\)' || true)
 # The documented API contracts must not silently disappear: the headers the
 # docs point at keep their thread-safety sections (cheap stand-in for a
 # doc-coverage linter; no new tooling).
-for hdr in src/core/database.h src/core/fix_index.h src/storage/btree.h; do
+for hdr in src/core/database.h src/core/fix_index.h src/storage/btree.h \
+           src/common/wire.h; do
   if ! grep -qi "thread-safety" "$hdr"; then
     echo "docs-check: $hdr lost its thread-safety contract comment" >&2
     DOCS_BROKEN=1
   fi
 done
+# docs/FIXD.md is the wire protocol's normative spec: every opcode and
+# result code the codec defines must be named there, in backticks. The awk
+# pass reads the enumerators straight out of wire.h (Op names convert
+# kQueryBatch -> QUERY_BATCH, Code names just drop the k), so adding one
+# to the code without specifying it fails CI.
+while read -r wire_name; do
+  if ! grep -q "\`$wire_name\`" docs/FIXD.md; then
+    echo "docs-check: docs/FIXD.md does not document wire name" \
+        "'$wire_name' from src/common/wire.h" >&2
+    DOCS_BROKEN=1
+  fi
+done < <(awk '
+  /^enum class Op/ { in_op = 1; next }
+  /^enum class Code/ { in_code = 1; next }
+  /^};/ { in_op = 0; in_code = 0 }
+  in_op && match($0, /k[A-Za-z]+/) {
+    n = substr($0, RSTART + 1, RLENGTH - 1)
+    gsub(/[A-Z]/, "_&", n); sub(/^_/, "", n)
+    print toupper(n)
+  }
+  in_code && match($0, /k[A-Za-z]+/) {
+    print substr($0, RSTART + 1, RLENGTH - 1)
+  }' src/common/wire.h)
 if [ "$DOCS_BROKEN" -ne 0 ]; then
   echo "docs-check: failures above" >&2
   exit 1

@@ -448,7 +448,8 @@ void CheckMetricDrift(const std::vector<SourceFile>& files,
   if (observability_doc.empty()) return;
   // Doc side: exact backticked metric names. The character class has no
   // '*', so prose globs like `fix.storage.*` are not inventory entries.
-  static const std::regex kDocName(R"(`(fix\.[a-z0-9_.]+)`)");
+  // Two prefixes: `fix.` (library) and `fixd.` (the network service).
+  static const std::regex kDocName(R"(`((?:fix|fixd)\.[a-z0-9_.]+)`)");
   std::map<std::string, int> doc_names;  // name -> first line
   for (auto it = std::sregex_iterator(observability_doc.begin(),
                                       observability_doc.end(), kDocName);
@@ -469,7 +470,7 @@ void CheckMetricDrift(const std::vector<SourceFile>& files,
                                         kReg);
          it != std::sregex_iterator(); ++it) {
       const std::string name = (*it)[1].str();
-      if (!StartsWith(name, "fix.")) continue;
+      if (!StartsWith(name, "fix.") && !StartsWith(name, "fixd.")) continue;
       code_names[name] = true;
       if (doc_names.count(name) == 0) {
         Report(out, raw_lines, f.path,
