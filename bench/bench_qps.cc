@@ -12,6 +12,12 @@
 // read and write tail latencies side by side, and the `.metrics.prom`
 // snapshot next to the CSV carries the fix.wal.* counters for the run.
 //
+// A third sweep (its own CSV: bench_qps_shards.csv) drives the sharded
+// scatter-gather path across 1/2/4/8 hash shards × 1/2/4/8 client
+// threads with a mixed read/write phase per layout; every result vector
+// is checked byte-identical to the 1-shard baseline, and its
+// `.metrics.prom` snapshot carries the fix.shard.* counters.
+//
 // On a single-CPU container the sweeps show QPS ~flat across thread counts
 // (speedup ~1x); the harness exists to prove correctness under concurrency
 // and to measure scaling headroom on real multi-core hardware.
@@ -26,6 +32,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "core/sharded_database.h"
 #include "harness.h"
 #include "server/client.h"
 
@@ -194,6 +201,8 @@ void RunMixedSweep(Report* report, Corpus* corpus, FixIndex* index,
   }
 }
 
+void RunShardSweep();
+
 void Run() {
   Report report("bench_qps");
   report.Note("Concurrent read throughput: N threads, one shared "
@@ -302,6 +311,215 @@ void Run() {
 
     if (w.data == DataSet::kDblp) {
       RunMixedSweep(&report, corpus.get(), &*index, queries);
+    }
+  }
+  // The sharded sweep owns its own Report so the scatter-gather numbers
+  // (and the fix.shard.* counters) land in their own CSV + snapshot.
+  RunShardSweep();
+}
+
+/// Shard-count × thread-count sweep through the production scatter-gather
+/// path (writes its own CSV + `.metrics.prom` carrying the fix.shard.*
+/// counters). The TCMD corpus — many small documents, so every shard
+/// holds real work — is partitioned into 1/2/4/8 hash shards; each layout
+/// is hammered by 1/2/4/8 client threads through ShardedDatabase::Query.
+/// Parity is the contract under test: every result vector, on every
+/// thread, at every shard count, must be byte-identical to the 1-shard
+/// baseline. A mixed phase then re-runs each layout with one writer
+/// inserting documents through InsertXml (the single-writer contract)
+/// while readers stay at full service — the inserted documents match no
+/// workload query, so reader parity must hold *during* the writes, and a
+/// quiescent marker query afterwards must see every insert.
+void RunShardSweep() {
+  constexpr int kShardCounts[] = {1, 2, 4, 8};
+  constexpr int kMixReaders = 4;
+  constexpr int kMixWrites = 12;
+  const std::vector<std::string> xpaths = {
+      "/article/prolog/authors/author/name", "//author/contact/email",
+      "/article/body/section/p"};
+
+  Report report("bench_qps_shards");
+  report.Note("Scatter-gather sweep: the TCMD corpus partitioned into "
+              "1/2/4/8 hash shards, 1/2/4/8 client threads per layout; "
+              "every result vector is checked byte-identical to the "
+              "1-shard baseline.");
+  report.Note("Single-CPU containers show ~1x scaling; the sweep proves "
+              "the scatter-gather path's determinism and isolation under "
+              "concurrency and measures headroom for multi-core hosts.");
+
+  std::unique_ptr<Corpus> corpus = BuildCorpus(DataSet::kTcmd);
+  std::vector<std::vector<NodeRef>> baseline(xpaths.size());
+
+  report.Section("scatter-gather reads + mixed read/write: tcmd");
+  report.Header({"dataset", "phase", "shards", "threads", "ops", "writes",
+                 "wall_ms", "qps", "p50_ms", "p95_ms", "p99_ms",
+                 "results_per_pass"});
+  for (int shards : kShardCounts) {
+    // Each layout partitions the pristine in-memory corpus, so the mixed
+    // phase's inserts into the previous layout never leak forward.
+    const std::string dir = WorkDir("qps_shards_" + std::to_string(shards));
+    ShardedOptions sopts;
+    sopts.shard_count = static_cast<uint32_t>(shards);
+    sopts.index.depth_limit = PaperDepthLimit(DataSet::kTcmd);
+    auto sdb = ShardedDatabase::Partition(*corpus, dir, sopts);
+    FIX_CHECK(sdb.ok());
+    FIX_CHECK((*sdb)->BuildIndexes("main").ok());
+
+    // Quiescent pass: the 1-shard layout anchors the baseline; every
+    // other shard count must reproduce it byte for byte.
+    uint64_t expected_per_pass = 0;
+    for (size_t i = 0; i < xpaths.size(); ++i) {
+      std::vector<NodeRef> results;
+      auto s = (*sdb)->Query("main", xpaths[i], &results);
+      FIX_CHECK(s.ok());
+      FIX_CHECK(!s->degraded);
+      if (shards == kShardCounts[0]) {
+        baseline[i] = std::move(results);
+      } else {
+        FIX_CHECK(results == baseline[i]);
+      }
+      expected_per_pass += baseline[i].size();
+    }
+
+    for (int n : kThreadCounts) {
+      const int ops_per_thread =
+          kRoundsPerThread * static_cast<int>(xpaths.size());
+      std::vector<std::vector<double>> lat_ms(n);
+      std::atomic<int> failures{0};
+
+      Timer wall;
+      std::vector<std::thread> threads;
+      threads.reserve(n);
+      for (int t = 0; t < n; ++t) {
+        threads.emplace_back([&, t] {
+          lat_ms[t].reserve(ops_per_thread);
+          for (int round = 0; round < kRoundsPerThread; ++round) {
+            for (size_t i = 0; i < xpaths.size(); ++i) {
+              std::vector<NodeRef> results;
+              Timer timer;
+              auto s = (*sdb)->Query("main", xpaths[i], &results);
+              lat_ms[t].push_back(timer.ElapsedMillis());
+              if (!s.ok() || results != baseline[i]) {
+                failures.fetch_add(1);
+                return;
+              }
+            }
+          }
+        });
+      }
+      for (std::thread& th : threads) th.join();
+      const double wall_ms = wall.ElapsedMillis();
+      FIX_CHECK(failures.load() == 0);
+
+      std::vector<double> merged;
+      merged.reserve(static_cast<size_t>(n) * ops_per_thread);
+      for (const std::vector<double>& v : lat_ms) {
+        merged.insert(merged.end(), v.begin(), v.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      const uint64_t ops = merged.size();
+      char qps_s[32];
+      std::snprintf(qps_s, sizeof(qps_s), "%.1f",
+                    wall_ms > 0 ? ops / (wall_ms / 1000.0) : 0.0);
+      report.Row({DataSetName(DataSet::kTcmd), "read", std::to_string(shards),
+                  std::to_string(n), Num(ops), "0", Ms(wall_ms), qps_s,
+                  Ms(Percentile(merged, 50)), Ms(Percentile(merged, 95)),
+                  Ms(Percentile(merged, 99)), Num(expected_per_pass)});
+    }
+
+    // Mixed phase: readers against the same layout while one writer
+    // routes inserts across the shards. The inserted documents match no
+    // workload query, so parity against the pre-write baseline must hold
+    // on every read, concurrent with the commits. Reads are ticket-paced
+    // to the write quanta (same mutual speed limit as the mixed WAL
+    // sweep): free-running readers on a single CPU re-acquire the shard
+    // gates back to back and can starve the writer's exclusive
+    // acquisition — with pacing the sweep measures commit cost under
+    // read load, not starvation.
+    {
+      constexpr uint64_t kReadsPerWrite = 8;
+      std::atomic<uint64_t> read_tickets{0};
+      std::atomic<uint64_t> writes_done{0};
+      std::atomic<bool> done{false};
+      std::atomic<int> failures{0};
+      std::vector<std::vector<double>> lat_ms(kMixReaders);
+      Timer wall;
+      std::vector<std::thread> readers;
+      readers.reserve(kMixReaders);
+      for (int t = 0; t < kMixReaders; ++t) {
+        readers.emplace_back([&, t] {
+          while (true) {
+            const uint64_t ticket = read_tickets.fetch_add(1);
+            while (!done.load() &&
+                   ticket >= kReadsPerWrite * (writes_done.load() + 1)) {
+              std::this_thread::yield();
+            }
+            if (done.load()) break;
+            const size_t i = ticket % xpaths.size();
+            std::vector<NodeRef> results;
+            Timer timer;
+            auto s = (*sdb)->Query("main", xpaths[i], &results);
+            lat_ms[t].push_back(timer.ElapsedMillis());
+            if (!s.ok() || results != baseline[i]) {
+              failures.fetch_add(1);
+              return;
+            }
+          }
+        });
+      }
+      std::thread writer([&] {
+        for (int w = 0; w < kMixWrites; ++w) {
+          while (read_tickets.load() <
+                 kReadsPerWrite * static_cast<uint64_t>(w)) {
+            std::this_thread::yield();
+          }
+          auto id = (*sdb)->InsertXml(
+              "main",
+              "<article><prolog><title>shard sweep filler</title></prolog>"
+              "<benchmark><marker>m" +
+                  std::to_string(w) + "</marker></benchmark></article>");
+          if (!id.ok()) {
+            failures.fetch_add(1);
+            break;
+          }
+          writes_done.store(static_cast<uint64_t>(w) + 1);
+        }
+        done.store(true);
+      });
+      writer.join();
+      for (std::thread& th : readers) th.join();
+      const double wall_ms = wall.ElapsedMillis();
+      FIX_CHECK(failures.load() == 0);
+
+      // Quiescent validation: the workload still answers the baseline and
+      // every routed insert is query-visible through its shard's index.
+      for (size_t i = 0; i < xpaths.size(); ++i) {
+        std::vector<NodeRef> results;
+        auto s = (*sdb)->Query("main", xpaths[i], &results);
+        FIX_CHECK(s.ok());
+        FIX_CHECK(results == baseline[i]);
+      }
+      {
+        std::vector<NodeRef> markers;
+        auto s = (*sdb)->Query("main", "//benchmark/marker", &markers);
+        FIX_CHECK(s.ok());
+        FIX_CHECK(markers.size() == static_cast<size_t>(kMixWrites));
+      }
+
+      std::vector<double> merged;
+      for (const std::vector<double>& v : lat_ms) {
+        merged.insert(merged.end(), v.begin(), v.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      const uint64_t reads = merged.size();
+      char qps_s[32];
+      std::snprintf(qps_s, sizeof(qps_s), "%.1f",
+                    wall_ms > 0 ? reads / (wall_ms / 1000.0) : 0.0);
+      report.Row({DataSetName(DataSet::kTcmd), "mixed",
+                  std::to_string(shards), std::to_string(kMixReaders),
+                  Num(reads), Num(kMixWrites), Ms(wall_ms), qps_s,
+                  Ms(Percentile(merged, 50)), Ms(Percentile(merged, 95)),
+                  Ms(Percentile(merged, 99)), Num(expected_per_pass)});
     }
   }
 }

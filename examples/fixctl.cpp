@@ -26,6 +26,7 @@
 #include "core/fix_query.h"
 #include "core/metrics.h"
 #include "core/persist.h"
+#include "core/sharded_database.h"
 #include "datagen/datasets.h"
 #include "common/timer.h"
 #include "fixctl_cli.h"
@@ -97,6 +98,7 @@ int CmdLoad(const std::string& dir, const std::vector<std::string>& files) {
 int CmdBuild(const std::string& dir, int argc, char** argv) {
   const fixctl::CliCommand* cmd = fixctl::FindCommand("build");
   fix::IndexOptions options;
+  uint32_t shards = 0;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (fixctl::FindFlag(*cmd, arg) == nullptr) {
@@ -130,12 +132,37 @@ int CmdBuild(const std::string& dir, int argc, char** argv) {
                      engine.c_str());
         return Usage();
       }
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<uint32_t>(std::atoi(argv[++i]));
+      if (shards == 0) {
+        std::fprintf(stderr, "fixctl build: --shards must be >= 1\n");
+        return Usage();
+      }
     } else {
       return Usage();
     }
   }
   auto corpus = fix::Corpus::Load(dir);
   if (!corpus.ok()) return Fail(corpus.status());
+  if (shards > 0) {
+    // Sharded layout: partition the corpus across N hash shards in this
+    // same directory and build every shard's index in parallel. query and
+    // stats auto-detect the layout via shards.manifest.
+    fix::ShardedOptions sopts;
+    sopts.shard_count = shards;
+    sopts.index = options;
+    auto sdb = fix::ShardedDatabase::Partition(*corpus, dir, sopts);
+    if (!sdb.ok()) return Fail(sdb.status());
+    fix::BuildStats stats;
+    if (auto s = (*sdb)->BuildIndexes("main", &stats); !s.ok()) return Fail(s);
+    std::printf("built %u shard(s): %llu entries in %.2f s (B+-trees "
+                "%.1f MB); %llu oversized pattern(s)\n",
+                shards, static_cast<unsigned long long>(stats.entries),
+                stats.construction_seconds,
+                stats.btree_bytes / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(stats.oversized_patterns));
+    return 0;
+  }
   options.path = dir + "/main.fix";
   fix::BuildStats stats;
   auto index = fix::FixIndex::Build(&*corpus, options, &stats);
@@ -196,8 +223,48 @@ int CmdStatsRemote(const std::string& address) {
   return 0;
 }
 
+/// Sharded-layout query: open the layout, scatter the compiled plan to
+/// every shard, gather in doc order. --explain's candidate estimate is a
+/// single-index introspection and does not apply here.
+int CmdQuerySharded(const std::string& dir, const std::string& xpath,
+                    bool metrics, int threads) {
+  fix::ShardedOptions sopts;
+  sopts.scatter_threads = threads;
+  auto sdb = fix::ShardedDatabase::Open(dir, sopts);
+  if (!sdb.ok()) return Fail(sdb.status());
+  std::vector<fix::NodeRef> results;
+  auto stats = (*sdb)->Query("main", xpath, &results);
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("%llu result(s) across %u shard(s); candidates %llu/%llu "
+              "(pp %.2f%%), lookup %.2f ms, refine %.2f ms%s%s\n",
+              static_cast<unsigned long long>(stats->result_count),
+              (*sdb)->shard_count(),
+              static_cast<unsigned long long>(stats->candidates),
+              static_cast<unsigned long long>(stats->total_entries),
+              stats->pruning_power() * 100, stats->lookup_ms,
+              stats->refine_ms,
+              stats->used_index ? "" : " [full-scan fallback]",
+              stats->degraded ? " [shard(s) degraded]" : "");
+  size_t shown = 0;
+  for (const fix::NodeRef& ref : results) {
+    if (shown++ == 10) {
+      std::printf("  ... (%zu more)\n", results.size() - 10);
+      break;
+    }
+    std::printf("  doc %u node %u\n", ref.doc_id, ref.node_id);
+  }
+  if (metrics) {
+    std::printf("\n%s",
+                fix::MetricsRegistry::Instance().HumanTable().c_str());
+  }
+  return 0;
+}
+
 int CmdQuery(const std::string& dir, const std::string& xpath, bool explain,
              bool metrics, int threads) {
+  if (fix::IsShardedLayout(dir)) {
+    return CmdQuerySharded(dir, xpath, metrics, threads);
+  }
   auto corpus = fix::Corpus::Load(dir);
   if (!corpus.ok()) return Fail(corpus.status());
   auto index = fix::FixIndex::Open(&*corpus, dir + "/main.fix");
@@ -251,11 +318,44 @@ int CmdQuery(const std::string& dir, const std::string& xpath, bool explain,
   return 0;
 }
 
+/// Sharded-layout stats: shard map from the manifest, per-shard doc and
+/// health summary from the opened layout, then the registry snapshot.
+int CmdStatsSharded(const std::string& dir, bool prom) {
+  auto sdb = fix::ShardedDatabase::Open(dir);
+  if (!sdb.ok()) return Fail(sdb.status());
+  if (!prom) {
+    std::printf("sharded layout: %u shard(s), generation %llu, %llu "
+                "document(s)\n",
+                (*sdb)->shard_count(),
+                static_cast<unsigned long long>((*sdb)->layout_generation()),
+                static_cast<unsigned long long>((*sdb)->num_docs()));
+    std::vector<bool> degraded = (*sdb)->DegradedShards("main");
+    for (uint32_t s = 0; s < (*sdb)->shard_count(); ++s) {
+      fix::Database* db = (*sdb)->shard_db(s);
+      std::printf("  shard %04u: %zu doc(s)%s\n", s,
+                  db != nullptr ? db->corpus()->num_docs() : 0,
+                  s < degraded.size() && degraded[s]
+                      ? "  [index DEGRADED — full scan]"
+                      : "");
+    }
+  }
+  fix::MetricsRegistry& registry = fix::MetricsRegistry::Instance();
+  if (prom) {
+    std::printf("%s", registry.PrometheusText().c_str());
+  } else {
+    std::printf("\n%s", registry.HumanTable().c_str());
+  }
+  return 0;
+}
+
 int CmdStats(const std::string& dir, const std::string& format) {
   if (format != "human" && format != "prom") {
     std::fprintf(stderr, "fixctl stats: unknown format '%s'\n",
                  format.c_str());
     return Usage();
+  }
+  if (fix::IsShardedLayout(dir)) {
+    return CmdStatsSharded(dir, format == "prom");
   }
   auto corpus = fix::Corpus::Load(dir);
   if (!corpus.ok()) return Fail(corpus.status());

@@ -17,6 +17,9 @@ const CliFlag kBuildFlags[] = {
     {"--cache-mb", "M", "spectral feature cache budget in MiB (0 = off)"},
     {"--probe-engine", "btree|spatial|auto",
      "containment probe engine (auto = spatial when resident, persisted)"},
+    {"--shards", "N",
+     "partition into N hash shards and build each shard's index in "
+     "parallel (sharded layout; query/stats auto-detect it)"},
 };
 
 const CliFlag kQueryFlags[] = {

@@ -186,7 +186,7 @@ class MetricsRegistry {
 
   // Registration can happen under any subsystem lock (e.g. a BufferPool
   // shard registering its hit counter lazily), so mu_ ranks last.
-  // LOCK-ORDER: 9 MetricsRegistry::mu_
+  // LOCK-ORDER: 12 MetricsRegistry::mu_
   mutable Mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_ FIX_GUARDED_BY(mu_);
 };

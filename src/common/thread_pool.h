@@ -50,7 +50,7 @@ class ThreadPool {
  private:
   void WorkerLoop() FIX_EXCLUDES(mu_);
 
-  // LOCK-ORDER: 6 ThreadPool::mu_
+  // LOCK-ORDER: 9 ThreadPool::mu_
   Mutex mu_;
   CondVar work_cv_;  // queue became non-empty / shutdown
   CondVar idle_cv_;  // a task finished or was dequeued

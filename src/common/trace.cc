@@ -26,7 +26,7 @@ namespace {
 // callers' locks (e.g. Database::compile_mu_ during plan compilation), so
 // g_sink_mu ranks last alongside MetricsRegistry::mu_.
 std::atomic<bool> g_enabled{false};
-// LOCK-ORDER: 9 Trace::g_sink_mu
+// LOCK-ORDER: 12 Trace::g_sink_mu
 Mutex g_sink_mu;  // guards g_sink and line appends
 std::FILE* g_sink FIX_GUARDED_BY(g_sink_mu) = nullptr;  // owned unless stderr
 bool g_sink_is_stderr FIX_GUARDED_BY(g_sink_mu) = false;

@@ -199,6 +199,21 @@ class Database {
       const std::string& index_name, const std::vector<std::string>& xpaths,
       int threads = 0);
 
+  /// Executes an already-compiled twig against the named index — the
+  /// scatter entry point ShardedDatabase uses so one plan compiled against
+  /// the master label table fans out to every shard without recompiling.
+  /// Same degradation semantics as Query; `pool` (optional, caller-owned)
+  /// parallelizes candidate refinement. The twig's label ids must have
+  /// been resolved against this database's label table or a table whose
+  /// ids are a superset mirror of it (sharded_database.h explains why the
+  /// mirror discipline makes that sound).
+  [[nodiscard]] Result<ExecStats> ExecuteCompiled(const std::string& index_name,
+                                                  const TwigQuery& q,
+                                                  std::vector<NodeRef>* results = nullptr,
+                                                  ThreadPool* pool = nullptr) {
+    return QueryInternal(index_name, q, results, pool);
+  }
+
   /// Parses + resolves an XPath string without executing (for harnesses).
   /// Serves repeated strings from the plan cache. Thread-safe.
   /// @return The compiled twig, or ParseError.
@@ -244,7 +259,7 @@ class Database {
   /// Guards indexes_ and degraded_. Readers (Query/ExecuteMany/IsDegraded)
   /// take it shared only long enough to copy a shared_ptr; quarantine and
   /// the writer-exclusive index mutations take it unique.
-  // LOCK-ORDER: 3 Database::mu_
+  // LOCK-ORDER: 6 Database::mu_
   mutable SharedMutex mu_;
   /// shared_ptr, not unique_ptr: a query holds its own reference while
   /// executing, so quarantine (which detaches the index) can never free it
@@ -254,12 +269,12 @@ class Database {
   OpenOptions open_options_;
   std::unordered_set<std::string> degraded_ FIX_GUARDED_BY(mu_);
   /// Guards health_ (kept a plain copyable struct; mutations are rare).
-  // LOCK-ORDER: 4 Database::health_mu_
+  // LOCK-ORDER: 7 Database::health_mu_
   mutable Mutex health_mu_ FIX_ACQUIRED_AFTER(mu_);
   StorageHealth health_ FIX_GUARDED_BY(health_mu_);
   /// Serializes compilation misses: ResolveLabels interns into the shared
   /// LabelTable, which is not itself thread-safe.
-  // LOCK-ORDER: 4 Database::compile_mu_
+  // LOCK-ORDER: 7 Database::compile_mu_
   Mutex compile_mu_ FIX_ACQUIRED_AFTER(mu_);
   mutable PlanCache plan_cache_;
 };

@@ -397,13 +397,13 @@ class FixIndex {
   EdgeEncoder encoder_;
   /// Serializes query-time interning into encoder_ (see the class comment).
   /// Heap-allocated because FixIndex keeps its defaulted move operations.
-  // LOCK-ORDER: 5 FixIndex::encoder_mu_
+  // LOCK-ORDER: 8 FixIndex::encoder_mu_
   std::unique_ptr<Mutex> encoder_mu_ = std::make_unique<Mutex>();
   // `spatial_` is deliberately NOT FIX_GUARDED_BY(*spatial_mu_): the lock
   // only covers the shared_ptr copy/swap (see the class comment); the
   // pointee is immutable. Heap-allocated for the same defaulted-move
   // reason as encoder_mu_. Never held together with any other lock.
-  // LOCK-ORDER: 5 FixIndex::spatial_mu_
+  // LOCK-ORDER: 8 FixIndex::spatial_mu_
   std::unique_ptr<Mutex> spatial_mu_ = std::make_unique<Mutex>();
   /// Per-label kd-trees over the current committed generation; null means
   /// probes answer from the B+-tree (missing/corrupt sidecar, or a refresh

@@ -63,7 +63,7 @@ class PlanCache {
 
  private:
   struct Shard {
-    // LOCK-ORDER: 4 PlanCache::Shard::mu
+    // LOCK-ORDER: 7 PlanCache::Shard::mu
     mutable Mutex mu;
     std::unordered_map<std::string, TwigQuery> plans FIX_GUARDED_BY(mu);
     std::deque<std::string> fifo FIX_GUARDED_BY(mu);  // front = oldest

@@ -15,6 +15,7 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "core/database.h"
+#include "core/sharded_database.h"
 #include "server/fixd_server.h"
 
 namespace {
@@ -144,21 +145,40 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto db = fix::Database::Open(dir);
-  if (!db.ok()) {
-    FIX_LOG(Error) << "fixd: cannot open database at '" << dir
-                   << "': " << db.status();
-    return 1;
-  }
-  if (!options.index.empty() &&
-      (*db)->index(options.index) == nullptr &&
-      !(*db)->IsDegraded(options.index)) {
-    FIX_LOG(Warning) << "fixd: serving index '" << options.index
-                     << "' is not attached; QUERY against it will fail "
-                        "until it is built (fixctl build) or inserted";
+  // A directory carrying shards.manifest (fixctl build --shards) serves
+  // through the scatter-gather backend; anything else is the classic
+  // single-Database layout. Exactly one of the two stays open.
+  std::unique_ptr<fix::Database> db;
+  std::unique_ptr<fix::ShardedDatabase> sdb;
+  if (fix::IsShardedLayout(dir)) {
+    auto opened = fix::ShardedDatabase::Open(dir);
+    if (!opened.ok()) {
+      FIX_LOG(Error) << "fixd: cannot open sharded database at '" << dir
+                     << "': " << opened.status();
+      return 1;
+    }
+    sdb = std::move(opened).value();
+    FIX_LOG(Info) << "fixd: sharded layout, " << sdb->shard_count()
+                  << " shard(s), generation " << sdb->layout_generation();
+  } else {
+    auto opened = fix::Database::Open(dir);
+    if (!opened.ok()) {
+      FIX_LOG(Error) << "fixd: cannot open database at '" << dir
+                     << "': " << opened.status();
+      return 1;
+    }
+    db = std::move(opened).value();
+    if (!options.index.empty() && db->index(options.index) == nullptr &&
+        !db->IsDegraded(options.index)) {
+      FIX_LOG(Warning) << "fixd: serving index '" << options.index
+                       << "' is not attached; QUERY against it will fail "
+                          "until it is built (fixctl build) or inserted";
+    }
   }
 
-  fix::server::Server server(db.value().get(), options);
+  fix::server::Server server =
+      sdb != nullptr ? fix::server::Server(sdb.get(), options)
+                     : fix::server::Server(db.get(), options);
   fix::Status started = server.Start();
   if (!started.ok()) {
     FIX_LOG(Error) << "fixd: start failed: " << started;

@@ -117,14 +117,17 @@ struct Conn {
   int64_t request_start_us = 0;   // admission time of the in-flight request
 
   // --- shared with workers ---
-  // LOCK-ORDER: 8 Conn::mu_
+  // LOCK-ORDER: 11 Conn::mu_
   Mutex mu_;
   std::string out FIX_GUARDED_BY(mu_);
   bool response_ready FIX_GUARDED_BY(mu_) = false;
 };
 
 Server::Server(Database* db, ServerOptions options)
-    : db_(db), options_(std::move(options)) {}
+    : db_(db), sdb_(nullptr), options_(std::move(options)) {}
+
+Server::Server(ShardedDatabase* sdb, ServerOptions options)
+    : db_(nullptr), sdb_(sdb), options_(std::move(options)) {}
 
 Server::~Server() {
   if (started_.load()) {
@@ -189,8 +192,12 @@ Status Server::ReloadIndex() {
     return Status::NotSupported("fixd: no serving index configured");
   }
   MutexLock writer(writer_mu_);
-  auto rebuilt = db_->RebuildIndex(options_.index, options_.index_options);
-  if (!rebuilt.ok()) return rebuilt.status();
+  if (sdb_ != nullptr) {
+    FIX_RETURN_IF_ERROR(sdb_->RebuildIndexes(options_.index));
+  } else {
+    auto rebuilt = db_->RebuildIndex(options_.index, options_.index_options);
+    if (!rebuilt.ok()) return rebuilt.status();
+  }
   FIX_LOG(Info) << "fixd: index '" << options_.index << "' reloaded";
   return Status::OK();
 }
@@ -570,7 +577,9 @@ void Server::Execute(const std::shared_ptr<Conn>& conn, uint8_t type,
       Status run;
       {
         ReaderMutexLock gate(gate_);
-        auto r = db_->Query(req.index, req.xpath, &results);
+        auto r = sdb_ != nullptr
+                     ? sdb_->Query(req.index, req.xpath, &results)
+                     : db_->Query(req.index, req.xpath, &results);
         run = r.ok() ? Status::OK() : r.status();
         if (r.ok()) stats = r.value();
       }
@@ -609,7 +618,11 @@ void Server::Execute(const std::shared_ptr<Conn>& conn, uint8_t type,
           Status::Internal("unreached");
       {
         ReaderMutexLock gate(gate_);
-        batch = db_->ExecuteMany(req.index, req.xpaths, threads);
+        // The sharded path parallelizes per scatter leg through its own
+        // pool; the advisory thread count only shapes the unsharded path.
+        batch = sdb_ != nullptr
+                    ? sdb_->ExecuteMany(req.index, req.xpaths)
+                    : db_->ExecuteMany(req.index, req.xpaths, threads);
       }
       if (!batch.ok()) {
         wire::EncodeErrorResponse(wire::CodeFromStatus(batch.status()),
@@ -649,7 +662,19 @@ void Server::Execute(const std::shared_ptr<Conn>& conn, uint8_t type,
       }
       wire::InsertResponse resp;
       Status run = Status::OK();
-      {
+      if (sdb_ != nullptr) {
+        // Sharded path: route + commit inside ShardedDatabase, which
+        // gates only the target shard's readers — the server-wide gate_
+        // stays untouched so queries on other shards never pause.
+        MutexLock writer(writer_mu_);
+        auto id = sdb_->InsertXml(req.index, req.xml);
+        if (!id.ok()) {
+          run = id.status();
+        } else {
+          resp.doc_id = id.value();
+          resp.generation = sdb_->layout_generation();
+        }
+      } else {
         // One mutator at a time; the corpus mutation + save excludes
         // readers (gate_ exclusive), the index commit below does not.
         MutexLock writer(writer_mu_);

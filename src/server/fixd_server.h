@@ -34,9 +34,9 @@
 //     drain that exceeds drain_timeout_ms force-closes and reports it.
 //
 // Lock order (see docs/ARCHITECTURE.md): Server::writer_mu_ (1) →
-// Server::gate_ (2) → everything inside Database (3+); Server::state_mu_
-// and Conn::mu_ are rank-8 leaves acquired with nothing else held below
-// rank 9 (metrics).
+// Server::gate_ (2) → everything inside ShardedDatabase (3–5) and
+// Database (6+); Server::state_mu_ and Conn::mu_ are rank-11 leaves
+// acquired with nothing else held below rank 12 (metrics).
 
 #ifndef FIX_SERVER_FIXD_SERVER_H_
 #define FIX_SERVER_FIXD_SERVER_H_
@@ -57,6 +57,7 @@
 #include "common/thread_pool.h"
 #include "core/database.h"
 #include "core/index_options.h"
+#include "core/sharded_database.h"
 #include "server/poller.h"
 
 namespace fix {
@@ -97,6 +98,13 @@ class Server {
  public:
   /// `db` must outlive the server and must already be opened/populated.
   Server(Database* db, ServerOptions options);
+
+  /// Sharded backend: requests scatter-gather across `sdb`'s shards
+  /// instead of hitting one Database. INSERT routes by document hash and
+  /// relies on ShardedDatabase's per-shard gating for reader exclusion
+  /// (gate_ stays shared-free on this path); writer_mu_ still serializes
+  /// mutators. `sdb` must outlive the server.
+  Server(ShardedDatabase* sdb, ServerOptions options);
 
   /// Stops (drain + join) if still running.
   ~Server();
@@ -181,7 +189,10 @@ class Server {
   /// Writes one byte to the self-pipe so a blocked Wait returns.
   void Wake();
 
+  // Exactly one backend is non-null: a monolithic Database or a
+  // ShardedDatabase (fixd_main picks by layout auto-detection).
   Database* const db_;
+  ShardedDatabase* const sdb_;
   const ServerOptions options_;
 
   // Serializes mutators (INSERT, ReloadIndex) against each other; always
@@ -194,7 +205,7 @@ class Server {
   SharedMutex gate_;
 
   // Lifecycle handshake between Start/WaitDrained and the loop thread.
-  // LOCK-ORDER: 8 Server::state_mu_
+  // LOCK-ORDER: 11 Server::state_mu_
   Mutex state_mu_;
   CondVar state_cv_;
   bool loop_exited_ FIX_GUARDED_BY(state_mu_) = false;

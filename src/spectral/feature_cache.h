@@ -86,7 +86,7 @@ class FeatureCache {
     CachedFeature value;
   };
   struct Shard {
-    // LOCK-ORDER: 6 FeatureCache::Shard::mu
+    // LOCK-ORDER: 9 FeatureCache::Shard::mu
     mutable Mutex mu;
     // front = newest, evict from the back
     std::list<Entry> entries FIX_GUARDED_BY(mu);

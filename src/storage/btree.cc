@@ -29,7 +29,7 @@ struct RetiredPage {
 /// `published`) are guarded by `mu`; everything else is writer-owned and
 /// only ever touched by the single write thread.
 struct BTreeState {
-  // LOCK-ORDER: 6 BTreeState::mu
+  // LOCK-ORDER: 9 BTreeState::mu
   Mutex mu;
   /// Pinned generations: generation -> live Snapshot objects carrying it.
   /// Ordered so the minimum pinned generation is begin().

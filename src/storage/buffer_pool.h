@@ -154,7 +154,7 @@ class BufferPool {
   /// guards. Heap-allocated so the pool stays movable-free but the shard
   /// addresses stay stable.
   struct Shard {
-    // LOCK-ORDER: 7 BufferPool::Shard::mu
+    // LOCK-ORDER: 10 BufferPool::Shard::mu
     Mutex mu;
     // `frames` is deliberately NOT FIX_GUARDED_BY(mu): FrameData reads a
     // frame's payload without the shard lock, protected by the pin protocol

@@ -14,7 +14,10 @@
 #      crash point of the data file and of the log, fsync fail-stop,
 #      torn-tail discard), plus the bench_qps mixed read/write sweep (95/5
 #      and 50/50 commit mixes with p50/p95/p99 and a `.metrics.prom`
-#      snapshot carrying the fix.wal.* counters).
+#      snapshot carrying the fix.wal.* counters) and its shard sweep
+#      (1/2/4/8 hash shards x 1/2/4/8 threads through the scatter-gather
+#      path, parity-checked per op, mixed read/write per layout, own CSV
+#      + snapshot carrying the fix.shard.* counters).
 #   7. the probe-engine parity smoke: the ProbeEngine test suite plus
 #      bench_ablation_spatial, whose FIX_CHECKs abort unless the kd-tree
 #      and B+-tree engines return byte-identical candidate sets on all
@@ -32,11 +35,17 @@
 #  11. fixdb_scrub over every index page file persist_test produced
 #      (FIX_PERSIST_TEST_DIR keeps the suite's output for this step); the
 #      scrub also checks each index's `.spatial` sidecar.
-#  12. static-analysis: fixlint (the project-invariant analyzer, see
+#  12. the shard-parity smoke + quarantine drill: the same deterministic
+#      corpus built monolithic and into four hash shards must answer a
+#      query identically (fixctl auto-detects the layout); the sharded
+#      layout must scrub clean as a directory; then one shard's page file
+#      is corrupted and the reopen must quarantine that shard alone —
+#      same answers, a degraded marker, and a now-failing scrub.
+#  13. static-analysis: fixlint (the project-invariant analyzer, see
 #      docs/STATIC_ANALYSIS.md) over the whole tree plus the `lint` ctest
 #      label, and — when clang++ is installed — a FIX_THREAD_SAFETY=ON
 #      build that turns the thread-safety annotations into compile errors.
-#  13. docs-check: every relative markdown link in the repo's *.md files
+#  14. docs-check: every relative markdown link in the repo's *.md files
 #      must resolve, the documented headers must keep their thread-safety
 #      contracts, and docs/FIXD.md must name every wire opcode and result
 #      code the codec defines (plain grep/awk — no extra tooling).
@@ -52,28 +61,30 @@ JOBS="${JOBS:-$(nproc)}"
 BASE_REF="${1:-origin/main}"
 
 # One EXIT trap for everything the stages leave behind: the fixd server
-# process (stage 9) and the temp dirs (stages 9 and 11).
+# process (stage 9) and the temp dirs (stages 9, 11, and 12).
 SRV_DIR=""
 SRV_PID=""
 SCRUB_DIR=""
+SHARD_DIR=""
 cleanup() {
   if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
     kill -9 "$SRV_PID" 2>/dev/null || true
   fi
   if [ -n "$SRV_DIR" ]; then rm -rf "$SRV_DIR"; fi
   if [ -n "$SCRUB_DIR" ]; then rm -rf "$SCRUB_DIR"; fi
+  if [ -n "$SHARD_DIR" ]; then rm -rf "$SHARD_DIR"; fi
 }
 trap cleanup EXIT
 
-echo "=== [1/13] Release build (FIX_WERROR=ON) ==="
+echo "=== [1/14] Release build (FIX_WERROR=ON) ==="
 cmake -B build -S . -DFIX_WERROR=ON
 cmake --build build -j "$JOBS"
 
-echo "=== [2/13] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
+echo "=== [2/14] ASan/UBSan build (FIX_WERROR=ON, dchecks on) ==="
 cmake -B build-asan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 
-echo "=== [3/13] clang-tidy on changed files ==="
+echo "=== [3/14] clang-tidy on changed files ==="
 if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
   BASE_REF="HEAD~1"
 fi
@@ -88,16 +99,16 @@ else
   tools/run_clang_tidy.sh build
 fi
 
-echo "=== [4/13] Tests ==="
+echo "=== [4/14] Tests ==="
 (cd build-asan && ctest -L sanitizer-clean --output-on-failure)
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "=== [5/13] Fault-injection suite (Release + ASan) ==="
+echo "=== [5/14] Fault-injection suite (Release + ASan) ==="
 (cd build && ctest -L fault-injection --output-on-failure -j "$JOBS")
 (cd build-asan && ctest -L fault-injection --output-on-failure -j "$JOBS")
 
-echo "=== [6/13] WAL crash loop + mixed read/write bench ==="
+echo "=== [6/14] WAL crash loop + mixed read/write bench ==="
 # The COW+WAL acceptance loop on its own: FaultInjectionPageIo crashes the
 # data file and the log at every write index of an InsertDocument commit,
 # plus the fsync fail-stop latch, the torn-tail discard, and the online
@@ -113,8 +124,16 @@ echo "=== [6/13] WAL crash loop + mixed read/write bench ==="
 cmake --build build -j "$JOBS" --target bench_qps
 (cd build/bench && ./bench_qps)
 grep -q '^fix_wal_appends [1-9]' build/bench/bench_qps.csv.metrics.prom
+# The shard sweep (1/2/4/8 shards x 1/2/4/8 threads, parity-checked
+# against the 1-shard baseline, with a mixed read/write phase per layout)
+# writes its own CSV + snapshot; the greps pin that the scatter-gather
+# path actually ran and routed inserts.
+grep -q '^fix_shard_scatters [1-9]' \
+    build/bench/bench_qps_shards.csv.metrics.prom
+grep -q '^fix_shard_inserts [1-9]' \
+    build/bench/bench_qps_shards.csv.metrics.prom
 
-echo "=== [7/13] Probe-engine parity smoke ==="
+echo "=== [7/14] Probe-engine parity smoke ==="
 # Both probe engines must return byte-identical candidate sets through the
 # production ProbeWithEngine entry point. The property test covers seeded
 # random corpora under both sound_probe settings including ε boundary
@@ -124,7 +143,7 @@ echo "=== [7/13] Probe-engine parity smoke ==="
 cmake --build build -j "$JOBS" --target bench_ablation_spatial
 (cd build/bench && ./bench_ablation_spatial)
 
-echo "=== [8/13] TSan build + concurrency/observability suites ==="
+echo "=== [8/14] TSan build + concurrency/observability suites ==="
 cmake -B build-tsan -S . -DFIX_WERROR=ON -DFIX_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest -L concurrency --output-on-failure -j "$JOBS")
@@ -132,7 +151,7 @@ cmake --build build-tsan -j "$JOBS"
 # the observability label also runs in the Release tree via stage 4.
 (cd build-tsan && ctest -L observability --output-on-failure -j "$JOBS")
 
-echo "=== [9/13] fixd server smoke (loopback) ==="
+echo "=== [9/14] fixd server smoke (loopback) ==="
 # The real binary end to end (docs/FIXD.md): serve the deterministic DBLP
 # corpus, prove the wire path lossless with the bench_qps --remote parity
 # sweep (every result byte-identical to in-process execution), probe the
@@ -184,7 +203,7 @@ grep -q '^fixd: drained cleanly$' "$SRV_DIR/fixd.out"
 rm -rf "$SRV_DIR"
 SRV_DIR=""
 
-echo "=== [10/13] Concurrent-query stress (Release + TSan) ==="
+echo "=== [10/14] Concurrent-query stress (Release + TSan) ==="
 # The data-race canary for the whole read path: many threads through one
 # Database (lock-striped buffer pool, shared B+-tree, plan cache) with
 # results diffed against single-threaded baselines. TSan turns a silent
@@ -193,7 +212,7 @@ echo "=== [10/13] Concurrent-query stress (Release + TSan) ==="
 (cd build-tsan && ctest -R '^ConcurrentQueryTest' --output-on-failure \
     -j "$JOBS")
 
-echo "=== [11/13] Scrub of persist_test databases ==="
+echo "=== [11/14] Scrub of persist_test databases ==="
 SCRUB_DIR="$(mktemp -d)"
 (cd build && FIX_PERSIST_TEST_DIR="$SCRUB_DIR" ctest -R '^PersistTest' \
     --output-on-failure -j "$JOBS")
@@ -204,7 +223,49 @@ if [ "${#INDEX_FILES[@]}" -eq 0 ]; then
 fi
 build/tools/fixdb_scrub "${INDEX_FILES[@]}"
 
-echo "=== [12/13] static-analysis: fixlint + thread-safety annotations ==="
+echo "=== [12/14] Shard-parity smoke + quarantine drill ==="
+# The scatter-gather contract end to end through the real binaries: the
+# same deterministic corpus built monolithic and into four hash shards
+# must produce the identical result count and doc/node pairs (fixctl
+# auto-detects the layout from shards.manifest). fixdb_scrub must walk
+# the sharded directory clean. Then the drill: corrupt one shard's page
+# file, reopen — the damaged shard alone quarantines to its full scan,
+# the answers must not change, the output must carry the degraded
+# marker, and the scrub must now fail.
+cmake --build build -j "$JOBS" --target fixctl fixdb_scrub
+SHARD_DIR="$(mktemp -d)"
+build/examples/fixctl gen "$SHARD_DIR/flat" tcmd
+build/examples/fixctl gen "$SHARD_DIR/sharded" tcmd
+build/examples/fixctl build "$SHARD_DIR/flat"
+build/examples/fixctl build "$SHARD_DIR/sharded" --shards 4
+SHARD_XPATH="//author/contact/email"
+# Normalize both outputs to the comparable lines: the result count and
+# the printed doc/node pairs (the flat path also prints label names; the
+# -o extraction drops them).
+build/examples/fixctl query "$SHARD_DIR/flat" "$SHARD_XPATH" \
+    | grep -oE '^[0-9]+ result|doc [0-9]+ node [0-9]+' \
+    > "$SHARD_DIR/flat.txt"
+build/examples/fixctl query "$SHARD_DIR/sharded" "$SHARD_XPATH" \
+    | grep -oE '^[0-9]+ result|doc [0-9]+ node [0-9]+' \
+    > "$SHARD_DIR/sharded.txt"
+diff -u "$SHARD_DIR/flat.txt" "$SHARD_DIR/sharded.txt"
+build/tools/fixdb_scrub --wal "$SHARD_DIR/sharded"
+dd if=/dev/zero of="$SHARD_DIR/sharded/gen-0/shard-0001/main.fix" \
+    bs=1 seek=8192 count=4096 conv=notrunc status=none
+build/examples/fixctl query "$SHARD_DIR/sharded" "$SHARD_XPATH" \
+    > "$SHARD_DIR/degraded.out"
+grep -q 'shard(s) degraded' "$SHARD_DIR/degraded.out"
+grep -oE '^[0-9]+ result|doc [0-9]+ node [0-9]+' "$SHARD_DIR/degraded.out" \
+    > "$SHARD_DIR/degraded.txt"
+diff -u "$SHARD_DIR/flat.txt" "$SHARD_DIR/degraded.txt"
+if build/tools/fixdb_scrub "$SHARD_DIR/sharded" >/dev/null 2>&1; then
+  echo "error: fixdb_scrub passed a corrupted shard page file" >&2
+  exit 1
+fi
+rm -rf "$SHARD_DIR"
+SHARD_DIR=""
+
+echo "=== [13/14] static-analysis: fixlint + thread-safety annotations ==="
 # fixlint enforces the project invariants a generic linter cannot know
 # (lock order vs ARCHITECTURE.md, metric/options doc drift, RAII-only
 # locking, banned functions, include guards); one finding fails CI. See
@@ -223,7 +284,7 @@ else
       "build (the annotations are only verifiable under clang)."
 fi
 
-echo "=== [13/13] docs-check ==="
+echo "=== [14/14] docs-check ==="
 # Every relative link in tracked markdown must resolve. grep emits
 # `file:](target)`; the loop strips the wrapper, drops externals and pure
 # anchors, and resolves the rest against the linking file's directory.

@@ -1,6 +1,6 @@
 // fixdb_scrub: offline integrity verifier for FIX index page files.
 //
-// Usage: fixdb_scrub [--no-structure] [--wal] <file.fix> [more files...]
+// Usage: fixdb_scrub [--no-structure] [--wal] <file.fix|sharded-dir> [...]
 //
 // For each file, walks every page verifying the self-describing header
 // (magic, format version, embedded page id, CRC32C) and, unless
@@ -13,13 +13,22 @@
 // always checked the same lenient way: absent is fine (the probe engine
 // just falls back to the B+-tree), but a present sidecar must pass its
 // CRC32C frame and tree-topology validation. Never modifies the files.
-// Exits 0 iff every file is clean.
+//
+// A directory argument carrying shards.manifest (a ShardedDatabase
+// workdir, `fixctl build --shards`) expands to every `.fix` page file in
+// every live shard directory — the whole sharded layout scrubs in one
+// invocation. A manifest that fails validation, or a listed shard
+// directory with no index files, counts as damage. Exits 0 iff every
+// file is clean.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "core/sharded_database.h"
 #include "core/spatial_probe.h"
 #include "storage/scrub.h"
 #include "storage/wal.h"
@@ -84,6 +93,50 @@ bool ScrubSpatial(const std::string& path) {
   return true;
 }
 
+// Expands a sharded-layout workdir into the `.fix` page files of every
+// shard named by its manifest, appending them to `paths`. Sorted within
+// each shard so output order is deterministic. Returns false (and prints
+// why) when the manifest is unreadable or a shard holds no index files.
+bool ExpandShardedLayout(const std::string& workdir,
+                         std::vector<std::string>* paths) {
+  fix::Result<fix::ShardLayout> layout = fix::ReadShardLayout(workdir);
+  if (!layout.ok()) {
+    std::fprintf(stderr, "%s: CORRUPT manifest: %s\n", workdir.c_str(),
+                 layout.status().ToString().c_str());
+    return false;
+  }
+  std::printf("%s: sharded layout, %u shard(s), generation %llu\n",
+              workdir.c_str(), layout->shard_count,
+              static_cast<unsigned long long>(layout->generation));
+  bool ok = true;
+  for (const std::string& dir : layout->shard_dirs) {
+    const std::string shard_dir = workdir + "/" + dir;
+    std::vector<std::string> shard_files;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(shard_dir, ec)) {
+      if (entry.path().extension() == ".fix") {
+        shard_files.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "%s: cannot list shard: %s\n", shard_dir.c_str(),
+                   ec.message().c_str());
+      ok = false;
+      continue;
+    }
+    if (shard_files.empty()) {
+      std::fprintf(stderr, "%s: no index files in shard\n",
+                   shard_dir.c_str());
+      ok = false;
+      continue;
+    }
+    std::sort(shard_files.begin(), shard_files.end());
+    paths->insert(paths->end(), shard_files.begin(), shard_files.end());
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,7 +151,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
-          "usage: %s [--no-structure] [--wal] <file.fix> [more files...]\n",
+          "usage: %s [--no-structure] [--wal] <file.fix|sharded-dir> [...]\n",
           argv[0]);
       return 0;
     } else {
@@ -106,12 +159,26 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: %s [--no-structure] [--wal] <file.fix> [...]\n",
+    std::fprintf(stderr,
+                 "usage: %s [--no-structure] [--wal] <file.fix|sharded-dir> "
+                 "[...]\n",
                  argv[0]);
     return 2;
   }
 
   int failures = 0;
+  // Expand sharded-layout directories in place before scrubbing.
+  {
+    std::vector<std::string> expanded;
+    for (const std::string& path : paths) {
+      if (fix::IsShardedLayout(path)) {
+        if (!ExpandShardedLayout(path, &expanded)) ++failures;
+      } else {
+        expanded.push_back(path);
+      }
+    }
+    paths = std::move(expanded);
+  }
   for (const std::string& path : paths) {
     fix::Result<fix::ScrubReport> result = fix::ScrubPageFile(path, options);
     if (!result.ok()) {
